@@ -1,0 +1,68 @@
+// Ablation — the "capped" in capped piecewise linearization.
+//
+// The CPWL table covers a finite domain; inputs beyond it are capped to the
+// boundary segments, whose lines extend naturally (§III-A step 1). This
+// ablation quantifies what capping buys: for each function we measure the
+// worst-case error of (a) the capped table evaluated over an input range
+// 2x wider than its domain, against (b) a hypothetical uncapped table that
+// would need to cover that whole range at the same granularity (more L3
+// bytes), and (c) naive zero-extension (returning the curve's last *value*
+// rather than extending its line).
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "cpwl/segment_table.hpp"
+
+int main() {
+  using namespace onesa;
+  using cpwl::FunctionKind;
+
+  std::cout << "=== Ablation: capping of the piecewise linearization ===\n\n";
+
+  TablePrinter table({"Function", "Capped err", "Capped bytes", "Wide-table err",
+                      "Wide-table bytes", "Hold-value err"});
+  for (FunctionKind kind :
+       {FunctionKind::kGelu, FunctionKind::kTanh, FunctionKind::kSigmoid,
+        FunctionKind::kSoftplus, FunctionKind::kSilu}) {
+    const auto base_domain = cpwl::default_domain(kind);
+
+    cpwl::SegmentTableConfig capped_cfg;
+    capped_cfg.granularity = 0.25;
+    const auto capped = cpwl::SegmentTable::build(kind, capped_cfg);
+
+    cpwl::SegmentTableConfig wide_cfg;
+    wide_cfg.granularity = 0.25;
+    wide_cfg.domain = {2.0 * base_domain.lo, 2.0 * base_domain.hi};
+    const auto wide = cpwl::SegmentTable::build(kind, wide_cfg);
+
+    // Evaluate all three strategies over the wide range.
+    double capped_err = 0.0;
+    double wide_err = 0.0;
+    double hold_err = 0.0;
+    const double lo = 2.0 * base_domain.lo;
+    const double hi = 2.0 * base_domain.hi;
+    for (double x = lo; x <= hi; x += (hi - lo) / 4096.0) {
+      const double exact = cpwl::eval_reference(kind, x);
+      capped_err = std::max(capped_err, std::abs(capped.eval(x) - exact));
+      wide_err = std::max(wide_err, std::abs(wide.eval(x) - exact));
+      // Hold-value: clamp x into the base domain first (no line extension).
+      const double clamped = std::min(std::max(x, base_domain.lo), base_domain.hi);
+      hold_err = std::max(hold_err, std::abs(capped.eval(clamped) - exact));
+    }
+
+    table.add_row({std::string(cpwl::function_name(kind)),
+                   TablePrinter::num(capped_err, 4), std::to_string(capped.table_bytes()),
+                   TablePrinter::num(wide_err, 4), std::to_string(wide.table_bytes()),
+                   TablePrinter::num(hold_err, 4)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nReading: for saturating activations the capped boundary line is\n"
+               "as accurate as doubling the table (the function is already linear\n"
+               "at the edges) at half the L3 bytes; for GELU/SiLU/softplus, whose\n"
+               "tails grow like x, holding the boundary *value* instead of\n"
+               "extending the boundary *line* is catastrophically wrong — the\n"
+               "cap-to-segment rule is what makes small tables viable.\n";
+  return 0;
+}

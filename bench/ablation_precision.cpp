@@ -1,0 +1,67 @@
+// Ablation — fixed-point format of the CPWL tables.
+//
+// The paper fixes INT16 (Q6.9). This study asks what lower/higher-precision
+// datapaths would do to the approximation: for each Q format, the table's
+// k/b parameters and the final result quantize to that grid, so the total
+// error is CPWL interpolation error + format quantization error. An INT8
+// variant (Q3.4) is the natural "future work" question for edge deployment.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "cpwl/segment_table.hpp"
+#include "fixed/fixed16.hpp"
+
+namespace {
+
+using namespace onesa;
+
+/// Max |CPWL_q(x) - f(x)| where parameters and output are quantized to
+/// `frac_bits` and segment indexing runs on the corresponding raw grid.
+template <int FracBits>
+double max_error(cpwl::FunctionKind kind, double granularity) {
+  cpwl::SegmentTableConfig cfg;
+  cfg.granularity = granularity;
+  cfg.frac_bits = FracBits;
+  const auto t = cpwl::SegmentTable::build(kind, cfg);
+  double worst = 0.0;
+  const auto domain = t.domain();
+  for (double x = domain.lo; x <= domain.hi; x += (domain.hi - domain.lo) / 4096.0) {
+    const int seg = t.segment_index(x);
+    const double xq = fixed::Fixed<FracBits>::from_double(x).to_double();
+    const double kq = fixed::Fixed<FracBits>::from_double(t.k(seg)).to_double();
+    const double bq = fixed::Fixed<FracBits>::from_double(t.b(seg)).to_double();
+    const double yq = fixed::Fixed<FracBits>::from_double(kq * xq + bq).to_double();
+    worst = std::max(worst, std::abs(yq - cpwl::eval_reference(kind, x)));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: fixed-point format of the CPWL datapath ===\n\n";
+
+  TablePrinter table({"Function", "Granularity", "Q3.4 res (INT8)", "Q6.9 (paper)",
+                      "Q4.11 res"});
+  for (cpwl::FunctionKind kind :
+       {cpwl::FunctionKind::kGelu, cpwl::FunctionKind::kExp,
+        cpwl::FunctionKind::kSigmoid, cpwl::FunctionKind::kTanh}) {
+    for (double g : {0.25, 0.0625}) {
+      table.add_row({std::string(cpwl::function_name(kind)), TablePrinter::num(g, 4),
+                     TablePrinter::num(max_error<4>(kind, g), 5),
+                     TablePrinter::num(max_error<9>(kind, g), 5),
+                     TablePrinter::num(max_error<11>(kind, g), 5)});
+    }
+  }
+  table.render(std::cout);
+
+  std::cout << "\nReading: at the paper's default granularity (0.25) the Q6.9\n"
+               "datapath adds little on top of the interpolation error, so INT16\n"
+               "is not the bottleneck — the segment count is. A Q3.4 (INT8-like)\n"
+               "datapath floors the error near its 0.0625 quantization step no\n"
+               "matter how fine the table, which is why the paper's INT16 choice\n"
+               "is load-bearing; Q4.11 shows the interpolation-limited regime\n"
+               "(finer granularity keeps paying off).\n";
+  return 0;
+}

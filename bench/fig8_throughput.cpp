@@ -1,0 +1,88 @@
+// Fig. 8 — "Performance under different types of calculation."
+//
+// (a) Linear throughput (GOPS, one op = one multiply+add) and (b) nonlinear
+// throughput (GNFS, nonlinear function evaluations per second) as functions
+// of the number of PEs (log4 axis: 4..256), MACs per PE (log2 axis: 2..32)
+// and the input matrix dimension (32 / 128 / 512), plus the theoretical
+// maximum. The throughput cliff — small matrices failing to use large
+// arrays — must be visible in the 32-dim series.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/timing.hpp"
+
+namespace {
+
+onesa::sim::ArrayConfig make_config(std::size_t pes, std::size_t macs) {
+  onesa::sim::ArrayConfig cfg;
+  const auto dim = static_cast<std::size_t>(std::lround(std::sqrt(pes)));
+  cfg.rows = dim;
+  cfg.cols = dim;
+  cfg.macs_per_pe = macs;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace onesa;
+
+  const std::size_t pe_counts[] = {4, 16, 64, 256};
+  const std::size_t mac_counts[] = {2, 4, 8, 16, 32};
+  const std::size_t dims[] = {32, 128, 512};
+
+  std::cout << "=== Fig. 8(a): linear calculation throughput (GOPS) ===\n\n";
+  {
+    TablePrinter table({"PEs", "MACs", "32 dims", "128 dims", "512 dims", "Maximum"});
+    for (std::size_t pes : pe_counts) {
+      for (std::size_t macs : mac_counts) {
+        const sim::TimingModel model(make_config(pes, macs));
+        std::vector<std::string> row{std::to_string(pes), std::to_string(macs)};
+        for (std::size_t dim : dims) {
+          row.push_back(TablePrinter::num(model.gemm_gops({dim, dim, dim}), 2));
+        }
+        row.push_back(TablePrinter::num(model.peak_gops(), 2));
+        table.add_row(std::move(row));
+      }
+    }
+    table.render(std::cout);
+  }
+
+  std::cout << "\n=== Fig. 8(b): nonlinear calculation throughput (GNFS) ===\n\n";
+  {
+    TablePrinter table({"PEs", "MACs", "32 dims", "128 dims", "512 dims", "Maximum"});
+    for (std::size_t pes : pe_counts) {
+      for (std::size_t macs : mac_counts) {
+        const sim::TimingModel model(make_config(pes, macs));
+        std::vector<std::string> row{std::to_string(pes), std::to_string(macs)};
+        for (std::size_t dim : dims) {
+          row.push_back(TablePrinter::num(model.nonlinear_gnfs(dim * dim), 3));
+        }
+        row.push_back(TablePrinter::num(model.peak_gnfs(), 3));
+        table.add_row(std::move(row));
+      }
+    }
+    table.render(std::cout);
+  }
+
+  // The throughput-cliff observation of §V-C, quantified: fraction of the
+  // cycles a small-matrix GEMM spends NOT computing on a 16x16 array.
+  {
+    const sim::TimingModel model(make_config(256, 16));
+    const auto cycles = model.gemm_cycles({32, 32, 32});
+    const double non_compute =
+        1.0 - static_cast<double>(cycles.compute_cycles) /
+                  static_cast<double>(cycles.total());
+    std::cout << "\nThroughput cliff check (32x32 GEMM on 16x16 PEs): "
+              << TablePrinter::num(non_compute * 100.0, 1)
+              << "% of cycles are fill/drain/memory, not compute.\n"
+                 "Paper reference: 84.8% of clock cycles spent transmitting\n"
+                 "results for a 32x32 input on a 16x16 array.\n";
+  }
+
+  std::cout << "\nShape to check: throughput rises with PEs and (more strongly)\n"
+               "with MACs up to the cliff; 32-dim series saturates early and\n"
+               "falls ever farther below the maximum line.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Google-benchmark microkernels: host-side throughput of the simulator and
+// the CPWL engine. These time the *simulator implementation*, not the
+// modeled hardware — useful for keeping the cycle-accurate paths fast enough
+// for the larger sweeps.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "cpwl/segment_table.hpp"
+#include "onesa/accelerator.hpp"
+#include "sim/array.hpp"
+#include "sim/timing.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace onesa;
+
+void BM_DetailedGemm(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  sim::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  cfg.macs_per_pe = 16;
+  sim::SystolicArraySim sim(cfg);
+  Rng rng(1);
+  const auto a = tensor::to_fixed(tensor::random_uniform(dim, dim, rng));
+  const auto b = tensor::to_fixed(tensor::random_uniform(dim, dim, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.gemm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim * dim);
+}
+BENCHMARK(BM_DetailedGemm)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AnalyticGemmCycles(benchmark::State& state) {
+  sim::ArrayConfig cfg;
+  sim::TimingModel model(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.gemm_cycles({512, 512, 512}));
+  }
+}
+BENCHMARK(BM_AnalyticGemmCycles);
+
+void BM_DetailedMhp(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  sim::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  cfg.macs_per_pe = 16;
+  sim::SystolicArraySim sim(cfg);
+  Rng rng(2);
+  const auto x = tensor::to_fixed(tensor::random_uniform(dim, dim, rng));
+  const auto k = tensor::to_fixed(tensor::random_uniform(dim, dim, rng));
+  const auto b = tensor::to_fixed(tensor::random_uniform(dim, dim, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.mhp(x, k, b));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_DetailedMhp)->Arg(32)->Arg(64);
+
+void BM_CpwlEvalFixed(benchmark::State& state) {
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu, {});
+  Rng rng(3);
+  std::vector<fixed::Fix16> inputs;
+  for (int i = 0; i < 4096; ++i) {
+    inputs.push_back(fixed::Fix16::from_double(rng.uniform(-8.0, 8.0)));
+  }
+  for (auto _ : state) {
+    for (auto x : inputs) benchmark::DoNotOptimize(table.eval_fixed(x));
+  }
+  state.SetItemsProcessed(state.iterations() * inputs.size());
+}
+BENCHMARK(BM_CpwlEvalFixed);
+
+void BM_AcceleratorSoftmax(benchmark::State& state) {
+  OneSaConfig cfg;
+  cfg.mode = ExecutionMode::kAnalytic;
+  OneSaAccelerator accel(cfg);
+  Rng rng(4);
+  const auto x = tensor::to_fixed(tensor::random_uniform(16, 16, rng, -3.0, 3.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.softmax_rows(x));
+  }
+}
+BENCHMARK(BM_AcceleratorSoftmax);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Motivation experiment — quantify the §I claims that drive ONE-SA's design:
+// on a conventional accelerator (systolic array + dedicated nonlinear
+// units), cross-unit handoffs stall the pipeline and each unit idles while
+// the other works; ONE-SA executes everything on one continuously-busy
+// array.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "nn/scheduler.hpp"
+#include "nn/workload.hpp"
+
+int main() {
+  using namespace onesa;
+
+  std::cout << "=== Motivation: pipeline stalls and unit idling ===\n\n";
+
+  sim::ArrayConfig cfg;  // reference design
+  const sim::TimingModel timing(cfg);
+
+  struct Net {
+    const char* name;
+    nn::WorkloadTrace trace;
+  };
+  const Net nets[] = {
+      {"ResNet-50/224", nn::resnet50_trace(224)},
+      {"BERT-base/128", nn::bert_base_trace(128)},
+      {"GCN", nn::gcn_trace()},
+  };
+
+  for (const auto& net : nets) {
+    const auto ours = nn::schedule_onesa(net.trace, timing);
+    const auto conv = nn::schedule_conventional(net.trace, timing);
+
+    TablePrinter table({"Design", "Total (Mcyc)", "GEMM", "Nonlinear", "Handoffs",
+                        "Array util", "Unit util"});
+    auto row = [&](const nn::ScheduleReport& r) {
+      table.add_row({r.design, TablePrinter::num(r.total_cycles / 1e6, 2),
+                     TablePrinter::num(r.gemm_cycles / 1e6, 2),
+                     TablePrinter::num(r.nonlinear_cycles / 1e6, 2),
+                     TablePrinter::num(r.handoff_cycles / 1e6, 2),
+                     TablePrinter::num(r.array_utilization() * 100.0, 1) + "%",
+                     TablePrinter::num(r.unit_utilization() * 100.0, 1) + "%"});
+    };
+    row(ours);
+    row(conv);
+    std::cout << "--- " << net.name << " ---\n";
+    table.render(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: the conventional design's dedicated units are exact and\n"
+               "fast, but the array sits idle during every nonlinear pass (array\n"
+               "utilization < 100%), the units idle during every GEMM (unit\n"
+               "utilization of a few percent — silicon bought for one network's\n"
+               "op mix), and each transition pays a buffer handoff. ONE-SA keeps\n"
+               "its single array busy for the entire execution and needs no\n"
+               "handoffs — the \"continuous computation\" property of §I — while\n"
+               "remaining within a similar end-to-end cycle budget.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table II — "Total hardware resources consumption comparison."
+//
+// Whole-array resources for 4x4, 8x8 and 16x16 PE arrays (16 MACs per PE),
+// conventional SA vs ONE-SA, with the ONE-SA cells annotated by their ratio
+// to the SA baseline exactly as the paper formats them.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "fpga/resource_model.hpp"
+
+int main() {
+  using namespace onesa;
+  using fpga::Design;
+
+  std::cout << "=== Table II: total hardware resource consumption ===\n\n";
+
+  TablePrinter table({"Dim", "Design", "BRAM", "LUT", "FF", "DSP"});
+  for (std::size_t dim : {4u, 8u, 16u}) {
+    sim::ArrayConfig cfg;
+    cfg.rows = dim;
+    cfg.cols = dim;
+    cfg.macs_per_pe = 16;
+    const auto sa = fpga::total_resources(Design::kConventionalSa, cfg);
+    const auto ours = fpga::total_resources(Design::kOneSa, cfg);
+    const std::string dims = std::to_string(dim) + "*" + std::to_string(dim);
+    table.add_row({dims, "SA", TablePrinter::num(sa.bram, 0),
+                   TablePrinter::num(sa.lut, 0), TablePrinter::num(sa.ff, 0),
+                   TablePrinter::num(sa.dsp, 0)});
+    table.add_row({dims, "OneSA", TablePrinter::with_ratio(ours.bram, sa.bram),
+                   TablePrinter::with_ratio(ours.lut, sa.lut),
+                   TablePrinter::with_ratio(ours.ff, sa.ff),
+                   TablePrinter::with_ratio(ours.dsp, sa.dsp)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nPaper reference (Table II): FF overhead 13.3% (4x4), 18.9% (8x8),\n"
+               "24.1% (16x16); BRAM/LUT/DSP within 0.1-1.3% of the SA baseline.\n";
+  return 0;
+}

@@ -1,0 +1,218 @@
+// Table III — "End-to-end inference accuracy of different DNN models with
+// different tasks."
+//
+// The paper evaluates pretrained ResNet/BERT/GCN on public datasets; those
+// are not available offline, so each family is trained here on a synthetic
+// task of matching structure (see DESIGN.md §4), at several difficulty levels
+// per family (the paper's finding that easier tasks tolerate coarser
+// granularity needs a difficulty axis). For every task we report:
+//
+//   Original — INT16 inference with a very fine CPWL granularity (2^-6),
+//              i.e. the INT16-quantization baseline of the paper's first
+//              column; and the accuracy *delta* under CPWL granularities
+//              0.1 / 0.25 / 0.5 / 0.75 / 1.0, exactly the paper's sweep
+//              (note 0.1 and 0.75 exercise the divide-based indexing path,
+//              the powers of two the hardware shift path).
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "data/synth.hpp"
+#include "nn/graph.hpp"
+#include "nn/models.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace onesa;
+
+constexpr double kGranularities[] = {0.1, 0.25, 0.5, 0.75, 1.0};
+constexpr double kBaselineGranularity = 0.015625;  // 2^-6: INT16 baseline
+
+OneSaConfig accel_config(double granularity) {
+  OneSaConfig cfg;
+  cfg.array.rows = 4;
+  cfg.array.cols = 4;
+  cfg.array.macs_per_pe = 8;
+  cfg.granularity = granularity;
+  cfg.mode = ExecutionMode::kAnalytic;
+  return cfg;
+}
+
+struct TaskResult {
+  std::string model;
+  std::string task;
+  double original = 0.0;            // INT16 baseline accuracy
+  std::vector<double> deltas;       // accuracy - original, per granularity
+};
+
+void print_results(const std::vector<TaskResult>& results) {
+  TablePrinter table({"DNN", "Task", "Original", "0.1", "0.25", "0.5", "0.75", "1"});
+  for (const auto& r : results) {
+    std::vector<std::string> row{r.model, r.task,
+                                 TablePrinter::num(r.original * 100.0, 1) + "%"};
+    for (double d : r.deltas) {
+      row.push_back((d > 0 ? "+" : "") + TablePrinter::num(d * 100.0, 1) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+}
+
+/// Evaluate a trained model under the INT16 baseline and the granularity
+/// sweep using the supplied accelerated-evaluation closure.
+TaskResult sweep(const std::string& model, const std::string& task,
+                 const std::function<double(OneSaAccelerator&)>& evaluate) {
+  TaskResult result;
+  result.model = model;
+  result.task = task;
+  {
+    OneSaAccelerator baseline(accel_config(kBaselineGranularity));
+    result.original = evaluate(baseline);
+  }
+  for (double g : kGranularities) {
+    OneSaAccelerator accel(accel_config(g));
+    result.deltas.push_back(evaluate(accel) - result.original);
+  }
+  return result;
+}
+
+TaskResult run_cnn(const std::string& task_name, double separation,
+                   std::uint64_t seed, std::size_t channels = 1) {
+  Rng rng(seed);
+  data::ImageTaskSpec task_spec;
+  task_spec.channels = channels;
+  task_spec.height = 10;
+  task_spec.width = 10;
+  task_spec.separation = separation;
+  task_spec.noise = 0.55;
+  task_spec.train_samples = 256;
+  task_spec.test_samples = 256;
+  const auto split = data::make_image_task(task_spec, rng);
+
+  nn::CnnSpec spec;
+  spec.in_channels = channels;
+  spec.height = 10;
+  spec.width = 10;
+  spec.conv1_channels = 4;
+  spec.conv2_channels = 8;
+  auto model = nn::make_cnn_classifier(spec, rng);
+  train::TrainConfig cfg;
+  cfg.epochs = 14;
+  cfg.lr = 0.04;
+  train::train_classifier(*model, split.train, cfg);
+
+  return sweep("CNN", task_name, [&](OneSaAccelerator& accel) {
+    return train::evaluate_classifier_accel(*model, accel, split.test);
+  });
+}
+
+TaskResult run_transformer(const std::string& task_name, double marker_rate,
+                           double confusion, std::uint64_t seed) {
+  Rng rng(seed);
+  data::SequenceTaskSpec task_spec;
+  task_spec.seq_len = 12;
+  task_spec.marker_rate = marker_rate;
+  task_spec.marker_confusion = confusion;
+  task_spec.train_samples = 256;
+  task_spec.test_samples = 256;
+  const auto split = data::make_sequence_task(task_spec, rng);
+
+  nn::TransformerSpec spec;
+  spec.seq_len = 12;
+  spec.d_model = 16;
+  spec.num_heads = 2;
+  spec.num_layers = 3;
+  spec.ffn_hidden = 32;
+  auto model = nn::make_transformer_classifier(spec, rng);
+  train::TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 8;
+  cfg.lr = 0.002;
+  cfg.use_adam = true;
+  train::train_sequence_classifier(*model, split.train, cfg);
+
+  return sweep("BERT", task_name, [&](OneSaAccelerator& accel) {
+    return train::evaluate_sequence_classifier_accel(*model, accel, split.test);
+  });
+}
+
+TaskResult run_gcn(const std::string& task_name, double intra_prob,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  data::GraphTaskSpec task_spec;
+  task_spec.nodes = 128;
+  task_spec.intra_edge_prob = intra_prob;
+  task_spec.feature_noise = 1.1;
+  const auto task = data::make_graph_task(task_spec, rng);
+
+  nn::GcnSpec spec;
+  spec.features = task_spec.features;
+  const auto adj = nn::normalized_adjacency(task_spec.nodes, task.edges);
+  auto model = nn::make_gcn_classifier(adj, spec, rng);
+  train::TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.lr = 0.02;
+  cfg.use_adam = true;
+  train::train_gcn(*model, task, cfg);
+
+  return sweep("GCN", task_name, [&](OneSaAccelerator& accel) {
+    return train::evaluate_gcn_accel(*model, accel, task);
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table III: inference accuracy vs CPWL granularity ===\n"
+               "(synthetic tasks substitute the paper's datasets; columns are\n"
+               " accuracy deltas vs the INT16 baseline, as in the paper)\n\n";
+
+  // Average each task over several seeds: a single 256-sample test set has
+  // ~±2% noise, which would mask the granularity trend the paper reports.
+  const auto average = [](const std::vector<TaskResult>& runs) {
+    TaskResult mean = runs.front();
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      mean.original += runs[i].original;
+      for (std::size_t g = 0; g < mean.deltas.size(); ++g) {
+        mean.deltas[g] += runs[i].deltas[g];
+      }
+    }
+    const auto n = static_cast<double>(runs.size());
+    mean.original /= n;
+    for (auto& d : mean.deltas) d /= n;
+    return mean;
+  };
+
+  std::vector<TaskResult> results;
+  results.push_back(average({run_cnn("blobs-easy", 0.9, 11), run_cnn("blobs-easy", 0.9, 111),
+                             run_cnn("blobs-easy", 0.9, 211)}));
+  results.push_back(average({run_cnn("rgb-blobs", 0.7, 13, 3),
+                             run_cnn("rgb-blobs", 0.7, 113, 3),
+                             run_cnn("rgb-blobs", 0.7, 213, 3)}));
+  results.push_back(average({run_cnn("blobs-hard", 0.5, 12), run_cnn("blobs-hard", 0.5, 112),
+                             run_cnn("blobs-hard", 0.5, 212)}));
+  results.push_back(average({run_transformer("markers-easy", 0.30, 0.25, 21),
+                             run_transformer("markers-easy", 0.30, 0.25, 121),
+                             run_transformer("markers-easy", 0.30, 0.25, 221),
+                             run_transformer("markers-easy", 0.30, 0.25, 321),
+                             run_transformer("markers-easy", 0.30, 0.25, 421)}));
+  results.push_back(average({run_transformer("markers-hard", 0.22, 0.40, 22),
+                             run_transformer("markers-hard", 0.22, 0.40, 122),
+                             run_transformer("markers-hard", 0.22, 0.40, 222),
+                             run_transformer("markers-hard", 0.22, 0.40, 322),
+                             run_transformer("markers-hard", 0.22, 0.40, 422)}));
+  results.push_back(average({run_gcn("sbm-easy", 0.14, 31), run_gcn("sbm-easy", 0.14, 131),
+                             run_gcn("sbm-easy", 0.14, 231)}));
+  results.push_back(average({run_gcn("sbm-mid", 0.09, 33), run_gcn("sbm-mid", 0.09, 133),
+                             run_gcn("sbm-mid", 0.09, 233)}));
+  results.push_back(average({run_gcn("sbm-hard", 0.06, 32), run_gcn("sbm-hard", 0.06, 132),
+                             run_gcn("sbm-hard", 0.06, 232)}));
+  print_results(results);
+
+  std::cout << "\nPaper reference (Table III): accuracy declines as granularity\n"
+               "grows; drops are negligible at 0.1-0.25 (the default), larger\n"
+               "for harder tasks, and GCNs are the least sensitive family.\n";
+  return 0;
+}

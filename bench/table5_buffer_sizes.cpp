@@ -1,0 +1,25 @@
+// Table V — "Buffer sizes" of the reference ONE-SA design point
+// (64 PEs, 16 MACs per PE).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "onesa/config.hpp"
+
+int main() {
+  using namespace onesa;
+
+  std::cout << "=== Table V: buffer sizes (64 PEs, 16 MACs) ===\n\n";
+
+  const OneSaConfig cfg;  // defaults = the paper's reference design
+  TablePrinter table({"Buffer", "Size each", "Count", "Total"});
+  for (const auto& spec : buffer_inventory(cfg)) {
+    table.add_row({spec.name, TablePrinter::num(spec.kilobytes_each, 3) + " KB",
+                   std::to_string(spec.count),
+                   TablePrinter::num(spec.total_kilobytes(), 2) + " KB"});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nPaper reference (Table V): L3 0.28KB x3, L2 0.5KB x24,\n"
+               "PE output 0.094KB x64, L1 0.031KB x64.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// BERT-style transformer inference on ONE-SA.
+//
+// Trains a small transformer encoder on a synthetic token-classification
+// task, then runs inference on the accelerator: attention GEMMs on the
+// linear path, softmax / GELU / LayerNorm through CPWL + IPF + MHP. Shows
+// the accuracy cost of the INT16+CPWL pipeline and the cycle breakdown.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace onesa;
+
+  std::cout << "=== BERT-style inference on ONE-SA ===\n\n";
+
+  // Synthetic "sentiment"-style task: class-marker tokens in noise.
+  Rng rng(2024);
+  data::SequenceTaskSpec task;
+  task.seq_len = 12;
+  task.marker_rate = 0.65;
+  const auto split = data::make_sequence_task(task, rng);
+
+  nn::TransformerSpec spec;
+  spec.seq_len = 12;
+  spec.d_model = 16;
+  spec.num_heads = 2;
+  spec.num_layers = 2;
+  spec.ffn_hidden = 32;
+  auto model = nn::make_transformer_classifier(spec, rng);
+
+  train::TrainConfig train_cfg;
+  train_cfg.epochs = 10;
+  train_cfg.batch_size = 8;
+  train_cfg.lr = 0.002;
+  train_cfg.use_adam = true;
+  const double loss = train::train_sequence_classifier(*model, split.train, train_cfg);
+  const double ref_acc = train::evaluate_sequence_classifier(*model, split.test);
+  std::cout << "trained " << spec.num_layers << "-layer encoder (d_model "
+            << spec.d_model << "), final loss " << TablePrinter::num(loss, 3)
+            << ", reference accuracy " << TablePrinter::num(ref_acc * 100.0, 1)
+            << "%\n\n";
+
+  // Inference on the accelerator at two granularities.
+  TablePrinter table({"Granularity", "Accuracy", "Delta", "Cycles / sample"});
+  for (double g : {0.25, 1.0}) {
+    OneSaConfig cfg;
+    cfg.array.rows = 4;
+    cfg.array.cols = 4;
+    cfg.array.macs_per_pe = 8;
+    cfg.granularity = g;
+    cfg.mode = ExecutionMode::kAnalytic;
+    OneSaAccelerator accel(cfg);
+    const double acc = train::evaluate_sequence_classifier_accel(*model, accel, split.test);
+    const double cycles_per_sample =
+        static_cast<double>(accel.lifetime_cycles().total()) /
+        static_cast<double>(split.test.size());
+    table.add_row({TablePrinter::num(g, 2), TablePrinter::num(acc * 100.0, 1) + "%",
+                   TablePrinter::num((acc - ref_acc) * 100.0, 1) + "%",
+                   TablePrinter::num(cycles_per_sample, 0)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nEvery op — QKV projections, attention softmax, GELU FFN,\n"
+               "LayerNorm — executed on the one systolic array.\n";
+  return 0;
+}

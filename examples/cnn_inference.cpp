@@ -1,0 +1,61 @@
+// ResNet-style CNN inference on ONE-SA.
+//
+// Trains a small residual CNN on a synthetic image task, then runs INT16
+// inference on the accelerator: im2col conv GEMMs on the linear path,
+// folded BatchNorm as a parameterized MHP, ReLU through CPWL (exact), max
+// pooling via the L3 streaming comparator.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace onesa;
+
+  std::cout << "=== ResNet-style CNN inference on ONE-SA ===\n\n";
+
+  Rng rng(77);
+  data::ImageTaskSpec task;
+  task.height = 10;
+  task.width = 10;
+  task.separation = 1.4;
+  const auto split = data::make_image_task(task, rng);
+
+  nn::CnnSpec spec;
+  spec.height = 10;
+  spec.width = 10;
+  spec.conv1_channels = 4;
+  spec.conv2_channels = 8;
+  auto model = nn::make_cnn_classifier(spec, rng);
+
+  train::TrainConfig train_cfg;
+  train_cfg.epochs = 14;
+  train_cfg.lr = 0.04;
+  const double loss = train::train_classifier(*model, split.train, train_cfg);
+  const double ref_acc = train::evaluate_classifier(*model, split.test);
+  std::cout << "trained residual CNN, final loss " << TablePrinter::num(loss, 3)
+            << ", reference accuracy " << TablePrinter::num(ref_acc * 100.0, 1)
+            << "%\n\n";
+
+  TablePrinter table({"Granularity", "Accuracy", "Delta", "Total cycles"});
+  for (double g : {0.25, 0.5, 1.0}) {
+    OneSaConfig cfg;
+    cfg.array.rows = 4;
+    cfg.array.cols = 4;
+    cfg.array.macs_per_pe = 8;
+    cfg.granularity = g;
+    cfg.mode = ExecutionMode::kAnalytic;
+    OneSaAccelerator accel(cfg);
+    const double acc = train::evaluate_classifier_accel(*model, accel, split.test);
+    table.add_row({TablePrinter::num(g, 2), TablePrinter::num(acc * 100.0, 1) + "%",
+                   TablePrinter::num((acc - ref_acc) * 100.0, 1) + "%",
+                   std::to_string(accel.lifetime_cycles().total())});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nReLU is itself piecewise linear, so the CPWL path computes the\n"
+               "CNN's activations exactly — only quantization costs accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The "one-size-fits-all" promise: support a nonlinear function the
+// accelerator was never designed for, without new hardware.
+//
+// A conventional accelerator with dedicated GELU/exp units cannot run a
+// network that uses Mish; ONE-SA only needs a new (k, b) table preloaded
+// into the L3 buffer. This example builds a CPWL table for Mish at several
+// granularities, measures the approximation error, and runs the full
+// IPF + MHP pipeline for it on the simulated array.
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "cpwl/approx_error.hpp"
+#include "onesa/conventional.hpp"
+#include "onesa/data_addressing.hpp"
+#include "sim/array.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace onesa;
+
+  std::cout << "=== Custom nonlinearity: Mish on ONE-SA ===\n\n";
+
+  const auto mish = [](double x) { return x * std::tanh(std::log1p(std::exp(x))); };
+
+  // 1. A conventional BERT-style accelerator refuses: no Mish unit exists.
+  ConventionalConfig conv_cfg;
+  conv_cfg.function_units = {{cpwl::FunctionKind::kGelu, 8, 4},
+                             {cpwl::FunctionKind::kExp, 8, 4}};
+  ConventionalAccelerator conventional(conv_cfg);
+  std::cout << "conventional accelerator supports Mish: "
+            << (conventional.supports(cpwl::FunctionKind::kTanh) ? "yes" : "no")
+            << " (only GELU and exp units were built)\n\n";
+
+  // 2. ONE-SA: build the table, check the error across granularities.
+  TablePrinter table({"Granularity", "Segments", "L3 bytes", "Max error", "Mean error"});
+  for (double g : {1.0, 0.5, 0.25, 0.125}) {
+    cpwl::SegmentTableConfig cfg;
+    cfg.granularity = g;
+    cfg.domain = {-8.0, 8.0};
+    const auto t = cpwl::SegmentTable::build_custom(mish, "mish", cfg);
+    const auto report = cpwl::measure_error(t, mish);
+    table.add_row({TablePrinter::num(g, 3), std::to_string(t.segment_count()),
+                   std::to_string(t.table_bytes()),
+                   TablePrinter::num(report.max_abs_error, 5),
+                   TablePrinter::num(report.mean_abs_error, 6)});
+  }
+  table.render(std::cout);
+
+  // 3. Run Mish through the real pipeline: DataAddressing fetches (k, b),
+  //    the array's diagonal PEs evaluate the MHP.
+  cpwl::SegmentTableConfig cfg;
+  cfg.granularity = 0.25;
+  cfg.domain = {-8.0, 8.0};
+  const auto t = cpwl::SegmentTable::build_custom(mish, "mish", cfg);
+  DataAddressing addressing;
+  addressing.load_table(t);
+  sim::ArrayConfig array_cfg;
+  array_cfg.rows = array_cfg.cols = 4;
+  array_cfg.macs_per_pe = 8;
+  sim::SystolicArraySim array(array_cfg);
+
+  Rng rng(9);
+  const auto x = tensor::to_fixed(tensor::random_uniform(8, 8, rng, -4.0, 4.0));
+  const auto fetched = addressing.process(x);
+  const auto [y, cycles] = array.mhp(x, fetched.k, fetched.b);
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    max_err = std::max(max_err,
+                       std::abs(y.at_flat(i).to_double() - mish(x.at_flat(i).to_double())));
+  }
+  std::cout << "\nfull pipeline on an 8x8 input: max error " << max_err << ", "
+            << cycles.to_string() << "\n"
+            << "No hardware change was needed — only a 256-byte table preload.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Visualize the two dataflows of ONE-SA on the cycle-accurate simulator.
+//
+// During GEMM every PE multiply-accumulates (output-stationary systolic
+// flow); during the Matrix Hadamard Product only the *diagonal* Computation
+// PEs execute MACs while the rest forward data (Transmission PEs) — the
+// §IV-B observation that element-wise work has no reuse to exploit. This
+// example runs both passes and prints per-PE MAC-activity heatmaps read
+// straight from the simulated PEs.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "sim/array.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+void print_heatmap(const onesa::sim::SystolicArraySim& sim, const char* title) {
+  const auto& cfg = sim.config();
+  std::uint64_t peak = 1;
+  for (std::size_t r = 0; r < cfg.rows; ++r)
+    for (std::size_t c = 0; c < cfg.cols; ++c)
+      peak = std::max(peak, sim.pe_at(r, c).mac_ops());
+
+  std::cout << "\n" << title << "  (#: busy PE, .: idle; scale vs busiest PE)\n";
+  const char shades[] = {'.', '-', '=', '#'};
+  for (std::size_t r = 0; r < cfg.rows; ++r) {
+    std::cout << "  ";
+    for (std::size_t c = 0; c < cfg.cols; ++c) {
+      const double frac = static_cast<double>(sim.pe_at(r, c).mac_ops()) /
+                          static_cast<double>(peak);
+      const auto idx = static_cast<std::size_t>(frac * 3.0 + 0.5);
+      std::cout << shades[idx] << ' ';
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace onesa;
+
+  sim::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  cfg.macs_per_pe = 4;
+
+  Rng rng(1);
+  const auto a = tensor::to_fixed(tensor::random_uniform(8, 32, rng));
+  const auto b = tensor::to_fixed(tensor::random_uniform(32, 8, rng));
+  const auto x = tensor::to_fixed(tensor::random_uniform(16, 16, rng));
+  const auto k = tensor::to_fixed(tensor::random_uniform(16, 16, rng));
+  const auto bias = tensor::to_fixed(tensor::random_uniform(16, 16, rng));
+
+  std::cout << "=== ONE-SA dataflow visualization (8x8 PEs) ===\n";
+
+  {
+    sim::SystolicArraySim sim(cfg);
+    sim.gemm(a, b);
+    print_heatmap(sim, "GEMM (linear path): every PE computes");
+  }
+  {
+    sim::SystolicArraySim sim(cfg);
+    sim.mhp(x, k, bias);
+    print_heatmap(sim,
+                  "MHP (nonlinear path): diagonal Computation PEs compute,\n"
+                  "off-diagonal Transmission PEs only forward");
+  }
+
+  std::cout << "\nThe MHP uses " << cfg.diagonal() << " of " << cfg.pe_count()
+            << " PEs for arithmetic — by design: element-wise data is used\n"
+               "exactly once, so off-diagonal PEs would only re-multiply the\n"
+               "same values. Control logics C1/C2 flip each PE's role without\n"
+               "touching the MAC datapath (Table I: +2 LUTs, +32 FFs/lane).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Design-space exploration: pick the best ONE-SA configuration for a
+// workload under a power budget.
+//
+// A downstream user rarely wants the reference design — they want "the most
+// efficient array that runs MY network inside MY power envelope". This
+// example sweeps geometry x MAC count, estimates end-to-end latency for a
+// workload trace with the validated cycle model, prices each design with
+// the calibrated resource/power models, and reports the winner.
+#include <cmath>
+#include <iostream>
+#include <optional>
+
+#include "common/table.hpp"
+#include "fpga/power_model.hpp"
+#include "fpga/resource_model.hpp"
+#include "nn/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace onesa;
+
+  // Power budget in watts (default 10 W, override via argv).
+  const double budget_watts = argc > 1 ? std::atof(argv[1]) : 10.0;
+
+  std::cout << "=== Design-space exploration: BERT-base under " << budget_watts
+            << " W ===\n\n";
+
+  const auto trace = nn::bert_base_trace(128);
+  const fpga::PowerModel power;
+
+  struct Candidate {
+    std::size_t dim;
+    std::size_t macs;
+    double latency_ms;
+    double watts;
+    double gops_per_watt;
+  };
+  std::optional<Candidate> best;
+
+  TablePrinter table({"Array", "MACs", "Latency (ms)", "Power (W)", "GOPS/W",
+                      "In budget"});
+  for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+    for (std::size_t macs : {4u, 8u, 16u, 32u}) {
+      sim::ArrayConfig cfg;
+      cfg.rows = cfg.cols = dim;
+      cfg.macs_per_pe = macs;
+      const sim::TimingModel timing(cfg);
+      const auto est = nn::estimate_trace(trace, timing);
+      const double watts =
+          power.watts(fpga::total_resources(fpga::Design::kOneSa, cfg), cfg.clock_mhz);
+      const double efficiency = est.gops / watts;
+      const bool fits = watts <= budget_watts;
+      table.add_row({std::to_string(dim) + "x" + std::to_string(dim),
+                     std::to_string(macs), TablePrinter::num(est.latency_ms, 2),
+                     TablePrinter::num(watts, 2), TablePrinter::num(efficiency, 2),
+                     fits ? "yes" : "no"});
+      if (fits && (!best || efficiency > best->gops_per_watt)) {
+        best = Candidate{dim, macs, est.latency_ms, watts, efficiency};
+      }
+    }
+  }
+  table.render(std::cout);
+
+  if (best) {
+    std::cout << "\nRecommended design: " << best->dim << "x" << best->dim << " PEs, "
+              << best->macs << " MACs/PE — " << TablePrinter::num(best->latency_ms, 2)
+              << " ms per inference at " << TablePrinter::num(best->watts, 2) << " W ("
+              << TablePrinter::num(best->gops_per_watt, 2) << " GOPS/W).\n";
+  } else {
+    std::cout << "\nNo design fits the " << budget_watts << " W budget.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// GCN node classification on ONE-SA.
+//
+// Trains a two-layer GCN on a synthetic citation-style graph (stochastic
+// block model) and runs transductive inference on the accelerator: the
+// aggregation and feature transforms are GEMMs, ReLU goes through CPWL.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "data/synth.hpp"
+#include "nn/graph.hpp"
+#include "nn/models.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace onesa;
+
+  std::cout << "=== GCN node classification on ONE-SA ===\n\n";
+
+  Rng rng(555);
+  data::GraphTaskSpec task_spec;
+  task_spec.nodes = 72;
+  task_spec.intra_edge_prob = 0.2;
+  const auto task = data::make_graph_task(task_spec, rng);
+  std::cout << "graph: " << task_spec.nodes << " nodes, " << task.edges.size()
+            << " edges, " << task_spec.classes << " communities\n";
+
+  nn::GcnSpec spec;
+  spec.features = task_spec.features;
+  const auto adj = nn::normalized_adjacency(task_spec.nodes, task.edges);
+  auto model = nn::make_gcn_classifier(adj, spec, rng);
+
+  train::TrainConfig train_cfg;
+  train_cfg.epochs = 60;
+  train_cfg.lr = 0.02;
+  train_cfg.use_adam = true;
+  const double loss = train::train_gcn(*model, task, train_cfg);
+  const double ref_acc = train::evaluate_gcn(*model, task);
+  std::cout << "trained 2-layer GCN, final loss " << TablePrinter::num(loss, 3)
+            << ", reference test accuracy " << TablePrinter::num(ref_acc * 100.0, 1)
+            << "%\n\n";
+
+  TablePrinter table({"Granularity", "Accuracy", "Delta", "Total cycles"});
+  for (double g : {0.1, 0.25, 1.0}) {
+    OneSaConfig cfg;
+    cfg.array.rows = 4;
+    cfg.array.cols = 4;
+    cfg.array.macs_per_pe = 8;
+    cfg.granularity = g;
+    cfg.mode = ExecutionMode::kAnalytic;
+    OneSaAccelerator accel(cfg);
+    const double acc = train::evaluate_gcn_accel(*model, accel, task);
+    table.add_row({TablePrinter::num(g, 2), TablePrinter::num(acc * 100.0, 1) + "%",
+                   TablePrinter::num((acc - ref_acc) * 100.0, 1) + "%",
+                   std::to_string(accel.lifetime_cycles().total())});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nThe paper finds GCNs the least granularity-sensitive family\n"
+               "(shallow networks propagate little approximation error).\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+namespace onesa::detail {
+
+void throw_check_failure(std::string_view kind, std::string_view cond,
+                         std::string_view file, int line, const std::string& msg) {
+  std::ostringstream out;
+  out << kind << " failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    out << " — " << msg;
+  }
+  throw Error(out.str());
+}
+
+}  // namespace onesa::detail

@@ -1,0 +1,86 @@
+// Error handling primitives for the ONE-SA library.
+//
+// The library throws `onesa::Error` (derived from std::runtime_error) for
+// recoverable configuration/usage errors and uses ONESA_CHECK for internal
+// invariants. Hot loops use ONESA_DCHECK which compiles out in release
+// builds with NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace onesa {
+
+/// Base exception for all errors raised by the ONE-SA library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a user-supplied configuration is inconsistent
+/// (e.g. zero-sized systolic array, non-power-of-two granularity).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when matrix/tensor shapes are incompatible with an operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(std::string_view kind, std::string_view cond,
+                                      std::string_view file, int line,
+                                      const std::string& msg);
+
+/// Stream-style message builder used by the CHECK macros.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace onesa
+
+/// Always-on invariant check; throws onesa::Error on failure.
+#define ONESA_CHECK(cond, msg)                                                   \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::onesa::detail::throw_check_failure(                                      \
+          "CHECK", #cond, __FILE__, __LINE__,                                    \
+          (::onesa::detail::MessageBuilder{} << msg).str());                     \
+    }                                                                            \
+  } while (false)
+
+/// Shape-compatibility check; throws onesa::ShapeError on failure.
+#define ONESA_CHECK_SHAPE(cond, msg)                                             \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      throw ::onesa::ShapeError(                                                 \
+          (::onesa::detail::MessageBuilder{} << "shape mismatch: " << msg        \
+                                             << " (" #cond ")")                  \
+              .str());                                                           \
+    }                                                                            \
+  } while (false)
+
+/// Debug-only invariant check; removed when NDEBUG is defined.
+#ifdef NDEBUG
+#define ONESA_DCHECK(cond, msg) \
+  do {                          \
+  } while (false)
+#else
+#define ONESA_DCHECK(cond, msg) ONESA_CHECK(cond, msg)
+#endif

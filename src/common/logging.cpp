@@ -1,0 +1,17 @@
+#include "common/logging.hpp"
+
+namespace onesa {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view msg) {
+  if (!enabled(level)) return;
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
+}
+
+}  // namespace onesa

@@ -1,0 +1,62 @@
+// Minimal leveled logger. Benchmarks and examples use INFO; the simulator
+// emits TRACE-level per-cycle events that are off by default.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace onesa {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Global log configuration. Thread-safe; writes are serialized.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return static_cast<int>(level) >= static_cast<int>(level_); }
+
+  void write(LogLevel level, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace onesa
+
+#define ONESA_LOG(level)                                        \
+  if (!::onesa::Logger::instance().enabled(::onesa::LogLevel::level)) { \
+  } else                                                        \
+    ::onesa::detail::LogLine(::onesa::LogLevel::level)
+
+#define ONESA_LOG_TRACE ONESA_LOG(kTrace)
+#define ONESA_LOG_DEBUG ONESA_LOG(kDebug)
+#define ONESA_LOG_INFO ONESA_LOG(kInfo)
+#define ONESA_LOG_WARN ONESA_LOG(kWarn)
+#define ONESA_LOG_ERROR ONESA_LOG(kError)

@@ -1,0 +1,57 @@
+// Deterministic random number generation. All stochastic components
+// (dataset synthesis, weight init, trainers) take an explicit Rng so every
+// experiment in the repo is reproducible from a seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace onesa {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x0E5A2024ULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Index into a discrete distribution given unnormalized weights.
+  std::size_t categorical(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derive an independent child generator (for parallel components).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace onesa

@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+namespace onesa {
+
+std::string TablePrinter::with_ratio(double value, double baseline, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(0) << value;
+  if (baseline > 0) {
+    out << " (" << std::setprecision(precision) << value / baseline * 100.0 << "%)";
+  }
+  return out.str();
+}
+
+void TablePrinter::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < header_.size() && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto print_sep = [&] {
+    out << "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream out;
+  render(out);
+  return out.str();
+}
+
+}  // namespace onesa

@@ -1,0 +1,39 @@
+// ASCII table formatting used by the benchmark harnesses to print
+// paper-style tables (Table I .. Table V) and figure series.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace onesa {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Append a row; cells beyond the header width are dropped, missing cells padded.
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << v;
+    return out.str();
+  }
+
+  /// Convenience: format "value (ratio%)" cells like the paper's Table II.
+  static std::string with_ratio(double value, double baseline, int precision = 1);
+
+  void render(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace onesa

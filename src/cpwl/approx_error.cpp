@@ -1,0 +1,69 @@
+#include "cpwl/approx_error.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace onesa::cpwl {
+
+ErrorReport measure_error(const SegmentTable& table,
+                          const std::function<double(double)>& reference,
+                          std::size_t samples) {
+  ONESA_CHECK(samples >= 2, "need at least 2 samples");
+  ErrorReport report;
+  report.function = table.name();
+  report.granularity = table.granularity();
+  report.table_bytes = table.table_bytes();
+
+  const Domain d = table.domain();
+  const double step = (d.hi - d.lo) / static_cast<double>(samples - 1);
+  double sum = 0.0;
+  constexpr double kRelEps = 1e-6;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double x = d.lo + step * static_cast<double>(i);
+    const double approx = table.eval(x);
+    const double exact = reference(x);
+    const double err = std::abs(approx - exact);
+    report.max_abs_error = std::max(report.max_abs_error, err);
+    sum += err;
+    if (std::abs(exact) > kRelEps) {
+      report.max_rel_error = std::max(report.max_rel_error, err / std::abs(exact));
+    }
+  }
+  report.mean_abs_error = sum / static_cast<double>(samples);
+  return report;
+}
+
+ErrorReport measure_error(FunctionKind kind, const SegmentTable& table,
+                          std::size_t samples) {
+  return measure_error(table, as_callable(kind), samples);
+}
+
+std::vector<ErrorReport> granularity_sweep(FunctionKind kind,
+                                           const std::vector<double>& granularities,
+                                           std::size_t samples) {
+  std::vector<ErrorReport> reports;
+  reports.reserve(granularities.size());
+  for (double g : granularities) {
+    SegmentTableConfig cfg;
+    cfg.granularity = g;
+    reports.push_back(measure_error(kind, SegmentTable::build(kind, cfg), samples));
+  }
+  return reports;
+}
+
+double choose_granularity(FunctionKind kind, double tolerance, int frac_bits) {
+  for (double g = 1.0; g >= 1.0 / static_cast<double>(std::int32_t{1} << frac_bits);
+       g /= 2.0) {
+    SegmentTableConfig cfg;
+    cfg.granularity = g;
+    cfg.frac_bits = frac_bits;
+    const auto report = measure_error(kind, SegmentTable::build(kind, cfg));
+    if (report.max_abs_error <= tolerance) return g;
+  }
+  throw ConfigError("no power-of-two granularity meets tolerance " +
+                    std::to_string(tolerance) + " for " +
+                    std::string(function_name(kind)));
+}
+
+}  // namespace onesa::cpwl

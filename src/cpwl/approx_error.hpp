@@ -1,0 +1,45 @@
+// Approximation-error analysis for CPWL tables.
+//
+// Used by the accuracy experiments (Table III) to relate granularity to
+// error, and by the property tests to assert the theoretical error bound
+// (for a C^2 function, max segment error <= g^2/8 * max|f''|).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpwl/segment_table.hpp"
+
+namespace onesa::cpwl {
+
+/// Error statistics of a table against its reference function over a grid.
+struct ErrorReport {
+  std::string function;
+  double granularity = 0.0;
+  double max_abs_error = 0.0;   // max |cpwl(x) - f(x)| over the domain
+  double mean_abs_error = 0.0;  // mean over the grid
+  double max_rel_error = 0.0;   // max relative error where |f(x)| > eps
+  std::size_t table_bytes = 0;
+};
+
+/// Measure a table against an arbitrary reference over [domain] with
+/// `samples` evenly spaced points (endpoints included).
+ErrorReport measure_error(const SegmentTable& table,
+                          const std::function<double(double)>& reference,
+                          std::size_t samples = 4096);
+
+/// Measure a catalog function's table against its exact reference.
+ErrorReport measure_error(FunctionKind kind, const SegmentTable& table,
+                          std::size_t samples = 4096);
+
+/// Sweep granularities for one function; returns one report per granularity.
+std::vector<ErrorReport> granularity_sweep(FunctionKind kind,
+                                           const std::vector<double>& granularities,
+                                           std::size_t samples = 4096);
+
+/// Smallest power-of-two granularity (within [2^-frac_bits, 1]) whose max
+/// absolute error is below `tolerance`. Throws ConfigError if none qualifies.
+double choose_granularity(FunctionKind kind, double tolerance,
+                          int frac_bits = fixed::kDefaultFracBits);
+
+}  // namespace onesa::cpwl

@@ -1,0 +1,60 @@
+// Catalog of nonlinear scalar functions the accelerator must support, with
+// double-precision reference implementations.
+//
+// The paper demonstrates CPWL on GELU (Fig. 3) and states the same process
+// handles Softmax and LayerNorm. Decomposed onto the array, those need the
+// auxiliary scalar functions exp, 1/x and 1/sqrt(x); we also provide the
+// activations used by the three evaluated model families (ReLU-family for
+// ResNet, GELU/exp for BERT, plus tanh/sigmoid/softplus/SiLU for coverage of
+// "a wide range of nonlinear computations", §I).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace onesa::cpwl {
+
+enum class FunctionKind {
+  kGelu,        // x * Phi(x), the BERT activation
+  kExp,         // e^x, Softmax numerator
+  kReciprocal,  // 1/x on (0, inf), Softmax denominator
+  kRsqrt,       // 1/sqrt(x) on (0, inf), LayerNorm/BatchNorm normalizer
+  kSqrt,        // sqrt(x) on [0, inf)
+  kTanh,
+  kSigmoid,
+  kErf,
+  kSoftplus,    // ln(1 + e^x)
+  kSilu,        // x * sigmoid(x)
+  kRelu,        // already piecewise-linear; CPWL is exact
+  kLeakyRelu,   // slope 0.01 for x < 0
+};
+
+/// All catalog functions, for sweeps.
+std::vector<FunctionKind> all_functions();
+
+/// Human-readable name ("gelu", "exp", ...).
+std::string_view function_name(FunctionKind kind);
+
+/// Exact double-precision value f(x).
+double eval_reference(FunctionKind kind, double x);
+
+/// Default uncapped approximation domain [lo, hi] for each function.
+/// Outside the domain the CPWL table *caps* to the boundary segment, whose
+/// line extends naturally (e.g. GELU -> identity for large x, -> 0 for very
+/// negative x), matching the paper's capping rule in Fig. 3.
+struct Domain {
+  double lo;
+  double hi;
+};
+Domain default_domain(FunctionKind kind);
+
+/// True if the function is only defined (or only used) on positive inputs,
+/// e.g. the reciprocal fed by a Softmax partition sum.
+bool positive_only(FunctionKind kind);
+
+/// Wrap a catalog function as a std::function for the custom-table builder.
+std::function<double(double)> as_callable(FunctionKind kind);
+
+}  // namespace onesa::cpwl

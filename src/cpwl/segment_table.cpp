@@ -1,0 +1,157 @@
+#include "cpwl/segment_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace onesa::cpwl {
+
+namespace {
+
+/// Exact power-of-two test returning the exponent e with g == 2^e, or
+/// nullopt-like -1000 sentinel when g is not a power of two.
+int power_of_two_exponent(double g) {
+  int e = 0;
+  const double mantissa = std::frexp(g, &e);  // g = mantissa * 2^e, mantissa in [0.5, 1)
+  if (mantissa == 0.5) return e - 1;
+  return -1000;
+}
+
+}  // namespace
+
+SegmentTable SegmentTable::build(FunctionKind kind, const SegmentTableConfig& config) {
+  SegmentTableConfig cfg = config;
+  if (cfg.domain.lo == 0.0 && cfg.domain.hi == 0.0) {
+    cfg.domain = default_domain(kind);
+  }
+  return build_custom(as_callable(kind), std::string(function_name(kind)), cfg);
+}
+
+SegmentTable SegmentTable::build_custom(const std::function<double(double)>& f,
+                                        std::string name,
+                                        const SegmentTableConfig& config) {
+  ONESA_CHECK(config.granularity > 0.0, "granularity must be positive, got "
+                                            << config.granularity);
+  ONESA_CHECK(config.domain.hi > config.domain.lo,
+              "empty CPWL domain [" << config.domain.lo << ", " << config.domain.hi << "]");
+  ONESA_CHECK(config.frac_bits > 0 && config.frac_bits < 15,
+              "invalid frac_bits " << config.frac_bits);
+
+  SegmentTable t;
+  t.name_ = std::move(name);
+  t.granularity_ = config.granularity;
+  t.domain_ = config.domain;
+  t.frac_bits_ = config.frac_bits;
+
+  const double g = config.granularity;
+  t.min_segment_ = static_cast<int>(std::floor(config.domain.lo / g));
+  t.max_segment_ = static_cast<int>(std::ceil(config.domain.hi / g)) - 1;
+  t.max_segment_ = std::max(t.max_segment_, t.min_segment_);
+
+  const int exp2 = power_of_two_exponent(g);
+  if (exp2 != -1000 && config.frac_bits + exp2 >= 0) {
+    t.shift_amount_ = config.frac_bits + exp2;
+  }
+
+  t.params_.reserve(static_cast<std::size_t>(t.max_segment_ - t.min_segment_ + 1));
+  for (int s = t.min_segment_; s <= t.max_segment_; ++s) {
+    // Endpoints of the segment, clipped to the domain so boundary segments
+    // of functions with singular edges (e.g. 1/x near 0) stay finite.
+    const double x0 = std::max(s * g, config.domain.lo);
+    const double x1 = std::min((s + 1) * g, config.domain.hi);
+    ONESA_CHECK(x1 > x0, "degenerate segment " << s << " for " << t.name_);
+    const double y0 = f(x0);
+    const double y1 = f(x1);
+    Params p;
+    p.k = (y1 - y0) / (x1 - x0);
+    p.b = y0 - p.k * x0;
+    p.k_fixed = fixed::Fix16::from_double(p.k);
+    p.b_fixed = fixed::Fix16::from_double(p.b);
+    t.params_.push_back(p);
+  }
+  return t;
+}
+
+int SegmentTable::raw_segment(double x) const {
+  return static_cast<int>(std::floor(x / granularity_));
+}
+
+int SegmentTable::segment_index(double x) const {
+  return std::clamp(raw_segment(x), min_segment_, max_segment_);
+}
+
+int SegmentTable::segment_index_raw(std::int16_t raw) const {
+  int s;
+  if (shift_indexable()) {
+    // Arithmetic right shift == floor division by 2^shift (two's complement,
+    // guaranteed by C++20) — the single-shift hardware path.
+    s = static_cast<int>(raw) >> shift_amount_;
+  } else {
+    s = raw_segment(static_cast<double>(raw) /
+                    static_cast<double>(std::int32_t{1} << frac_bits_));
+  }
+  return std::clamp(s, min_segment_, max_segment_);  // the "scale module" cap
+}
+
+std::size_t SegmentTable::relative_index(int segment) const {
+  ONESA_DCHECK(segment >= min_segment_ && segment <= max_segment_,
+               "segment " << segment << " outside [" << min_segment_ << ", "
+                          << max_segment_ << "]");
+  return static_cast<std::size_t>(segment - min_segment_);
+}
+
+double SegmentTable::k(int segment) const { return params_[relative_index(segment)].k; }
+double SegmentTable::b(int segment) const { return params_[relative_index(segment)].b; }
+
+fixed::Fix16 SegmentTable::k_fixed(int segment) const {
+  return params_[relative_index(segment)].k_fixed;
+}
+fixed::Fix16 SegmentTable::b_fixed(int segment) const {
+  return params_[relative_index(segment)].b_fixed;
+}
+
+double SegmentTable::eval(double x) const {
+  const Params& p = params_[relative_index(segment_index(x))];
+  return p.k * x + p.b;
+}
+
+fixed::Fix16 SegmentTable::eval_fixed(fixed::Fix16 x) const {
+  const Params& p = params_[relative_index(segment_index_raw(x.raw()))];
+  fixed::Acc16 acc;
+  acc.mac(p.k_fixed, x);
+  acc.mac(fixed::Fix16::from_double(1.0), p.b_fixed);
+  return acc.result();
+}
+
+TableSet::TableSet(double granularity, int frac_bits)
+    : TableSet(granularity, {}, frac_bits) {}
+
+TableSet::TableSet(double default_granularity,
+                   const std::vector<std::pair<FunctionKind, double>>& overrides,
+                   int frac_bits)
+    : granularity_(default_granularity) {
+  for (FunctionKind kind : all_functions()) {
+    SegmentTableConfig cfg;
+    cfg.granularity = default_granularity;
+    for (const auto& [fn, g] : overrides) {
+      if (fn == kind) cfg.granularity = g;
+    }
+    cfg.frac_bits = frac_bits;
+    tables_.push_back(SegmentTable::build(kind, cfg));
+  }
+}
+
+const SegmentTable& TableSet::get(FunctionKind kind) const {
+  const auto idx = static_cast<std::size_t>(kind);
+  ONESA_CHECK(idx < tables_.size(), "FunctionKind out of range");
+  return tables_[idx];
+}
+
+std::size_t TableSet::total_table_bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) total += t.table_bytes();
+  return total;
+}
+
+}  // namespace onesa::cpwl

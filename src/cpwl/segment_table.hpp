@@ -1,0 +1,152 @@
+// Capped piecewise linearization (CPWL) segment tables — the core
+// approximation mechanism of ONE-SA (§III-A, Fig. 3).
+//
+// A nonlinear function y = f(x) is cut into segments of length g (the
+// *granularity*). Per segment s the line y = k_s * x + b_s connects the
+// segment's endpoints on the curve. Segment numbers are *absolute*:
+// s = floor(x / g), so when g is a power of two the hardware computes s with
+// a single arithmetic right shift of the INT16 raw value — exactly the
+// "data shift module" of the L3 DataAddressing unit (§IV-A-1). Out-of-range
+// segment numbers are *capped* to the boundary segments ("scale module"),
+// whose lines extend naturally beyond the domain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpwl/functions.hpp"
+#include "fixed/fixed16.hpp"
+
+namespace onesa::cpwl {
+
+/// Build-time options for a segment table.
+struct SegmentTableConfig {
+  /// Segment length. The paper sweeps 0.1 .. 1.0 (Table III) and uses 0.25 as
+  /// the default; powers of two enable the shift-based hardware indexer.
+  double granularity = 0.25;
+  /// Approximation domain; defaults to default_domain(kind) when unset
+  /// (lo == hi == 0).
+  Domain domain = {0.0, 0.0};
+  /// Fractional bits of the INT16 fixed-point format the table serves.
+  int frac_bits = fixed::kDefaultFracBits;
+};
+
+/// An immutable CPWL table for one scalar function: per-segment (k, b) in
+/// both double and INT16, plus the two indexing paths (algorithmic divide
+/// and hardware shift).
+class SegmentTable {
+ public:
+  /// Build the table for a catalog function.
+  static SegmentTable build(FunctionKind kind, const SegmentTableConfig& config = {});
+
+  /// Build for an arbitrary callable (the "one-size-fits-all" promise: any
+  /// scalar nonlinearity becomes a table).
+  static SegmentTable build_custom(const std::function<double(double)>& f,
+                                   std::string name, const SegmentTableConfig& config);
+
+  // ------------------------------------------------------------- indexing
+
+  /// Absolute (uncapped) segment number floor(x / g).
+  int raw_segment(double x) const;
+
+  /// Capped segment number: clamp(raw_segment(x), min_segment, max_segment).
+  int segment_index(double x) const;
+
+  /// True when the granularity is an exact power of two and at least one
+  /// INT16 ulp, i.e. the hardware shift indexer applies.
+  bool shift_indexable() const { return shift_amount_ >= 0; }
+
+  /// Right-shift amount used by the hardware indexer (frac_bits + log2(g)).
+  int shift_amount() const { return shift_amount_; }
+
+  /// Hardware indexing path: arithmetic shift of the INT16 raw value, then
+  /// cap. Falls back to the divide path when not shift-indexable.
+  int segment_index_raw(std::int16_t raw) const;
+
+  /// 0-based offset into the preloaded k/b buffers (segment - min_segment),
+  /// the address the L3 "scale module" emits.
+  std::size_t relative_index(int segment) const;
+
+  // ------------------------------------------------------------ parameters
+
+  double k(int segment) const;
+  double b(int segment) const;
+  fixed::Fix16 k_fixed(int segment) const;
+  fixed::Fix16 b_fixed(int segment) const;
+
+  // ------------------------------------------------------------ evaluation
+
+  /// Double-precision CPWL evaluation (algorithmic model).
+  double eval(double x) const;
+
+  /// Full INT16 datapath: shift-index the raw input, fetch INT16 (k, b),
+  /// compute k*x + b in one wide accumulation — bit-exact with what the
+  /// simulated IPF + MHP pipeline produces.
+  fixed::Fix16 eval_fixed(fixed::Fix16 x) const;
+
+  // -------------------------------------------------------------- metadata
+
+  int min_segment() const { return min_segment_; }
+  int max_segment() const { return max_segment_; }
+  std::size_t segment_count() const { return params_.size(); }
+
+  /// Bytes of L3 storage the preloaded table occupies: 2 INT16 params per
+  /// segment. This is what bounds the practical granularity (§V-B: "the
+  /// approximation granularity is limited by the size of the L3 buffer").
+  std::size_t table_bytes() const { return segment_count() * 2 * sizeof(std::int16_t); }
+
+  double granularity() const { return granularity_; }
+  Domain domain() const { return domain_; }
+  int frac_bits() const { return frac_bits_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Params {
+    double k;
+    double b;
+    fixed::Fix16 k_fixed;
+    fixed::Fix16 b_fixed;
+  };
+
+  SegmentTable() = default;
+
+  std::string name_;
+  double granularity_ = 0.25;
+  Domain domain_{0.0, 0.0};
+  int frac_bits_ = fixed::kDefaultFracBits;
+  int min_segment_ = 0;
+  int max_segment_ = 0;
+  int shift_amount_ = -1;  // -1 => divide path only
+  std::vector<Params> params_;
+};
+
+/// Bundle of tables for every function a network needs, built once per
+/// granularity setting and shared by the accelerator.
+class TableSet {
+ public:
+  explicit TableSet(double granularity = 0.25, int frac_bits = fixed::kDefaultFracBits);
+
+  /// Mixed-granularity construction: `overrides` assigns specific functions
+  /// their own granularity (e.g. a finer table for exp, whose error feeds
+  /// softmax rankings, and a coarser one for the forgiving activations —
+  /// the per-function selection the paper's NAS remark points at; pair with
+  /// train::tune_granularity to pick the values).
+  TableSet(double default_granularity,
+           const std::vector<std::pair<FunctionKind, double>>& overrides,
+           int frac_bits = fixed::kDefaultFracBits);
+
+  const SegmentTable& get(FunctionKind kind) const;
+  /// Default granularity (individual tables may differ under overrides).
+  double granularity() const { return granularity_; }
+
+  /// Total L3 bytes across all preloaded tables.
+  std::size_t total_table_bytes() const;
+
+ private:
+  double granularity_;
+  std::vector<SegmentTable> tables_;  // indexed by FunctionKind order
+};
+
+}  // namespace onesa::cpwl

@@ -1,0 +1,137 @@
+#include "data/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace onesa::data {
+
+namespace {
+
+/// Generate `count` samples with a per-class pattern generator.
+template <typename MakeSample>
+Dataset generate(std::size_t count, std::size_t classes, std::size_t features,
+                 Rng& rng, MakeSample&& make_sample) {
+  Dataset d;
+  d.classes = classes;
+  d.inputs = tensor::Matrix(count, features);
+  d.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto label = static_cast<std::size_t>(rng.integer(0, static_cast<std::int64_t>(classes) - 1));
+    d.labels[i] = label;
+    make_sample(i, label, d.inputs);
+  }
+  return d;
+}
+
+}  // namespace
+
+Split make_image_task(const ImageTaskSpec& spec, Rng& rng) {
+  ONESA_CHECK(spec.classes >= 2, "need at least two classes");
+  const std::size_t features = spec.channels * spec.height * spec.width;
+
+  // Class prototypes: each class lights up a Gaussian blob at a
+  // class-specific location (plus a class-specific stripe phase), which is
+  // what small CNNs learn well.
+  auto prototype_value = [&](std::size_t label, std::size_t c, std::size_t y,
+                             std::size_t x) {
+    const double cy = (0.25 + 0.5 * ((label % 2))) * static_cast<double>(spec.height);
+    const double cx = (0.25 + 0.5 * ((label / 2) % 2)) * static_cast<double>(spec.width);
+    const double dy = (static_cast<double>(y) - cy) / static_cast<double>(spec.height);
+    const double dx = (static_cast<double>(x) - cx) / static_cast<double>(spec.width);
+    const double blob = std::exp(-12.0 * (dy * dy + dx * dx));
+    const double stripe =
+        0.3 * std::sin(2.0 * M_PI *
+                       (static_cast<double>(x + label) / 4.0 + static_cast<double>(c)));
+    return spec.separation * (blob + stripe);
+  };
+
+  auto make_sample = [&](std::size_t i, std::size_t label, tensor::Matrix& inputs) {
+    for (std::size_t c = 0; c < spec.channels; ++c)
+      for (std::size_t y = 0; y < spec.height; ++y)
+        for (std::size_t x = 0; x < spec.width; ++x) {
+          const std::size_t j = (c * spec.height + y) * spec.width + x;
+          inputs(i, j) = prototype_value(label, c, y, x) + rng.normal(0.0, spec.noise);
+        }
+  };
+
+  Split split;
+  split.train = generate(spec.train_samples, spec.classes, features, rng, make_sample);
+  split.test = generate(spec.test_samples, spec.classes, features, rng, make_sample);
+  return split;
+}
+
+Split make_sequence_task(const SequenceTaskSpec& spec, Rng& rng) {
+  ONESA_CHECK(spec.vocab >= spec.classes * 4 + 2,
+              "vocab too small for " << spec.classes << " classes");
+
+  // Each class owns 3 marker tokens; the rest of the vocabulary is filler.
+  auto marker = [&](std::size_t label, std::size_t slot) {
+    return 2 + label * 3 + slot;  // tokens 0/1 reserved as padding/unknown
+  };
+  const std::size_t filler_lo = 2 + spec.classes * 3;
+
+  auto make_sample = [&](std::size_t i, std::size_t label, tensor::Matrix& inputs) {
+    for (std::size_t p = 0; p < spec.seq_len; ++p) {
+      std::size_t token;
+      if (rng.bernoulli(spec.marker_rate)) {
+        std::size_t effective = label;
+        if (spec.marker_confusion > 0.0 && rng.bernoulli(spec.marker_confusion)) {
+          effective = (label + 1) % spec.classes;
+        }
+        token = marker(effective, static_cast<std::size_t>(rng.integer(0, 2)));
+      } else {
+        token = filler_lo + static_cast<std::size_t>(rng.integer(
+                                0, static_cast<std::int64_t>(spec.vocab - filler_lo) - 1));
+      }
+      inputs(i, p) = static_cast<double>(token);
+    }
+  };
+
+  Split split;
+  split.train =
+      generate(spec.train_samples, spec.classes, spec.seq_len, rng, make_sample);
+  split.test = generate(spec.test_samples, spec.classes, spec.seq_len, rng, make_sample);
+  return split;
+}
+
+GraphTask make_graph_task(const GraphTaskSpec& spec, Rng& rng) {
+  GraphTask task;
+  task.classes = spec.classes;
+  task.labels.resize(spec.nodes);
+  task.train_mask.resize(spec.nodes);
+  task.features = tensor::Matrix(spec.nodes, spec.features);
+
+  // Class prototypes in feature space.
+  tensor::Matrix prototypes(spec.classes, spec.features);
+  for (std::size_t c = 0; c < spec.classes; ++c)
+    for (std::size_t f = 0; f < spec.features; ++f)
+      prototypes(c, f) = rng.bernoulli(0.3) ? 1.0 : 0.0;
+
+  for (std::size_t n = 0; n < spec.nodes; ++n) {
+    task.labels[n] = n % spec.classes;  // balanced communities
+    task.train_mask[n] = rng.uniform() < spec.train_fraction;
+    for (std::size_t f = 0; f < spec.features; ++f) {
+      task.features(n, f) = prototypes(task.labels[n], f) +
+                            rng.normal(0.0, spec.feature_noise);
+    }
+  }
+
+  // Stochastic block model edges.
+  for (std::size_t u = 0; u < spec.nodes; ++u) {
+    for (std::size_t v = u + 1; v < spec.nodes; ++v) {
+      const double p = task.labels[u] == task.labels[v] ? spec.intra_edge_prob
+                                                        : spec.inter_edge_prob;
+      if (rng.bernoulli(p)) task.edges.emplace_back(u, v);
+    }
+  }
+  // Ensure at least one training node exists.
+  if (std::none_of(task.train_mask.begin(), task.train_mask.end(),
+                   [](bool b) { return b; })) {
+    task.train_mask[0] = true;
+  }
+  return task;
+}
+
+}  // namespace onesa::data

@@ -1,0 +1,103 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates pretrained models on QMNIST/Fashion-MNIST/CIFAR (CNN),
+// GLUE tasks (BERT) and citation/Reddit graphs (GCN). None of those are
+// available offline, so each family gets a structurally matching synthetic
+// task (see DESIGN.md §4): what Table III measures — how CPWL approximation
+// error propagates through each architecture to task accuracy — depends on
+// the computation graph, not on the particular dataset.
+//
+// Difficulty is controlled per task (class separation / label noise) so the
+// paper's observation that "one can choose a larger granularity for easier
+// tasks but a smaller one for more difficult tasks" can be reproduced.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace onesa::data {
+
+/// A labelled dataset: `inputs` rows are samples (model-specific layout),
+/// `labels[i]` in [0, classes).
+struct Dataset {
+  tensor::Matrix inputs;
+  std::vector<std::size_t> labels;
+  std::size_t classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Train/test split of a dataset.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+// ------------------------------------------------------------------- images
+
+/// Images of `channels` x `height` x `width` with class-specific blob
+/// patterns plus noise. `separation` scales the class signal (higher =
+/// easier task).
+struct ImageTaskSpec {
+  std::size_t channels = 1;
+  std::size_t height = 12;
+  std::size_t width = 12;
+  std::size_t classes = 4;
+  std::size_t train_samples = 192;
+  std::size_t test_samples = 96;
+  double separation = 1.2;
+  double noise = 0.35;
+};
+
+Split make_image_task(const ImageTaskSpec& spec, Rng& rng);
+
+// ---------------------------------------------------------------- sequences
+
+/// Token-sequence classification: each class has a set of "marker" tokens;
+/// a sequence is a noisy mixture of its class markers and random filler.
+/// Lower `marker_rate` = harder task.
+struct SequenceTaskSpec {
+  std::size_t vocab = 32;
+  std::size_t seq_len = 16;
+  std::size_t classes = 4;
+  std::size_t train_samples = 192;
+  std::size_t test_samples = 96;
+  double marker_rate = 0.55;
+  /// Probability that an emitted marker belongs to the *next* class instead
+  /// of the sample's own — makes samples inherently ambiguous (small
+  /// decision margins), which is what distinguishes hard GLUE tasks.
+  double marker_confusion = 0.0;
+};
+
+Split make_sequence_task(const SequenceTaskSpec& spec, Rng& rng);
+
+// ------------------------------------------------------------------- graphs
+
+/// A citation-style graph: stochastic block model with `classes`
+/// communities; node features are noisy class prototypes. Returns the edge
+/// list alongside node features/labels and a train mask (transductive node
+/// classification, as in Kipf & Welling).
+struct GraphTaskSpec {
+  std::size_t nodes = 96;
+  std::size_t features = 16;
+  std::size_t classes = 4;
+  double intra_edge_prob = 0.12;
+  double inter_edge_prob = 0.01;
+  double feature_noise = 0.6;
+  double train_fraction = 0.5;
+};
+
+struct GraphTask {
+  tensor::Matrix features;  // nodes x features
+  std::vector<std::size_t> labels;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::vector<bool> train_mask;  // true = training node
+  std::size_t classes = 0;
+};
+
+GraphTask make_graph_task(const GraphTaskSpec& spec, Rng& rng);
+
+}  // namespace onesa::data

@@ -1,0 +1,151 @@
+// INT16 Q-format fixed-point arithmetic.
+//
+// The paper quantizes both the neural networks and the systolic array to
+// INT16 ("both the neural networks and the systolic arrays are quantized to
+// INT16 precision", §V-A). We model that with a Qm.n format parameterized on
+// the number of fractional bits. The default Q6.9 (1 sign, 6 integer,
+// 9 fractional bits) covers the activation ranges of the networks in the
+// paper while giving ~2e-3 resolution, and matches the shift-based segment
+// indexing of the CPWL unit: a segment length of 2^-s is a right shift by
+// (frac_bits - s).
+//
+// All arithmetic saturates rather than wraps: hardware MACs in the modeled
+// accelerator saturate on overflow, and saturation keeps CPWL capping
+// semantics exact at the domain boundaries.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace onesa::fixed {
+
+/// Number of fractional bits used across the accelerator by default (Q6.9).
+inline constexpr int kDefaultFracBits = 9;
+
+/// Saturate a wide integer into the int16 range.
+constexpr std::int16_t saturate_i16(std::int64_t v) {
+  constexpr std::int64_t lo = std::numeric_limits<std::int16_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int16_t>::max();
+  return static_cast<std::int16_t>(std::clamp<std::int64_t>(v, lo, hi));
+}
+
+/// A single INT16 fixed-point value in Qm.n with n = FracBits.
+///
+/// The raw integer representation is exposed (`raw()`) because the simulator
+/// and the CPWL segment-indexing unit operate on raw bits (shifts), exactly
+/// as the modeled hardware does.
+template <int FracBits = kDefaultFracBits>
+class Fixed {
+  static_assert(FracBits > 0 && FracBits < 15, "Q-format must leave sign+integer bits");
+
+ public:
+  static constexpr int kFracBits = FracBits;
+  static constexpr std::int32_t kOne = 1 << FracBits;
+
+  constexpr Fixed() = default;
+
+  /// Quantize a real number (round-to-nearest, saturating).
+  static constexpr Fixed from_double(double v) {
+    const double scaled = v * static_cast<double>(kOne);
+    // llround is not constexpr pre-C++23; emulate round-half-away-from-zero.
+    const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    return from_raw(saturate_i16(static_cast<std::int64_t>(rounded)));
+  }
+
+  /// Reinterpret a raw INT16 bit pattern as a fixed-point value.
+  static constexpr Fixed from_raw(std::int16_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+
+  constexpr std::int16_t raw() const { return raw_; }
+
+  /// Largest / smallest representable values.
+  static constexpr Fixed max() { return from_raw(std::numeric_limits<std::int16_t>::max()); }
+  static constexpr Fixed min() { return from_raw(std::numeric_limits<std::int16_t>::min()); }
+  /// Quantization step (1 ulp).
+  static constexpr double resolution() { return 1.0 / static_cast<double>(kOne); }
+
+  constexpr Fixed operator+(Fixed o) const {
+    return from_raw(saturate_i16(std::int64_t{raw_} + o.raw_));
+  }
+  constexpr Fixed operator-(Fixed o) const {
+    return from_raw(saturate_i16(std::int64_t{raw_} - o.raw_));
+  }
+  constexpr Fixed operator-() const { return from_raw(saturate_i16(-std::int64_t{raw_})); }
+
+  /// Fixed-point multiply: 32-bit product, arithmetic shift with
+  /// round-to-nearest, then saturation — the MAC datapath of one PE lane.
+  constexpr Fixed operator*(Fixed o) const {
+    std::int64_t prod = std::int64_t{raw_} * std::int64_t{o.raw_};
+    prod += std::int64_t{1} << (FracBits - 1);  // round to nearest
+    return from_raw(saturate_i16(prod >> FracBits));
+  }
+
+  constexpr Fixed& operator+=(Fixed o) { return *this = *this + o; }
+  constexpr Fixed& operator-=(Fixed o) { return *this = *this - o; }
+  constexpr Fixed& operator*=(Fixed o) { return *this = *this * o; }
+
+  constexpr auto operator<=>(const Fixed&) const = default;
+
+  std::string to_string() const { return std::to_string(to_double()); }
+
+ private:
+  std::int16_t raw_ = 0;
+};
+
+/// The library-wide default INT16 type (Q6.9).
+using Fix16 = Fixed<kDefaultFracBits>;
+
+/// Quantize then dequantize: the value the hardware would actually see.
+inline double quantize(double v, int frac_bits = kDefaultFracBits) {
+  const double one = static_cast<double>(std::int32_t{1} << frac_bits);
+  const double scaled = v * one;
+  const double rounded = scaled >= 0.0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+  const double lo = static_cast<double>(std::numeric_limits<std::int16_t>::min());
+  const double hi = static_cast<double>(std::numeric_limits<std::int16_t>::max());
+  return std::clamp(rounded, lo, hi) / one;
+}
+
+/// A multiply-accumulate register with a wider (32-bit) accumulator, matching
+/// the PE's multi-layer accumulator: products are summed at full width and
+/// only the final write-back narrows (saturates) to INT16.
+template <int FracBits = kDefaultFracBits>
+class Accumulator {
+ public:
+  constexpr void clear() { acc_ = 0; }
+
+  /// acc += a * b at full product precision.
+  constexpr void mac(Fixed<FracBits> a, Fixed<FracBits> b) {
+    acc_ += std::int64_t{a.raw()} * std::int64_t{b.raw()};
+  }
+
+  /// Add another accumulator (adder-tree reduction between MAC lanes).
+  constexpr void add(const Accumulator& o) { acc_ += o.acc_; }
+
+  /// Narrow to INT16 with rounding + saturation (PE output-buffer write).
+  constexpr Fixed<FracBits> result() const {
+    std::int64_t v = acc_ + (std::int64_t{1} << (FracBits - 1));
+    return Fixed<FracBits>::from_raw(saturate_i16(v >> FracBits));
+  }
+
+  constexpr std::int64_t raw() const { return acc_; }
+
+ private:
+  std::int64_t acc_ = 0;
+};
+
+using Acc16 = Accumulator<kDefaultFracBits>;
+
+}  // namespace onesa::fixed

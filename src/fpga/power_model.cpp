@@ -1,0 +1,31 @@
+#include "fpga/power_model.hpp"
+
+namespace onesa::fpga {
+
+namespace {
+
+// Device static power of the Virtex-7 XC7VX485T (Vccint leakage, typical).
+constexpr double kStaticWatts = 0.80;
+
+// Dynamic coefficients in watts per resource unit per MHz, in the typical
+// XPE range for 7-series at default toggle rates. Calibrated so the 8x8
+// ONE-SA (LUT 180222, FF 213042, DSP 1024, BRAM 824) at 200 MHz totals
+// 7.61 W: 0.800 + 2.703 + 1.065 + 1.229 + 1.813 = 7.610.
+constexpr double kLutWattsPerMhz = 7.5e-8;   // 15 uW per LUT at 200 MHz
+constexpr double kFfWattsPerMhz = 2.5e-8;    // 5 uW per FF at 200 MHz
+constexpr double kDspWattsPerMhz = 6.0e-6;   // 1.2 mW per DSP at 200 MHz
+constexpr double kBramWattsPerMhz = 1.1e-5;  // 2.2 mW per BRAM at 200 MHz
+
+}  // namespace
+
+PowerBreakdown PowerModel::estimate(const ResourceVector& r, double clock_mhz) const {
+  PowerBreakdown p;
+  p.static_watts = kStaticWatts;
+  p.lut_watts = kLutWattsPerMhz * r.lut * clock_mhz;
+  p.ff_watts = kFfWattsPerMhz * r.ff * clock_mhz;
+  p.dsp_watts = kDspWattsPerMhz * r.dsp * clock_mhz;
+  p.bram_watts = kBramWattsPerMhz * r.bram * clock_mhz;
+  return p;
+}
+
+}  // namespace onesa::fpga

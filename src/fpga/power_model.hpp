@@ -1,0 +1,45 @@
+// XPE-style FPGA power model.
+//
+// The paper reports power from the Xilinx Power Estimator (XPE), which
+// composes device static power with per-resource-class dynamic power
+// proportional to clock frequency. We use the same structure with
+// per-resource coefficients in the typical Virtex-7 range, scaled so that
+// the paper's reference design (ONE-SA, 8x8 PEs, 16 MACs, 200 MHz) lands on
+// its published 7.61 W (Table IV). The test suite pins that calibration.
+#pragma once
+
+#include "fpga/resource_model.hpp"
+
+namespace onesa::fpga {
+
+struct PowerBreakdown {
+  double static_watts = 0.0;
+  double lut_watts = 0.0;
+  double ff_watts = 0.0;
+  double dsp_watts = 0.0;
+  double bram_watts = 0.0;
+  double total() const {
+    return static_watts + lut_watts + ff_watts + dsp_watts + bram_watts;
+  }
+};
+
+class PowerModel {
+ public:
+  PowerModel() = default;
+
+  /// Power of a design with the given resource usage at `clock_mhz`.
+  PowerBreakdown estimate(const ResourceVector& resources, double clock_mhz) const;
+
+  /// Convenience: watts only.
+  double watts(const ResourceVector& resources, double clock_mhz) const {
+    return estimate(resources, clock_mhz).total();
+  }
+
+  /// Energy (joules) for an operation of `seconds` duration.
+  double energy_joules(const ResourceVector& resources, double clock_mhz,
+                       double seconds) const {
+    return watts(resources, clock_mhz) * seconds;
+  }
+};
+
+}  // namespace onesa::fpga

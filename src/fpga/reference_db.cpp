@@ -1,0 +1,59 @@
+#include "fpga/reference_db.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace onesa::fpga {
+
+std::string workload_name(Workload w) {
+  switch (w) {
+    case Workload::kResNet50: return "ResNet-50";
+    case Workload::kBertBase: return "BERT-base";
+    case Workload::kGcn: return "GCN";
+  }
+  throw Error("unknown Workload");
+}
+
+const std::vector<ReferenceEntry>& reference_table() {
+  // Transcribed from Table IV of the paper (latency L in ms, throughput T in
+  // GOPS, power P in W). Missing cells in the paper (accelerators evaluated
+  // on one network only) are simply absent here.
+  static const std::vector<ReferenceEntry> kTable = {
+      // Intel CPU i7-11700, 14 nm.
+      {"Intel CPU", "i7-11700", 14, Workload::kResNet50, 42.51, 93.51, 112.0},
+      {"Intel CPU", "i7-11700", 14, Workload::kBertBase, 45.92, 119.77, 112.0},
+      {"Intel CPU", "i7-11700", 14, Workload::kGcn, 34.12, 33.99, 112.0},
+      // NVIDIA GPU 3090Ti, 8 nm.
+      {"NVIDIA GPU", "3090Ti", 8, Workload::kResNet50, 6.27, 633.99, 131.0},
+      {"NVIDIA GPU", "3090Ti", 8, Workload::kBertBase, 7.95, 691.81, 131.0},
+      {"NVIDIA GPU", "3090Ti", 8, Workload::kGcn, 1.56, 743.45, 131.0},
+      // NVIDIA SoC AGX Orin, 12 nm.
+      {"NVIDIA SoC", "AGX ORIN", 12, Workload::kResNet50, 16.20, 245.38, 14.0},
+      {"NVIDIA SoC", "AGX ORIN", 12, Workload::kBertBase, 21.52, 255.57, 14.0},
+      {"NVIDIA SoC", "AGX ORIN", 12, Workload::kGcn, 4.92, 235.73, 14.0},
+      // Application-specific FPGA accelerators (published designs).
+      {"Zynq Z-7020", "Angel-eye", 28, Workload::kResNet50, 47.15, 84.3, 3.5},
+      {"Virtex7", "VGG16", 28, Workload::kResNet50, 19.64, 202.42, 10.81},
+      {"Zynq Z-7100", "NPE", 28, Workload::kBertBase, 13.57, 405.30, 20.0},
+      {"Virtex UltraScale+", "FTRANS", 16, Workload::kBertBase, 9.82, 559.85, 25.0},
+  };
+  return kTable;
+}
+
+const ReferenceEntry& cpu_baseline(Workload w) {
+  for (const auto& e : reference_table()) {
+    if (e.processor == "Intel CPU" && e.workload == w) return e;
+  }
+  throw Error("no CPU baseline for workload");
+}
+
+std::vector<ReferenceEntry> references_for(Workload w) {
+  std::vector<ReferenceEntry> out;
+  std::copy_if(reference_table().begin(), reference_table().end(),
+               std::back_inserter(out),
+               [w](const ReferenceEntry& e) { return e.workload == w; });
+  return out;
+}
+
+}  // namespace onesa::fpga

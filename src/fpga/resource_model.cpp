@@ -1,0 +1,122 @@
+#include "fpga/resource_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace onesa::fpga {
+
+namespace {
+
+// ------------------------- Table I anchors (16-MAC PE, Virtex-7 synthesis)
+
+constexpr double kPeBram = 1.0;
+constexpr double kPeDspPerMac = 1.0;
+
+// PE LUT = base + per-lane slope; anchored at 824 LUTs @ 16 MACs with a
+// "marginal" lane slope (Fig. 9a finding).
+constexpr double kPeLutPerMac = 8.0;
+constexpr double kPeLutBase = 824.0 - kPeLutPerMac * 16.0;  // 696
+
+// PE FF = base + per-lane pipeline registers; anchored at 1862 @ 16 MACs.
+constexpr double kPeFfPerMac = 58.0;
+constexpr double kPeFfBase = 1862.0 - kPeFfPerMac * 16.0;  // 934
+
+// ONE-SA additions per PE: control logics C1/C2 (+2 LUTs) and the MHP
+// forwarding/latch registers, 32 FFs per lane + 6 control FFs. At 16 MACs
+// this is exactly Table I's +518 FF delta (2380 - 1862).
+constexpr double kOneSaPeLutDelta = 2.0;
+constexpr double kOneSaPeFfPerMac = 32.0;
+constexpr double kOneSaPeFfConst = 6.0;
+
+// L3 buffer (Table I): conventional vs ONE-SA output buffer with the
+// data-addressing module (Fig. 5): +2 BRAM (k/b parameter buffers),
+// +847 LUT (shift + scale + addressing), +643 FF (FIFOs and registers).
+constexpr ResourceVector kL3Sa{0.0, 174.0, 566.0, 0.0};
+constexpr ResourceVector kL3OneSa{2.0, 1021.0, 1209.0, 0.0};
+
+// ------------------- Table II infrastructure anchors (SA totals minus the
+// attributable PE and L3 contributions, at 16 MACs):
+//   PEs=16 : BRAM 454, LUT 54270,  FF 35434
+//   PEs=64 : BRAM 758, LUT 125989, FF 58381
+//   PEs=256: BRAM 1110, LUT 518759, FF 74169
+struct InfraAnchor {
+  double log2_pes;
+  ResourceVector r;
+};
+const InfraAnchor kInfraAnchors[] = {
+    {4.0, {454.0, 54270.0, 35434.0, 0.0}},
+    {6.0, {758.0, 125989.0, 58381.0, 0.0}},
+    {8.0, {1110.0, 518759.0, 74169.0, 0.0}},
+};
+
+double interp(double x, double x0, double y0, double x1, double y1) {
+  return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+}  // namespace
+
+ResourceVector pe_resources(Design design, std::size_t macs) {
+  ONESA_CHECK(macs >= 1, "PE needs at least one MAC");
+  const double m = static_cast<double>(macs);
+  ResourceVector r;
+  r.bram = kPeBram;
+  r.dsp = kPeDspPerMac * m;
+  r.lut = kPeLutBase + kPeLutPerMac * m;
+  r.ff = kPeFfBase + kPeFfPerMac * m;
+  if (design == Design::kOneSa) {
+    r.lut += kOneSaPeLutDelta;
+    r.ff += kOneSaPeFfConst + kOneSaPeFfPerMac * m;
+  }
+  return r;
+}
+
+ResourceVector l3_resources(Design design, bool output_buffer) {
+  if (design == Design::kOneSa && output_buffer) return kL3OneSa;
+  return kL3Sa;
+}
+
+ResourceVector infrastructure(std::size_t pe_count) {
+  ONESA_CHECK(pe_count >= 1, "array needs PEs");
+  const double x = std::log2(static_cast<double>(pe_count));
+  const auto& a = kInfraAnchors;
+  // Piecewise-linear in log2(PEs); linear extrapolation outside the anchor
+  // range, clamped at zero.
+  double lo_x, hi_x;
+  ResourceVector lo, hi;
+  if (x <= a[1].log2_pes) {
+    lo_x = a[0].log2_pes;
+    hi_x = a[1].log2_pes;
+    lo = a[0].r;
+    hi = a[1].r;
+  } else {
+    lo_x = a[1].log2_pes;
+    hi_x = a[2].log2_pes;
+    lo = a[1].r;
+    hi = a[2].r;
+  }
+  ResourceVector r;
+  r.bram = std::max(0.0, interp(x, lo_x, lo.bram, hi_x, hi.bram));
+  r.lut = std::max(0.0, interp(x, lo_x, lo.lut, hi_x, hi.lut));
+  r.ff = std::max(0.0, interp(x, lo_x, lo.ff, hi_x, hi.ff));
+  r.dsp = 0.0;
+  return r;
+}
+
+ResourceVector total_resources(Design design, const sim::ArrayConfig& config) {
+  config.validate();
+  ResourceVector total;
+  // PEs.
+  total += pe_resources(design, config.macs_per_pe) *
+           static_cast<double>(config.pe_count());
+  // Three L3 buffers: input, weight, output. Only ONE-SA's output L3 has the
+  // addressing module.
+  total += l3_resources(design, /*output_buffer=*/false);
+  total += l3_resources(design, /*output_buffer=*/false);
+  total += l3_resources(design, /*output_buffer=*/true);
+  // Interconnect / control / L2 fabric.
+  total += infrastructure(config.pe_count());
+  return total;
+}
+
+}  // namespace onesa::fpga

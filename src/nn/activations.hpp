@@ -1,0 +1,44 @@
+// Element-wise activation layers. On the accelerator each maps to one
+// IPF + MHP pass with the corresponding CPWL table.
+#pragma once
+
+#include "cpwl/functions.hpp"
+#include "nn/layer.hpp"
+
+namespace onesa::nn {
+
+/// Generic element-wise activation parameterized by the catalog function.
+class Activation : public Layer {
+ public:
+  explicit Activation(cpwl::FunctionKind kind);
+
+  std::string name() const override { return std::string(cpwl::function_name(kind_)); }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+  cpwl::FunctionKind kind() const { return kind_; }
+
+  /// Feature width must be set (or inferred from the first forward) before
+  /// count_ops can attribute element counts.
+  void set_features(std::size_t features) { features_ = features; }
+
+ private:
+  double derivative(double x) const;
+
+  cpwl::FunctionKind kind_;
+  tensor::Matrix cached_input_;
+  std::size_t features_ = 0;
+};
+
+/// Convenience factories.
+LayerPtr make_relu();
+LayerPtr make_gelu();
+LayerPtr make_tanh();
+LayerPtr make_sigmoid();
+
+}  // namespace onesa::nn

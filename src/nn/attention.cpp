@@ -1,0 +1,189 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace onesa::nn {
+
+namespace {
+
+/// Numerically stable row softmax (reference path).
+tensor::Matrix softmax_rows_ref(const tensor::Matrix& x) {
+  const tensor::Matrix mx = tensor::row_max(x);
+  tensor::Matrix y(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      y(i, j) = std::exp(x(i, j) - mx(i, 0));
+      sum += y(i, j);
+    }
+    for (std::size_t j = 0; j < x.cols(); ++j) y(i, j) /= sum;
+  }
+  return y;
+}
+
+/// Backward through a row softmax: dx = a .* (dy - rowsum(dy .* a)).
+tensor::Matrix softmax_rows_backward(const tensor::Matrix& attn,
+                                     const tensor::Matrix& grad) {
+  tensor::Matrix dx(attn.rows(), attn.cols());
+  for (std::size_t i = 0; i < attn.rows(); ++i) {
+    double dot = 0.0;
+    for (std::size_t j = 0; j < attn.cols(); ++j) dot += grad(i, j) * attn(i, j);
+    for (std::size_t j = 0; j < attn.cols(); ++j)
+      dx(i, j) = attn(i, j) * (grad(i, j) - dot);
+  }
+  return dx;
+}
+
+/// Columns [h*d, (h+1)*d) of m.
+tensor::Matrix slice_cols(const tensor::Matrix& m, std::size_t h, std::size_t d) {
+  tensor::Matrix out(m.rows(), d);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < d; ++j) out(i, j) = m(i, h * d + j);
+  return out;
+}
+
+void paste_cols(tensor::Matrix& dst, const tensor::Matrix& src, std::size_t h,
+                std::size_t d) {
+  for (std::size_t i = 0; i < src.rows(); ++i)
+    for (std::size_t j = 0; j < d; ++j) dst(i, h * d + j) = src(i, j);
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t d_model, std::size_t num_heads,
+                                               Rng& rng)
+    : d_model_(d_model), heads_(num_heads), d_head_(d_model / num_heads) {
+  ONESA_CHECK(d_model % num_heads == 0,
+              "d_model " << d_model << " not divisible by heads " << num_heads);
+  const double bound = std::sqrt(6.0 / static_cast<double>(d_model));
+  wq_ = Param(tensor::random_uniform(d_model, d_model, rng, -bound, bound));
+  wk_ = Param(tensor::random_uniform(d_model, d_model, rng, -bound, bound));
+  wv_ = Param(tensor::random_uniform(d_model, d_model, rng, -bound, bound));
+  wo_ = Param(tensor::random_uniform(d_model, d_model, rng, -bound, bound));
+}
+
+tensor::Matrix MultiHeadSelfAttention::forward(const tensor::Matrix& x) {
+  ONESA_CHECK_SHAPE(x.cols() == d_model_, "attention d_model " << x.cols());
+  cached_input_ = x;
+  seq_len_ = x.rows();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+
+  const tensor::Matrix q = tensor::matmul(x, wq_.value);
+  const tensor::Matrix k = tensor::matmul(x, wk_.value);
+  const tensor::Matrix v = tensor::matmul(x, wv_.value);
+
+  head_cache_.assign(heads_, {});
+  cached_concat_ = tensor::Matrix(x.rows(), d_model_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    HeadCache& cache = head_cache_[h];
+    cache.q = slice_cols(q, h, d_head_);
+    cache.k = slice_cols(k, h, d_head_);
+    cache.v = slice_cols(v, h, d_head_);
+    const tensor::Matrix scores =
+        tensor::scale(tensor::matmul(cache.q, tensor::transpose(cache.k)), scale);
+    cache.attn = softmax_rows_ref(scores);
+    paste_cols(cached_concat_, tensor::matmul(cache.attn, cache.v), h, d_head_);
+  }
+  return tensor::matmul(cached_concat_, wo_.value);
+}
+
+tensor::Matrix MultiHeadSelfAttention::backward(const tensor::Matrix& grad_out) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+
+  // Output projection.
+  wo_.grad = tensor::add(wo_.grad,
+                         tensor::matmul(tensor::transpose(cached_concat_), grad_out));
+  const tensor::Matrix grad_concat =
+      tensor::matmul(grad_out, tensor::transpose(wo_.value));
+
+  tensor::Matrix grad_q_full(seq_len_, d_model_, 0.0);
+  tensor::Matrix grad_k_full(seq_len_, d_model_, 0.0);
+  tensor::Matrix grad_v_full(seq_len_, d_model_, 0.0);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const HeadCache& cache = head_cache_[h];
+    const tensor::Matrix grad_head = slice_cols(grad_concat, h, d_head_);
+    // out_h = attn * v.
+    const tensor::Matrix grad_attn =
+        tensor::matmul(grad_head, tensor::transpose(cache.v));
+    const tensor::Matrix grad_v = tensor::matmul(tensor::transpose(cache.attn), grad_head);
+    // Through softmax and the 1/sqrt(d_k) scale.
+    const tensor::Matrix grad_scores =
+        tensor::scale(softmax_rows_backward(cache.attn, grad_attn), scale);
+    // scores = q k^T.
+    const tensor::Matrix grad_q = tensor::matmul(grad_scores, cache.k);
+    const tensor::Matrix grad_k =
+        tensor::matmul(tensor::transpose(grad_scores), cache.q);
+    paste_cols(grad_q_full, grad_q, h, d_head_);
+    paste_cols(grad_k_full, grad_k, h, d_head_);
+    paste_cols(grad_v_full, grad_v, h, d_head_);
+  }
+
+  // Projection weights and input gradient.
+  wq_.grad = tensor::add(wq_.grad,
+                         tensor::matmul(tensor::transpose(cached_input_), grad_q_full));
+  wk_.grad = tensor::add(wk_.grad,
+                         tensor::matmul(tensor::transpose(cached_input_), grad_k_full));
+  wv_.grad = tensor::add(wv_.grad,
+                         tensor::matmul(tensor::transpose(cached_input_), grad_v_full));
+
+  tensor::Matrix grad_in = tensor::matmul(grad_q_full, tensor::transpose(wq_.value));
+  grad_in = tensor::add(grad_in, tensor::matmul(grad_k_full, tensor::transpose(wk_.value)));
+  grad_in = tensor::add(grad_in, tensor::matmul(grad_v_full, tensor::transpose(wv_.value)));
+  return grad_in;
+}
+
+tensor::FixMatrix MultiHeadSelfAttention::forward_accel(OneSaAccelerator& accel,
+                                                        const tensor::FixMatrix& x) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+  const std::size_t seq = x.rows();
+
+  const auto q = accel.gemm(x, tensor::to_fixed(wq_.value)).y;
+  const auto k = accel.gemm(x, tensor::to_fixed(wk_.value)).y;
+  const auto v = accel.gemm(x, tensor::to_fixed(wv_.value)).y;
+
+  auto slice_fix = [&](const tensor::FixMatrix& m, std::size_t h) {
+    tensor::FixMatrix out(m.rows(), d_head_);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < d_head_; ++j) out(i, j) = m(i, h * d_head_ + j);
+    return out;
+  };
+  auto transpose_fix = [](const tensor::FixMatrix& m) {
+    tensor::FixMatrix out(m.cols(), m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j) out(j, i) = m(i, j);
+    return out;
+  };
+
+  tensor::FixMatrix concat(seq, d_model_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const auto qh = slice_fix(q, h);
+    const auto kh = slice_fix(k, h);
+    const auto vh = slice_fix(v, h);
+    // scores = (q k^T) * scale — GEMM then a broadcast-scale MHP.
+    auto scores = accel.gemm(qh, transpose_fix(kh));
+    auto scaled = accel.mhp(scores.y, tensor::constant_fix(seq, seq, scale),
+                            tensor::constant_fix(seq, seq, 0.0));
+    auto attn = accel.softmax_rows(scaled.y);
+    auto head_out = accel.gemm(attn.y, vh);
+    for (std::size_t i = 0; i < seq; ++i)
+      for (std::size_t j = 0; j < d_head_; ++j)
+        concat(i, h * d_head_ + j) = head_out.y(i, j);
+  }
+  return accel.gemm(concat, tensor::to_fixed(wo_.value)).y;
+}
+
+void MultiHeadSelfAttention::count_ops(OpCensus& census, std::size_t batch) const {
+  const double s = static_cast<double>(seq_len_ == 0 ? 16 : seq_len_);
+  const double d = static_cast<double>(d_model_);
+  const double b = static_cast<double>(batch);
+  // Four projections + two score/value GEMMs per head (d_head sums to d).
+  census.gemm += b * (4.0 * 2.0 * s * d * d + 2.0 * 2.0 * s * s * d);
+  // Scale multiply on the score matrix.
+  census.multiply += b * s * s * static_cast<double>(heads_);
+  // Softmax: ~5 ops per score element (max, sub, exp, sum, div).
+  census.softmax += b * 5.0 * s * s * static_cast<double>(heads_);
+}
+
+}  // namespace onesa::nn

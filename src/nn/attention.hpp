@@ -1,0 +1,51 @@
+// Multi-head self-attention (the BERT-style block's core).
+//
+// Processes one sequence at a time: input is (seq_len x d_model). On the
+// accelerator the projections and score/value products are GEMMs, the
+// 1/sqrt(d_k) scaling is a parameterized MHP, and the row softmax is the
+// decomposed CPWL pipeline (max-subtract, exp, sum, reciprocal, multiply).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace onesa::nn {
+
+class MultiHeadSelfAttention : public Layer {
+ public:
+  MultiHeadSelfAttention(std::size_t d_model, std::size_t num_heads, Rng& rng);
+
+  std::string name() const override { return "self_attention"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override {
+    return {&wq_, &wk_, &wv_, &wo_};
+  }
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+  std::size_t d_model() const { return d_model_; }
+  std::size_t num_heads() const { return heads_; }
+
+  /// Sequence length of the last forward (needed for op counting).
+  void set_seq_len(std::size_t seq) { seq_len_ = seq; }
+
+ private:
+  struct HeadCache {
+    tensor::Matrix q, k, v;  // seq x d_head
+    tensor::Matrix attn;     // seq x seq (post-softmax)
+  };
+
+  std::size_t d_model_;
+  std::size_t heads_;
+  std::size_t d_head_;
+  std::size_t seq_len_ = 0;
+  Param wq_, wk_, wv_, wo_;  // each d_model x d_model
+  tensor::Matrix cached_input_;
+  tensor::Matrix cached_concat_;  // seq x d_model (pre-output-projection)
+  std::vector<HeadCache> head_cache_;
+};
+
+}  // namespace onesa::nn

@@ -1,0 +1,93 @@
+// Convolution and pooling layers for the CNN (ResNet-style) models.
+//
+// Conv2d lowers to GEMM via im2col (§II-A: "im2col-based convolution"), so
+// on the accelerator it uses the array's linear path. MaxPool reshapes each
+// pooling window into a row and uses the L3 streaming comparator
+// (reduce_rows_max); GlobalAvgPool is a GEMM against a fixed 1/(H*W)
+// pooling matrix — pure linear work.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace onesa::nn {
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(tensor::ConvShape shape, std::size_t out_channels, Rng& rng);
+
+  std::string name() const override { return "conv2d"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+  const tensor::ConvShape& shape() const { return shape_; }
+  std::size_t out_channels() const { return out_channels_; }
+  /// Output row width: out_channels * out_h * out_w.
+  std::size_t out_features() const;
+
+ private:
+  tensor::ConvShape shape_;
+  std::size_t out_channels_;
+  Param weight_;  // (C*k*k) x out_channels
+  Param bias_;    // 1 x out_channels
+  tensor::Matrix cached_input_;
+};
+
+/// 2x2/stride-2 max pooling over the conv layout.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::size_t channels, std::size_t height, std::size_t width,
+            std::size_t pool = 2);
+
+  std::string name() const override { return "maxpool2d"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+  std::size_t out_features() const { return channels_ * out_h_ * out_w_; }
+
+ private:
+  std::size_t window_origin(std::size_t c, std::size_t oy, std::size_t ox,
+                            std::size_t wy, std::size_t wx) const;
+
+  std::size_t channels_;
+  std::size_t height_;
+  std::size_t width_;
+  std::size_t pool_;
+  std::size_t out_h_;
+  std::size_t out_w_;
+  std::vector<std::size_t> argmax_;  // flat index per output element per sample
+  std::size_t cached_batch_ = 0;
+};
+
+/// Global average pooling: (batch x C*H*W) -> (batch x C).
+class GlobalAvgPool : public Layer {
+ public:
+  GlobalAvgPool(std::size_t channels, std::size_t height, std::size_t width);
+
+  std::string name() const override { return "global_avg_pool"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+ private:
+  std::size_t channels_;
+  std::size_t spatial_;
+  std::size_t cached_batch_ = 0;
+};
+
+}  // namespace onesa::nn

@@ -1,0 +1,56 @@
+// Token embedding with fixed sinusoidal positional encoding, plus the
+// sequence mean-pool head used by the transformer classifier.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace onesa::nn {
+
+/// Maps a row of token ids (1 x seq_len, ids stored as doubles) to the
+/// (seq_len x d_model) embedded sequence. The lookup itself is a DMA gather
+/// (no array cycles); positional encodings are added on the fly.
+class Embedding : public Layer {
+ public:
+  Embedding(std::size_t vocab, std::size_t d_model, Rng& rng,
+            bool positional = true);
+
+  std::string name() const override { return "embedding"; }
+
+  tensor::Matrix forward(const tensor::Matrix& ids) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&table_}; }
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& ids) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+ private:
+  double positional_term(std::size_t pos, std::size_t dim) const;
+
+  std::size_t vocab_;
+  std::size_t d_model_;
+  bool positional_;
+  Param table_;  // vocab x d_model
+  std::vector<std::size_t> cached_ids_;
+};
+
+/// Mean over sequence positions: (seq x d) -> (1 x d). On the accelerator
+/// this is a GEMM with a 1/seq row vector (linear work).
+class SequenceMeanPool : public Layer {
+ public:
+  SequenceMeanPool() = default;
+
+  std::string name() const override { return "seq_mean_pool"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+ private:
+  std::size_t cached_seq_ = 0;
+};
+
+}  // namespace onesa::nn

@@ -1,0 +1,39 @@
+// Graph convolution (Kipf & Welling GCN): H' = A_hat H W + b, where A_hat
+// is the symmetrically normalized adjacency with self-loops, fixed at
+// construction. On the accelerator both products are plain GEMMs.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace onesa::nn {
+
+/// Build A_hat = D^{-1/2} (A + I) D^{-1/2} from an undirected edge list.
+tensor::Matrix normalized_adjacency(std::size_t num_nodes,
+                                    const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+class GraphConv : public Layer {
+ public:
+  /// `adjacency` is the fixed (num_nodes x num_nodes) normalized matrix.
+  GraphConv(tensor::Matrix adjacency, std::size_t in_features,
+            std::size_t out_features, Rng& rng);
+
+  std::string name() const override { return "graph_conv"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+ private:
+  tensor::Matrix adjacency_;  // n x n, fixed
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;  // in x out
+  Param bias_;    // 1 x out
+  tensor::Matrix cached_ax_;  // A_hat * x
+};
+
+}  // namespace onesa::nn

@@ -1,0 +1,80 @@
+// Layer abstraction for the neural-network library.
+//
+// Every layer supports three uses:
+//   forward()/backward() — double-precision training path (the repo trains
+//       its own small models on synthetic data so the accuracy-vs-
+//       granularity experiment of Table III can run end-to-end offline).
+//   forward_accel()      — INT16 inference lowered onto a OneSaAccelerator:
+//       GEMMs run on the array's linear path, nonlinear ops through
+//       IPF + MHP with CPWL tables. Cycle costs accumulate in the
+//       accelerator's lifetime counters.
+//   count_ops()          — static op census for the computation-breakdown
+//       analysis (Fig. 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "onesa/accelerator.hpp"
+#include "tensor/matrix.hpp"
+
+namespace onesa::nn {
+
+/// A trainable parameter: value and accumulated gradient.
+struct Param {
+  tensor::Matrix value;
+  tensor::Matrix grad;
+
+  explicit Param(tensor::Matrix v = {})
+      : value(std::move(v)), grad(value.rows(), value.cols(), 0.0) {}
+
+  void zero_grad() { grad = tensor::Matrix(value.rows(), value.cols(), 0.0); }
+};
+
+/// Operation census for Fig. 1's computation-breakdown pie. Counts are in
+/// scalar operations (one multiply or one add = one op; a MAC = two ops).
+struct OpCensus {
+  double gemm = 0.0;       // matrix-multiply ops (conv via im2col included)
+  double multiply = 0.0;   // standalone element-wise multiplies
+  double add = 0.0;        // standalone element-wise adds (residual, bias)
+  double softmax = 0.0;
+  double batchnorm = 0.0;
+  double layernorm = 0.0;
+  double relu = 0.0;
+  double gelu = 0.0;
+
+  double total() const {
+    return gemm + multiply + add + softmax + batchnorm + layernorm + relu + gelu;
+  }
+  OpCensus& operator+=(const OpCensus& o);
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Training-time forward (batch rows x features); caches whatever the
+  /// backward pass needs.
+  virtual tensor::Matrix forward(const tensor::Matrix& x) = 0;
+
+  /// Backward: consumes dL/d(output), returns dL/d(input), accumulates
+  /// parameter gradients. Must be called after forward() on the same batch.
+  virtual tensor::Matrix backward(const tensor::Matrix& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// INT16 inference on the ONE-SA accelerator.
+  virtual tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                          const tensor::FixMatrix& x) = 0;
+
+  /// Add this layer's inference op counts for a batch of `batch` samples.
+  virtual void count_ops(OpCensus& census, std::size_t batch) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace onesa::nn

@@ -1,0 +1,60 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace onesa::nn {
+
+OpCensus& OpCensus::operator+=(const OpCensus& o) {
+  gemm += o.gemm;
+  multiply += o.multiply;
+  add += o.add;
+  softmax += o.softmax;
+  batchnorm += o.batchnorm;
+  layernorm += o.layernorm;
+  relu += o.relu;
+  gelu += o.gelu;
+  return *this;
+}
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features), out_(out_features) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(in_features));
+  weight_ = Param(tensor::random_uniform(in_, out_, rng, -bound, bound));
+  bias_ = Param(tensor::Matrix(1, out_, 0.0));
+}
+
+tensor::Matrix Linear::forward(const tensor::Matrix& x) {
+  cached_input_ = x;
+  return tensor::add_row_broadcast(tensor::matmul(x, weight_.value), bias_.value);
+}
+
+tensor::Matrix Linear::backward(const tensor::Matrix& grad_out) {
+  // dW = x^T g, db = column sums of g, dx = g W^T.
+  weight_.grad = tensor::add(weight_.grad,
+                             tensor::matmul(tensor::transpose(cached_input_), grad_out));
+  for (std::size_t i = 0; i < grad_out.rows(); ++i)
+    for (std::size_t j = 0; j < grad_out.cols(); ++j)
+      bias_.grad(0, j) += grad_out(i, j);
+  return tensor::matmul(grad_out, tensor::transpose(weight_.value));
+}
+
+tensor::FixMatrix Linear::forward_accel(OneSaAccelerator& accel,
+                                        const tensor::FixMatrix& x) {
+  // GEMM on the array's linear path; the bias is fused as an MHP pass
+  // (K = 1, B = bias) — the same broadcast-affine primitive the nonlinear
+  // pipeline uses.
+  auto y = accel.gemm(x, tensor::to_fixed(weight_.value));
+  auto biased = accel.mhp(
+      y.y, tensor::constant_fix(y.y.rows(), y.y.cols(), 1.0),
+      tensor::broadcast_row(tensor::to_fixed(bias_.value), y.y.rows()));
+  return biased.y;
+}
+
+void Linear::count_ops(OpCensus& census, std::size_t batch) const {
+  census.gemm += 2.0 * static_cast<double>(batch) * in_ * out_;
+  census.add += static_cast<double>(batch) * out_;  // bias
+}
+
+}  // namespace onesa::nn

@@ -1,0 +1,36 @@
+// Fully-connected layer: y = x W + b.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace onesa::nn {
+
+class Linear : public Layer {
+ public:
+  /// Kaiming-uniform initialization in [-s, s], s = sqrt(6 / in_features).
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  std::string name() const override { return "linear"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;  // in x out
+  Param bias_;    // 1 x out
+  tensor::Matrix cached_input_;
+};
+
+}  // namespace onesa::nn

@@ -1,0 +1,107 @@
+#include "nn/models.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/embedding.hpp"
+#include "nn/graph.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+
+namespace onesa::nn {
+
+std::unique_ptr<Sequential> make_cnn_classifier(const CnnSpec& spec, Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  const std::size_t h = spec.height;
+  const std::size_t w = spec.width;
+
+  // Stem: conv 3x3 (pad 1) -> BN -> ReLU.
+  tensor::ConvShape stem{spec.in_channels, h, w, 3, 1, 1};
+  model->add(std::make_unique<Conv2d>(stem, spec.conv1_channels, rng));
+  model->add(std::make_unique<BatchNorm2d>(spec.conv1_channels, h, w));
+  model->add(make_relu());
+
+  // Residual block: conv 3x3 -> BN -> ReLU -> conv 3x3 -> BN, with skip.
+  auto block = std::make_unique<Sequential>();
+  tensor::ConvShape same{spec.conv1_channels, h, w, 3, 1, 1};
+  block->add(std::make_unique<Conv2d>(same, spec.conv1_channels, rng));
+  block->add(std::make_unique<BatchNorm2d>(spec.conv1_channels, h, w));
+  block->add(make_relu());
+  block->add(std::make_unique<Conv2d>(same, spec.conv1_channels, rng));
+  block->add(std::make_unique<BatchNorm2d>(spec.conv1_channels, h, w));
+  model->add(std::make_unique<Residual>(std::move(block)));
+  model->add(make_relu());
+  model->add(std::make_unique<MaxPool2d>(spec.conv1_channels, h, w));
+
+  // Second stage on the pooled map.
+  const std::size_t h2 = h / 2;
+  const std::size_t w2 = w / 2;
+  tensor::ConvShape stage2{spec.conv1_channels, h2, w2, 3, 1, 1};
+  model->add(std::make_unique<Conv2d>(stage2, spec.conv2_channels, rng));
+  model->add(std::make_unique<BatchNorm2d>(spec.conv2_channels, h2, w2));
+  model->add(make_relu());
+
+  // Head.
+  model->add(std::make_unique<GlobalAvgPool>(spec.conv2_channels, h2, w2));
+  model->add(std::make_unique<Linear>(spec.conv2_channels, spec.classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> make_transformer_classifier(const TransformerSpec& spec,
+                                                        Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->add(std::make_unique<Embedding>(spec.vocab, spec.d_model, rng));
+
+  for (std::size_t layer = 0; layer < spec.num_layers; ++layer) {
+    // Post-norm block: x + MHSA(x) -> LN -> x + FFN(x) -> LN.
+    model->add(std::make_unique<Residual>(
+        std::make_unique<MultiHeadSelfAttention>(spec.d_model, spec.num_heads, rng)));
+    model->add(std::make_unique<LayerNorm>(spec.d_model));
+
+    auto ffn = std::make_unique<Sequential>();
+    ffn->add(std::make_unique<Linear>(spec.d_model, spec.ffn_hidden, rng));
+    ffn->add(make_gelu());
+    ffn->add(std::make_unique<Linear>(spec.ffn_hidden, spec.d_model, rng));
+    model->add(std::make_unique<Residual>(std::move(ffn)));
+    model->add(std::make_unique<LayerNorm>(spec.d_model));
+  }
+
+  model->add(std::make_unique<SequenceMeanPool>());
+  model->add(std::make_unique<Linear>(spec.d_model, spec.classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> make_gcn_classifier(const tensor::Matrix& adjacency,
+                                                const GcnSpec& spec, Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->add(
+      std::make_unique<GraphConv>(adjacency, spec.features, spec.hidden, rng));
+  model->add(make_relu());
+  model->add(std::make_unique<GraphConv>(adjacency, spec.hidden, spec.classes, rng));
+  return model;
+}
+
+namespace {
+
+void set_training_recursive(Layer& layer, bool training) {
+  if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) {
+    bn->set_training(training);
+    return;
+  }
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    for (std::size_t i = 0; i < seq->size(); ++i)
+      set_training_recursive(seq->at(i), training);
+    return;
+  }
+  if (auto* res = dynamic_cast<Residual*>(&layer)) {
+    set_training_recursive(res->inner(), training);
+  }
+}
+
+}  // namespace
+
+void set_training_mode(Sequential& model, bool training) {
+  set_training_recursive(model, training);
+}
+
+}  // namespace onesa::nn

@@ -1,0 +1,59 @@
+// Model builders for the three DNN families the paper evaluates
+// (§V-A: ResNet-50 for CNNs, BERT-base for transformers, GCN for GNNs).
+//
+// These are laptop-scale versions with the same structural ingredients —
+// conv/BN/ReLU residual blocks, multi-head attention + LayerNorm + GELU FFN
+// blocks, graph convolutions — so the accuracy-vs-granularity propagation
+// behaviour of Table III is reproduced. The paper-scale *shape* traces used
+// for latency/efficiency (Fig. 1, Table IV) live in nn/workload.hpp.
+#pragma once
+
+#include "nn/sequential.hpp"
+
+namespace onesa::nn {
+
+/// ResNet-style CNN for small images.
+struct CnnSpec {
+  std::size_t in_channels = 1;
+  std::size_t height = 12;
+  std::size_t width = 12;
+  std::size_t conv1_channels = 8;
+  std::size_t conv2_channels = 16;
+  std::size_t classes = 4;
+};
+
+/// conv-BN-ReLU, a conv-BN residual block, conv-BN-ReLU-pool, global average
+/// pool and a linear classifier head. Returns logits (batch x classes).
+std::unique_ptr<Sequential> make_cnn_classifier(const CnnSpec& spec, Rng& rng);
+
+/// BERT-style transformer encoder classifier. Processes one sequence per
+/// forward: input (1 x seq_len) of token ids, output (1 x classes) logits.
+struct TransformerSpec {
+  std::size_t vocab = 32;
+  std::size_t seq_len = 16;
+  std::size_t d_model = 32;
+  std::size_t num_heads = 4;
+  std::size_t num_layers = 2;
+  std::size_t ffn_hidden = 64;
+  std::size_t classes = 4;
+};
+
+std::unique_ptr<Sequential> make_transformer_classifier(const TransformerSpec& spec,
+                                                        Rng& rng);
+
+/// Two-layer GCN node classifier over a fixed graph. Input: (nodes x
+/// features), output: (nodes x classes) logits.
+struct GcnSpec {
+  std::size_t features = 16;
+  std::size_t hidden = 16;
+  std::size_t classes = 4;
+};
+
+std::unique_ptr<Sequential> make_gcn_classifier(const tensor::Matrix& adjacency,
+                                                const GcnSpec& spec, Rng& rng);
+
+/// Put every BatchNorm2d in the model into the given mode (training uses
+/// batch statistics, evaluation the running estimates).
+void set_training_mode(Sequential& model, bool training);
+
+}  // namespace onesa::nn

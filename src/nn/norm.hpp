@@ -1,0 +1,76 @@
+// Normalization layers: LayerNorm (transformers) and BatchNorm2d (CNNs).
+//
+// On the accelerator, LayerNorm runs the full decomposed pipeline
+// (GEMM reductions + self-Hadamard MHP + CPWL rsqrt), while inference-time
+// BatchNorm folds its running statistics into a per-channel affine executed
+// as a single MHP — both entirely on the systolic array.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace onesa::nn {
+
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, double epsilon = 1e-3);
+
+  std::string name() const override { return "layernorm"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+ private:
+  std::size_t features_;
+  double epsilon_;
+  Param gamma_;  // 1 x features
+  Param beta_;   // 1 x features
+  tensor::Matrix cached_xhat_;
+  tensor::Matrix cached_rstd_;  // rows x 1
+};
+
+/// BatchNorm over channels of the conv layout (batch x C*H*W). Training
+/// uses batch statistics and maintains running estimates; inference (both
+/// reference and accelerated) uses the running estimates folded into a
+/// per-channel scale/shift.
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::size_t channels, std::size_t height, std::size_t width,
+              double epsilon = 1e-3, double momentum = 0.1);
+
+  std::string name() const override { return "batchnorm2d"; }
+
+  /// Training-mode forward (batch statistics, running-stat update).
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+  /// Switch forward() to inference statistics (used when measuring the
+  /// reference accuracy baseline).
+  void set_training(bool training) { training_ = training; }
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+ private:
+  std::size_t channels_;
+  std::size_t spatial_;  // H*W
+  double epsilon_;
+  double momentum_;
+  bool training_ = true;
+  Param gamma_;  // 1 x channels
+  Param beta_;   // 1 x channels
+  tensor::Matrix running_mean_;  // 1 x channels
+  tensor::Matrix running_var_;   // 1 x channels
+  // Backward caches.
+  tensor::Matrix cached_xhat_;
+  tensor::Matrix cached_rstd_;  // 1 x channels
+};
+
+}  // namespace onesa::nn

@@ -1,0 +1,70 @@
+// Network-level execution scheduling.
+//
+// The paper's motivation (§I): on a conventional accelerator "one computing
+// unit may remain idle while another processes the workload" and "the
+// distinct data flow patterns from various buffers to diverse computing
+// units can lead to substantial performance stalls". ONE-SA removes the
+// second unit entirely — every op runs on the one array, back to back.
+//
+// The scheduler executes a WorkloadTrace op by op against the cycle model
+// and reports, per design:
+//
+//   ONE-SA           — every op on the array; consecutive ops pipeline
+//                      through the shared buffers (no cross-unit handoff).
+//   Conventional     — GEMMs on the array, nonlinear ops on dedicated
+//                      units; every transition array<->unit pays a handoff
+//                      (buffer drain + refill) and leaves the other unit
+//                      idle, which is exactly the stall the paper describes.
+//
+// Output: total cycles, per-category breakdown, unit-utilization figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/workload.hpp"
+#include "sim/timing.hpp"
+
+namespace onesa::nn {
+
+/// Cycle totals of one scheduled network execution.
+struct ScheduleReport {
+  std::string design;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t gemm_cycles = 0;       // linear work on the array
+  std::uint64_t nonlinear_cycles = 0;  // IPF+MHP (ONE-SA) or unit time (conv.)
+  std::uint64_t handoff_cycles = 0;    // cross-unit transitions (conv. only)
+  std::uint64_t array_busy_cycles = 0;
+  std::uint64_t unit_busy_cycles = 0;  // dedicated-unit busy time (conv. only)
+
+  double latency_ms(double clock_mhz) const {
+    return static_cast<double>(total_cycles) / (clock_mhz * 1e3);
+  }
+  /// Fraction of the execution during which the systolic array does work.
+  double array_utilization() const {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(array_busy_cycles) / static_cast<double>(total_cycles);
+  }
+  /// Fraction during which the dedicated nonlinear unit does work.
+  double unit_utilization() const {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(unit_busy_cycles) / static_cast<double>(total_cycles);
+  }
+};
+
+/// Execute the trace on ONE-SA: all ops on the array, no handoffs.
+ScheduleReport schedule_onesa(const WorkloadTrace& trace,
+                              const sim::TimingModel& timing);
+
+/// Execute the trace on a conventional design: GEMMs on the array,
+/// nonlinear ops on dedicated units of `unit_width` lanes; each
+/// array<->unit direction change pays `handoff_cycles`.
+ScheduleReport schedule_conventional(const WorkloadTrace& trace,
+                                     const sim::TimingModel& timing,
+                                     std::size_t unit_width = 8,
+                                     std::uint64_t handoff_cycles = 64,
+                                     std::uint64_t unit_latency = 4);
+
+}  // namespace onesa::nn

@@ -1,0 +1,63 @@
+#include "nn/sequential.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace onesa::nn {
+
+tensor::Matrix Sequential::forward(const tensor::Matrix& x) {
+  tensor::Matrix h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+tensor::Matrix Sequential::backward(const tensor::Matrix& grad_out) {
+  tensor::Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    auto p = layer->params();
+    all.insert(all.end(), p.begin(), p.end());
+  }
+  return all;
+}
+
+tensor::FixMatrix Sequential::forward_accel(OneSaAccelerator& accel,
+                                            const tensor::FixMatrix& x) {
+  tensor::FixMatrix h = x;
+  for (auto& layer : layers_) h = layer->forward_accel(accel, h);
+  return h;
+}
+
+void Sequential::count_ops(OpCensus& census, std::size_t batch) const {
+  for (const auto& layer : layers_) layer->count_ops(census, batch);
+}
+
+tensor::Matrix Residual::forward(const tensor::Matrix& x) {
+  cached_features_ = x.cols();
+  return tensor::add(inner_->forward(x), x);
+}
+
+tensor::Matrix Residual::backward(const tensor::Matrix& grad_out) {
+  // d(inner(x) + x) = inner'(x) dx + dx.
+  return tensor::add(inner_->backward(grad_out), grad_out);
+}
+
+tensor::FixMatrix Residual::forward_accel(OneSaAccelerator& accel,
+                                          const tensor::FixMatrix& x) {
+  tensor::FixMatrix inner = inner_->forward_accel(accel, x);
+  // Residual add as an MHP: y = 1 * inner + x.
+  return accel
+      .mhp(inner, tensor::constant_fix(inner.rows(), inner.cols(), 1.0), x)
+      .y;
+}
+
+void Residual::count_ops(OpCensus& census, std::size_t batch) const {
+  inner_->count_ops(census, batch);
+  census.add += static_cast<double>(batch) * static_cast<double>(cached_features_);
+}
+
+}  // namespace onesa::nn

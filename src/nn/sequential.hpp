@@ -1,0 +1,57 @@
+// Sequential container plus the residual wrappers needed for ResNet-style
+// CNNs and transformer blocks.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace onesa::nn {
+
+/// Chains layers; forward/backward/accel all thread through in order.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<LayerPtr> layers) : layers_(std::move(layers)) {}
+
+  std::string name() const override { return "sequential"; }
+
+  void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+  std::size_t size() const { return layers_.size(); }
+  Layer& at(std::size_t i) { return *layers_.at(i); }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override;
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// y = inner(x) + x, the residual skip of ResNet / transformer blocks.
+/// Requires inner to preserve the feature width. On the accelerator the
+/// addition is an MHP with K = 1, B = x.
+class Residual : public Layer {
+ public:
+  explicit Residual(LayerPtr inner) : inner_(std::move(inner)) {}
+
+  std::string name() const override { return "residual(" + inner_->name() + ")"; }
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<Param*> params() override { return inner_->params(); }
+
+  tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
+                                  const tensor::FixMatrix& x) override;
+  void count_ops(OpCensus& census, std::size_t batch) const override;
+
+  Layer& inner() { return *inner_; }
+
+ private:
+  LayerPtr inner_;
+  std::size_t cached_features_ = 0;
+};
+
+}  // namespace onesa::nn

@@ -1,0 +1,41 @@
+#include "onesa/config.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace onesa {
+
+void OneSaConfig::validate() const {
+  array.validate();
+  if (granularity <= 0.0) throw ConfigError("granularity must be positive");
+  if (frac_bits <= 0 || frac_bits >= 15) throw ConfigError("frac_bits must be in (0, 15)");
+  if (frac_bits != fixed::kDefaultFracBits) {
+    // The accelerator's matrices are Fix16 (Q6.9); a table built for a
+    // different Q format would silently mis-index raw values. Other formats
+    // are supported by SegmentTable directly for standalone studies.
+    throw ConfigError("accelerator datapath is Q6.9: frac_bits must be " +
+                      std::to_string(fixed::kDefaultFracBits));
+  }
+  const double resolution = 1.0 / static_cast<double>(std::int32_t{1} << frac_bits);
+  if (granularity < resolution) {
+    throw ConfigError("granularity " + std::to_string(granularity) +
+                      " below INT16 resolution " + std::to_string(resolution));
+  }
+}
+
+std::vector<BufferSpec> buffer_inventory(const OneSaConfig& config) {
+  const auto& a = config.array;
+  const double to_kb = 1.0 / 1024.0;
+  // L2 banks: one per input row lane, one per weight column lane, one per
+  // output column lane (Fig. 2/4 show the three L2 groups).
+  const std::size_t l2_count = a.rows + 2 * a.cols;
+  return {
+      {"L3", static_cast<double>(a.l3_bytes) * to_kb, 3},
+      {"L2", static_cast<double>(a.l2_bytes) * to_kb, l2_count},
+      {"PE output", static_cast<double>(a.pe_out_bytes) * to_kb, a.pe_count()},
+      {"L1", static_cast<double>(a.l1_bytes) * to_kb, a.pe_count()},
+  };
+}
+
+}  // namespace onesa

@@ -1,0 +1,46 @@
+// Top-level configuration of a ONE-SA accelerator instance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fixed/fixed16.hpp"
+#include "sim/array.hpp"
+
+namespace onesa {
+
+/// Execution backend for the accelerator façade. Results are identical; the
+/// detailed backend moves every INT16 value through PE registers, the
+/// analytic backend computes functionally and charges the validated
+/// closed-form cycle model (see sim/timing.hpp).
+enum class ExecutionMode { kCycleAccurate, kAnalytic };
+
+/// Full accelerator configuration. Defaults reproduce the paper's reference
+/// design point: 64 PEs (8x8), 16 MACs per PE, 200 MHz, granularity 0.25,
+/// Table V buffer sizes.
+struct OneSaConfig {
+  sim::ArrayConfig array;
+  /// CPWL approximation granularity (segment length). Paper default: 0.25.
+  double granularity = 0.25;
+  /// Fixed-point format (INT16, Q6.9 by default).
+  int frac_bits = fixed::kDefaultFracBits;
+  ExecutionMode mode = ExecutionMode::kCycleAccurate;
+
+  void validate() const;
+};
+
+/// One row of the Table V buffer inventory.
+struct BufferSpec {
+  std::string name;
+  double kilobytes_each;
+  std::size_t count;
+  double total_kilobytes() const { return kilobytes_each * static_cast<double>(count); }
+};
+
+/// The buffer inventory of a configuration (Table V): 3 L3 buffers
+/// (input / weight / output), one L2 bank per array edge lane (rows input +
+/// cols weight + cols output), and per-PE output buffer + L1 registers.
+std::vector<BufferSpec> buffer_inventory(const OneSaConfig& config);
+
+}  // namespace onesa

@@ -1,0 +1,58 @@
+#include "onesa/conventional.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace onesa {
+
+ConventionalAccelerator::ConventionalAccelerator(ConventionalConfig config)
+    : config_(std::move(config)), timing_(config_.array) {}
+
+bool ConventionalAccelerator::supports(cpwl::FunctionKind kind) const {
+  return std::any_of(config_.function_units.begin(), config_.function_units.end(),
+                     [kind](const FunctionUnitSpec& u) { return u.kind == kind; });
+}
+
+ConvPassOutput ConventionalAccelerator::gemm(const tensor::FixMatrix& a,
+                                             const tensor::FixMatrix& b) {
+  sim::GemmShape shape{a.rows(), a.cols(), b.cols()};
+  ConvPassOutput out{tensor::matmul(a, b), timing_.gemm_cycles(shape)};
+  lifetime_ += out.cycles;
+  return out;
+}
+
+ConvPassOutput ConventionalAccelerator::elementwise(cpwl::FunctionKind f,
+                                                    const tensor::FixMatrix& x) {
+  const auto it =
+      std::find_if(config_.function_units.begin(), config_.function_units.end(),
+                   [f](const FunctionUnitSpec& u) { return u.kind == f; });
+  if (it == config_.function_units.end()) throw UnsupportedFunctionError(f);
+
+  // Exact evaluation, quantized to INT16 on write-back.
+  tensor::FixMatrix y(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x.at_flat(i).to_double();
+    double v;
+    if (cpwl::positive_only(f) && xi <= 0.0) {
+      // Hardware clamps non-positive inputs of positive-only functions to
+      // the smallest representable positive value.
+      v = cpwl::eval_reference(f, fixed::Fix16::resolution());
+    } else {
+      v = cpwl::eval_reference(f, xi);
+    }
+    y.at_flat(i) = fixed::Fix16::from_double(v);
+  }
+
+  ConvPassOutput out;
+  out.y = std::move(y);
+  // Data leaves the array buffers, crosses to the function unit, streams
+  // through `width` lanes, and crosses back — the inter-unit handoff the
+  // paper calls out as a stall source.
+  out.cycles.memory_cycles = 2 * config_.unit_handoff_cycles;
+  out.cycles.compute_cycles = it->pipeline_latency + (x.size() + it->width - 1) / it->width;
+  lifetime_ += out.cycles;
+  return out;
+}
+
+}  // namespace onesa

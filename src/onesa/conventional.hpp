@@ -1,0 +1,80 @@
+// Baseline: a conventional accelerator — classic systolic array for GEMM
+// plus dedicated nonlinear function units (§II-A: "specialized function
+// units like activation units and normalization/pooling units are
+// integrated alongside systolic arrays").
+//
+// This is the comparator ONE-SA is evaluated against for flexibility and
+// resource cost: the conventional design computes nonlinear functions
+// *exactly* (per-function units) but only supports the functions it was
+// built with, and its function units sit idle during GEMM (and vice versa),
+// the pipeline-stall problem the paper's introduction describes.
+#pragma once
+
+#include <vector>
+
+#include "cpwl/functions.hpp"
+#include "onesa/config.hpp"
+#include "sim/array.hpp"
+#include "sim/timing.hpp"
+#include "tensor/matrix.hpp"
+
+namespace onesa {
+
+/// A dedicated vector unit for one nonlinear function: `width` lanes, each
+/// producing one exact f(x) result per cycle after a pipeline latency.
+struct FunctionUnitSpec {
+  cpwl::FunctionKind kind;
+  std::size_t width = 8;
+  std::uint64_t pipeline_latency = 4;
+};
+
+struct ConventionalConfig {
+  sim::ArrayConfig array;
+  std::vector<FunctionUnitSpec> function_units;
+  ExecutionMode mode = ExecutionMode::kAnalytic;
+  /// Handshake stall between the array and a function unit: the paper's
+  /// "distinct data flow patterns from various buffers to diverse computing
+  /// units can lead to substantial performance stalls" (§I).
+  std::uint64_t unit_handoff_cycles = 16;
+};
+
+struct ConvPassOutput {
+  tensor::FixMatrix y;
+  sim::CycleStats cycles;
+};
+
+/// Thrown when a network needs a nonlinear function the accelerator was not
+/// built with — the inflexibility ONE-SA removes.
+class UnsupportedFunctionError : public Error {
+ public:
+  explicit UnsupportedFunctionError(cpwl::FunctionKind kind)
+      : Error("conventional accelerator has no function unit for '" +
+              std::string(cpwl::function_name(kind)) + "'") {}
+};
+
+class ConventionalAccelerator {
+ public:
+  explicit ConventionalAccelerator(ConventionalConfig config);
+
+  const ConventionalConfig& config() const { return config_; }
+
+  /// True if a dedicated unit exists for `kind`.
+  bool supports(cpwl::FunctionKind kind) const;
+
+  /// GEMM on the classic systolic array (same dataflow as ONE-SA's linear
+  /// path — ONE-SA does not change the GEMM datapath).
+  ConvPassOutput gemm(const tensor::FixMatrix& a, const tensor::FixMatrix& b);
+
+  /// Exact nonlinear evaluation on the dedicated unit. Throws
+  /// UnsupportedFunctionError if no unit matches.
+  ConvPassOutput elementwise(cpwl::FunctionKind f, const tensor::FixMatrix& x);
+
+  const sim::CycleStats& lifetime_cycles() const { return lifetime_; }
+
+ private:
+  ConventionalConfig config_;
+  sim::TimingModel timing_;
+  sim::CycleStats lifetime_;
+};
+
+}  // namespace onesa

@@ -1,0 +1,70 @@
+// The L3 Data Addressing module (Fig. 5) — the first half of Intermediate
+// Parameter Fetching.
+//
+// Input matrix X streams through element by element:
+//   1. The *data shift module* computes the segment number s_ij from the raw
+//      INT16 value by one arithmetic right shift (segment lengths are powers
+//      of two; a divide fallback models non-power-of-two research configs).
+//   2. The *scale module* caps s_ij to the preloaded table range.
+//   3. The capped segment addresses the preloaded k buffer and b buffer.
+//   4. The fetched K/B matrices are written back (to DRAM in the paper),
+//      "behaving like the conventional output C in general matrix multiply",
+//      ready for the Matrix Hadamard Product.
+//
+// The module also tracks FIFO occupancies (C FIFO, k FIFO, Reg FIFO of
+// Fig. 5) so hardware sizing can be checked against Table V.
+#pragma once
+
+#include <cstdint>
+
+#include "cpwl/segment_table.hpp"
+#include "sim/clock.hpp"
+#include "sim/fifo.hpp"
+#include "tensor/matrix.hpp"
+
+namespace onesa {
+
+/// Result of streaming one matrix through the addressing unit.
+struct AddressingResult {
+  tensor::FixMatrix segment;  ///< capped segment numbers, stored as raw INT16
+  tensor::FixMatrix k;        ///< fetched slopes
+  tensor::FixMatrix b;        ///< fetched intercepts
+  std::uint64_t capped_low = 0;   ///< inputs below the table range
+  std::uint64_t capped_high = 0;  ///< inputs above the table range
+  sim::CycleStats cycles;
+};
+
+class DataAddressing {
+ public:
+  /// `fifo_depth` sizes the three internal FIFOs; the defaults correspond to
+  /// the 0.28 KB L3 of Table V.
+  explicit DataAddressing(std::size_t fifo_depth = 16,
+                          std::size_t lanes_per_cycle = 8,
+                          std::uint64_t dram_latency = 8);
+
+  /// Preload the k/b parameter buffers for one function table. Returns the
+  /// bytes occupied in L3 (bounds the granularity, §V-B).
+  std::size_t load_table(const cpwl::SegmentTable& table);
+
+  /// Stream X through the unit; requires a loaded table.
+  AddressingResult process(const tensor::FixMatrix& x);
+
+  /// High-water marks of the internal FIFOs since construction.
+  std::size_t c_fifo_peak() const { return c_fifo_.peak_occupancy(); }
+  std::size_t k_fifo_peak() const { return k_fifo_.peak_occupancy(); }
+  std::size_t reg_fifo_peak() const { return reg_fifo_.peak_occupancy(); }
+
+  const cpwl::SegmentTable* table() const { return table_; }
+
+ private:
+  std::size_t lanes_per_cycle_;
+  std::uint64_t dram_latency_;
+  const cpwl::SegmentTable* table_ = nullptr;
+  // Fig. 5 FIFOs: C FIFO buffers the incoming output-stream, k FIFO the
+  // fetched parameters, Reg FIFO the in-flight segment registers.
+  sim::Fifo<fixed::Fix16> c_fifo_;
+  sim::Fifo<fixed::Fix16> k_fifo_;
+  sim::Fifo<fixed::Fix16> reg_fifo_;
+};
+
+}  // namespace onesa

@@ -1,0 +1,37 @@
+#include "onesa/rearrange.hpp"
+
+#include "common/error.hpp"
+
+namespace onesa {
+
+DataRearrange::DataRearrange(std::size_t lanes_per_cycle, std::uint64_t dram_latency)
+    : lanes_per_cycle_(lanes_per_cycle), dram_latency_(dram_latency) {
+  ONESA_CHECK(lanes_per_cycle >= 1, "rearrange unit needs at least one lane");
+}
+
+RearrangedStreams DataRearrange::process(const tensor::FixMatrix& x,
+                                         const tensor::FixMatrix& k,
+                                         const tensor::FixMatrix& b) const {
+  ONESA_CHECK_SHAPE(x.rows() == k.rows() && x.cols() == k.cols(), "rearrange x/k");
+  ONESA_CHECK_SHAPE(x.rows() == b.rows() && x.cols() == b.cols(), "rearrange x/b");
+
+  RearrangedStreams out;
+  out.x_stream.reserve(2 * x.size());
+  out.kb_stream.reserve(2 * x.size());
+  const auto one = fixed::Fix16::from_double(1.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.x_stream.push_back(x.at_flat(i));
+    out.x_stream.push_back(one);
+    out.kb_stream.push_back(k.at_flat(i));
+    out.kb_stream.push_back(b.at_flat(i));
+  }
+
+  // One streamed DRAM pass re-reading K and B (2 INT16 each per element);
+  // the X pairing happens on the fly from the input FIFO.
+  const std::uint64_t elems = x.size();
+  out.cycles.ipf_cycles =
+      dram_latency_ + (2 * elems + lanes_per_cycle_ - 1) / lanes_per_cycle_;
+  return out;
+}
+
+}  // namespace onesa

@@ -1,0 +1,41 @@
+// The memory-relocation / data-rearrange module (Fig. 6) — the second half
+// of Intermediate Parameter Fetching.
+//
+// The conventional systolic array has exactly two input channels, but the
+// MHP needs three matrices (X, K, B). Rather than adding a third channel
+// (more hardware, lower utilization, §IV-A-2), the rearrange module merges
+// K and B into one interleaved stream [k0, b0, k1, b1, ...] and pairs X with
+// the constant 1 into [x0, 1, x1, 1, ...], so each pair of MAC lanes
+// computes y = k*x + 1*b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed16.hpp"
+#include "sim/clock.hpp"
+#include "tensor/matrix.hpp"
+
+namespace onesa {
+
+/// The two interleaved streams fed to the array edges during MHP.
+struct RearrangedStreams {
+  std::vector<fixed::Fix16> x_stream;   ///< [x0, 1, x1, 1, ...] (west edge)
+  std::vector<fixed::Fix16> kb_stream;  ///< [k0, b0, k1, b1, ...] (north edge)
+  sim::CycleStats cycles;
+};
+
+class DataRearrange {
+ public:
+  explicit DataRearrange(std::size_t lanes_per_cycle = 8, std::uint64_t dram_latency = 8);
+
+  /// Interleave (k, b) and pair (x, 1) in row-major element order.
+  RearrangedStreams process(const tensor::FixMatrix& x, const tensor::FixMatrix& k,
+                            const tensor::FixMatrix& b) const;
+
+ private:
+  std::size_t lanes_per_cycle_;
+  std::uint64_t dram_latency_;
+};
+
+}  // namespace onesa

@@ -1,0 +1,286 @@
+#include "sim/array.hpp"
+
+#include <algorithm>
+
+namespace onesa::sim {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+void ArrayConfig::validate() const {
+  if (rows == 0 || cols == 0) throw ConfigError("systolic array must have PEs");
+  if (macs_per_pe == 0) throw ConfigError("macs_per_pe must be positive");
+  if (macs_per_pe % 2 != 0) {
+    // MHP interleaves (x,1)/(k,b) pairs across adjacent lanes; the hardware
+    // pairs lanes, so an even lane count is a design rule of ONE-SA.
+    throw ConfigError("macs_per_pe must be even (MHP pairs MAC lanes)");
+  }
+  if (dram_bytes_per_cycle == 0) throw ConfigError("dram bandwidth must be positive");
+  if (clock_mhz <= 0.0) throw ConfigError("clock must be positive");
+}
+
+SystolicArraySim::SystolicArraySim(const ArrayConfig& config)
+    : config_(config),
+      dram_(config.dram_bytes_per_cycle, config.dram_latency_cycles),
+      l3_out_("L3.output", BufferLevel::kL3, config.l3_bytes,
+              config.resolved_out_port_elems() * sizeof(std::int16_t)) {
+  config_.validate();
+  pes_.reserve(config_.pe_count());
+  for (std::size_t i = 0; i < config_.pe_count(); ++i) {
+    pes_.emplace_back(config_.macs_per_pe);
+  }
+}
+
+void SystolicArraySim::set_all_modes(PeMode default_mode) {
+  for (auto& p : pes_) p.set_mode(default_mode);
+}
+
+PassResult SystolicArraySim::gemm(const tensor::FixMatrix& a, const tensor::FixMatrix& b) {
+  ONESA_CHECK_SHAPE(a.cols() == b.rows(),
+                    "gemm inner dims " << a.cols() << " vs " << b.rows());
+  set_all_modes(PeMode::kGemm);
+
+  tensor::FixMatrix c(a.rows(), b.cols());
+  // Consecutive tiles are pipelined ("continuous computation, eliminating
+  // idle periods", §I): the input skew is paid once, and each tile's result
+  // drain overlaps the next tile's compute — a tile only stalls the array
+  // when its drain is longer than the next compute phase. The final tile's
+  // drain is a tail that cannot be hidden.
+  CycleStats total;
+  bool first_tile = true;
+  std::uint64_t last_tile_drain = 0;
+  for (std::size_t row0 = 0; row0 < a.rows(); row0 += config_.rows) {
+    for (std::size_t col0 = 0; col0 < b.cols(); col0 += config_.cols) {
+      const CycleStats tile = run_gemm_tile(a, b, c, row0, col0);
+      if (first_tile) {
+        total.fill_cycles = tile.fill_cycles;
+        first_tile = false;
+      } else {
+        // Previous tile's drain hides behind this tile's compute.
+        total.drain_cycles +=
+            last_tile_drain > tile.compute_cycles ? last_tile_drain - tile.compute_cycles
+                                                  : 0;
+      }
+      total.compute_cycles += tile.compute_cycles;
+      last_tile_drain = tile.drain_cycles;
+    }
+  }
+  total.drain_cycles += config_.rows + last_tile_drain;  // unhidden tail
+  // Operands stream from DRAM into the on-chip buffers once per GEMM
+  // (weights and inputs are resident across tiles); the streaming overlaps
+  // fill+compute, so only the access latency and any bandwidth shortfall
+  // stall the array.
+  const std::size_t in_bytes = (a.size() + b.size()) * sizeof(std::int16_t);
+  dram_.record_read(in_bytes);
+  dram_.record_write(c.size() * sizeof(std::int16_t));
+  const std::uint64_t bw_cycles =
+      (in_bytes + config_.dram_bytes_per_cycle - 1) / config_.dram_bytes_per_cycle;
+  const std::uint64_t overlap = total.fill_cycles + total.compute_cycles;
+  total.memory_cycles =
+      dram_.latency_cycles() + (bw_cycles > overlap ? bw_cycles - overlap : 0);
+  return {std::move(c), total};
+}
+
+CycleStats SystolicArraySim::run_gemm_tile(const tensor::FixMatrix& a,
+                                           const tensor::FixMatrix& b,
+                                           tensor::FixMatrix& c, std::size_t row0,
+                                           std::size_t col0) {
+  const std::size_t re = std::min(config_.rows, a.rows() - row0);   // effective rows
+  const std::size_t ce = std::min(config_.cols, b.cols() - col0);   // effective cols
+  const std::size_t kdim = a.cols();
+  const std::size_t m = config_.macs_per_pe;
+  const std::size_t kc = ceil_div(kdim, m);  // K chunks streamed per PE
+
+  for (auto& p : pes_) p.reset_datapath();
+
+  // Edge streams. Row r of the tile receives A(row0+r, :) cut into kc chunks
+  // of m lanes; the skew is applied at injection (chunk index = t - r).
+  auto a_chunk = [&](std::size_t r, std::size_t chunk) -> Flit {
+    Flit f;
+    const std::size_t base = chunk * m;
+    const std::size_t lanes = std::min(m, kdim - base);
+    f.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) f.push_back(a(row0 + r, base + i));
+    return f;
+  };
+  auto b_chunk = [&](std::size_t col, std::size_t chunk) -> Flit {
+    Flit f;
+    const std::size_t base = chunk * m;
+    const std::size_t lanes = std::min(m, kdim - base);
+    f.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) f.push_back(b(base + i, col0 + col));
+    return f;
+  };
+
+  // Cycle loop: every PE latches its neighbours' *previous-cycle* outputs.
+  // We evaluate PEs against a snapshot of the link wires to model register
+  // boundaries exactly.
+  const std::size_t fill = re + ce - 2;
+  const std::size_t steps = fill + kc;  // last chunk reaches PE(re-1, ce-1)
+  std::vector<Flit> east_wire(config_.pe_count());
+  std::vector<Flit> south_wire(config_.pe_count());
+  auto wire_index = [&](std::size_t r, std::size_t col) { return r * config_.cols + col; };
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // Snapshot of last cycle's link values.
+    for (std::size_t r = 0; r < re; ++r) {
+      for (std::size_t col = 0; col < ce; ++col) {
+        east_wire[wire_index(r, col)] = pe(r, col).east();
+        south_wire[wire_index(r, col)] = pe(r, col).south();
+      }
+    }
+    for (std::size_t r = 0; r < re; ++r) {
+      for (std::size_t col = 0; col < ce; ++col) {
+        Flit west;
+        if (col == 0) {
+          // Skewed injection at the west edge: row r starts at cycle r.
+          if (t >= r && t - r < kc) west = a_chunk(r, t - r);
+        } else {
+          west = east_wire[wire_index(r, col - 1)];
+        }
+        Flit north;
+        if (r == 0) {
+          if (t >= col && t - col < kc) north = b_chunk(col, t - col);
+        } else {
+          north = south_wire[wire_index(r - 1, col)];
+        }
+        pe(r, col).cycle(west, north);
+      }
+    }
+  }
+
+  // Read back the stationary outputs.
+  for (std::size_t r = 0; r < re; ++r) {
+    for (std::size_t col = 0; col < ce; ++col) {
+      c(row0 + r, col0 + col) = pe(r, col).gemm_result();
+    }
+  }
+
+  CycleStats stats;
+  stats.fill_cycles = fill;
+  stats.compute_cycles = kc;
+  // Streaming drain of this tile through the L3 output port; the shift-down
+  // through the column chain and the inter-tile overlap are accounted by
+  // gemm(). DRAM streaming is likewise accounted once per GEMM — operands
+  // are buffer-resident across tiles.
+  const std::size_t out_bytes = re * ce * sizeof(std::int16_t);
+  stats.drain_cycles = l3_out_.stream_cycles(out_bytes);
+  return stats;
+}
+
+PassResult SystolicArraySim::mhp(const tensor::FixMatrix& x, const tensor::FixMatrix& k,
+                                 const tensor::FixMatrix& b) {
+  ONESA_CHECK_SHAPE(x.rows() == k.rows() && x.cols() == k.cols(), "mhp x/k shapes");
+  ONESA_CHECK_SHAPE(x.rows() == b.rows() && x.cols() == b.cols(), "mhp x/b shapes");
+
+  const std::size_t elems = x.size();
+  const std::size_t diag = config_.diagonal();
+  const std::size_t m = config_.macs_per_pe;
+  const std::size_t pairs_per_cycle = m / 2;  // lanes pair as (x,1)/(k,b)
+  const std::size_t chunk = ceil_div(elems, diag);          // elements per diagonal PE
+  const std::size_t cc = ceil_div(chunk, pairs_per_cycle);  // compute cycles
+
+  // Configure the array: diagonal = Computation PEs, rest = Transmission.
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t col = 0; col < config_.cols; ++col) {
+      pe(r, col).set_mode(r == col && r < diag ? PeMode::kMhpCompute
+                                               : PeMode::kMhpTransmit);
+    }
+  }
+
+  // Rearranged edge streams (Fig. 6): west row d carries interleaved
+  // (x, 1) lanes for diagonal PE d; north column d carries (k, b).
+  const auto one = fixed::Fix16::from_double(1.0);
+  auto x_flit = [&](std::size_t d, std::size_t cyc) -> Flit {
+    Flit f;
+    const std::size_t base = d * chunk + cyc * pairs_per_cycle;
+    const std::size_t n = std::min(pairs_per_cycle,
+                                   base < std::min(elems, (d + 1) * chunk)
+                                       ? std::min(elems, (d + 1) * chunk) - base
+                                       : 0);
+    f.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      f.push_back(x.at_flat(base + i));
+      f.push_back(one);
+    }
+    return f;
+  };
+  auto kb_flit = [&](std::size_t d, std::size_t cyc) -> Flit {
+    Flit f;
+    const std::size_t base = d * chunk + cyc * pairs_per_cycle;
+    const std::size_t n = std::min(pairs_per_cycle,
+                                   base < std::min(elems, (d + 1) * chunk)
+                                       ? std::min(elems, (d + 1) * chunk) - base
+                                       : 0);
+    f.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      f.push_back(k.at_flat(base + i));
+      f.push_back(b.at_flat(base + i));
+    }
+    return f;
+  };
+
+  // Cycle loop over the physical grid: flits injected at the west/north
+  // edges traverse transmission PEs one hop per cycle until the diagonal.
+  const std::size_t fill = diag == 0 ? 0 : diag - 1;
+  const std::size_t steps = fill + cc;
+  std::vector<Flit> east_wire(config_.pe_count());
+  std::vector<Flit> south_wire(config_.pe_count());
+  auto wire_index = [&](std::size_t r, std::size_t col) { return r * config_.cols + col; };
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t r = 0; r < config_.rows; ++r) {
+      for (std::size_t col = 0; col < config_.cols; ++col) {
+        east_wire[wire_index(r, col)] = pe(r, col).east();
+        south_wire[wire_index(r, col)] = pe(r, col).south();
+      }
+    }
+    for (std::size_t r = 0; r < config_.rows; ++r) {
+      for (std::size_t col = 0; col < config_.cols; ++col) {
+        Flit west;
+        if (col == 0) {
+          if (r < diag && t < cc) west = x_flit(r, t);
+        } else {
+          west = east_wire[wire_index(r, col - 1)];
+        }
+        Flit north;
+        if (r == 0) {
+          if (col < diag && t < cc) north = kb_flit(col, t);
+        } else {
+          north = south_wire[wire_index(r - 1, col)];
+        }
+        pe(r, col).cycle(west, north);
+      }
+    }
+  }
+
+  // Gather outputs from the diagonal output buffers back into matrix order.
+  tensor::FixMatrix y(x.rows(), x.cols());
+  for (std::size_t d = 0; d < diag; ++d) {
+    const auto& outs = pe(d, d).mhp_outputs();
+    const std::size_t base = d * chunk;
+    const std::size_t expect = base < elems ? std::min(chunk, elems - base) : 0;
+    ONESA_CHECK(outs.size() == expect, "diagonal PE " << d << " produced " << outs.size()
+                                                      << " outputs, expected " << expect);
+    for (std::size_t i = 0; i < expect; ++i) y.at_flat(base + i) = outs[i];
+  }
+
+  CycleStats stats;
+  stats.fill_cycles = fill;
+  stats.compute_cycles = cc;
+  const std::size_t out_bytes = elems * sizeof(std::int16_t);
+  stats.drain_cycles = config_.rows + l3_out_.stream_cycles(out_bytes);
+  dram_.record_write(out_bytes);
+  return {std::move(y), stats};
+}
+
+std::uint64_t SystolicArraySim::total_mac_ops() const {
+  std::uint64_t total = 0;
+  for (const auto& p : pes_) total += p.mac_ops();
+  return total;
+}
+
+}  // namespace onesa::sim

@@ -1,0 +1,119 @@
+// Cycle-accurate systolic-array simulator.
+//
+// This is the detailed model: INT16 data physically moves one hop per clock
+// between PE registers, edge streams are skewed exactly as in the hardware,
+// and cycle counts are produced by the simulation loop itself. The analytic
+// TimingModel (sim/timing.hpp) is validated against this simulator in the
+// test suite and used for large parameter sweeps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/memory.hpp"
+#include "sim/pe.hpp"
+#include "tensor/matrix.hpp"
+
+namespace onesa::sim {
+
+/// Geometry and memory parameters of one systolic array instance. Defaults
+/// follow the paper's reference design point (8x8 PEs = 64 PEs, 16 MACs per
+/// PE, 200 MHz, Table V buffer sizes).
+struct ArrayConfig {
+  std::size_t rows = 8;
+  std::size_t cols = 8;
+  std::size_t macs_per_pe = 16;
+  double clock_mhz = 200.0;
+
+  /// Output port width of the array into the L3 output buffer, in INT16
+  /// elements per cycle. Drain time of a tile is bounded by this port.
+  /// 0 = auto: scale with the array's MHP result bandwidth,
+  /// max(32, diagonal * macs/2) — see resolved_out_port_elems().
+  std::size_t out_port_elems = 0;
+
+  /// Memory channel between DRAM and the L3 buffers: bytes per cycle and
+  /// fixed access latency. 64 B/cycle at 200 MHz = 12.8 GB/s, the
+  /// high-performance systolic-array memory system of [6] (AutoSA) that the
+  /// paper says its auxiliary design follows (§V-A).
+  std::size_t dram_bytes_per_cycle = 64;
+  std::uint64_t dram_latency_cycles = 8;
+
+  /// Buffer capacities (bytes), Table V defaults.
+  std::size_t l3_bytes = 288;       // 0.28 KB x3 (input / weight / output)
+  std::size_t l2_bytes = 512;       // 0.5 KB per bank
+  std::size_t pe_out_bytes = 96;    // 0.094 KB per PE
+  std::size_t l1_bytes = 32;        // 0.031 KB per PE
+
+  std::size_t pe_count() const { return rows * cols; }
+  /// Diagonal length = number of Computation PEs during MHP.
+  std::size_t diagonal() const { return rows < cols ? rows : cols; }
+  /// Effective output-port width (elements/cycle): explicit value, or the
+  /// auto rule max(32, diagonal * macs/2) when out_port_elems == 0.
+  std::size_t resolved_out_port_elems() const {
+    if (out_port_elems != 0) return out_port_elems;
+    const std::size_t mhp_results = diagonal() * (macs_per_pe / 2);
+    return mhp_results > 32 ? mhp_results : 32;
+  }
+  /// Peak MAC throughput (MACs per cycle), the "Maximum" line of Fig. 8.
+  std::uint64_t peak_macs_per_cycle() const {
+    return static_cast<std::uint64_t>(pe_count()) * macs_per_pe;
+  }
+
+  /// Throws ConfigError on inconsistent parameters.
+  void validate() const;
+};
+
+/// Result of one simulated pass: INT16 output plus the cycle breakdown.
+struct PassResult {
+  tensor::FixMatrix output;
+  CycleStats cycles;
+};
+
+class SystolicArraySim {
+ public:
+  explicit SystolicArraySim(const ArrayConfig& config);
+
+  const ArrayConfig& config() const { return config_; }
+
+  /// Tiled INT16 GEMM: C = A * B. Output-stationary dataflow; tiles of
+  /// rows x cols outputs, K streamed through in chunks of macs_per_pe.
+  PassResult gemm(const tensor::FixMatrix& a, const tensor::FixMatrix& b);
+
+  /// Matrix Hadamard Product pass: Y = X (.) K + B with the rearranged
+  /// (x,1)/(k,b) streams, diagonal Computation PEs and off-diagonal
+  /// Transmission PEs. K and B must be pre-fetched (see onesa::DataAddressing
+  /// for the IPF stage that produces them).
+  PassResult mhp(const tensor::FixMatrix& x, const tensor::FixMatrix& k,
+                 const tensor::FixMatrix& b);
+
+  /// Total MAC operations executed since construction (power model input).
+  std::uint64_t total_mac_ops() const;
+
+  /// Read-only access to one PE's lifetime statistics (activity heatmaps,
+  /// per-PE power attribution).
+  const ProcessingElement& pe_at(std::size_t row, std::size_t col) const {
+    ONESA_CHECK(row < config_.rows && col < config_.cols,
+                "pe_at(" << row << "," << col << ") out of " << config_.rows << "x"
+                         << config_.cols);
+    return pes_[row * config_.cols + col];
+  }
+
+  const DramModel& dram() const { return dram_; }
+
+ private:
+  /// One output-stationary GEMM tile anchored at (row0, col0) of C.
+  CycleStats run_gemm_tile(const tensor::FixMatrix& a, const tensor::FixMatrix& b,
+                           tensor::FixMatrix& c, std::size_t row0, std::size_t col0);
+
+  void set_all_modes(PeMode default_mode);
+
+  ProcessingElement& pe(std::size_t r, std::size_t c) { return pes_[r * config_.cols + c]; }
+
+  ArrayConfig config_;
+  std::vector<ProcessingElement> pes_;
+  DramModel dram_;
+  BufferModel l3_out_;
+};
+
+}  // namespace onesa::sim

@@ -1,0 +1,15 @@
+#include "sim/clock.hpp"
+
+#include <sstream>
+
+namespace onesa::sim {
+
+std::string CycleStats::to_string() const {
+  std::ostringstream out;
+  out << "cycles{fill=" << fill_cycles << " compute=" << compute_cycles
+      << " drain=" << drain_cycles << " mem=" << memory_cycles << " ipf=" << ipf_cycles
+      << " total=" << total() << "}";
+  return out.str();
+}
+
+}  // namespace onesa::sim

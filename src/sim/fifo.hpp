@@ -1,0 +1,68 @@
+// Bounded FIFO with cycle semantics, the queueing primitive between the
+// L3 buffer modules of Fig. 5 (C FIFO, k FIFO, Reg FIFO) and the
+// input/output FIFOs of the array (Fig. 4).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace onesa::sim {
+
+/// Single-producer single-consumer FIFO with bounded capacity. push/pop
+/// return success flags instead of throwing so back-pressure can be modeled:
+/// a full FIFO stalls its producer for a cycle.
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    ONESA_CHECK(capacity > 0, "FIFO capacity must be positive");
+  }
+
+  /// Try to enqueue; returns false (producer must stall) when full.
+  bool push(T value) {
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(value));
+    peak_ = std::max(peak_, queue_.size());
+    ++total_pushed_;
+    return true;
+  }
+
+  /// Try to dequeue; empty FIFO yields nullopt (consumer bubble).
+  std::optional<T> pop() {
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  const T& front() const {
+    ONESA_CHECK(!queue_.empty(), "front() on empty FIFO");
+    return queue_.front();
+  }
+
+  bool empty() const { return queue_.empty(); }
+  bool full() const { return queue_.size() >= capacity_; }
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// High-water mark, used to size hardware FIFOs.
+  std::size_t peak_occupancy() const { return peak_; }
+  std::size_t total_pushed() const { return total_pushed_; }
+
+  void clear() {
+    queue_.clear();
+    // peak/total persist: they are lifetime statistics.
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> queue_;
+  std::size_t peak_ = 0;
+  std::size_t total_pushed_ = 0;
+};
+
+}  // namespace onesa::sim

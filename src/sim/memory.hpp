@@ -1,0 +1,105 @@
+// Memory hierarchy models: DRAM channel and on-chip buffers (L1/L2/L3).
+//
+// The paper's memory system (Fig. 2/4, Table V) has three buffer levels plus
+// DRAM. These models track capacity and bandwidth and report the streaming
+// cycles that are *not* hidden behind computation; the simulator uses them
+// to charge CycleStats::memory_cycles.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace onesa::sim {
+
+/// A bandwidth-limited DRAM channel. Transfers are streamed: a transfer of
+/// `bytes` costs latency + ceil(bytes / bytes_per_cycle) cycles.
+class DramModel {
+ public:
+  DramModel(std::size_t bytes_per_cycle, std::uint64_t latency_cycles)
+      : bytes_per_cycle_(bytes_per_cycle), latency_cycles_(latency_cycles) {
+    ONESA_CHECK(bytes_per_cycle > 0, "DRAM bandwidth must be positive");
+  }
+
+  /// Cycles for one streamed transfer of `bytes`.
+  std::uint64_t transfer_cycles(std::size_t bytes) const {
+    if (bytes == 0) return 0;
+    return latency_cycles_ + (bytes + bytes_per_cycle_ - 1) / bytes_per_cycle_;
+  }
+
+  /// Record a read/write for traffic statistics.
+  void record_read(std::size_t bytes) { bytes_read_ += bytes; }
+  void record_write(std::size_t bytes) { bytes_written_ += bytes; }
+
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::size_t bytes_per_cycle() const { return bytes_per_cycle_; }
+  std::uint64_t latency_cycles() const { return latency_cycles_; }
+
+ private:
+  std::size_t bytes_per_cycle_;
+  std::uint64_t latency_cycles_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Which level of the hierarchy a buffer sits at (affects the FPGA resource
+/// model: L3 carries the IPF addressing logic, L1 is pure registers).
+enum class BufferLevel { kL1, kL2, kL3, kPeOutput };
+
+/// An on-chip scratch buffer with a byte capacity and a per-cycle port
+/// width. Capacity violations are hard errors: the modeled hardware cannot
+/// spill.
+class BufferModel {
+ public:
+  BufferModel(std::string name, BufferLevel level, std::size_t capacity_bytes,
+              std::size_t port_bytes_per_cycle)
+      : name_(std::move(name)),
+        level_(level),
+        capacity_bytes_(capacity_bytes),
+        port_bytes_per_cycle_(port_bytes_per_cycle) {
+    ONESA_CHECK(capacity_bytes > 0, "buffer " << name_ << " capacity must be positive");
+    ONESA_CHECK(port_bytes_per_cycle > 0, "buffer " << name_ << " port width must be positive");
+  }
+
+  /// Reserve space for a resident tile; throws if it does not fit.
+  void allocate(std::size_t bytes) {
+    ONESA_CHECK(used_bytes_ + bytes <= capacity_bytes_,
+                "buffer " << name_ << " overflow: " << used_bytes_ << "+" << bytes
+                          << " > " << capacity_bytes_);
+    used_bytes_ += bytes;
+    peak_bytes_ = std::max(peak_bytes_, used_bytes_);
+  }
+
+  void release(std::size_t bytes) {
+    ONESA_CHECK(bytes <= used_bytes_, "buffer " << name_ << " release underflow");
+    used_bytes_ -= bytes;
+  }
+
+  void reset() { used_bytes_ = 0; }
+
+  /// Cycles to stream `bytes` through the buffer port.
+  std::uint64_t stream_cycles(std::size_t bytes) const {
+    return (bytes + port_bytes_per_cycle_ - 1) / port_bytes_per_cycle_;
+  }
+
+  const std::string& name() const { return name_; }
+  BufferLevel level() const { return level_; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t used_bytes() const { return used_bytes_; }
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  std::size_t port_bytes_per_cycle() const { return port_bytes_per_cycle_; }
+
+ private:
+  std::string name_;
+  BufferLevel level_;
+  std::size_t capacity_bytes_;
+  std::size_t port_bytes_per_cycle_;
+  std::size_t used_bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
+};
+
+}  // namespace onesa::sim

@@ -1,0 +1,63 @@
+#include "sim/pe.hpp"
+
+#include "common/error.hpp"
+
+namespace onesa::sim {
+
+ProcessingElement::ProcessingElement(std::size_t mac_lanes) : mac_lanes_(mac_lanes) {
+  ONESA_CHECK(mac_lanes >= 1, "PE needs at least one MAC lane");
+}
+
+void ProcessingElement::set_mode(PeMode mode) {
+  mode_ = mode;
+  reset_datapath();
+}
+
+void ProcessingElement::reset_datapath() {
+  acc_.clear();
+  mhp_outputs_.clear();
+  east_.clear();
+  south_.clear();
+}
+
+void ProcessingElement::cycle(const Flit& west, const Flit& north) {
+  ONESA_DCHECK(west.size() <= mac_lanes_ && north.size() <= mac_lanes_,
+               "flit wider than MAC lanes");
+
+  if (control_c2() && !west.empty() && !north.empty()) {
+    ++active_cycles_;
+    if (mode_ == PeMode::kGemm) {
+      // Adder-tree reduction of lane products into the wide accumulator.
+      const std::size_t lanes = std::min(west.size(), north.size());
+      for (std::size_t i = 0; i < lanes; ++i) {
+        acc_.mac(west[i], north[i]);
+      }
+      mac_ops_ += lanes;
+    } else {
+      // MHP: lanes pair up as (x, 1) x (k, b); the multi-layer accumulator
+      // writes each first-layer pair sum straight to the output buffer
+      // (Fig. 7b) instead of accumulating across cycles.
+      const std::size_t lanes = std::min(west.size(), north.size());
+      for (std::size_t i = 0; i + 1 < lanes; i += 2) {
+        fixed::Acc16 pair;
+        pair.mac(west[i], north[i]);          // x * k
+        pair.mac(west[i + 1], north[i + 1]);  // 1 * b
+        mhp_outputs_.push_back(pair.result());
+        mac_ops_ += 2;
+      }
+    }
+  }
+
+  // C1: forward the latched flits to the neighbours next cycle. A
+  // transmission PE forwards even bubbles; a computation PE in MHP mode
+  // terminates the stream (values are used exactly once, §IV-B-1).
+  if (control_c1()) {
+    east_ = west;
+    south_ = north;
+  } else {
+    east_.clear();
+    south_.clear();
+  }
+}
+
+}  // namespace onesa::sim

@@ -1,0 +1,85 @@
+// Processing element microarchitecture (Fig. 7 of the paper).
+//
+// A PE has `mac_lanes` multipliers feeding a multi-layer (adder-tree)
+// accumulator, input/weight registers, an output buffer, and two control
+// logics added by ONE-SA:
+//
+//   C1 — forward the latched input/weight flits to the east/south neighbor.
+//   C2 — compute locally.
+//
+// Mode mapping (§IV-B-2):
+//   GEMM            : C1 on, C2 on  — classic systolic behaviour.
+//   MHP computation : C1 off, C2 on — diagonal PE; data consumed locally.
+//   MHP transmission: C1 on, C2 off — pure register stage.
+//
+// In GEMM mode the west flit carries `mac_lanes` consecutive elements of an
+// A row and the north flit the matching elements of a B column; the adder
+// tree reduces the lane products into the wide accumulator (output
+// stationary). In MHP-compute mode the west flit carries interleaved
+// (x, 1) pairs and the north flit (k, b) pairs (Fig. 6); each pair of lanes
+// produces one y = k*x + b written to the output buffer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fixed/fixed16.hpp"
+#include "sim/clock.hpp"
+
+namespace onesa::sim {
+
+/// The bundle of values one inter-PE link carries in one cycle (one value
+/// per MAC lane). An empty flit is a pipeline bubble.
+using Flit = std::vector<fixed::Fix16>;
+
+enum class PeMode { kGemm, kMhpCompute, kMhpTransmit };
+
+class ProcessingElement {
+ public:
+  explicit ProcessingElement(std::size_t mac_lanes);
+
+  /// Reconfigure C1/C2 for the next pass; clears datapath state.
+  void set_mode(PeMode mode);
+  PeMode mode() const { return mode_; }
+
+  /// Control logic states implied by the mode.
+  bool control_c1() const { return mode_ != PeMode::kMhpCompute; }
+  bool control_c2() const { return mode_ != PeMode::kMhpTransmit; }
+
+  /// Clear accumulator, output buffer and forwarding registers (between
+  /// tiles); keeps the configured mode.
+  void reset_datapath();
+
+  /// Advance one clock: latch `west`/`north`, compute if C2, expose
+  /// forwarded flits if C1. Inputs must be sized <= mac_lanes.
+  void cycle(const Flit& west, const Flit& north);
+
+  /// Flits presented to the east/south neighbours (previous cycle's latch
+  /// when C1 is active, bubbles otherwise).
+  const Flit& east() const { return east_; }
+  const Flit& south() const { return south_; }
+
+  /// GEMM-mode result: the wide accumulator narrowed to INT16.
+  fixed::Fix16 gemm_result() const { return acc_.result(); }
+
+  /// MHP-mode results accumulated in the PE output buffer, in arrival order.
+  const std::vector<fixed::Fix16>& mhp_outputs() const { return mhp_outputs_; }
+
+  std::size_t mac_lanes() const { return mac_lanes_; }
+
+  /// Lifetime activity counters (drive the dynamic-power model).
+  std::uint64_t mac_ops() const { return mac_ops_; }
+  std::uint64_t active_cycles() const { return active_cycles_; }
+
+ private:
+  std::size_t mac_lanes_;
+  PeMode mode_ = PeMode::kGemm;
+  fixed::Acc16 acc_;
+  std::vector<fixed::Fix16> mhp_outputs_;
+  Flit east_;
+  Flit south_;
+  std::uint64_t mac_ops_ = 0;
+  std::uint64_t active_cycles_ = 0;
+};
+
+}  // namespace onesa::sim

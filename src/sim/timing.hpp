@@ -1,0 +1,90 @@
+// Closed-form cycle model of the systolic array.
+//
+// Mirrors the detailed simulator's accounting exactly (the test suite
+// asserts cycle-for-cycle equality across a grid of shapes); the benchmark
+// sweeps (Fig. 8, Fig. 10, Table IV) use this model so that 512x512 GEMMs on
+// 256-PE arrays evaluate in microseconds instead of simulating hundreds of
+// millions of MAC events. This is the standard simulator technique of
+// validating an analytic model against a detailed reference.
+#pragma once
+
+#include "sim/array.hpp"
+
+namespace onesa::sim {
+
+/// Shape of a GEMM problem C(m x n) = A(m x k) * B(k x n).
+struct GemmShape {
+  std::size_t m = 0;
+  std::size_t k = 0;
+  std::size_t n = 0;
+
+  std::uint64_t mac_ops() const {
+    return static_cast<std::uint64_t>(m) * k * n;
+  }
+  /// GOPS convention of the paper: one operation = one multiply + one add.
+  std::uint64_t ops() const { return mac_ops(); }
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const ArrayConfig& config);
+
+  const ArrayConfig& config() const { return config_; }
+
+  /// Cycles of a full tiled GEMM (identical to SystolicArraySim::gemm).
+  CycleStats gemm_cycles(const GemmShape& shape) const;
+
+  /// Cycles of one MHP pass over `elements` values (identical to
+  /// SystolicArraySim::mhp).
+  CycleStats mhp_cycles(std::size_t elements) const;
+
+  /// Cycles of the data-rearrange pass that interleaves a (k, b) parameter
+  /// stream for one MHP (one streamed pass of 2 elements per element).
+  CycleStats rearrange_cycles(std::size_t elements) const;
+
+  /// A parameterized MHP as the accelerator façade charges it: the
+  /// rearrange pass plus the array pass (OneSaAccelerator::mhp).
+  CycleStats param_mhp_cycles(std::size_t elements) const;
+
+  /// The L3 streaming-comparator reduction pass
+  /// (OneSaAccelerator::reduce_rows_max).
+  CycleStats reduction_cycles(std::size_t elements) const;
+
+  /// Lane width (elements per cycle) of the IPF pipeline for a
+  /// configuration. The data-addressing and rearrange units are sized to the
+  /// array's MHP input bandwidth — one lane per (x,1)/(k,b) pair consumed by
+  /// the diagonal Computation PEs per cycle — but never narrower than the
+  /// DRAM channel. This is what lets nonlinear throughput scale with the
+  /// array (Fig. 8b) instead of being pinned to the memory channel.
+  static std::size_t ipf_lanes_per_cycle(const ArrayConfig& config);
+
+  /// Cycles of the IPF stage for `elements` values: stream X through the L3
+  /// data-addressing unit, write the fetched K/B stream out, read it back
+  /// rearranged (§IV-A). `table_bytes` adds the one-time k/b table upload.
+  CycleStats ipf_cycles(std::size_t elements, std::size_t table_bytes = 0) const;
+
+  /// Cycles of a full nonlinear pass = IPF + MHP.
+  CycleStats nonlinear_cycles(std::size_t elements, std::size_t table_bytes = 0) const;
+
+  // ------------------------------------------------------------ throughput
+
+  /// Achieved GOPS for a linear GEMM of this shape (Fig. 8a).
+  double gemm_gops(const GemmShape& shape) const;
+
+  /// Achieved GNFS — nonlinear function evaluations per second — for an
+  /// element count (Fig. 8b).
+  double nonlinear_gnfs(std::size_t elements, std::size_t table_bytes = 0) const;
+
+  /// Theoretical peak GOPS = PEs * MACs * clock (the "Maximum" of Fig. 8a).
+  double peak_gops() const;
+
+  /// Theoretical peak GNFS: diagonal PEs * (MACs/2) results per cycle.
+  double peak_gnfs() const;
+
+  double seconds(const CycleStats& stats) const { return stats.seconds(config_.clock_mhz); }
+
+ private:
+  ArrayConfig config_;
+};
+
+}  // namespace onesa::sim

@@ -1,0 +1,105 @@
+#include "tensor/im2col.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace onesa::tensor {
+
+Matrix im2col(const Matrix& image_row, const ConvShape& s) {
+  ONESA_CHECK_SHAPE(image_row.rows() == 1 &&
+                        image_row.cols() == s.in_channels * s.in_height * s.in_width,
+                    "im2col image row expected 1x" << s.in_channels * s.in_height * s.in_width
+                                                   << ", got " << image_row.rows() << "x"
+                                                   << image_row.cols());
+  const std::size_t oh = s.out_height();
+  const std::size_t ow = s.out_width();
+  Matrix patches(oh * ow, s.patch_cols(), 0.0);
+
+  auto pixel = [&](std::size_t c, std::ptrdiff_t y, std::ptrdiff_t x) -> double {
+    if (y < 0 || x < 0 || y >= static_cast<std::ptrdiff_t>(s.in_height) ||
+        x >= static_cast<std::ptrdiff_t>(s.in_width)) {
+      return 0.0;  // zero padding
+    }
+    return image_row(0, (c * s.in_height + static_cast<std::size_t>(y)) * s.in_width +
+                            static_cast<std::size_t>(x));
+  };
+
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      const std::size_t row = oy * ow + ox;
+      std::size_t col = 0;
+      for (std::size_t c = 0; c < s.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+          for (std::size_t kx = 0; kx < s.kernel; ++kx, ++col) {
+            const auto y = static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+                           static_cast<std::ptrdiff_t>(s.padding);
+            const auto x = static_cast<std::ptrdiff_t>(ox * s.stride + kx) -
+                           static_cast<std::ptrdiff_t>(s.padding);
+            patches(row, col) = pixel(c, y, x);
+          }
+        }
+      }
+    }
+  }
+  return patches;
+}
+
+Matrix col2im(const Matrix& patches, const ConvShape& s) {
+  const std::size_t oh = s.out_height();
+  const std::size_t ow = s.out_width();
+  ONESA_CHECK_SHAPE(patches.rows() == oh * ow && patches.cols() == s.patch_cols(),
+                    "col2im patches expected " << oh * ow << "x" << s.patch_cols()
+                                               << ", got " << patches.rows() << "x"
+                                               << patches.cols());
+  Matrix image(1, s.in_channels * s.in_height * s.in_width, 0.0);
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      const std::size_t row = oy * ow + ox;
+      std::size_t col = 0;
+      for (std::size_t c = 0; c < s.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+          for (std::size_t kx = 0; kx < s.kernel; ++kx, ++col) {
+            const auto y = static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+                           static_cast<std::ptrdiff_t>(s.padding);
+            const auto x = static_cast<std::ptrdiff_t>(ox * s.stride + kx) -
+                           static_cast<std::ptrdiff_t>(s.padding);
+            if (y < 0 || x < 0 || y >= static_cast<std::ptrdiff_t>(s.in_height) ||
+                x >= static_cast<std::ptrdiff_t>(s.in_width)) {
+              continue;  // gradient into padding is dropped
+            }
+            image(0, (c * s.in_height + static_cast<std::size_t>(y)) * s.in_width +
+                         static_cast<std::size_t>(x)) += patches(row, col);
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+Matrix conv2d_via_gemm(const Matrix& images, const Matrix& weight, const Matrix& bias,
+                       const ConvShape& s) {
+  ONESA_CHECK_SHAPE(weight.rows() == s.patch_cols(),
+                    "conv weight rows " << weight.rows() << " vs patch cols "
+                                        << s.patch_cols());
+  const std::size_t out_channels = weight.cols();
+  ONESA_CHECK_SHAPE(bias.rows() == 1 && bias.cols() == out_channels,
+                    "conv bias expected 1x" << out_channels);
+  const std::size_t oh = s.out_height();
+  const std::size_t ow = s.out_width();
+
+  Matrix out(images.rows(), out_channels * oh * ow);
+  for (std::size_t n = 0; n < images.rows(); ++n) {
+    Matrix row(1, images.cols());
+    for (std::size_t j = 0; j < images.cols(); ++j) row(0, j) = images(n, j);
+    const Matrix patches = im2col(row, s);           // (oh*ow) x (C*k*k)
+    const Matrix result = matmul(patches, weight);   // (oh*ow) x out_channels
+    for (std::size_t p = 0; p < oh * ow; ++p) {
+      for (std::size_t c = 0; c < out_channels; ++c) {
+        out(n, c * oh * ow + p) = result(p, c) + bias(0, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace onesa::tensor

@@ -1,0 +1,54 @@
+// im2col lowering of 2-D convolution to GEMM.
+//
+// The paper treats convolution as "im2col-based convolution" executed by the
+// systolic array (§II-A); this module performs exactly that lowering so the
+// CNN model's conv layers map onto the accelerator's GEMM path.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace onesa::tensor {
+
+/// Shape of a conv2d problem. Input is (channels, height, width) flattened
+/// row-major into a 1 x (C*H*W) row per image.
+struct ConvShape {
+  std::size_t in_channels = 1;
+  std::size_t in_height = 1;
+  std::size_t in_width = 1;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+
+  std::size_t out_height() const {
+    ONESA_CHECK(in_height + 2 * padding >= kernel, "conv kernel larger than padded input");
+    return (in_height + 2 * padding - kernel) / stride + 1;
+  }
+  std::size_t out_width() const {
+    ONESA_CHECK(in_width + 2 * padding >= kernel, "conv kernel larger than padded input");
+    return (in_width + 2 * padding - kernel) / stride + 1;
+  }
+  /// Number of rows of the im2col patch matrix (one per output pixel).
+  std::size_t patch_rows() const { return out_height() * out_width(); }
+  /// Number of columns of the patch matrix (one per kernel element).
+  std::size_t patch_cols() const { return in_channels * kernel * kernel; }
+};
+
+/// Expand one image (1 x C*H*W row-major) into the patch matrix
+/// (out_h*out_w) x (C*k*k). Out-of-bounds (padding) taps read as zero.
+Matrix im2col(const Matrix& image_row, const ConvShape& shape);
+
+/// Convolve a batch: `images` is (batch x C*H*W), `weight` is
+/// (C*k*k x out_channels), bias is (1 x out_channels). Returns
+/// (batch x out_channels*out_h*out_w) with channel-major layout
+/// (all pixels of channel 0, then channel 1, ...).
+Matrix conv2d_via_gemm(const Matrix& images, const Matrix& weight, const Matrix& bias,
+                       const ConvShape& shape);
+
+/// Inverse of im2col: scatter-add a patch-gradient matrix
+/// ((out_h*out_w) x (C*k*k)) back into an image row (1 x C*H*W).
+/// Overlapping taps accumulate — the adjoint of the im2col gather.
+Matrix col2im(const Matrix& patches, const ConvShape& shape);
+
+}  // namespace onesa::tensor

@@ -1,0 +1,120 @@
+// Dense row-major matrix, templated on element type.
+//
+// Two instantiations matter in this library:
+//   Matrix           (double)        — reference numerics, training, accuracy sweeps
+//   FixMatrix        (fixed::Fix16)  — what the modeled INT16 hardware computes on
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fixed/fixed16.hpp"
+
+namespace onesa::tensor {
+
+template <typename T>
+class MatrixT {
+ public:
+  MatrixT() = default;
+
+  MatrixT(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  /// Build from nested initializer lists: MatrixT<double>{{1,2},{3,4}}.
+  MatrixT(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+      ONESA_CHECK_SHAPE(r.size() == cols_, "ragged initializer list");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    ONESA_DCHECK(r < rows_ && c < cols_, "index (" << r << "," << c << ") out of "
+                                                   << rows_ << "x" << cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    ONESA_DCHECK(r < rows_ && c < cols_, "index (" << r << "," << c << ") out of "
+                                                   << rows_ << "x" << cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Flat element access (row-major order).
+  T& at_flat(std::size_t i) { return data_[i]; }
+  const T& at_flat(std::size_t i) const { return data_[i]; }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  bool same_shape(const MatrixT& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  bool operator==(const MatrixT& o) const = default;
+
+  /// Apply f element-wise in place.
+  template <typename F>
+  MatrixT& apply(F&& f) {
+    for (auto& v : data_) v = f(v);
+    return *this;
+  }
+
+  /// Return a new matrix with f applied element-wise.
+  template <typename F>
+  MatrixT<std::invoke_result_t<F, T>> map(F&& f) const {
+    MatrixT<std::invoke_result_t<F, T>> out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.at_flat(i) = f(data_[i]);
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = MatrixT<double>;
+using FixMatrix = MatrixT<fixed::Fix16>;
+
+/// Quantize every element to INT16 fixed point.
+inline FixMatrix to_fixed(const Matrix& m) {
+  FixMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i)
+    out.at_flat(i) = fixed::Fix16::from_double(m.at_flat(i));
+  return out;
+}
+
+/// Dequantize back to double for error measurement.
+inline Matrix to_double(const FixMatrix& m) {
+  Matrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) out.at_flat(i) = m.at_flat(i).to_double();
+  return out;
+}
+
+/// Matrix with i.i.d. normal entries (used by weight init and workloads).
+inline Matrix random_normal(std::size_t rows, std::size_t cols, Rng& rng,
+                            double mean = 0.0, double stddev = 1.0) {
+  Matrix out(rows, cols);
+  for (auto& v : out.data()) v = rng.normal(mean, stddev);
+  return out;
+}
+
+/// Matrix with i.i.d. uniform entries in [lo, hi).
+inline Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                             double lo = -1.0, double hi = 1.0) {
+  Matrix out(rows, cols);
+  for (auto& v : out.data()) v = rng.uniform(lo, hi);
+  return out;
+}
+
+}  // namespace onesa::tensor

@@ -1,0 +1,206 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace onesa::tensor {
+
+namespace {
+
+void check_same_shape(const auto& a, const auto& b, const char* op) {
+  ONESA_CHECK_SHAPE(a.rows() == b.rows() && a.cols() == b.cols(),
+                    op << ": " << a.rows() << "x" << a.cols() << " vs " << b.rows()
+                       << "x" << b.cols());
+}
+
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  ONESA_CHECK_SHAPE(a.cols() == b.rows(), "matmul inner dims " << a.cols() << " vs "
+                                                               << b.rows());
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "hadamard");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) * b.at_flat(i);
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "add");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) + b.at_flat(i);
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "sub");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) - b.at_flat(i);
+  return c;
+}
+
+Matrix scale(const Matrix& a, double s) {
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) * s;
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix c(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) c(j, i) = a(i, j);
+  return c;
+}
+
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
+  ONESA_CHECK_SHAPE(row.rows() == 1 && row.cols() == a.cols(),
+                    "broadcast row " << row.rows() << "x" << row.cols() << " onto "
+                                     << a.rows() << "x" << a.cols());
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) + row(0, j);
+  return c;
+}
+
+Matrix row_max(const Matrix& a) {
+  ONESA_CHECK_SHAPE(a.cols() > 0, "row_max of empty matrix");
+  Matrix c(a.rows(), 1);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double m = a(i, 0);
+    for (std::size_t j = 1; j < a.cols(); ++j) m = std::max(m, a(i, j));
+    c(i, 0) = m;
+  }
+  return c;
+}
+
+Matrix row_sum(const Matrix& a) {
+  Matrix c(a.rows(), 1, 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, 0) += a(i, j);
+  return c;
+}
+
+Matrix row_mean(const Matrix& a) {
+  ONESA_CHECK_SHAPE(a.cols() > 0, "row_mean of empty matrix");
+  Matrix c = row_sum(a);
+  for (std::size_t i = 0; i < a.rows(); ++i) c(i, 0) /= static_cast<double>(a.cols());
+  return c;
+}
+
+Matrix row_var(const Matrix& a) {
+  Matrix mean = row_mean(a);
+  Matrix c(a.rows(), 1, 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double d = a(i, j) - mean(i, 0);
+      c(i, 0) += d * d;
+    }
+    c(i, 0) /= static_cast<double>(a.cols());
+  }
+  return c;
+}
+
+double frobenius_distance(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "frobenius_distance");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a.at_flat(i) - b.at_flat(i);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double max_abs_distance(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "max_abs_distance");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.at_flat(i) - b.at_flat(i)));
+  return m;
+}
+
+double mean_abs(const Matrix& a) {
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a.at_flat(i));
+  return sum / static_cast<double>(a.size());
+}
+
+FixMatrix matmul(const FixMatrix& a, const FixMatrix& b) {
+  ONESA_CHECK_SHAPE(a.cols() == b.rows(), "fixed matmul inner dims " << a.cols()
+                                                                     << " vs " << b.rows());
+  FixMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      fixed::Acc16 acc;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc.mac(a(i, k), b(k, j));
+      c(i, j) = acc.result();
+    }
+  }
+  return c;
+}
+
+FixMatrix hadamard(const FixMatrix& a, const FixMatrix& b) {
+  check_same_shape(a, b, "fixed hadamard");
+  FixMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) * b.at_flat(i);
+  return c;
+}
+
+FixMatrix add(const FixMatrix& a, const FixMatrix& b) {
+  check_same_shape(a, b, "fixed add");
+  FixMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) + b.at_flat(i);
+  return c;
+}
+
+FixMatrix mhp_affine(const FixMatrix& x, const FixMatrix& k, const FixMatrix& b) {
+  check_same_shape(x, k, "mhp_affine x/k");
+  check_same_shape(x, b, "mhp_affine x/b");
+  FixMatrix y(x.rows(), x.cols());
+  const auto one = fixed::Fix16::from_double(1.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Two MAC lanes fed by the rearranged streams (x,1) and (k,b): the wide
+    // accumulator sums k*x and 1*b before a single round+saturate.
+    fixed::Acc16 acc;
+    acc.mac(x.at_flat(i), k.at_flat(i));
+    acc.mac(one, b.at_flat(i));
+    y.at_flat(i) = acc.result();
+  }
+  return y;
+}
+
+FixMatrix constant_fix(std::size_t rows, std::size_t cols, double value) {
+  return FixMatrix(rows, cols, fixed::Fix16::from_double(value));
+}
+
+FixMatrix broadcast_col(const FixMatrix& col, std::size_t cols) {
+  ONESA_CHECK_SHAPE(col.cols() == 1, "broadcast_col expects a column vector, got "
+                                         << col.rows() << "x" << col.cols());
+  FixMatrix out(col.rows(), cols);
+  for (std::size_t i = 0; i < col.rows(); ++i)
+    for (std::size_t j = 0; j < cols; ++j) out(i, j) = col(i, 0);
+  return out;
+}
+
+FixMatrix broadcast_row(const FixMatrix& row, std::size_t rows) {
+  ONESA_CHECK_SHAPE(row.rows() == 1, "broadcast_row expects a row vector, got "
+                                         << row.rows() << "x" << row.cols());
+  FixMatrix out(rows, row.cols());
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < row.cols(); ++j) out(i, j) = row(0, j);
+  return out;
+}
+
+}  // namespace onesa::tensor

@@ -1,0 +1,77 @@
+// Reference linear algebra on Matrix (double) and FixMatrix (INT16).
+//
+// These are the *functional* golden models: the cycle-accurate simulator and
+// the ONE-SA accelerator façade are checked against them in the test suite.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace onesa::tensor {
+
+// ---------------------------------------------------------------- double ops
+
+/// C = A * B (reference GEMM).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A ⊙ B (Hadamard / element-wise product) — the paper's MHP.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// C = A + B element-wise.
+Matrix add(const Matrix& a, const Matrix& b);
+
+/// C = A - B element-wise.
+Matrix sub(const Matrix& a, const Matrix& b);
+
+/// C = s * A.
+Matrix scale(const Matrix& a, double s);
+
+/// A^T.
+Matrix transpose(const Matrix& a);
+
+/// Add a row vector (1 x cols) to every row of A (bias broadcast).
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row);
+
+/// Row-wise reductions.
+Matrix row_max(const Matrix& a);   // (rows x 1)
+Matrix row_sum(const Matrix& a);   // (rows x 1)
+Matrix row_mean(const Matrix& a);  // (rows x 1)
+/// Row-wise variance (biased, matching LayerNorm semantics).
+Matrix row_var(const Matrix& a);
+
+/// Frobenius norm of A - B (error metric).
+double frobenius_distance(const Matrix& a, const Matrix& b);
+
+/// max |a_ij - b_ij|.
+double max_abs_distance(const Matrix& a, const Matrix& b);
+
+/// Mean of |a_ij|.
+double mean_abs(const Matrix& a);
+
+// ----------------------------------------------------------------- fixed ops
+
+/// INT16 GEMM with a wide accumulator, exactly the arithmetic one PE column
+/// performs: products at 32-bit, accumulation at 64-bit, single final
+/// round+saturate on write-back.
+FixMatrix matmul(const FixMatrix& a, const FixMatrix& b);
+
+/// INT16 Hadamard product (per-element round+saturate, as in the PE).
+FixMatrix hadamard(const FixMatrix& a, const FixMatrix& b);
+
+/// INT16 element-wise add (saturating).
+FixMatrix add(const FixMatrix& a, const FixMatrix& b);
+
+/// INT16 fused Y = X ⊙ K + B, matching the rearranged-stream PE computation
+/// y = k*x + 1*b performed in a single 2-lane MAC (one wide accumulation,
+/// one final rounding) — see Fig. 6 of the paper.
+FixMatrix mhp_affine(const FixMatrix& x, const FixMatrix& k, const FixMatrix& b);
+
+/// Constant INT16 matrix.
+FixMatrix constant_fix(std::size_t rows, std::size_t cols, double value);
+
+/// Replicate a column vector (rows x 1) across `cols` columns.
+FixMatrix broadcast_col(const FixMatrix& col, std::size_t cols);
+
+/// Replicate a row vector (1 x cols) across `rows` rows.
+FixMatrix broadcast_row(const FixMatrix& row, std::size_t rows);
+
+}  // namespace onesa::tensor

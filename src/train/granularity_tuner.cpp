@@ -1,0 +1,46 @@
+#include "train/granularity_tuner.hpp"
+
+#include "cpwl/segment_table.hpp"
+
+namespace onesa::train {
+
+TunerResult tune_granularity(const std::function<double(OneSaAccelerator&)>& evaluate,
+                             const OneSaConfig& base_config, double tolerance,
+                             double coarsest, double finest) {
+  ONESA_CHECK(coarsest >= finest, "coarsest granularity below finest");
+  ONESA_CHECK(tolerance >= 0.0, "negative tolerance");
+
+  auto accuracy_at = [&](double g) {
+    OneSaConfig cfg = base_config;
+    cfg.granularity = g;
+    OneSaAccelerator accel(cfg);
+    return evaluate(accel);
+  };
+
+  TunerResult result;
+  // Baseline: one ladder step below `finest` (or `finest` itself if that
+  // would drop under the INT16 resolution).
+  const double resolution =
+      1.0 / static_cast<double>(std::int32_t{1} << base_config.frac_bits);
+  const double baseline_g = finest / 2.0 >= resolution ? finest / 2.0 : finest;
+  result.baseline_accuracy = accuracy_at(baseline_g);
+
+  for (double g = coarsest; g >= finest; g /= 2.0) {
+    const double acc = accuracy_at(g);
+    result.explored.emplace_back(g, acc);
+    if (acc + tolerance >= result.baseline_accuracy) {
+      result.granularity = g;
+      result.tuned_accuracy = acc;
+      cpwl::SegmentTableConfig table_cfg;
+      table_cfg.granularity = g;
+      result.table_bytes =
+          cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu, table_cfg).table_bytes();
+      return result;
+    }
+  }
+  throw ConfigError("no granularity in [" + std::to_string(finest) + ", " +
+                    std::to_string(coarsest) + "] meets the accuracy tolerance " +
+                    std::to_string(tolerance));
+}
+
+}  // namespace onesa::train

@@ -1,0 +1,41 @@
+// Automatic granularity selection — the extension the paper sketches in
+// §V-B: "one can choose a larger granularity for easier tasks but a smaller
+// one for more difficult tasks. ... Advanced neural network architecture
+// search (NAS) can also be applied further to select the granularities."
+//
+// The tuner searches the power-of-two granularity ladder (coarse to fine)
+// for the *coarsest* setting whose task accuracy stays within `tolerance`
+// of the fine-granularity INT16 baseline — coarser tables mean fewer L3
+// bytes and cheaper table preloads, so coarsest-acceptable is the optimum.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "onesa/accelerator.hpp"
+
+namespace onesa::train {
+
+struct TunerResult {
+  /// Chosen granularity (power of two).
+  double granularity = 0.25;
+  /// Accuracy at the fine-granularity baseline.
+  double baseline_accuracy = 0.0;
+  /// Accuracy at the chosen granularity.
+  double tuned_accuracy = 0.0;
+  /// L3 bytes of the largest single function table at the chosen setting.
+  std::size_t table_bytes = 0;
+  /// Every (granularity, accuracy) point probed, coarse to fine.
+  std::vector<std::pair<double, double>> explored;
+};
+
+/// `evaluate` runs the task on a given accelerator and returns accuracy in
+/// [0, 1]. `base_config` supplies array geometry; its granularity field is
+/// overridden during the search. Throws ConfigError when even the finest
+/// granularity misses the tolerance (the task is INT16-limited).
+TunerResult tune_granularity(const std::function<double(OneSaAccelerator&)>& evaluate,
+                             const OneSaConfig& base_config, double tolerance,
+                             double coarsest = 1.0, double finest = 0.03125);
+
+}  // namespace onesa::train

@@ -1,0 +1,67 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace onesa::train {
+
+double softmax_cross_entropy(const tensor::Matrix& logits,
+                             const std::vector<std::size_t>& labels,
+                             tensor::Matrix& grad, const std::vector<bool>& mask) {
+  ONESA_CHECK_SHAPE(logits.rows() == labels.size(),
+                    "loss rows " << logits.rows() << " vs labels " << labels.size());
+  ONESA_CHECK(mask.empty() || mask.size() == labels.size(), "mask size mismatch");
+
+  grad = tensor::Matrix(logits.rows(), logits.cols(), 0.0);
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    ++counted;
+  }
+  ONESA_CHECK(counted > 0, "no rows selected by loss mask");
+
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    // Stable log-softmax.
+    double mx = logits(i, 0);
+    for (std::size_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, logits(i, j));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) sum += std::exp(logits(i, j) - mx);
+    const double log_sum = std::log(sum) + mx;
+    ONESA_CHECK(labels[i] < logits.cols(), "label " << labels[i] << " out of range");
+    total += log_sum - logits(i, labels[i]);
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      const double p = std::exp(logits(i, j) - log_sum);
+      grad(i, j) = (p - (j == labels[i] ? 1.0 : 0.0)) / static_cast<double>(counted);
+    }
+  }
+  return total / static_cast<double>(counted);
+}
+
+std::vector<std::size_t> argmax_rows(const tensor::Matrix& logits) {
+  std::vector<std::size_t> out(logits.rows(), 0);
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (logits(i, j) > logits(i, out[i])) out[i] = j;
+    }
+  }
+  return out;
+}
+
+double accuracy(const tensor::Matrix& logits, const std::vector<std::size_t>& labels,
+                const std::vector<bool>& exclude_mask) {
+  ONESA_CHECK_SHAPE(logits.rows() == labels.size(), "accuracy rows vs labels");
+  const auto preds = argmax_rows(logits);
+  std::size_t correct = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!exclude_mask.empty() && exclude_mask[i]) continue;
+    ++counted;
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return counted == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(counted);
+}
+
+}  // namespace onesa::train

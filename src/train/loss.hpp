@@ -1,0 +1,27 @@
+// Loss functions for the in-repo trainers.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace onesa::train {
+
+/// Softmax cross-entropy over logits rows with integer labels. Returns the
+/// mean loss and writes dL/dlogits (already averaged) into `grad`.
+/// When `mask` is non-empty, only rows with mask[i] == true contribute
+/// (transductive GCN training).
+double softmax_cross_entropy(const tensor::Matrix& logits,
+                             const std::vector<std::size_t>& labels,
+                             tensor::Matrix& grad,
+                             const std::vector<bool>& mask = {});
+
+/// Row-wise argmax of a logits matrix.
+std::vector<std::size_t> argmax_rows(const tensor::Matrix& logits);
+
+/// Fraction of rows whose argmax equals the label (optionally masked to
+/// rows where mask[i] == false — i.e. test nodes).
+double accuracy(const tensor::Matrix& logits, const std::vector<std::size_t>& labels,
+                const std::vector<bool>& exclude_mask = {});
+
+}  // namespace onesa::train

@@ -1,0 +1,62 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+
+namespace onesa::train {
+
+Sgd::Sgd(std::vector<nn::Param*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (auto* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Param& p = *params_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      const double g = p.grad.at_flat(j) + weight_decay_ * p.value.at_flat(j);
+      velocity_[i].at_flat(j) = momentum_ * velocity_[i].at_flat(j) + g;
+      p.value.at_flat(j) -= lr_ * velocity_[i].at_flat(j);
+    }
+  }
+}
+
+Adam::Adam(std::vector<nn::Param*> params, double lr, double beta1, double beta2,
+           double epsilon)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+    v_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Param& p = *params_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      const double g = p.grad.at_flat(j);
+      m_[i].at_flat(j) = beta1_ * m_[i].at_flat(j) + (1.0 - beta1_) * g;
+      v_[i].at_flat(j) = beta2_ * v_[i].at_flat(j) + (1.0 - beta2_) * g * g;
+      const double mhat = m_[i].at_flat(j) / bc1;
+      const double vhat = v_[i].at_flat(j) / bc2;
+      p.value.at_flat(j) -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace onesa::train

@@ -1,0 +1,166 @@
+#include "train/trainer.hpp"
+
+#include <memory>
+#include <numeric>
+
+#include "nn/graph.hpp"
+#include "train/loss.hpp"
+
+namespace onesa::train {
+
+namespace {
+
+std::unique_ptr<Optimizer> make_optimizer(nn::Sequential& model,
+                                          const TrainConfig& config) {
+  if (config.use_adam) {
+    return std::make_unique<Adam>(model.params(), config.lr);
+  }
+  return std::make_unique<Sgd>(model.params(), config.lr, config.momentum,
+                               config.weight_decay);
+}
+
+tensor::Matrix slice_rows(const tensor::Matrix& m, const std::vector<std::size_t>& idx,
+                          std::size_t begin, std::size_t end) {
+  tensor::Matrix out(end - begin, m.cols());
+  for (std::size_t r = begin; r < end; ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) out(r - begin, c) = m(idx[r], c);
+  return out;
+}
+
+tensor::Matrix single_row(const tensor::Matrix& m, std::size_t row) {
+  tensor::Matrix out(1, m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) out(0, c) = m(row, c);
+  return out;
+}
+
+}  // namespace
+
+double train_classifier(nn::Sequential& model, const data::Dataset& train,
+                        const TrainConfig& config) {
+  auto opt = make_optimizer(model, config);
+  nn::set_training_mode(model, true);
+  Rng shuffle_rng(123);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < train.size(); begin += config.batch_size) {
+      const std::size_t end = std::min(train.size(), begin + config.batch_size);
+      const tensor::Matrix batch = slice_rows(train.inputs, order, begin, end);
+      std::vector<std::size_t> labels(end - begin);
+      for (std::size_t i = begin; i < end; ++i) labels[i - begin] = train.labels[order[i]];
+
+      opt->zero_grad();
+      const tensor::Matrix logits = model.forward(batch);
+      tensor::Matrix grad;
+      epoch_loss += softmax_cross_entropy(logits, labels, grad);
+      model.backward(grad);
+      opt->step();
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+  }
+  nn::set_training_mode(model, false);
+  return last_epoch_loss;
+}
+
+double train_sequence_classifier(nn::Sequential& model, const data::Dataset& train,
+                                 const TrainConfig& config) {
+  auto opt = make_optimizer(model, config);
+  Rng shuffle_rng(321);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t step = 0;
+    for (std::size_t begin = 0; begin < train.size(); begin += config.batch_size) {
+      const std::size_t end = std::min(train.size(), begin + config.batch_size);
+      opt->zero_grad();
+      double batch_loss = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const tensor::Matrix ids = single_row(train.inputs, order[i]);
+        const tensor::Matrix logits = model.forward(ids);
+        tensor::Matrix grad;
+        batch_loss += softmax_cross_entropy(logits, {train.labels[order[i]]}, grad);
+        model.backward(grad);
+      }
+      opt->step();
+      epoch_loss += batch_loss / static_cast<double>(end - begin);
+      ++step;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(step);
+  }
+  return last_epoch_loss;
+}
+
+double train_gcn(nn::Sequential& model, const data::GraphTask& task,
+                 const TrainConfig& config) {
+  auto opt = make_optimizer(model, config);
+  double last_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    opt->zero_grad();
+    const tensor::Matrix logits = model.forward(task.features);
+    tensor::Matrix grad;
+    last_loss = softmax_cross_entropy(logits, task.labels, grad, task.train_mask);
+    model.backward(grad);
+    opt->step();
+  }
+  return last_loss;
+}
+
+double evaluate_classifier(nn::Sequential& model, const data::Dataset& test) {
+  nn::set_training_mode(model, false);
+  const tensor::Matrix logits = model.forward(test.inputs);
+  return accuracy(logits, test.labels);
+}
+
+double evaluate_sequence_classifier(nn::Sequential& model, const data::Dataset& test) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const tensor::Matrix logits = model.forward(single_row(test.inputs, i));
+    if (argmax_rows(logits)[0] == test.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double evaluate_gcn(nn::Sequential& model, const data::GraphTask& task) {
+  const tensor::Matrix logits = model.forward(task.features);
+  return accuracy(logits, task.labels, task.train_mask);
+}
+
+double evaluate_classifier_accel(nn::Sequential& model, OneSaAccelerator& accel,
+                                 const data::Dataset& test) {
+  nn::set_training_mode(model, false);
+  const tensor::FixMatrix logits =
+      model.forward_accel(accel, tensor::to_fixed(test.inputs));
+  return accuracy(tensor::to_double(logits), test.labels);
+}
+
+double evaluate_sequence_classifier_accel(nn::Sequential& model,
+                                          OneSaAccelerator& accel,
+                                          const data::Dataset& test) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const tensor::FixMatrix logits =
+        model.forward_accel(accel, tensor::to_fixed(single_row(test.inputs, i)));
+    if (argmax_rows(tensor::to_double(logits))[0] == test.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double evaluate_gcn_accel(nn::Sequential& model, OneSaAccelerator& accel,
+                          const data::GraphTask& task) {
+  const tensor::FixMatrix logits =
+      model.forward_accel(accel, tensor::to_fixed(task.features));
+  return accuracy(tensor::to_double(logits), task.labels, task.train_mask);
+}
+
+}  // namespace onesa::train

@@ -1,0 +1,53 @@
+// Training loops and evaluation helpers for the three model families, plus
+// the accelerated (INT16 + CPWL) evaluation used by the Table III sweep.
+#pragma once
+
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "train/optimizer.hpp"
+
+namespace onesa::train {
+
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 16;
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+  bool use_adam = false;
+};
+
+/// Minibatch training of a row-per-sample classifier (the CNN). Returns the
+/// final epoch's mean loss.
+double train_classifier(nn::Sequential& model, const data::Dataset& train,
+                        const TrainConfig& config);
+
+/// Per-sample training for sequence models (the transformer): every sample
+/// is one (1 x seq_len) id row producing (1 x classes) logits.
+double train_sequence_classifier(nn::Sequential& model, const data::Dataset& train,
+                                 const TrainConfig& config);
+
+/// Full-batch transductive training of the GCN with a node train mask.
+double train_gcn(nn::Sequential& model, const data::GraphTask& task,
+                 const TrainConfig& config);
+
+// ---------------------------------------------------------------- reference
+
+double evaluate_classifier(nn::Sequential& model, const data::Dataset& test);
+double evaluate_sequence_classifier(nn::Sequential& model, const data::Dataset& test);
+/// GCN accuracy on the non-training nodes.
+double evaluate_gcn(nn::Sequential& model, const data::GraphTask& task);
+
+// -------------------------------------------------------------- accelerated
+
+/// Same metrics with inference lowered onto the ONE-SA accelerator (INT16 +
+/// CPWL at the accelerator's configured granularity).
+double evaluate_classifier_accel(nn::Sequential& model, OneSaAccelerator& accel,
+                                 const data::Dataset& test);
+double evaluate_sequence_classifier_accel(nn::Sequential& model,
+                                          OneSaAccelerator& accel,
+                                          const data::Dataset& test);
+double evaluate_gcn_accel(nn::Sequential& model, OneSaAccelerator& accel,
+                          const data::GraphTask& task);
+
+}  // namespace onesa::train

@@ -1,0 +1,174 @@
+// Tests for the cycle-accurate systolic array simulator: functional
+// equivalence against the reference INT16 ops and dataflow invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/array.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::sim {
+namespace {
+
+using tensor::FixMatrix;
+using tensor::Matrix;
+using tensor::to_fixed;
+
+ArrayConfig small_config(std::size_t rows, std::size_t cols, std::size_t macs) {
+  ArrayConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.macs_per_pe = macs;
+  return cfg;
+}
+
+TEST(ArrayConfig, ValidationRejectsBadConfigs) {
+  EXPECT_THROW(small_config(0, 4, 4).validate(), ConfigError);
+  EXPECT_THROW(small_config(4, 4, 0).validate(), ConfigError);
+  EXPECT_THROW(small_config(4, 4, 3).validate(), ConfigError);  // odd MACs
+  EXPECT_NO_THROW(small_config(4, 4, 4).validate());
+}
+
+TEST(ArrayConfig, OutPortAutoScaling) {
+  // out_port_elems == 0 means "auto": max(32, diagonal * macs/2).
+  ArrayConfig small = small_config(4, 4, 4);
+  EXPECT_EQ(small.resolved_out_port_elems(), 32u);
+  ArrayConfig large = small_config(16, 16, 32);
+  EXPECT_EQ(large.resolved_out_port_elems(), 256u);
+  ArrayConfig pinned = small_config(16, 16, 32);
+  pinned.out_port_elems = 8;
+  EXPECT_EQ(pinned.resolved_out_port_elems(), 8u);
+}
+
+TEST(ArrayConfig, DerivedQuantities) {
+  const ArrayConfig cfg = small_config(4, 8, 16);
+  EXPECT_EQ(cfg.pe_count(), 32u);
+  EXPECT_EQ(cfg.diagonal(), 4u);
+  EXPECT_EQ(cfg.peak_macs_per_cycle(), 512u);
+}
+
+struct GemmCase {
+  std::size_t rows, cols, macs;  // array geometry
+  std::size_t m, k, n;           // problem shape
+};
+
+class GemmEquivalence : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmEquivalence, MatchesReferenceFixedGemm) {
+  const auto& p = GetParam();
+  SystolicArraySim sim(small_config(p.rows, p.cols, p.macs));
+  Rng rng(p.m * 7 + p.k * 3 + p.n);
+  const FixMatrix a = to_fixed(tensor::random_uniform(p.m, p.k, rng, -1.0, 1.0));
+  const FixMatrix b = to_fixed(tensor::random_uniform(p.k, p.n, rng, -1.0, 1.0));
+  const auto [c, cycles] = sim.gemm(a, b);
+  const FixMatrix want = tensor::matmul(a, b);
+  ASSERT_EQ(c.rows(), want.rows());
+  ASSERT_EQ(c.cols(), want.cols());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.at_flat(i).raw(), want.at_flat(i).raw()) << "element " << i;
+  }
+  EXPECT_GT(cycles.total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndGeometries, GemmEquivalence,
+    ::testing::Values(GemmCase{2, 2, 2, 2, 2, 2},      // exact fit
+                      GemmCase{2, 2, 2, 4, 4, 4},      // multiple tiles
+                      GemmCase{4, 4, 2, 3, 5, 3},      // edge tiles
+                      GemmCase{4, 4, 4, 9, 7, 10},     // ragged everything
+                      GemmCase{2, 4, 2, 5, 6, 5},      // non-square array
+                      GemmCase{4, 2, 4, 6, 3, 7},      // tall array
+                      GemmCase{8, 8, 16, 16, 32, 16},  // reference-like
+                      GemmCase{4, 4, 8, 1, 1, 1},      // degenerate problem
+                      GemmCase{2, 2, 2, 1, 16, 1}));   // long reduction
+
+struct MhpCase {
+  std::size_t rows, cols, macs;
+  std::size_t m, n;
+};
+
+class MhpEquivalence : public ::testing::TestWithParam<MhpCase> {};
+
+TEST_P(MhpEquivalence, MatchesReferenceMhpAffine) {
+  const auto& p = GetParam();
+  SystolicArraySim sim(small_config(p.rows, p.cols, p.macs));
+  Rng rng(p.m * 31 + p.n);
+  const FixMatrix x = to_fixed(tensor::random_uniform(p.m, p.n, rng, -4.0, 4.0));
+  const FixMatrix k = to_fixed(tensor::random_uniform(p.m, p.n, rng, -2.0, 2.0));
+  const FixMatrix b = to_fixed(tensor::random_uniform(p.m, p.n, rng, -2.0, 2.0));
+  const auto [y, cycles] = sim.mhp(x, k, b);
+  const FixMatrix want = tensor::mhp_affine(x, k, b);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(y.at_flat(i).raw(), want.at_flat(i).raw()) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndGeometries, MhpEquivalence,
+    ::testing::Values(MhpCase{2, 2, 2, 2, 2},     // one element per PE cycle
+                      MhpCase{4, 4, 4, 8, 8},     // even split
+                      MhpCase{4, 4, 4, 3, 5},     // uneven chunks
+                      MhpCase{2, 4, 2, 7, 3},     // rectangular array
+                      MhpCase{8, 8, 16, 16, 16},  // reference-like
+                      MhpCase{4, 4, 2, 1, 1},     // single element
+                      MhpCase{3, 3, 4, 10, 10})); // odd diagonal
+
+TEST(ArraySim, OnlyDiagonalPesComputeDuringMhp) {
+  ArrayConfig cfg = small_config(4, 4, 4);
+  SystolicArraySim sim(cfg);
+  Rng rng(99);
+  const FixMatrix x = to_fixed(tensor::random_uniform(8, 8, rng));
+  const FixMatrix k = to_fixed(tensor::random_uniform(8, 8, rng));
+  const FixMatrix b = to_fixed(tensor::random_uniform(8, 8, rng));
+  const std::uint64_t before = sim.total_mac_ops();
+  sim.mhp(x, k, b);
+  // Exactly 2 MAC ops per element, nothing from transmission PEs.
+  EXPECT_EQ(sim.total_mac_ops() - before, 2u * 64u);
+}
+
+TEST(ArraySim, GemmMacCountMatchesProblem) {
+  SystolicArraySim sim(small_config(4, 4, 4));
+  Rng rng(1);
+  const FixMatrix a = to_fixed(tensor::random_uniform(4, 8, rng));
+  const FixMatrix b = to_fixed(tensor::random_uniform(8, 4, rng));
+  sim.gemm(a, b);
+  EXPECT_EQ(sim.total_mac_ops(), 4u * 8u * 4u);
+}
+
+TEST(ArraySim, CycleBreakdownPhasesPopulated) {
+  SystolicArraySim sim(small_config(4, 4, 4));
+  Rng rng(2);
+  const FixMatrix a = to_fixed(tensor::random_uniform(8, 16, rng));
+  const FixMatrix b = to_fixed(tensor::random_uniform(16, 8, rng));
+  const auto [c, cycles] = sim.gemm(a, b);
+  EXPECT_GT(cycles.fill_cycles, 0u);
+  EXPECT_GT(cycles.compute_cycles, 0u);
+  EXPECT_GT(cycles.drain_cycles, 0u);
+  EXPECT_GT(cycles.memory_cycles, 0u);
+  EXPECT_EQ(cycles.ipf_cycles, 0u);  // linear pass has no IPF
+}
+
+TEST(ArraySim, ShapeMismatchThrows) {
+  SystolicArraySim sim(small_config(2, 2, 2));
+  EXPECT_THROW(sim.gemm(FixMatrix(2, 3), FixMatrix(2, 3)), ShapeError);
+  EXPECT_THROW(sim.mhp(FixMatrix(2, 2), FixMatrix(2, 3), FixMatrix(2, 2)), ShapeError);
+}
+
+TEST(ArraySim, RepeatedUseIsClean) {
+  // State from a GEMM must not leak into a following MHP and vice versa.
+  SystolicArraySim sim(small_config(2, 2, 2));
+  Rng rng(3);
+  const FixMatrix a = to_fixed(tensor::random_uniform(2, 4, rng));
+  const FixMatrix b = to_fixed(tensor::random_uniform(4, 2, rng));
+  const auto first = sim.gemm(a, b);
+  const FixMatrix x = to_fixed(tensor::random_uniform(3, 3, rng));
+  const FixMatrix k = to_fixed(tensor::random_uniform(3, 3, rng));
+  const FixMatrix bb = to_fixed(tensor::random_uniform(3, 3, rng));
+  const auto mhp = sim.mhp(x, k, bb);
+  EXPECT_EQ(mhp.output, tensor::mhp_affine(x, k, bb));
+  const auto second = sim.gemm(a, b);
+  EXPECT_EQ(first.output, second.output);
+  EXPECT_EQ(first.cycles.total(), second.cycles.total());
+}
+
+}  // namespace
+}  // namespace onesa::sim

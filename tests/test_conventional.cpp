@@ -1,0 +1,93 @@
+// Tests for the conventional-accelerator baseline (SA + dedicated
+// nonlinear function units) and its inflexibility semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "onesa/conventional.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa {
+namespace {
+
+using tensor::to_double;
+using tensor::to_fixed;
+
+ConventionalConfig bert_style_config() {
+  ConventionalConfig cfg;
+  cfg.array.rows = 4;
+  cfg.array.cols = 4;
+  cfg.array.macs_per_pe = 4;
+  cfg.function_units = {{cpwl::FunctionKind::kGelu, 8, 4},
+                        {cpwl::FunctionKind::kExp, 8, 4}};
+  return cfg;
+}
+
+TEST(Conventional, GemmMatchesReference) {
+  ConventionalAccelerator accel(bert_style_config());
+  Rng rng(1);
+  const auto a = to_fixed(tensor::random_uniform(5, 6, rng));
+  const auto b = to_fixed(tensor::random_uniform(6, 4, rng));
+  EXPECT_EQ(accel.gemm(a, b).y, tensor::matmul(a, b));
+}
+
+TEST(Conventional, DedicatedUnitIsExact) {
+  ConventionalAccelerator accel(bert_style_config());
+  Rng rng(2);
+  const auto x = to_fixed(tensor::random_uniform(4, 4, rng, -4.0, 4.0));
+  const auto out = accel.elementwise(cpwl::FunctionKind::kGelu, x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double want =
+        cpwl::eval_reference(cpwl::FunctionKind::kGelu, x.at_flat(i).to_double());
+    EXPECT_NEAR(out.y.at_flat(i).to_double(), want, fixed::Fix16::resolution());
+  }
+}
+
+TEST(Conventional, UnsupportedFunctionThrows) {
+  // The flexibility gap ONE-SA closes: a BERT-style accelerator cannot run a
+  // network that needs tanh.
+  ConventionalAccelerator accel(bert_style_config());
+  const auto x = to_fixed(tensor::Matrix{{1.0}});
+  EXPECT_TRUE(accel.supports(cpwl::FunctionKind::kGelu));
+  EXPECT_FALSE(accel.supports(cpwl::FunctionKind::kTanh));
+  EXPECT_THROW(accel.elementwise(cpwl::FunctionKind::kTanh, x),
+               UnsupportedFunctionError);
+}
+
+TEST(Conventional, HandoffStallsCharged) {
+  ConventionalConfig cfg = bert_style_config();
+  cfg.unit_handoff_cycles = 100;
+  ConventionalAccelerator accel(cfg);
+  const auto x = to_fixed(tensor::Matrix{{1.0, 2.0}});
+  const auto out = accel.elementwise(cpwl::FunctionKind::kGelu, x);
+  EXPECT_GE(out.cycles.memory_cycles, 200u);  // both crossings
+}
+
+TEST(Conventional, PositiveOnlyFunctionsClampNonPositiveInputs) {
+  ConventionalConfig cfg = bert_style_config();
+  cfg.function_units.push_back({cpwl::FunctionKind::kRsqrt, 8, 4});
+  ConventionalAccelerator accel(cfg);
+  const auto x = to_fixed(tensor::Matrix{{0.0, 4.0}});
+  const auto out = accel.elementwise(cpwl::FunctionKind::kRsqrt, x);
+  // rsqrt(clamp) saturates to the INT16 max rather than crashing.
+  EXPECT_GT(out.y(0, 0).to_double(), 10.0);
+  EXPECT_NEAR(out.y(0, 1).to_double(), 0.5, 0.01);
+}
+
+TEST(Conventional, ThroughputScalesWithUnitWidth) {
+  ConventionalConfig narrow = bert_style_config();
+  narrow.function_units[0].width = 1;
+  ConventionalConfig wide = bert_style_config();
+  wide.function_units[0].width = 16;
+  ConventionalAccelerator a(narrow);
+  ConventionalAccelerator b(wide);
+  Rng rng(3);
+  const auto x = to_fixed(tensor::random_uniform(8, 8, rng));
+  const auto slow = a.elementwise(cpwl::FunctionKind::kGelu, x);
+  const auto fast = b.elementwise(cpwl::FunctionKind::kGelu, x);
+  EXPECT_GT(slow.cycles.total(), fast.cycles.total());
+}
+
+}  // namespace
+}  // namespace onesa

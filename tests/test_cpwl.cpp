@@ -1,0 +1,208 @@
+// Tests for the CPWL approximation engine — the core mechanism of ONE-SA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpwl/approx_error.hpp"
+#include "cpwl/segment_table.hpp"
+
+namespace onesa::cpwl {
+namespace {
+
+SegmentTable build(FunctionKind kind, double granularity) {
+  SegmentTableConfig cfg;
+  cfg.granularity = granularity;
+  return SegmentTable::build(kind, cfg);
+}
+
+TEST(SegmentTable, ExactAtSegmentEndpoints) {
+  // The CPWL line interpolates the curve at segment endpoints.
+  const auto t = build(FunctionKind::kGelu, 0.25);
+  for (double x = -8.0; x <= 8.0; x += 0.25) {
+    EXPECT_NEAR(t.eval(x), eval_reference(FunctionKind::kGelu, x), 1e-9) << x;
+  }
+}
+
+TEST(SegmentTable, ReluIsExactEverywhere) {
+  // ReLU is piecewise linear with a breakpoint at a segment boundary, so
+  // CPWL reproduces it exactly (for segment-aligned granularity).
+  const auto t = build(FunctionKind::kRelu, 0.5);
+  for (double x = -7.9; x <= 7.9; x += 0.0317) {
+    EXPECT_NEAR(t.eval(x), eval_reference(FunctionKind::kRelu, x), 1e-12) << x;
+  }
+}
+
+TEST(SegmentTable, ErrorBoundQuadraticInGranularity) {
+  // For a C^2 function, interpolation error per segment is bounded by
+  // g^2 / 8 * max|f''|. For sigmoid, max|f''| ~ 0.0963.
+  for (double g : {0.125, 0.25, 0.5}) {
+    const auto report =
+        measure_error(FunctionKind::kSigmoid, build(FunctionKind::kSigmoid, g));
+    EXPECT_LE(report.max_abs_error, g * g / 8.0 * 0.1 + 1e-9) << g;
+  }
+}
+
+TEST(SegmentTable, ErrorDecreasesWithGranularity) {
+  const auto reports =
+      granularity_sweep(FunctionKind::kGelu, {1.0, 0.5, 0.25, 0.125, 0.0625});
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_LE(reports[i].max_abs_error, reports[i - 1].max_abs_error)
+        << "granularity " << reports[i].granularity;
+  }
+}
+
+TEST(SegmentTable, CappingUsesBoundarySegmentLine) {
+  const auto t = build(FunctionKind::kGelu, 0.25);
+  // Far beyond the domain, GELU(x) ~ x; the top boundary segment's line has
+  // slope ~1, intercept ~0, so the capped evaluation extends it.
+  const double far = 20.0;
+  const int top = t.max_segment();
+  EXPECT_EQ(t.segment_index(far), top);
+  EXPECT_NEAR(t.eval(far), t.k(top) * far + t.b(top), 1e-12);
+  // And below: GELU -> 0.
+  const int bottom = t.min_segment();
+  EXPECT_EQ(t.segment_index(-20.0), bottom);
+  EXPECT_NEAR(t.eval(-20.0), t.k(bottom) * -20.0 + t.b(bottom), 1e-12);
+}
+
+TEST(SegmentTable, ShiftIndexableForPowersOfTwo) {
+  EXPECT_TRUE(build(FunctionKind::kGelu, 0.25).shift_indexable());
+  EXPECT_TRUE(build(FunctionKind::kGelu, 0.5).shift_indexable());
+  EXPECT_TRUE(build(FunctionKind::kGelu, 1.0).shift_indexable());
+  EXPECT_TRUE(build(FunctionKind::kGelu, 2.0).shift_indexable());
+  EXPECT_FALSE(build(FunctionKind::kGelu, 0.1).shift_indexable());
+  EXPECT_FALSE(build(FunctionKind::kGelu, 0.75).shift_indexable());
+}
+
+TEST(SegmentTable, ShiftAmountMatchesFormula) {
+  // Q6.9: g = 2^e, shift = 9 + e.
+  EXPECT_EQ(build(FunctionKind::kGelu, 0.25).shift_amount(), 7);
+  EXPECT_EQ(build(FunctionKind::kGelu, 0.5).shift_amount(), 8);
+  EXPECT_EQ(build(FunctionKind::kGelu, 1.0).shift_amount(), 9);
+}
+
+// The load-bearing hardware property: for every INT16 raw value, the shift
+// path of the data-addressing unit gives the same (capped) segment as the
+// arithmetic divide path.
+class ShiftVsDivide : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShiftVsDivide, AgreeOnEveryRawValue) {
+  const auto t = build(FunctionKind::kGelu, GetParam());
+  ASSERT_TRUE(t.shift_indexable());
+  for (int raw = -32768; raw <= 32767; ++raw) {
+    const auto r = static_cast<std::int16_t>(raw);
+    const double x = static_cast<double>(r) / 512.0;
+    EXPECT_EQ(t.segment_index_raw(r), t.segment_index(x)) << "raw " << raw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoGranularities, ShiftVsDivide,
+                         ::testing::Values(0.125, 0.25, 0.5, 1.0, 2.0));
+
+TEST(SegmentTable, EvalFixedTracksDoubleEval) {
+  const auto t = build(FunctionKind::kGelu, 0.25);
+  for (double x = -6.0; x <= 6.0; x += 0.0173) {
+    const auto fx = fixed::Fix16::from_double(x);
+    const double got = t.eval_fixed(fx).to_double();
+    const double want = t.eval(fx.to_double());
+    // Error budget: quantized k/b (each <= ulp/2, k error scaled by |x|<=8)
+    // plus the final rounding.
+    EXPECT_NEAR(got, want, fixed::Fix16::resolution() * (2.0 + std::abs(x))) << x;
+  }
+}
+
+TEST(SegmentTable, TableBytesMatchesSegmentCount) {
+  const auto t = build(FunctionKind::kGelu, 0.25);
+  // Domain [-8, 8] at 0.25 -> 64 segments, 2 INT16 params each.
+  EXPECT_EQ(t.segment_count(), 64u);
+  EXPECT_EQ(t.table_bytes(), 64u * 4u);
+}
+
+TEST(SegmentTable, ReciprocalBoundarySegmentIsFinite) {
+  // The first segment of 1/x is clipped to the domain edge, so k and b stay
+  // finite even though the segment nominally starts at 0.
+  const auto t = build(FunctionKind::kReciprocal, 0.25);
+  const int s0 = t.min_segment();
+  EXPECT_TRUE(std::isfinite(t.k(s0)));
+  EXPECT_TRUE(std::isfinite(t.b(s0)));
+  // At the domain's low edge the approximation interpolates the curve.
+  const double lo = t.domain().lo;
+  EXPECT_NEAR(t.eval(lo), 1.0 / lo, 1e-9);
+}
+
+TEST(SegmentTable, InvalidConfigsThrow) {
+  SegmentTableConfig bad;
+  bad.granularity = -1.0;
+  EXPECT_THROW(SegmentTable::build(FunctionKind::kGelu, bad), Error);
+  SegmentTableConfig empty;
+  empty.granularity = 0.25;
+  empty.domain = {3.0, 3.0};
+  EXPECT_THROW(
+      SegmentTable::build_custom([](double x) { return x; }, "id", empty), Error);
+}
+
+TEST(SegmentTable, CustomFunctionSupported) {
+  // The "one-size-fits-all" promise: arbitrary scalar nonlinearity.
+  SegmentTableConfig cfg;
+  cfg.granularity = 0.125;
+  cfg.domain = {0.0, 4.0};
+  const auto t = SegmentTable::build_custom(
+      [](double x) { return std::log1p(x); }, "log1p", cfg);
+  for (double x = 0.0; x <= 4.0; x += 0.0117) {
+    EXPECT_NEAR(t.eval(x), std::log1p(x), 0.125 * 0.125 / 8.0 * 1.0 + 1e-9) << x;
+  }
+}
+
+TEST(TableSet, ProvidesAllCatalogFunctions) {
+  const TableSet set(0.25);
+  for (FunctionKind kind : all_functions()) {
+    EXPECT_EQ(set.get(kind).name(), function_name(kind));
+    EXPECT_EQ(set.get(kind).granularity(), 0.25);
+  }
+  EXPECT_GT(set.total_table_bytes(), 0u);
+}
+
+TEST(TableSet, PerFunctionGranularityOverrides) {
+  const TableSet set(0.5, {{FunctionKind::kExp, 0.125}, {FunctionKind::kGelu, 0.25}});
+  EXPECT_DOUBLE_EQ(set.get(FunctionKind::kExp).granularity(), 0.125);
+  EXPECT_DOUBLE_EQ(set.get(FunctionKind::kGelu).granularity(), 0.25);
+  EXPECT_DOUBLE_EQ(set.get(FunctionKind::kTanh).granularity(), 0.5);
+  // Finer exp table means more bytes than the uniform-0.5 set.
+  const TableSet uniform(0.5);
+  EXPECT_GT(set.total_table_bytes(), uniform.total_table_bytes());
+}
+
+TEST(ApproxError, ChooseGranularityMeetsTolerance) {
+  const double g = choose_granularity(FunctionKind::kGelu, 0.01);
+  const auto report = measure_error(FunctionKind::kGelu, build(FunctionKind::kGelu, g));
+  EXPECT_LE(report.max_abs_error, 0.01);
+  // And it is the *largest* qualifying power of two: doubling it fails.
+  const auto worse =
+      measure_error(FunctionKind::kGelu, build(FunctionKind::kGelu, g * 2.0));
+  EXPECT_GT(worse.max_abs_error, 0.01);
+}
+
+TEST(ApproxError, ImpossibleToleranceThrows) {
+  EXPECT_THROW(choose_granularity(FunctionKind::kExp, 1e-12), ConfigError);
+}
+
+// Every catalog function is well approximated at the paper's default 0.25
+// granularity (the basis of Table III's "negligible loss" claim).
+class AllFunctionsAtDefault : public ::testing::TestWithParam<FunctionKind> {};
+
+TEST_P(AllFunctionsAtDefault, BoundedRelativeOrAbsoluteError) {
+  const auto kind = GetParam();
+  const auto report = measure_error(kind, build(kind, 0.25));
+  // Reciprocal/rsqrt are steep near the domain edge; allow a looser bound.
+  const double bound = positive_only(kind) ? 0.6 : 0.02;
+  EXPECT_LE(report.max_abs_error, bound) << function_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, AllFunctionsAtDefault,
+                         ::testing::ValuesIn(all_functions()),
+                         [](const auto& info) {
+                           return std::string(function_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace onesa::cpwl

@@ -1,0 +1,213 @@
+// Property-based tests for CPWL tables and the MHP datapath: structural
+// invariants that must hold for every function / granularity / input, not
+// just the sampled examples of test_cpwl.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "cpwl/segment_table.hpp"
+#include "onesa/accelerator.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa {
+namespace {
+
+using cpwl::FunctionKind;
+using cpwl::SegmentTable;
+using cpwl::SegmentTableConfig;
+
+SegmentTable build(FunctionKind kind, double g) {
+  SegmentTableConfig cfg;
+  cfg.granularity = g;
+  return SegmentTable::build(kind, cfg);
+}
+
+// ------------------------------------------------------- continuity property
+
+class CpwlContinuity
+    : public ::testing::TestWithParam<std::tuple<FunctionKind, double>> {};
+
+TEST_P(CpwlContinuity, ContinuousAtEverySegmentBoundary) {
+  const auto [kind, g] = GetParam();
+  const auto t = build(kind, g);
+  // At each interior boundary, the left segment's line and the right
+  // segment's line meet at the curve point (both interpolate f there).
+  for (int s = t.min_segment() + 1; s <= t.max_segment(); ++s) {
+    const double x = s * g;
+    const double left = t.k(s - 1) * x + t.b(s - 1);
+    const double right = t.k(s) * x + t.b(s);
+    EXPECT_NEAR(left, right, 1e-9) << "boundary " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FunctionsAndGranularities, CpwlContinuity,
+    ::testing::Combine(::testing::Values(FunctionKind::kGelu, FunctionKind::kTanh,
+                                         FunctionKind::kSigmoid, FunctionKind::kExp,
+                                         FunctionKind::kSoftplus),
+                       ::testing::Values(0.125, 0.25, 0.5, 1.0)));
+
+// ----------------------------------------------------- monotonicity property
+
+class CpwlMonotonicity : public ::testing::TestWithParam<FunctionKind> {};
+
+TEST_P(CpwlMonotonicity, MonotoneFunctionsStayMonotoneUnderCpwl) {
+  // Piecewise-linear interpolation of a monotone function is monotone
+  // (segment slopes are secant slopes >= 0, boundaries continuous), and
+  // capping preserves that. Softmax correctness depends on this: a
+  // non-monotone exp approximation could permute attention rankings.
+  const auto t = build(GetParam(), 0.25);
+  double prev = t.eval(-20.0);
+  for (double x = -20.0; x <= 20.0; x += 0.0173) {
+    const double y = t.eval(x);
+    EXPECT_GE(y, prev - 1e-12) << "x = " << x;
+    prev = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MonotoneFunctions, CpwlMonotonicity,
+                         ::testing::Values(FunctionKind::kTanh, FunctionKind::kSigmoid,
+                                           FunctionKind::kExp, FunctionKind::kErf,
+                                           FunctionKind::kSoftplus,
+                                           FunctionKind::kRelu),
+                         [](const auto& info) {
+                           return std::string(cpwl::function_name(info.param));
+                         });
+
+TEST(CpwlMonotonicityFixed, ExpNearMonotoneOverEveryRawInput) {
+  // The INT16 datapath version, over every representable input. Exact
+  // monotonicity cannot hold: quantizing k to the nearest ulp perturbs the
+  // line by up to |x| * ulp/2 (|x| <= 16 in the exp domain -> 8 ulps), so
+  // adjacent segments with near-zero true slope can jitter by a few raw
+  // steps — and the far tail of exp can even dip a few ulps below zero.
+  // The property we rely on (softmax ranking stability) only needs the
+  // jitter bounded by that quantization envelope.
+  const auto t = build(FunctionKind::kExp, 0.25);
+  constexpr std::int32_t kQuantJitter = 9;  // |x|max * ulp/2 + final rounding
+  std::int32_t running_max = t.eval_fixed(fixed::Fix16::from_raw(-32768)).raw();
+  for (int raw = -32767; raw <= 32767; ++raw) {
+    const std::int32_t y = t.eval_fixed(fixed::Fix16::from_raw(
+                                            static_cast<std::int16_t>(raw)))
+                               .raw();
+    ASSERT_GE(y, running_max - kQuantJitter) << "raw " << raw;
+    running_max = std::max(running_max, y);
+  }
+}
+
+// -------------------------------------------------------- identity properties
+
+TEST(MhpProperties, IdentityParamsReturnInputExactly) {
+  // Y = X (.) 1 + 0 must be bit-exact X on every geometry: the MHP is used
+  // for residual adds, where silently perturbing X would corrupt the skip
+  // path.
+  Rng rng(1);
+  for (std::size_t dim : {2u, 3u, 4u, 8u}) {
+    OneSaConfig cfg;
+    cfg.array.rows = dim;
+    cfg.array.cols = dim;
+    cfg.array.macs_per_pe = 4;
+    cfg.mode = ExecutionMode::kCycleAccurate;
+    OneSaAccelerator accel(cfg);
+    const auto x = tensor::to_fixed(tensor::random_uniform(7, 5, rng, -60.0, 60.0));
+    const auto y = accel.mhp(x, tensor::constant_fix(7, 5, 1.0),
+                             tensor::constant_fix(7, 5, 0.0));
+    EXPECT_EQ(y.y, x) << "geometry " << dim;
+  }
+}
+
+TEST(MhpProperties, ReluExactOnEveryRawInput) {
+  // ReLU is piecewise linear with its breakpoint on a segment boundary, so
+  // the full IPF+MHP pipeline must compute max(0, x) *exactly* for every
+  // INT16 value (this is why CNN accuracy is granularity-independent).
+  OneSaConfig cfg;
+  cfg.array.rows = 4;
+  cfg.array.cols = 4;
+  cfg.array.macs_per_pe = 4;
+  cfg.mode = ExecutionMode::kAnalytic;
+  for (double g : {0.25, 1.0}) {
+    cfg.granularity = g;
+    OneSaAccelerator accel(cfg);
+    tensor::FixMatrix x(1, 4096);
+    for (int chunk = -32768; chunk < 32768; chunk += 4096) {
+      for (int i = 0; i < 4096; ++i) {
+        x.at_flat(static_cast<std::size_t>(i)) =
+            fixed::Fix16::from_raw(static_cast<std::int16_t>(chunk + i));
+      }
+      const auto y = accel.elementwise(FunctionKind::kRelu, x);
+      for (int i = 0; i < 4096; ++i) {
+        const std::int16_t raw = static_cast<std::int16_t>(chunk + i);
+        const std::int16_t want = raw > 0 ? raw : std::int16_t{0};
+        ASSERT_EQ(y.y.at_flat(static_cast<std::size_t>(i)).raw(), want)
+            << "raw " << raw << " g " << g;
+      }
+    }
+  }
+}
+
+TEST(MhpProperties, CompositeModeAgreement) {
+  // The composite ops (softmax, layernorm) are compositions of charged
+  // sub-ops; both execution modes must agree on results AND cycles.
+  OneSaConfig detailed_cfg;
+  detailed_cfg.array.rows = 4;
+  detailed_cfg.array.cols = 4;
+  detailed_cfg.array.macs_per_pe = 4;
+  detailed_cfg.mode = ExecutionMode::kCycleAccurate;
+  OneSaConfig analytic_cfg = detailed_cfg;
+  analytic_cfg.mode = ExecutionMode::kAnalytic;
+  OneSaAccelerator detailed(detailed_cfg);
+  OneSaAccelerator analytic(analytic_cfg);
+
+  Rng rng(2);
+  const auto x = tensor::to_fixed(tensor::random_uniform(6, 8, rng, -2.0, 2.0));
+  const auto sm_d = detailed.softmax_rows(x);
+  const auto sm_a = analytic.softmax_rows(x);
+  EXPECT_EQ(sm_d.y, sm_a.y);
+  EXPECT_EQ(sm_d.cycles.total(), sm_a.cycles.total());
+
+  const auto gamma = tensor::constant_fix(1, 8, 1.0);
+  const auto beta = tensor::constant_fix(1, 8, 0.0);
+  const auto ln_d = detailed.layernorm_rows(x, gamma, beta);
+  const auto ln_a = analytic.layernorm_rows(x, gamma, beta);
+  EXPECT_EQ(ln_d.y, ln_a.y);
+  EXPECT_EQ(ln_d.cycles.total(), ln_a.cycles.total());
+}
+
+TEST(MhpProperties, SaturationIsClampNotWrap) {
+  // Extreme K values must saturate the INT16 result, never wrap sign.
+  OneSaConfig cfg;
+  cfg.array.rows = 2;
+  cfg.array.cols = 2;
+  cfg.array.macs_per_pe = 2;
+  cfg.mode = ExecutionMode::kCycleAccurate;
+  OneSaAccelerator accel(cfg);
+  const auto x = tensor::constant_fix(2, 2, 60.0);
+  const auto k = tensor::constant_fix(2, 2, 60.0);
+  const auto b = tensor::constant_fix(2, 2, 0.0);
+  const auto y = accel.mhp(x, k, b);
+  for (std::size_t i = 0; i < y.y.size(); ++i) {
+    EXPECT_EQ(y.y.at_flat(i).raw(), std::numeric_limits<std::int16_t>::max());
+  }
+}
+
+// ---------------------------------------------- segment-count sanity property
+
+class TableBytesScaling : public ::testing::TestWithParam<FunctionKind> {};
+
+TEST_P(TableBytesScaling, HalvingGranularityDoublesBytes) {
+  for (double g : {1.0, 0.5, 0.25, 0.125}) {
+    const auto coarse = build(GetParam(), g);
+    const auto fine = build(GetParam(), g / 2.0);
+    EXPECT_EQ(fine.table_bytes(), 2 * coarse.table_bytes()) << "g " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, TableBytesScaling,
+                         ::testing::Values(FunctionKind::kGelu, FunctionKind::kExp,
+                                           FunctionKind::kSigmoid),
+                         [](const auto& info) {
+                           return std::string(cpwl::function_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace onesa

@@ -1,0 +1,73 @@
+// Tests for the FIFO primitive used by the L3 datapath.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/fifo.hpp"
+
+namespace onesa::sim {
+namespace {
+
+TEST(Fifo, FifoOrdering) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.push(1));
+  EXPECT_TRUE(f.push(2));
+  EXPECT_TRUE(f.push(3));
+  EXPECT_EQ(f.pop().value(), 1);
+  EXPECT_EQ(f.pop().value(), 2);
+  EXPECT_EQ(f.pop().value(), 3);
+  EXPECT_FALSE(f.pop().has_value());
+}
+
+TEST(Fifo, BackPressureWhenFull) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.push(1));
+  EXPECT_TRUE(f.push(2));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.push(3));  // producer must stall
+  EXPECT_EQ(f.size(), 2u);
+  f.pop();
+  EXPECT_TRUE(f.push(3));
+}
+
+TEST(Fifo, PeakOccupancyTracksHighWaterMark) {
+  Fifo<int> f(8);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  f.pop();
+  f.pop();
+  f.push(4);
+  EXPECT_EQ(f.peak_occupancy(), 3u);
+  EXPECT_EQ(f.total_pushed(), 4u);
+}
+
+TEST(Fifo, ClearKeepsLifetimeStats) {
+  Fifo<int> f(4);
+  f.push(1);
+  f.push(2);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.peak_occupancy(), 2u);
+  EXPECT_EQ(f.total_pushed(), 2u);
+}
+
+TEST(Fifo, FrontOnEmptyThrows) {
+  Fifo<int> f(1);
+  EXPECT_THROW(f.front(), Error);
+}
+
+TEST(Fifo, ZeroCapacityRejected) {
+  EXPECT_THROW(Fifo<int>(0), Error);
+}
+
+TEST(Fifo, MoveOnlyPayloads) {
+  Fifo<std::unique_ptr<int>> f(2);
+  EXPECT_TRUE(f.push(std::make_unique<int>(42)));
+  auto v = f.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+}  // namespace
+}  // namespace onesa::sim

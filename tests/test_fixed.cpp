@@ -1,0 +1,145 @@
+// Unit tests for the INT16 Q6.9 fixed-point arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fixed/fixed16.hpp"
+
+namespace onesa::fixed {
+namespace {
+
+TEST(Fixed16, RoundTripExactValues) {
+  // Multiples of the resolution are represented exactly.
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.5, 2.25, -3.125, 63.0, -64.0}) {
+    EXPECT_DOUBLE_EQ(Fix16::from_double(v).to_double(), v) << v;
+  }
+}
+
+TEST(Fixed16, ResolutionIsQ69) {
+  EXPECT_DOUBLE_EQ(Fix16::resolution(), 1.0 / 512.0);
+  EXPECT_EQ(Fix16::kOne, 512);
+}
+
+TEST(Fixed16, QuantizationErrorBounded) {
+  // Round-to-nearest: error <= half ulp.
+  for (double v = -10.0; v < 10.0; v += 0.0137) {
+    const double q = Fix16::from_double(v).to_double();
+    EXPECT_LE(std::abs(q - v), Fix16::resolution() / 2.0 + 1e-12) << v;
+  }
+}
+
+TEST(Fixed16, SaturatesAtRangeEdges) {
+  EXPECT_EQ(Fix16::from_double(1000.0).raw(), std::numeric_limits<std::int16_t>::max());
+  EXPECT_EQ(Fix16::from_double(-1000.0).raw(), std::numeric_limits<std::int16_t>::min());
+  EXPECT_NEAR(Fix16::max().to_double(), 64.0, 0.01);
+  EXPECT_NEAR(Fix16::min().to_double(), -64.0, 0.01);
+}
+
+TEST(Fixed16, AdditionSaturatesInsteadOfWrapping) {
+  const auto big = Fix16::from_double(60.0);
+  const auto sum = big + big;
+  EXPECT_EQ(sum.raw(), std::numeric_limits<std::int16_t>::max());
+  const auto neg = Fix16::from_double(-60.0);
+  EXPECT_EQ((neg + neg).raw(), std::numeric_limits<std::int16_t>::min());
+}
+
+TEST(Fixed16, MultiplicationMatchesDouble) {
+  for (double a = -5.0; a < 5.0; a += 0.613) {
+    for (double b = -5.0; b < 5.0; b += 0.417) {
+      const auto fa = Fix16::from_double(a);
+      const auto fb = Fix16::from_double(b);
+      const double expected = fa.to_double() * fb.to_double();
+      EXPECT_NEAR((fa * fb).to_double(), expected, Fix16::resolution()) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Fixed16, UnaryMinus) {
+  EXPECT_DOUBLE_EQ((-Fix16::from_double(2.5)).to_double(), -2.5);
+  // Negating the minimum saturates (two's complement asymmetry).
+  EXPECT_EQ((-Fix16::min()).raw(), std::numeric_limits<std::int16_t>::max());
+}
+
+TEST(Fixed16, ComparisonOperators) {
+  EXPECT_LT(Fix16::from_double(1.0), Fix16::from_double(2.0));
+  EXPECT_EQ(Fix16::from_double(1.5), Fix16::from_double(1.5));
+  EXPECT_GT(Fix16::from_double(-1.0), Fix16::from_double(-2.0));
+}
+
+TEST(Accumulator, WideAccumulationAvoidsIntermediateSaturation) {
+  // Sum of 1000 products of 8 * 8 = 64000 overflows INT16 intermediates but
+  // the wide accumulator holds it; the final narrow saturates.
+  Acc16 acc;
+  const auto eight = Fix16::from_double(8.0);
+  for (int i = 0; i < 1000; ++i) acc.mac(eight, eight);
+  EXPECT_EQ(acc.result().raw(), std::numeric_limits<std::int16_t>::max());
+}
+
+TEST(Accumulator, ExactDotProduct) {
+  // Small dot product representable exactly in Q6.9.
+  Acc16 acc;
+  acc.mac(Fix16::from_double(0.5), Fix16::from_double(2.0));   // 1.0
+  acc.mac(Fix16::from_double(1.5), Fix16::from_double(-2.0));  // -3.0
+  acc.mac(Fix16::from_double(0.25), Fix16::from_double(4.0));  // 1.0
+  EXPECT_DOUBLE_EQ(acc.result().to_double(), -1.0);
+}
+
+TEST(Accumulator, AddMergesLanes) {
+  Acc16 a;
+  Acc16 b;
+  a.mac(Fix16::from_double(1.0), Fix16::from_double(2.0));
+  b.mac(Fix16::from_double(3.0), Fix16::from_double(1.0));
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a.result().to_double(), 5.0);
+}
+
+TEST(Accumulator, ClearResets) {
+  Acc16 acc;
+  acc.mac(Fix16::from_double(2.0), Fix16::from_double(2.0));
+  acc.clear();
+  EXPECT_DOUBLE_EQ(acc.result().to_double(), 0.0);
+}
+
+TEST(Fixed16, QuantizeHelperMatchesFixedRoundTrip) {
+  for (double v = -8.0; v < 8.0; v += 0.0731) {
+    EXPECT_DOUBLE_EQ(quantize(v), Fix16::from_double(v).to_double()) << v;
+  }
+}
+
+// Property sweep: raw round trip is the identity for every INT16 value.
+class RawRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RawRoundTrip, FromRawPreservesBits) {
+  const auto raw = static_cast<std::int16_t>(GetParam());
+  EXPECT_EQ(Fix16::from_raw(raw).raw(), raw);
+  // to_double/from_double round trip is also exact for representable values.
+  EXPECT_EQ(Fix16::from_double(Fix16::from_raw(raw).to_double()).raw(), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBoundaryValues, RawRoundTrip,
+                         ::testing::Values(-32768, -32767, -512, -1, 0, 1, 2, 255, 256,
+                                           511, 512, 513, 32766, 32767));
+
+// Different Q formats behave consistently.
+template <typename T>
+class QFormat : public ::testing::Test {};
+
+using Formats = ::testing::Types<Fixed<6>, Fixed<8>, Fixed<9>, Fixed<12>>;
+TYPED_TEST_SUITE(QFormat, Formats);
+
+TYPED_TEST(QFormat, OneTimesXIsX) {
+  const auto one = TypeParam::from_double(1.0);
+  for (double v = -3.0; v <= 3.0; v += 0.37) {
+    const auto x = TypeParam::from_double(v);
+    EXPECT_EQ((one * x).raw(), x.raw()) << v;
+  }
+}
+
+TYPED_TEST(QFormat, ResolutionMatchesFracBits) {
+  EXPECT_DOUBLE_EQ(TypeParam::resolution(),
+                   1.0 / static_cast<double>(1 << TypeParam::kFracBits));
+}
+
+}  // namespace
+}  // namespace onesa::fixed

@@ -1,0 +1,161 @@
+// Tests for the im2col/col2im convolution lowering.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::tensor {
+namespace {
+
+/// Naive direct convolution used as the golden model.
+Matrix naive_conv(const Matrix& image_row, const Matrix& weight, const ConvShape& s,
+                  std::size_t out_channels) {
+  const std::size_t oh = s.out_height();
+  const std::size_t ow = s.out_width();
+  Matrix out(1, out_channels * oh * ow, 0.0);
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < s.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < s.kernel; ++kx) {
+              const auto y = static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+                             static_cast<std::ptrdiff_t>(s.padding);
+              const auto x = static_cast<std::ptrdiff_t>(ox * s.stride + kx) -
+                             static_cast<std::ptrdiff_t>(s.padding);
+              if (y < 0 || x < 0 || y >= static_cast<std::ptrdiff_t>(s.in_height) ||
+                  x >= static_cast<std::ptrdiff_t>(s.in_width)) {
+                continue;
+              }
+              const double pixel =
+                  image_row(0, (c * s.in_height + static_cast<std::size_t>(y)) *
+                                       s.in_width +
+                                   static_cast<std::size_t>(x));
+              const double w =
+                  weight((c * s.kernel + ky) * s.kernel + kx, oc);
+              acc += pixel * w;
+            }
+          }
+        }
+        out(0, oc * oh * ow + oy * ow + ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ConvShape, OutputDims) {
+  ConvShape s{3, 8, 8, 3, 1, 1};
+  EXPECT_EQ(s.out_height(), 8u);
+  EXPECT_EQ(s.out_width(), 8u);
+  EXPECT_EQ(s.patch_cols(), 27u);
+  ConvShape strided{1, 8, 8, 2, 2, 0};
+  EXPECT_EQ(strided.out_height(), 4u);
+}
+
+TEST(ConvShape, KernelTooLargeThrows) {
+  ConvShape s{1, 2, 2, 5, 1, 0};
+  EXPECT_THROW(s.out_height(), Error);
+}
+
+TEST(Im2col, PatchContentNoPadding) {
+  // 1-channel 3x3 image, 2x2 kernel -> 4 patches of 4 taps.
+  Matrix img{{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0}};
+  ConvShape s{1, 3, 3, 2, 1, 0};
+  const Matrix p = im2col(img, s);
+  EXPECT_EQ(p.rows(), 4u);
+  EXPECT_EQ(p.cols(), 4u);
+  // First patch: rows (1,2),(4,5).
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(p(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(p(0, 3), 5.0);
+  // Last patch: rows (5,6),(8,9).
+  EXPECT_DOUBLE_EQ(p(3, 3), 9.0);
+}
+
+TEST(Im2col, PaddingReadsZero) {
+  Matrix img{{1.0, 2.0, 3.0, 4.0}};
+  ConvShape s{1, 2, 2, 3, 1, 1};
+  const Matrix p = im2col(img, s);
+  EXPECT_EQ(p.rows(), 4u);
+  // Top-left patch's first tap is fully in padding.
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.0);
+  // Center tap of first patch = pixel (0,0).
+  EXPECT_DOUBLE_EQ(p(0, 4), 1.0);
+}
+
+struct ConvCase {
+  ConvShape shape;
+  std::size_t out_channels;
+};
+
+class ConvViaGemm : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvViaGemm, MatchesNaiveConvolution) {
+  const auto& [shape, out_channels] = GetParam();
+  Rng rng(shape.in_channels * 10 + shape.kernel);
+  const Matrix img =
+      random_uniform(1, shape.in_channels * shape.in_height * shape.in_width, rng);
+  const Matrix w = random_uniform(shape.patch_cols(), out_channels, rng);
+  const Matrix bias(1, out_channels, 0.0);
+  const Matrix via_gemm = conv2d_via_gemm(img, w, bias, shape);
+  const Matrix naive = naive_conv(img, w, shape, out_channels);
+  EXPECT_LT(max_abs_distance(via_gemm, naive), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvViaGemm,
+    ::testing::Values(ConvCase{{1, 4, 4, 3, 1, 1}, 2},   // same-size conv
+                      ConvCase{{3, 6, 6, 3, 1, 1}, 4},   // multi-channel
+                      ConvCase{{2, 8, 8, 3, 2, 1}, 3},   // strided
+                      ConvCase{{1, 5, 5, 1, 1, 0}, 2},   // 1x1 conv
+                      ConvCase{{4, 7, 7, 7, 1, 3}, 2})); // big kernel
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining property of
+  // the adjoint, which is exactly what conv backward needs.
+  ConvShape s{2, 5, 5, 3, 1, 1};
+  Rng rng(42);
+  const Matrix x = random_normal(1, s.in_channels * s.in_height * s.in_width, rng);
+  const Matrix y = random_normal(s.patch_rows(), s.patch_cols(), rng);
+  const Matrix ix = im2col(x, s);
+  const Matrix cy = col2im(y, s);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < ix.size(); ++i) lhs += ix.at_flat(i) * y.at_flat(i);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x.at_flat(i) * cy.at_flat(i);
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(Conv2dViaGemm, BiasApplied) {
+  ConvShape s{1, 3, 3, 3, 1, 1};
+  const Matrix img(1, 9, 0.0);
+  const Matrix w(9, 2, 0.0);
+  Matrix bias{{1.5, -2.5}};
+  const Matrix out = conv2d_via_gemm(img, w, bias, s);
+  EXPECT_DOUBLE_EQ(out(0, 0), 1.5);        // channel 0
+  EXPECT_DOUBLE_EQ(out(0, 9), -2.5);       // channel 1 starts at oh*ow = 9
+}
+
+TEST(Conv2dViaGemm, BatchRowsIndependent) {
+  ConvShape s{1, 4, 4, 3, 1, 1};
+  Rng rng(5);
+  const Matrix batch = random_uniform(3, 16, rng);
+  const Matrix w = random_uniform(9, 2, rng);
+  const Matrix bias(1, 2, 0.0);
+  const Matrix all = conv2d_via_gemm(batch, w, bias, s);
+  for (std::size_t n = 0; n < 3; ++n) {
+    Matrix row(1, 16);
+    for (std::size_t j = 0; j < 16; ++j) row(0, j) = batch(n, j);
+    const Matrix single = conv2d_via_gemm(row, w, bias, s);
+    for (std::size_t j = 0; j < single.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(all(n, j), single(0, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace onesa::tensor

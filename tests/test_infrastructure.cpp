@@ -1,0 +1,159 @@
+// Tests for the infrastructure substrate: error macros, logging, table
+// rendering, memory models and cycle accounting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sim/clock.hpp"
+#include "sim/memory.hpp"
+
+namespace onesa {
+namespace {
+
+TEST(ErrorMacros, CheckThrowsWithContext) {
+  try {
+    ONESA_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+    EXPECT_NE(what.find("test_infrastructure.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, CheckPassesSilently) {
+  EXPECT_NO_THROW(ONESA_CHECK(2 + 2 == 4, "never shown"));
+}
+
+TEST(ErrorMacros, ShapeCheckThrowsShapeError) {
+  EXPECT_THROW(ONESA_CHECK_SHAPE(false, "bad dims"), ShapeError);
+}
+
+TEST(ErrorHierarchy, ConfigAndShapeAreErrors) {
+  EXPECT_THROW(throw ConfigError("x"), Error);
+  EXPECT_THROW(throw ShapeError("x"), Error);
+}
+
+TEST(Logging, LevelGate) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.set_level(LogLevel::kError);
+  EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+  log.set_level(LogLevel::kTrace);
+  EXPECT_TRUE(log.enabled(LogLevel::kDebug));
+  log.set_level(before);
+}
+
+TEST(TablePrinter, AlignsColumnsAndPadsMissingCells) {
+  TablePrinter t({"A", "Column"});
+  t.add_row({"1", "x"});
+  t.add_row({"22"});  // missing second cell
+  std::ostringstream out;
+  t.render(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| A  | Column |"), std::string::npos);
+  EXPECT_NE(s.find("| 22 |        |"), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(-1.0, 0), "-1");
+}
+
+TEST(TablePrinter, WithRatio) {
+  EXPECT_EQ(TablePrinter::with_ratio(110.0, 100.0), "110 (110.0%)");
+  EXPECT_EQ(TablePrinter::with_ratio(5.0, 0.0), "5");  // no baseline
+}
+
+TEST(Rng, DeterministicAndForkIndependent) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  Rng child_a = a.fork();
+  double x = child_a.uniform();
+  double y = a.uniform();
+  // Fork advanced the parent once; the child stream differs from parent's.
+  EXPECT_NE(x, y);
+}
+
+TEST(Rng, IntegerBoundsInclusive) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.integer(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::size_t ones = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ones += rng.categorical({0.0, 1.0}) == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(ones, 1000u);
+}
+
+TEST(CycleStats, SumAndSeconds) {
+  sim::CycleStats s;
+  s.fill_cycles = 10;
+  s.compute_cycles = 20;
+  s.drain_cycles = 30;
+  s.memory_cycles = 40;
+  s.ipf_cycles = 100;
+  EXPECT_EQ(s.total(), 200u);
+  EXPECT_DOUBLE_EQ(s.seconds(200.0), 200.0 / 200e6);
+  sim::CycleStats t = s;
+  t += s;
+  EXPECT_EQ(t.total(), 400u);
+  EXPECT_NE(s.to_string().find("total=200"), std::string::npos);
+}
+
+TEST(DramModel, TransferCyclesIncludesLatency) {
+  sim::DramModel dram(16, 10);
+  EXPECT_EQ(dram.transfer_cycles(0), 0u);
+  EXPECT_EQ(dram.transfer_cycles(1), 11u);
+  EXPECT_EQ(dram.transfer_cycles(16), 11u);
+  EXPECT_EQ(dram.transfer_cycles(17), 12u);
+}
+
+TEST(DramModel, TrafficAccounting) {
+  sim::DramModel dram(16, 10);
+  dram.record_read(100);
+  dram.record_read(50);
+  dram.record_write(20);
+  EXPECT_EQ(dram.bytes_read(), 150u);
+  EXPECT_EQ(dram.bytes_written(), 20u);
+}
+
+TEST(BufferModel, CapacityEnforced) {
+  sim::BufferModel buf("test", sim::BufferLevel::kL2, 100, 8);
+  buf.allocate(60);
+  buf.allocate(40);
+  EXPECT_THROW(buf.allocate(1), Error);
+  buf.release(50);
+  EXPECT_NO_THROW(buf.allocate(10));
+  EXPECT_EQ(buf.peak_bytes(), 100u);
+  EXPECT_THROW(buf.release(1000), Error);
+}
+
+TEST(BufferModel, StreamCycles) {
+  sim::BufferModel buf("port", sim::BufferLevel::kL3, 256, 8);
+  EXPECT_EQ(buf.stream_cycles(8), 1u);
+  EXPECT_EQ(buf.stream_cycles(9), 2u);
+  EXPECT_EQ(buf.stream_cycles(0), 0u);
+}
+
+TEST(BufferModel, InvalidConstruction) {
+  EXPECT_THROW(sim::BufferModel("x", sim::BufferLevel::kL1, 0, 8), Error);
+  EXPECT_THROW(sim::BufferModel("x", sim::BufferLevel::kL1, 8, 0), Error);
+}
+
+}  // namespace
+}  // namespace onesa

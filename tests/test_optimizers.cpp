@@ -1,0 +1,102 @@
+// Behavioural tests for the optimizers (the trainers behind Table III).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/linear.hpp"
+#include "train/optimizer.hpp"
+
+namespace onesa::train {
+namespace {
+
+/// A single scalar parameter wrapped for the optimizer API.
+nn::Param scalar_param(double v) { return nn::Param(tensor::Matrix{{v}}); }
+
+TEST(Sgd, PlainStepIsLrTimesGrad) {
+  nn::Param p = scalar_param(1.0);
+  Sgd opt({&p}, /*lr=*/0.1, /*momentum=*/0.0);
+  p.grad(0, 0) = 2.0;
+  opt.step();
+  EXPECT_NEAR(p.value(0, 0), 1.0 - 0.1 * 2.0, 1e-12);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  nn::Param p = scalar_param(0.0);
+  Sgd opt({&p}, /*lr=*/1.0, /*momentum=*/0.5);
+  p.grad(0, 0) = 1.0;
+  opt.step();  // v = 1, x = -1
+  EXPECT_NEAR(p.value(0, 0), -1.0, 1e-12);
+  opt.step();  // v = 0.5*1 + 1 = 1.5, x = -2.5
+  EXPECT_NEAR(p.value(0, 0), -2.5, 1e-12);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  nn::Param p = scalar_param(10.0);
+  Sgd opt({&p}, /*lr=*/0.1, /*momentum=*/0.0, /*weight_decay=*/0.1);
+  p.grad(0, 0) = 0.0;
+  opt.step();
+  EXPECT_LT(p.value(0, 0), 10.0);
+}
+
+TEST(Sgd, ZeroGradClearsAccumulation) {
+  nn::Param p = scalar_param(0.0);
+  Sgd opt({&p}, 0.1);
+  p.grad(0, 0) = 5.0;
+  opt.zero_grad();
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.0);
+  opt.step();
+  EXPECT_DOUBLE_EQ(p.value(0, 0), 0.0);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction, the first Adam step magnitude is ~lr regardless
+  // of gradient scale.
+  for (double g : {0.001, 1.0, 1000.0}) {
+    nn::Param p = scalar_param(0.0);
+    Adam opt({&p}, /*lr=*/0.01);
+    p.grad(0, 0) = g;
+    opt.step();
+    EXPECT_NEAR(std::abs(p.value(0, 0)), 0.01, 1e-4) << "grad " << g;
+  }
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2.
+  nn::Param p = scalar_param(0.0);
+  Adam opt({&p}, /*lr=*/0.1);
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    p.grad(0, 0) = 2.0 * (p.value(0, 0) - 3.0);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0, 0.05);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  nn::Param p = scalar_param(0.0);
+  Sgd opt({&p}, /*lr=*/0.05, /*momentum=*/0.9);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    p.grad(0, 0) = 2.0 * (p.value(0, 0) - 3.0);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0, 1e-3);
+}
+
+TEST(Optimizers, MultipleParamsUpdatedIndependently) {
+  Rng rng(1);
+  nn::Linear layer(3, 2, rng);
+  Sgd opt(layer.params(), 0.1);
+  const tensor::Matrix before_w = layer.weight().value;
+  layer.weight().grad = tensor::Matrix(3, 2, 1.0);
+  layer.bias().grad = tensor::Matrix(1, 2, 0.0);
+  opt.step();
+  for (std::size_t i = 0; i < before_w.size(); ++i) {
+    EXPECT_NEAR(layer.weight().value.at_flat(i), before_w.at_flat(i) - 0.1, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(layer.bias().value(0, 0), 0.0);  // zero grad, zero decay
+}
+
+}  // namespace
+}  // namespace onesa::train

@@ -1,0 +1,124 @@
+// Tests for the processing-element microarchitecture (Fig. 7).
+#include <gtest/gtest.h>
+
+#include "sim/pe.hpp"
+
+namespace onesa::sim {
+namespace {
+
+using fixed::Fix16;
+
+Flit flit(std::initializer_list<double> values) {
+  Flit f;
+  for (double v : values) f.push_back(Fix16::from_double(v));
+  return f;
+}
+
+TEST(ProcessingElement, ControlLogicMapping) {
+  ProcessingElement pe(4);
+  pe.set_mode(PeMode::kGemm);
+  EXPECT_TRUE(pe.control_c1());
+  EXPECT_TRUE(pe.control_c2());
+  pe.set_mode(PeMode::kMhpCompute);
+  EXPECT_FALSE(pe.control_c1());
+  EXPECT_TRUE(pe.control_c2());
+  pe.set_mode(PeMode::kMhpTransmit);
+  EXPECT_TRUE(pe.control_c1());
+  EXPECT_FALSE(pe.control_c2());
+}
+
+TEST(ProcessingElement, GemmAccumulatesDotProduct) {
+  ProcessingElement pe(2);
+  pe.set_mode(PeMode::kGemm);
+  pe.cycle(flit({1.0, 2.0}), flit({3.0, 4.0}));  // 1*3 + 2*4 = 11
+  pe.cycle(flit({0.5, 0.5}), flit({2.0, 2.0}));  // + 2 = 13
+  EXPECT_DOUBLE_EQ(pe.gemm_result().to_double(), 13.0);
+}
+
+TEST(ProcessingElement, GemmForwardsBothDirections) {
+  ProcessingElement pe(2);
+  pe.set_mode(PeMode::kGemm);
+  const Flit west = flit({1.0, 2.0});
+  const Flit north = flit({3.0, 4.0});
+  pe.cycle(west, north);
+  EXPECT_EQ(pe.east(), west);
+  EXPECT_EQ(pe.south(), north);
+}
+
+TEST(ProcessingElement, BubblesDoNotCompute) {
+  ProcessingElement pe(2);
+  pe.set_mode(PeMode::kGemm);
+  pe.cycle(flit({1.0, 1.0}), {});  // north bubble
+  pe.cycle({}, flit({1.0, 1.0}));  // west bubble
+  EXPECT_DOUBLE_EQ(pe.gemm_result().to_double(), 0.0);
+  EXPECT_EQ(pe.active_cycles(), 0u);
+}
+
+TEST(ProcessingElement, MhpComputePairsLanes) {
+  ProcessingElement pe(4);
+  pe.set_mode(PeMode::kMhpCompute);
+  // Two (x, 1) pairs against (k, b): y0 = 2*3 + 1*1 = 7, y1 = -1*0.5 + 1*2 = 1.5.
+  pe.cycle(flit({2.0, 1.0, -1.0, 1.0}), flit({3.0, 1.0, 0.5, 2.0}));
+  ASSERT_EQ(pe.mhp_outputs().size(), 2u);
+  EXPECT_DOUBLE_EQ(pe.mhp_outputs()[0].to_double(), 7.0);
+  EXPECT_DOUBLE_EQ(pe.mhp_outputs()[1].to_double(), 1.5);
+}
+
+TEST(ProcessingElement, MhpComputeDoesNotForward) {
+  // Computation PE: values are used once and terminate (C1 off).
+  ProcessingElement pe(2);
+  pe.set_mode(PeMode::kMhpCompute);
+  pe.cycle(flit({1.0, 1.0}), flit({2.0, 0.0}));
+  EXPECT_TRUE(pe.east().empty());
+  EXPECT_TRUE(pe.south().empty());
+}
+
+TEST(ProcessingElement, MhpTransmitForwardsWithoutComputing) {
+  ProcessingElement pe(2);
+  pe.set_mode(PeMode::kMhpTransmit);
+  const Flit west = flit({5.0, 1.0});
+  const Flit north = flit({2.0, 3.0});
+  pe.cycle(west, north);
+  EXPECT_EQ(pe.east(), west);
+  EXPECT_EQ(pe.south(), north);
+  EXPECT_TRUE(pe.mhp_outputs().empty());
+  EXPECT_EQ(pe.mac_ops(), 0u);
+}
+
+TEST(ProcessingElement, ForwardingHasOneCycleDelay) {
+  ProcessingElement pe(2);
+  pe.set_mode(PeMode::kMhpTransmit);
+  const Flit a = flit({1.0, 1.0});
+  const Flit b = flit({2.0, 2.0});
+  pe.cycle(a, {});
+  EXPECT_EQ(pe.east(), a);
+  pe.cycle(b, {});
+  EXPECT_EQ(pe.east(), b);  // previous value replaced each cycle
+}
+
+TEST(ProcessingElement, SetModeClearsDatapath) {
+  ProcessingElement pe(2);
+  pe.set_mode(PeMode::kGemm);
+  pe.cycle(flit({1.0, 1.0}), flit({1.0, 1.0}));
+  EXPECT_GT(pe.gemm_result().to_double(), 0.0);
+  pe.set_mode(PeMode::kMhpCompute);
+  EXPECT_DOUBLE_EQ(pe.gemm_result().to_double(), 0.0);
+  EXPECT_TRUE(pe.east().empty());
+}
+
+TEST(ProcessingElement, MacOpCounting) {
+  ProcessingElement pe(4);
+  pe.set_mode(PeMode::kGemm);
+  pe.cycle(flit({1.0, 1.0, 1.0, 1.0}), flit({1.0, 1.0, 1.0, 1.0}));
+  EXPECT_EQ(pe.mac_ops(), 4u);
+  pe.set_mode(PeMode::kMhpCompute);
+  pe.cycle(flit({1.0, 1.0}), flit({1.0, 1.0}));
+  EXPECT_EQ(pe.mac_ops(), 6u);  // +2 for one pair
+}
+
+TEST(ProcessingElement, NeedsAtLeastOneLane) {
+  EXPECT_THROW(ProcessingElement(0), Error);
+}
+
+}  // namespace
+}  // namespace onesa::sim

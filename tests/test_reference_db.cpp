@@ -1,0 +1,73 @@
+// Tests for the Table IV reference-constant database.
+#include <gtest/gtest.h>
+
+#include "fpga/reference_db.hpp"
+
+namespace onesa::fpga {
+namespace {
+
+TEST(ReferenceDb, AllGeneralPurposeRowsPresent) {
+  for (Workload w : {Workload::kResNet50, Workload::kBertBase, Workload::kGcn}) {
+    const auto rows = references_for(w);
+    // CPU, GPU, SoC at minimum.
+    EXPECT_GE(rows.size(), 3u) << workload_name(w);
+  }
+}
+
+TEST(ReferenceDb, CpuBaselineSpeedupIsOne) {
+  const auto& cpu = cpu_baseline(Workload::kResNet50);
+  EXPECT_DOUBLE_EQ(cpu.latency_ms / cpu.latency_ms, 1.0);
+  EXPECT_DOUBLE_EQ(cpu.latency_ms, 42.51);
+}
+
+TEST(ReferenceDb, PublishedEfficiencyValues) {
+  // Spot-check the T/P column of Table IV.
+  const auto& cpu = cpu_baseline(Workload::kResNet50);
+  EXPECT_NEAR(cpu.efficiency(), 0.83, 0.01);
+  for (const auto& e : reference_table()) {
+    if (e.spec == "3090Ti" && e.workload == Workload::kGcn) {
+      EXPECT_NEAR(e.efficiency(), 5.68, 0.01);
+    }
+    if (e.spec == "AGX ORIN" && e.workload == Workload::kBertBase) {
+      EXPECT_NEAR(e.efficiency(), 18.26, 0.01);
+    }
+    if (e.spec == "NPE") {
+      EXPECT_NEAR(e.efficiency(), 20.27, 0.01);
+    }
+  }
+}
+
+TEST(ReferenceDb, AcceleratorsOnlyOnTheirWorkloads) {
+  // Angel-eye and the VGG16 design are ResNet-only rows; NPE and FTRANS are
+  // BERT-only; no accelerator row exists for GCN (§V-D).
+  std::size_t gcn_accels = 0;
+  for (const auto& e : references_for(Workload::kGcn)) {
+    if (e.processor != "Intel CPU" && e.processor != "NVIDIA GPU" &&
+        e.processor != "NVIDIA SoC") {
+      ++gcn_accels;
+    }
+  }
+  EXPECT_EQ(gcn_accels, 0u);
+
+  bool npe_on_bert = false;
+  for (const auto& e : references_for(Workload::kBertBase)) {
+    if (e.spec == "NPE") npe_on_bert = true;
+  }
+  EXPECT_TRUE(npe_on_bert);
+}
+
+TEST(ReferenceDb, GpuFastestLatencyPerWorkload) {
+  for (Workload w : {Workload::kResNet50, Workload::kBertBase, Workload::kGcn}) {
+    const auto rows = references_for(w);
+    double gpu_latency = 0.0;
+    for (const auto& e : rows) {
+      if (e.processor == "NVIDIA GPU") gpu_latency = e.latency_ms;
+    }
+    for (const auto& e : rows) {
+      EXPECT_GE(e.latency_ms, gpu_latency) << e.spec;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace onesa::fpga

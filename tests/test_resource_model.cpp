@@ -1,0 +1,206 @@
+// Calibration tests: the FPGA resource model must reproduce the paper's
+// Table I and Table II numbers exactly, the power model the 7.61 W design
+// point, and the Fig. 9 scaling trends.
+#include <gtest/gtest.h>
+
+#include "fpga/power_model.hpp"
+#include "fpga/resource_model.hpp"
+
+namespace onesa::fpga {
+namespace {
+
+sim::ArrayConfig square(std::size_t dim, std::size_t macs = 16) {
+  sim::ArrayConfig cfg;
+  cfg.rows = dim;
+  cfg.cols = dim;
+  cfg.macs_per_pe = macs;
+  return cfg;
+}
+
+// ------------------------------------------------------------------ Table I
+
+TEST(TableI, ConventionalPeAnchor) {
+  const ResourceVector pe = pe_resources(Design::kConventionalSa, 16);
+  EXPECT_DOUBLE_EQ(pe.bram, 1.0);
+  EXPECT_DOUBLE_EQ(pe.lut, 824.0);
+  EXPECT_DOUBLE_EQ(pe.ff, 1862.0);
+  EXPECT_DOUBLE_EQ(pe.dsp, 16.0);
+}
+
+TEST(TableI, OneSaPeAnchor) {
+  const ResourceVector pe = pe_resources(Design::kOneSa, 16);
+  EXPECT_DOUBLE_EQ(pe.bram, 1.0);
+  EXPECT_DOUBLE_EQ(pe.lut, 826.0);
+  EXPECT_DOUBLE_EQ(pe.ff, 2380.0);
+  EXPECT_DOUBLE_EQ(pe.dsp, 16.0);
+}
+
+TEST(TableI, L3Anchors) {
+  const ResourceVector sa = l3_resources(Design::kConventionalSa, true);
+  EXPECT_DOUBLE_EQ(sa.bram, 0.0);
+  EXPECT_DOUBLE_EQ(sa.lut, 174.0);
+  EXPECT_DOUBLE_EQ(sa.ff, 566.0);
+  const ResourceVector ours = l3_resources(Design::kOneSa, true);
+  EXPECT_DOUBLE_EQ(ours.bram, 2.0);
+  EXPECT_DOUBLE_EQ(ours.lut, 1021.0);
+  EXPECT_DOUBLE_EQ(ours.ff, 1209.0);
+  // Only the output L3 carries the addressing logic.
+  const ResourceVector input_l3 = l3_resources(Design::kOneSa, false);
+  EXPECT_DOUBLE_EQ(input_l3.lut, 174.0);
+}
+
+TEST(TableI, PePaperRatios) {
+  // §IV-C: ONE-SA PE has identical BRAM/DSP, nearly equal LUT, ~27% more FF.
+  const ResourceVector sa = pe_resources(Design::kConventionalSa, 16);
+  const ResourceVector ours = pe_resources(Design::kOneSa, 16);
+  EXPECT_DOUBLE_EQ(ours.bram, sa.bram);
+  EXPECT_DOUBLE_EQ(ours.dsp, sa.dsp);
+  EXPECT_NEAR(ours.lut / sa.lut, 1.0, 0.01);
+  EXPECT_NEAR(ours.ff / sa.ff, 1.278, 0.01);
+  // L3: 4.87x LUT, ~2.14x FF (paper says +1.14x more = 2.14x total).
+  const ResourceVector l3sa = l3_resources(Design::kConventionalSa, true);
+  const ResourceVector l3ours = l3_resources(Design::kOneSa, true);
+  EXPECT_NEAR(l3ours.lut / l3sa.lut, 5.87, 0.02);
+  EXPECT_NEAR(l3ours.ff / l3sa.ff, 2.14, 0.01);
+}
+
+// ----------------------------------------------------------------- Table II
+
+struct TableIiRow {
+  std::size_t dim;
+  double sa_bram, sa_lut, sa_ff, sa_dsp;
+  double onesa_bram, onesa_lut, onesa_ff, onesa_dsp;
+};
+
+class TableIi : public ::testing::TestWithParam<TableIiRow> {};
+
+TEST_P(TableIi, TotalsMatchPaperExactly) {
+  const auto& row = GetParam();
+  const ResourceVector sa = total_resources(Design::kConventionalSa, square(row.dim));
+  EXPECT_DOUBLE_EQ(sa.bram, row.sa_bram);
+  EXPECT_DOUBLE_EQ(sa.lut, row.sa_lut);
+  EXPECT_DOUBLE_EQ(sa.ff, row.sa_ff);
+  EXPECT_DOUBLE_EQ(sa.dsp, row.sa_dsp);
+  const ResourceVector ours = total_resources(Design::kOneSa, square(row.dim));
+  EXPECT_DOUBLE_EQ(ours.bram, row.onesa_bram);
+  EXPECT_DOUBLE_EQ(ours.lut, row.onesa_lut);
+  EXPECT_DOUBLE_EQ(ours.ff, row.onesa_ff);
+  EXPECT_DOUBLE_EQ(ours.dsp, row.onesa_dsp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableIi,
+    ::testing::Values(
+        TableIiRow{4, 470, 67976, 66924, 256, 472, 68855, 75855, 256},
+        TableIiRow{8, 822, 179247, 179247, 1024, 824, 180222, 213042, 1024},
+        TableIiRow{16, 1366, 730225, 552539, 4096, 1368, 731584, 685790, 4096}));
+
+TEST(TableIi, FfOverheadInPaperRange) {
+  // "a modest increase in FFs composition, ranging from 13.3% to 24.1%".
+  for (std::size_t dim : {4u, 8u, 16u}) {
+    const double sa = total_resources(Design::kConventionalSa, square(dim)).ff;
+    const double ours = total_resources(Design::kOneSa, square(dim)).ff;
+    const double overhead = ours / sa - 1.0;
+    EXPECT_GE(overhead, 0.132) << dim;
+    EXPECT_LE(overhead, 0.242) << dim;
+  }
+}
+
+// -------------------------------------------------------------------- Fig 9
+
+TEST(Fig9, LutFfDspGrowWithPes) {
+  for (std::size_t macs : {2u, 8u, 32u}) {
+    ResourceVector prev;
+    for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+      const ResourceVector r = total_resources(Design::kOneSa, square(dim, macs));
+      EXPECT_GT(r.lut, prev.lut);
+      EXPECT_GT(r.ff, prev.ff);
+      EXPECT_GT(r.dsp, prev.dsp);
+      EXPECT_GT(r.bram, prev.bram);
+      prev = r;
+    }
+  }
+}
+
+TEST(Fig9, DspLinearInMacs) {
+  const double dsp16 = total_resources(Design::kOneSa, square(8, 16)).dsp;
+  const double dsp32 = total_resources(Design::kOneSa, square(8, 32)).dsp;
+  EXPECT_DOUBLE_EQ(dsp32, 2.0 * dsp16);
+}
+
+TEST(Fig9, BramIndependentOfMacs) {
+  const double bram2 = total_resources(Design::kOneSa, square(8, 2)).bram;
+  const double bram32 = total_resources(Design::kOneSa, square(8, 32)).bram;
+  EXPECT_DOUBLE_EQ(bram2, bram32);
+}
+
+TEST(Fig9, FfGrowthPerMacDoublingInPaperRange) {
+  // "The utilization of FFs increases by approximately 2.6% to 53.8% when
+  // double the number of MACs is employed."
+  for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+    for (std::size_t macs : {2u, 4u, 8u, 16u}) {
+      const double before = total_resources(Design::kOneSa, square(dim, macs)).ff;
+      const double after = total_resources(Design::kOneSa, square(dim, macs * 2)).ff;
+      const double growth = after / before - 1.0;
+      EXPECT_GE(growth, 0.02) << dim << "x" << macs;
+      EXPECT_LE(growth, 0.55) << dim << "x" << macs;
+    }
+  }
+}
+
+TEST(Fig9, LutGrowthWithMacsIsMarginal) {
+  const double lut16 = total_resources(Design::kOneSa, square(8, 16)).lut;
+  const double lut32 = total_resources(Design::kOneSa, square(8, 32)).lut;
+  EXPECT_LT(lut32 / lut16, 1.10);
+}
+
+TEST(Fig9, BramGrowsSlowerThanPes) {
+  // 4x the PEs should far less than 4x the BRAM (gradual increment).
+  const double bram_small = total_resources(Design::kOneSa, square(4)).bram;
+  const double bram_large = total_resources(Design::kOneSa, square(8)).bram;
+  EXPECT_LT(bram_large / bram_small, 2.0);
+}
+
+// -------------------------------------------------------------------- power
+
+TEST(PowerModel, CalibratedToPaperDesignPoint) {
+  // ONE-SA, 8x8 PEs, 16 MACs, 200 MHz -> 7.61 W (Table IV).
+  const ResourceVector r = total_resources(Design::kOneSa, square(8, 16));
+  PowerModel power;
+  EXPECT_NEAR(power.watts(r, 200.0), 7.61, 0.01);
+}
+
+TEST(PowerModel, DynamicScalesWithClock) {
+  const ResourceVector r = total_resources(Design::kOneSa, square(8, 16));
+  PowerModel power;
+  const auto p200 = power.estimate(r, 200.0);
+  const auto p100 = power.estimate(r, 100.0);
+  EXPECT_DOUBLE_EQ(p200.static_watts, p100.static_watts);
+  EXPECT_NEAR((p200.total() - p200.static_watts) / (p100.total() - p100.static_watts),
+              2.0, 1e-9);
+}
+
+TEST(PowerModel, BiggerArraysBurnMore) {
+  PowerModel power;
+  double prev = 0.0;
+  for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+    const double w =
+        power.watts(total_resources(Design::kOneSa, square(dim)), 200.0);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(PowerModel, EnergyIsPowerTimesTime) {
+  PowerModel power;
+  const ResourceVector r = total_resources(Design::kOneSa, square(4));
+  EXPECT_NEAR(power.energy_joules(r, 200.0, 2.0), 2.0 * power.watts(r, 200.0), 1e-12);
+}
+
+TEST(ResourceModel, InvalidInputsThrow) {
+  EXPECT_THROW(pe_resources(Design::kOneSa, 0), Error);
+  EXPECT_THROW(infrastructure(0), Error);
+}
+
+}  // namespace
+}  // namespace onesa::fpga

@@ -1,0 +1,79 @@
+// Tests for the network-level scheduler (motivation experiment machinery).
+#include <gtest/gtest.h>
+
+#include "nn/scheduler.hpp"
+
+namespace onesa::nn {
+namespace {
+
+sim::TimingModel timing() {
+  sim::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 4;
+  cfg.macs_per_pe = 4;
+  return sim::TimingModel(cfg);
+}
+
+WorkloadTrace alternating_trace() {
+  WorkloadTrace t;
+  t.name = "alt";
+  t.ops.push_back({TraceOp::Kind::kGemm, 16, 16, 16});
+  t.ops.push_back({TraceOp::Kind::kRelu, 16, 0, 16});
+  t.ops.push_back({TraceOp::Kind::kGemm, 16, 16, 16});
+  t.ops.push_back({TraceOp::Kind::kRelu, 16, 0, 16});
+  return t;
+}
+
+TEST(Scheduler, OneSaHasNoHandoffsAndFullArrayUtilization) {
+  const auto report = schedule_onesa(alternating_trace(), timing());
+  EXPECT_EQ(report.handoff_cycles, 0u);
+  EXPECT_DOUBLE_EQ(report.array_utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(report.unit_utilization(), 0.0);
+  EXPECT_EQ(report.total_cycles, report.gemm_cycles + report.nonlinear_cycles);
+}
+
+TEST(Scheduler, OneSaTotalMatchesTraceEstimator) {
+  const auto trace = alternating_trace();
+  const auto report = schedule_onesa(trace, timing());
+  EXPECT_EQ(report.total_cycles, estimate_trace_cycles(trace, timing()).total());
+}
+
+TEST(Scheduler, ConventionalPaysHandoffPerTransition) {
+  // gemm -> relu -> gemm -> relu: 3 transitions.
+  const auto report =
+      schedule_conventional(alternating_trace(), timing(), 8, /*handoff=*/100);
+  EXPECT_EQ(report.handoff_cycles, 300u);
+}
+
+TEST(Scheduler, ConventionalNoHandoffForPureGemmTrace) {
+  WorkloadTrace t;
+  t.ops.push_back({TraceOp::Kind::kGemm, 8, 8, 8});
+  t.ops.push_back({TraceOp::Kind::kGemm, 8, 8, 8});
+  const auto report = schedule_conventional(t, timing());
+  EXPECT_EQ(report.handoff_cycles, 0u);
+  EXPECT_EQ(report.unit_busy_cycles, 0u);
+}
+
+TEST(Scheduler, ConventionalUnitsIdleDuringGemm) {
+  const auto report = schedule_conventional(alternating_trace(), timing());
+  EXPECT_LT(report.array_utilization(), 1.0);
+  EXPECT_GT(report.array_utilization(), 0.0);
+  EXPECT_LT(report.unit_utilization(), 0.5);
+  EXPECT_GT(report.unit_utilization(), 0.0);
+}
+
+TEST(Scheduler, RealTraceConventionalUnitUtilizationIsLow) {
+  // The paper's point: dedicated-unit silicon idles most of the time
+  // because GEMMs dominate.
+  const auto trace = bert_base_trace(32);
+  const auto report = schedule_conventional(trace, timing());
+  EXPECT_LT(report.unit_utilization(), 0.25);
+}
+
+TEST(Scheduler, LatencyConversion) {
+  ScheduleReport r;
+  r.total_cycles = 200000;
+  EXPECT_DOUBLE_EQ(r.latency_ms(200.0), 1.0);
+}
+
+}  // namespace
+}  // namespace onesa::nn

@@ -1,0 +1,165 @@
+// Property tests for the timing/simulator layer: pipelining, monotonicity,
+// traffic accounting, and geometry edge cases.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/array.hpp"
+#include "sim/timing.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::sim {
+namespace {
+
+using tensor::to_fixed;
+
+ArrayConfig config(std::size_t rows, std::size_t cols, std::size_t macs) {
+  ArrayConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.macs_per_pe = macs;
+  return cfg;
+}
+
+TEST(TimingProperties, TilePipeliningBeatsSerialTiles) {
+  // The pipelined multi-tile GEMM must cost less than executing each tile's
+  // fill+compute+drain serially.
+  TimingModel model(config(8, 8, 16));
+  const GemmShape shape{64, 128, 64};  // 8x8 = 64 tiles
+  const auto pipelined = model.gemm_cycles(shape).total();
+
+  std::uint64_t serial = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    serial += model.gemm_cycles({8, 128, 8}).total();
+  }
+  EXPECT_LT(pipelined, serial);
+}
+
+TEST(TimingProperties, GemmCyclesMonotoneInEveryDimension) {
+  TimingModel model(config(8, 8, 16));
+  const GemmShape base{32, 32, 32};
+  const auto base_cycles = model.gemm_cycles(base).total();
+  EXPECT_GE(model.gemm_cycles({64, 32, 32}).total(), base_cycles);
+  EXPECT_GE(model.gemm_cycles({32, 64, 32}).total(), base_cycles);
+  EXPECT_GE(model.gemm_cycles({32, 32, 64}).total(), base_cycles);
+}
+
+TEST(TimingProperties, MhpCyclesMonotoneInElements) {
+  TimingModel model(config(8, 8, 16));
+  std::uint64_t prev = 0;
+  for (std::size_t elems : {16u, 64u, 256u, 1024u, 4096u}) {
+    const auto c = model.mhp_cycles(elems).total();
+    EXPECT_GE(c, prev) << elems;
+    prev = c;
+  }
+}
+
+TEST(TimingProperties, NonSquareArraysHandled) {
+  // Rectangular geometry: diagonal = min(rows, cols); both orientations
+  // must agree with the detailed simulator.
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{2, 8},
+                            std::pair<std::size_t, std::size_t>{8, 2}}) {
+    const ArrayConfig cfg = config(rows, cols, 4);
+    SystolicArraySim sim(cfg);
+    TimingModel model(cfg);
+    Rng rng(rows * 10 + cols);
+    const auto a = to_fixed(tensor::random_uniform(10, 12, rng));
+    const auto b = to_fixed(tensor::random_uniform(12, 10, rng));
+    EXPECT_EQ(sim.gemm(a, b).cycles.total(),
+              model.gemm_cycles({10, 12, 10}).total());
+    const auto x = to_fixed(tensor::random_uniform(6, 6, rng));
+    EXPECT_EQ(sim.mhp(x, x, x).cycles.total(), model.mhp_cycles(36).total());
+  }
+}
+
+TEST(TimingProperties, HighReuseGemmIsComputeBound) {
+  // Large square-ish GEMM: every operand element is reused across many
+  // tiles, so compute cycles dominate — where systolic arrays shine.
+  TimingModel model(config(8, 8, 16));
+  const auto cycles = model.gemm_cycles({128, 4096, 128});
+  EXPECT_GT(static_cast<double>(cycles.compute_cycles) /
+                static_cast<double>(cycles.total()),
+            0.5);
+}
+
+TEST(TimingProperties, SkinnyGemmIsMemoryBound) {
+  // 8 x 4096 x 8: each operand element is used only 8 times; streaming the
+  // 128 KB of operands costs more than computing — the model must expose
+  // that bandwidth wall rather than pretend peak throughput.
+  TimingModel model(config(8, 8, 16));
+  const auto cycles = model.gemm_cycles({8, 4096, 8});
+  EXPECT_GT(cycles.memory_cycles, cycles.compute_cycles);
+}
+
+TEST(SimProperties, DramTrafficMatchesOperandSizes) {
+  const ArrayConfig cfg = config(4, 4, 4);
+  SystolicArraySim sim(cfg);
+  Rng rng(9);
+  const auto a = to_fixed(tensor::random_uniform(6, 10, rng));
+  const auto b = to_fixed(tensor::random_uniform(10, 8, rng));
+  sim.gemm(a, b);
+  // One GEMM: operands read once, result written once.
+  EXPECT_EQ(sim.dram().bytes_read(), (6 * 10 + 10 * 8) * sizeof(std::int16_t));
+  EXPECT_EQ(sim.dram().bytes_written(), 6 * 8 * sizeof(std::int16_t));
+}
+
+TEST(SimProperties, MhpWritesResultTraffic) {
+  const ArrayConfig cfg = config(4, 4, 4);
+  SystolicArraySim sim(cfg);
+  Rng rng(10);
+  const auto x = to_fixed(tensor::random_uniform(5, 5, rng));
+  sim.mhp(x, x, x);
+  EXPECT_EQ(sim.dram().bytes_written(), 25 * sizeof(std::int16_t));
+}
+
+TEST(SimProperties, SingleElementEverything) {
+  // 1x1 problems must work on every geometry (degenerate tiling).
+  for (std::size_t dim : {2u, 4u, 8u}) {
+    SystolicArraySim sim(config(dim, dim, 2));
+    const auto one = to_fixed(tensor::Matrix{{1.5}});
+    const auto two = to_fixed(tensor::Matrix{{2.0}});
+    EXPECT_DOUBLE_EQ(sim.gemm(one, two).output(0, 0).to_double(), 3.0);
+    EXPECT_DOUBLE_EQ(sim.mhp(one, two, two).output(0, 0).to_double(), 5.0);
+  }
+}
+
+TEST(SimProperties, KSmallerThanLanes) {
+  // K < macs_per_pe: a single partial flit must compute correctly.
+  SystolicArraySim sim(config(4, 4, 16));
+  Rng rng(11);
+  const auto a = to_fixed(tensor::random_uniform(4, 3, rng));
+  const auto b = to_fixed(tensor::random_uniform(3, 4, rng));
+  EXPECT_EQ(sim.gemm(a, b).output, tensor::matmul(a, b));
+}
+
+TEST(TimingProperties, ClockDoesNotChangeCycles) {
+  ArrayConfig fast = config(4, 4, 4);
+  fast.clock_mhz = 800.0;
+  ArrayConfig slow = config(4, 4, 4);
+  slow.clock_mhz = 50.0;
+  EXPECT_EQ(TimingModel(fast).gemm_cycles({16, 16, 16}).total(),
+            TimingModel(slow).gemm_cycles({16, 16, 16}).total());
+}
+
+TEST(TimingProperties, GopsBoundedByPeak) {
+  for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+    for (std::size_t macs : {2u, 8u, 32u}) {
+      TimingModel model(config(dim, dim, macs));
+      for (std::size_t n : {32u, 128u, 512u}) {
+        EXPECT_LE(model.gemm_gops({n, n, n}), model.peak_gops() * (1.0 + 1e-9))
+            << dim << "/" << macs << "/" << n;
+      }
+    }
+  }
+}
+
+TEST(TimingProperties, GnfsBoundedByPeak) {
+  for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+    TimingModel model(config(dim, dim, 16));
+    for (std::size_t n : {32u, 128u, 512u}) {
+      EXPECT_LE(model.nonlinear_gnfs(n * n), model.peak_gnfs() * (1.0 + 1e-9));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace onesa::sim

@@ -1,0 +1,138 @@
+// Tests for the synthetic dataset generators.
+#include <gtest/gtest.h>
+
+#include "data/synth.hpp"
+
+namespace onesa::data {
+namespace {
+
+TEST(ImageTask, ShapesAndLabels) {
+  Rng rng(1);
+  ImageTaskSpec spec;
+  const auto split = make_image_task(spec, rng);
+  EXPECT_EQ(split.train.size(), spec.train_samples);
+  EXPECT_EQ(split.test.size(), spec.test_samples);
+  EXPECT_EQ(split.train.inputs.cols(), spec.channels * spec.height * spec.width);
+  for (auto label : split.train.labels) EXPECT_LT(label, spec.classes);
+}
+
+TEST(ImageTask, DeterministicFromSeed) {
+  ImageTaskSpec spec;
+  Rng a(42);
+  Rng b(42);
+  const auto sa = make_image_task(spec, a);
+  const auto sb = make_image_task(spec, b);
+  EXPECT_EQ(sa.train.inputs, sb.train.inputs);
+  EXPECT_EQ(sa.train.labels, sb.train.labels);
+}
+
+TEST(ImageTask, SeparationControlsSignal) {
+  // Higher separation -> larger distance between class means.
+  auto class_mean_distance = [](const Dataset& d) {
+    // Mean of class 0 minus class 1, L2 over features.
+    std::vector<double> m0(d.inputs.cols(), 0.0);
+    std::vector<double> m1(d.inputs.cols(), 0.0);
+    std::size_t n0 = 0;
+    std::size_t n1 = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (d.labels[i] == 0) {
+        ++n0;
+        for (std::size_t j = 0; j < d.inputs.cols(); ++j) m0[j] += d.inputs(i, j);
+      } else if (d.labels[i] == 1) {
+        ++n1;
+        for (std::size_t j = 0; j < d.inputs.cols(); ++j) m1[j] += d.inputs(i, j);
+      }
+    }
+    double dist = 0.0;
+    for (std::size_t j = 0; j < m0.size(); ++j) {
+      const double d0 = m0[j] / static_cast<double>(n0) - m1[j] / static_cast<double>(n1);
+      dist += d0 * d0;
+    }
+    return dist;
+  };
+  Rng rng(7);
+  ImageTaskSpec easy;
+  easy.separation = 2.0;
+  ImageTaskSpec hard;
+  hard.separation = 0.3;
+  const double easy_dist = class_mean_distance(make_image_task(easy, rng).train);
+  const double hard_dist = class_mean_distance(make_image_task(hard, rng).train);
+  EXPECT_GT(easy_dist, hard_dist);
+}
+
+TEST(SequenceTask, TokensInVocab) {
+  Rng rng(2);
+  SequenceTaskSpec spec;
+  const auto split = make_sequence_task(spec, rng);
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    for (std::size_t p = 0; p < spec.seq_len; ++p) {
+      const double token = split.train.inputs(i, p);
+      EXPECT_GE(token, 0.0);
+      EXPECT_LT(token, static_cast<double>(spec.vocab));
+      EXPECT_DOUBLE_EQ(token, std::floor(token));  // integral ids
+    }
+  }
+}
+
+TEST(SequenceTask, MarkersCorrelateWithClass) {
+  Rng rng(3);
+  SequenceTaskSpec spec;
+  spec.marker_rate = 0.9;
+  const auto split = make_sequence_task(spec, rng);
+  // With marker_rate 0.9, most tokens of a class-c sample are in that
+  // class's marker range [2 + 3c, 2 + 3c + 2].
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::size_t c = split.train.labels[i];
+    std::size_t in_range = 0;
+    for (std::size_t p = 0; p < spec.seq_len; ++p) {
+      const auto tok = static_cast<std::size_t>(split.train.inputs(i, p));
+      if (tok >= 2 + 3 * c && tok < 2 + 3 * (c + 1)) ++in_range;
+    }
+    EXPECT_GT(in_range, spec.seq_len / 2) << "sample " << i;
+  }
+}
+
+TEST(SequenceTask, VocabTooSmallThrows) {
+  Rng rng(4);
+  SequenceTaskSpec spec;
+  spec.vocab = 5;
+  EXPECT_THROW(make_sequence_task(spec, rng), Error);
+}
+
+TEST(GraphTask, StructureValid) {
+  Rng rng(5);
+  GraphTaskSpec spec;
+  const auto task = make_graph_task(spec, rng);
+  EXPECT_EQ(task.labels.size(), spec.nodes);
+  EXPECT_EQ(task.features.rows(), spec.nodes);
+  EXPECT_EQ(task.train_mask.size(), spec.nodes);
+  for (const auto& [u, v] : task.edges) {
+    EXPECT_LT(u, spec.nodes);
+    EXPECT_LT(v, spec.nodes);
+    EXPECT_NE(u, v);
+  }
+  // Some nodes are train, some are test.
+  std::size_t train_nodes = 0;
+  for (bool m : task.train_mask) train_nodes += m ? 1 : 0;
+  EXPECT_GT(train_nodes, 0u);
+  EXPECT_LT(train_nodes, spec.nodes);
+}
+
+TEST(GraphTask, HomophilyPresent) {
+  // Intra-class edges should outnumber inter-class edges given the SBM
+  // probabilities.
+  Rng rng(6);
+  GraphTaskSpec spec;
+  spec.intra_edge_prob = 0.3;
+  spec.inter_edge_prob = 0.01;
+  const auto task = make_graph_task(spec, rng);
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const auto& [u, v] : task.edges) {
+    (task.labels[u] == task.labels[v] ? intra : inter) += 1;
+  }
+  EXPECT_GT(intra, inter);
+}
+
+}  // namespace
+}  // namespace onesa::data

@@ -1,0 +1,171 @@
+// Unit tests for the tensor library (double and INT16 paths).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::tensor {
+namespace {
+
+TEST(Matrix, InitializerListConstruction) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), ShapeError);
+}
+
+TEST(Matrix, MapAndApply) {
+  Matrix m{{1.0, -2.0}};
+  const Matrix doubled = m.map([](double v) { return 2.0 * v; });
+  EXPECT_DOUBLE_EQ(doubled(0, 1), -4.0);
+  m.apply([](double v) { return v * v; });
+  EXPECT_DOUBLE_EQ(m(0, 1), 4.0);
+}
+
+TEST(Ops, MatmulSmallKnownResult) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), ShapeError);
+}
+
+TEST(Ops, MatmulIdentity) {
+  Rng rng(7);
+  const Matrix a = random_normal(5, 5, rng);
+  Matrix eye(5, 5, 0.0);
+  for (std::size_t i = 0; i < 5; ++i) eye(i, i) = 1.0;
+  const Matrix c = matmul(a, eye);
+  EXPECT_LT(max_abs_distance(a, c), 1e-12);
+}
+
+TEST(Ops, TransposeInvolution) {
+  Rng rng(11);
+  const Matrix a = random_normal(4, 7, rng);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Ops, HadamardCommutes) {
+  Rng rng(13);
+  const Matrix a = random_normal(3, 4, rng);
+  const Matrix b = random_normal(3, 4, rng);
+  EXPECT_LT(max_abs_distance(hadamard(a, b), hadamard(b, a)), 1e-15);
+}
+
+TEST(Ops, RowReductions) {
+  const Matrix m{{1.0, 2.0, 3.0}, {-1.0, -5.0, 0.0}};
+  EXPECT_DOUBLE_EQ(row_max(m)(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(row_max(m)(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(row_sum(m)(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(row_mean(m)(1, 0), -2.0);
+}
+
+TEST(Ops, RowVarMatchesDefinition) {
+  const Matrix m{{1.0, 3.0, 5.0}};
+  // mean 3, squared deviations 4, 0, 4 -> variance 8/3.
+  EXPECT_NEAR(row_var(m)(0, 0), 8.0 / 3.0, 1e-12);
+}
+
+TEST(Ops, AddRowBroadcast) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix row{{10.0, 20.0}};
+  const Matrix c = add_row_broadcast(a, row);
+  EXPECT_DOUBLE_EQ(c(1, 0), 13.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+}
+
+TEST(Ops, DistanceMetrics) {
+  const Matrix a{{0.0, 3.0}};
+  const Matrix b{{4.0, 3.0}};
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(max_abs_distance(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(mean_abs(a), 1.5);
+}
+
+// ----------------------------------------------------------- fixed-point ops
+
+TEST(FixedOps, QuantizeDequantizeRoundTrip) {
+  Rng rng(17);
+  const Matrix a = random_uniform(6, 6, rng, -4.0, 4.0);
+  const Matrix round_tripped = to_double(to_fixed(a));
+  EXPECT_LT(max_abs_distance(a, round_tripped), fixed::Fix16::resolution());
+}
+
+TEST(FixedOps, MatmulMatchesDoubleWithinQuantization) {
+  Rng rng(19);
+  const Matrix a = random_uniform(4, 6, rng, -1.0, 1.0);
+  const Matrix b = random_uniform(6, 5, rng, -1.0, 1.0);
+  const Matrix exact = matmul(to_double(to_fixed(a)), to_double(to_fixed(b)));
+  const Matrix viaFixed = to_double(matmul(to_fixed(a), to_fixed(b)));
+  // Wide accumulation: only the final rounding differs from exact.
+  EXPECT_LT(max_abs_distance(exact, viaFixed), fixed::Fix16::resolution());
+}
+
+TEST(FixedOps, MhpAffineMatchesScalarFormula) {
+  Rng rng(23);
+  const FixMatrix x = to_fixed(random_uniform(3, 5, rng, -2.0, 2.0));
+  const FixMatrix k = to_fixed(random_uniform(3, 5, rng, -2.0, 2.0));
+  const FixMatrix b = to_fixed(random_uniform(3, 5, rng, -2.0, 2.0));
+  const FixMatrix y = mhp_affine(x, k, b);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    fixed::Acc16 acc;
+    acc.mac(x.at_flat(i), k.at_flat(i));
+    acc.mac(fixed::Fix16::from_double(1.0), b.at_flat(i));
+    EXPECT_EQ(y.at_flat(i).raw(), acc.result().raw()) << i;
+  }
+}
+
+TEST(FixedOps, BroadcastHelpers) {
+  const FixMatrix col = to_fixed(Matrix{{1.0}, {2.0}});
+  const FixMatrix wide = broadcast_col(col, 3);
+  EXPECT_EQ(wide.rows(), 2u);
+  EXPECT_EQ(wide.cols(), 3u);
+  EXPECT_DOUBLE_EQ(wide(1, 2).to_double(), 2.0);
+
+  const FixMatrix row = to_fixed(Matrix{{3.0, 4.0}});
+  const FixMatrix tall = broadcast_row(row, 3);
+  EXPECT_EQ(tall.rows(), 3u);
+  EXPECT_DOUBLE_EQ(tall(2, 1).to_double(), 4.0);
+
+  EXPECT_THROW(broadcast_col(wide, 2), ShapeError);
+  EXPECT_THROW(broadcast_row(col, 2), ShapeError);
+}
+
+// Property sweep: fixed GEMM associativity with identity-like scaling.
+struct GemmShapeParam {
+  std::size_t m, k, n;
+};
+
+class FixedGemmShapes : public ::testing::TestWithParam<GemmShapeParam> {};
+
+TEST_P(FixedGemmShapes, MatchesDoubleReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  const Matrix a = random_uniform(m, k, rng, -1.0, 1.0);
+  const Matrix b = random_uniform(k, n, rng, -1.0, 1.0);
+  const Matrix exact = matmul(to_double(to_fixed(a)), to_double(to_fixed(b)));
+  const Matrix viaFixed = to_double(matmul(to_fixed(a), to_fixed(b)));
+  EXPECT_LT(max_abs_distance(exact, viaFixed), fixed::Fix16::resolution());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FixedGemmShapes,
+                         ::testing::Values(GemmShapeParam{1, 1, 1},
+                                           GemmShapeParam{1, 8, 1},
+                                           GemmShapeParam{3, 5, 7},
+                                           GemmShapeParam{8, 8, 8},
+                                           GemmShapeParam{16, 4, 2},
+                                           GemmShapeParam{5, 32, 9}));
+
+}  // namespace
+}  // namespace onesa::tensor

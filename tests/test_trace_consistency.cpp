@@ -1,0 +1,100 @@
+// Integration invariant: the workload-trace cycle estimator (used by the
+// Table IV / Fig. 1 benches on paper-scale shapes) charges *exactly* the
+// cycles the accelerator façade accrues when executing the same ops on real
+// data. Any drift between the estimator's decompositions and the
+// accelerator's implementations fails here.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/workload.hpp"
+#include "onesa/accelerator.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::nn {
+namespace {
+
+using tensor::to_fixed;
+
+struct Geometry {
+  std::size_t rows, cols, macs;
+};
+
+class TraceConsistency : public ::testing::TestWithParam<Geometry> {
+ protected:
+  OneSaConfig config() const {
+    OneSaConfig cfg;
+    cfg.array.rows = GetParam().rows;
+    cfg.array.cols = GetParam().cols;
+    cfg.array.macs_per_pe = GetParam().macs;
+    cfg.mode = ExecutionMode::kAnalytic;
+    return cfg;
+  }
+
+  std::uint64_t estimated(const TraceOp& op) const {
+    WorkloadTrace one{"one", {op}};
+    return estimate_trace_cycles(one, sim::TimingModel(config().array)).total();
+  }
+};
+
+TEST_P(TraceConsistency, Gemm) {
+  OneSaAccelerator accel(config());
+  Rng rng(1);
+  const auto a = to_fixed(tensor::random_uniform(9, 11, rng));
+  const auto b = to_fixed(tensor::random_uniform(11, 7, rng));
+  accel.gemm(a, b);
+  EXPECT_EQ(accel.lifetime_cycles().total(),
+            estimated({TraceOp::Kind::kGemm, 9, 11, 7}));
+}
+
+TEST_P(TraceConsistency, Softmax) {
+  OneSaAccelerator accel(config());
+  Rng rng(2);
+  const auto x = to_fixed(tensor::random_uniform(6, 10, rng, -3.0, 3.0));
+  accel.softmax_rows(x);
+  EXPECT_EQ(accel.lifetime_cycles().total(),
+            estimated({TraceOp::Kind::kSoftmax, 6, 0, 10}));
+}
+
+TEST_P(TraceConsistency, LayerNorm) {
+  OneSaAccelerator accel(config());
+  Rng rng(3);
+  const auto x = to_fixed(tensor::random_uniform(5, 12, rng, -2.0, 2.0));
+  const auto gamma = to_fixed(tensor::Matrix(1, 12, 1.0));
+  const auto beta = to_fixed(tensor::Matrix(1, 12, 0.0));
+  accel.layernorm_rows(x, gamma, beta);
+  EXPECT_EQ(accel.lifetime_cycles().total(),
+            estimated({TraceOp::Kind::kLayerNorm, 5, 0, 12}));
+}
+
+TEST_P(TraceConsistency, Elementwise) {
+  OneSaAccelerator accel(config());
+  Rng rng(4);
+  const auto x = to_fixed(tensor::random_uniform(7, 9, rng, -4.0, 4.0));
+  accel.elementwise(cpwl::FunctionKind::kGelu, x);
+  EXPECT_EQ(accel.lifetime_cycles().total(),
+            estimated({TraceOp::Kind::kGelu, 7, 0, 9}));
+}
+
+TEST_P(TraceConsistency, ParameterizedMhp) {
+  OneSaAccelerator accel(config());
+  Rng rng(5);
+  const auto x = to_fixed(tensor::random_uniform(8, 8, rng));
+  accel.mhp(x, x, x);
+  EXPECT_EQ(accel.lifetime_cycles().total(), estimated({TraceOp::Kind::kAdd, 8, 0, 8}));
+}
+
+TEST_P(TraceConsistency, Reduction) {
+  OneSaAccelerator accel(config());
+  Rng rng(6);
+  const auto x = to_fixed(tensor::random_uniform(16, 4, rng));
+  accel.reduce_rows_max(x);
+  EXPECT_EQ(accel.lifetime_cycles().total(),
+            estimated({TraceOp::Kind::kMaxPool, 16, 0, 4}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, TraceConsistency,
+                         ::testing::Values(Geometry{4, 4, 4}, Geometry{8, 8, 16},
+                                           Geometry{2, 4, 2}, Geometry{8, 4, 8}));
+
+}  // namespace
+}  // namespace onesa::nn

@@ -1,0 +1,92 @@
+// Tests for the granularity auto-tuner (the paper's §V-B NAS extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.hpp"
+#include "nn/graph.hpp"
+#include "nn/models.hpp"
+#include "train/granularity_tuner.hpp"
+#include "train/trainer.hpp"
+
+namespace onesa::train {
+namespace {
+
+OneSaConfig small_config() {
+  OneSaConfig cfg;
+  cfg.array.rows = 4;
+  cfg.array.cols = 4;
+  cfg.array.macs_per_pe = 4;
+  cfg.mode = ExecutionMode::kAnalytic;
+  return cfg;
+}
+
+TEST(GranularityTuner, PicksCoarsestAcceptable) {
+  // Synthetic accuracy curve: flat above 0.25, dropping below tolerance for
+  // coarser settings.
+  auto evaluate = [](OneSaAccelerator& accel) {
+    return accel.config().granularity <= 0.25 ? 0.9 : 0.5;
+  };
+  const auto result = tune_granularity(evaluate, small_config(), 0.02);
+  EXPECT_DOUBLE_EQ(result.granularity, 0.25);
+  EXPECT_DOUBLE_EQ(result.tuned_accuracy, 0.9);
+  EXPECT_DOUBLE_EQ(result.baseline_accuracy, 0.9);
+  // It probed the coarser failures first (1.0, 0.5), then accepted 0.25.
+  ASSERT_EQ(result.explored.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.explored[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(result.explored[1].first, 0.5);
+}
+
+TEST(GranularityTuner, AcceptsCoarsestWhenInsensitive) {
+  auto evaluate = [](OneSaAccelerator&) { return 0.8; };
+  const auto result = tune_granularity(evaluate, small_config(), 0.01);
+  EXPECT_DOUBLE_EQ(result.granularity, 1.0);
+  EXPECT_EQ(result.explored.size(), 1u);
+}
+
+TEST(GranularityTuner, ThrowsWhenNothingMeetsTolerance) {
+  // Accuracy strictly improves below every probe: baseline (finest/2) is
+  // always better than anything on the ladder by more than the tolerance.
+  auto evaluate = [](OneSaAccelerator& accel) {
+    return 1.0 - accel.config().granularity;
+  };
+  EXPECT_THROW(tune_granularity(evaluate, small_config(), 0.001), ConfigError);
+}
+
+TEST(GranularityTuner, TableBytesReflectChoice) {
+  auto evaluate = [](OneSaAccelerator& accel) {
+    return accel.config().granularity <= 0.5 ? 1.0 : 0.0;
+  };
+  const auto result = tune_granularity(evaluate, small_config(), 0.01);
+  EXPECT_DOUBLE_EQ(result.granularity, 0.5);
+  // GELU domain [-8, 8] at 0.5 -> 32 segments x 4 bytes.
+  EXPECT_EQ(result.table_bytes, 128u);
+}
+
+TEST(GranularityTuner, EndToEndOnTrainedGcn) {
+  // Real model: the GCN is granularity-insensitive (ReLU is exact under
+  // CPWL), so the tuner should select the coarsest setting.
+  Rng rng(1);
+  data::GraphTaskSpec task_spec;
+  task_spec.nodes = 48;
+  task_spec.intra_edge_prob = 0.25;
+  const auto task = data::make_graph_task(task_spec, rng);
+  nn::GcnSpec spec;
+  spec.features = task_spec.features;
+  const auto adj = nn::normalized_adjacency(task_spec.nodes, task.edges);
+  auto model = nn::make_gcn_classifier(adj, spec, rng);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.lr = 0.02;
+  cfg.use_adam = true;
+  train_gcn(*model, task, cfg);
+
+  const auto result = tune_granularity(
+      [&](OneSaAccelerator& accel) { return evaluate_gcn_accel(*model, accel, task); },
+      small_config(), /*tolerance=*/0.02);
+  EXPECT_DOUBLE_EQ(result.granularity, 1.0);
+  EXPECT_GE(result.tuned_accuracy, result.baseline_accuracy - 0.02);
+}
+
+}  // namespace
+}  // namespace onesa::train

@@ -1,0 +1,114 @@
+// Tests for the paper-scale workload traces (Fig. 1 / Table IV inputs).
+#include <gtest/gtest.h>
+
+#include "nn/workload.hpp"
+
+namespace onesa::nn {
+namespace {
+
+sim::ArrayConfig reference_config() {
+  sim::ArrayConfig cfg;  // 8x8 x 16 MACs @ 200 MHz — the paper's design point
+  return cfg;
+}
+
+TEST(Resnet50Trace, TotalOpsNearPublishedFlops) {
+  // ResNet-50 at 224x224 is ~4.1 GMACs; the paper's Table IV implies
+  // ~3.97 G operations in its 1-op-per-MAC convention (152.89 GOPS x 26 ms).
+  const auto trace = resnet50_trace(224);
+  const double macs = trace.total_ops() / 2.0;
+  EXPECT_GT(macs, 3.5e9);
+  EXPECT_LT(macs, 4.5e9);
+}
+
+TEST(Resnet50Trace, GemmShareDominates) {
+  // Fig. 1a: GEMM is the dominant category in a CNN.
+  const auto census = resnet50_trace(32).census();
+  EXPECT_GT(census.gemm / census.total(), 0.6);
+  EXPECT_GT(census.batchnorm, 0.0);
+  EXPECT_GT(census.relu, 0.0);
+  EXPECT_GT(census.softmax, 0.0);
+  EXPECT_DOUBLE_EQ(census.gelu, 0.0);
+  EXPECT_DOUBLE_EQ(census.layernorm, 0.0);
+  // BatchNorm is the largest nonlinear category (Fig. 1a shape).
+  EXPECT_GT(census.batchnorm, census.relu);
+  EXPECT_GT(census.batchnorm, census.softmax);
+}
+
+TEST(BertTrace, TotalOpsNearPublishedFlops) {
+  // BERT-base at seq 128 is ~11.2 GMACs (the standard count). The paper's
+  // implied ~5.5 G ops suggests a shorter sequence; we keep the standard
+  // seq-128 shape and note the discrepancy in EXPERIMENTS.md.
+  const auto trace = bert_base_trace(128);
+  const double macs = trace.total_ops() / 2.0;
+  EXPECT_GT(macs, 9.0e9);
+  EXPECT_LT(macs, 14.0e9);
+}
+
+TEST(BertTrace, GeluAndLayernormPresent) {
+  const auto census = bert_base_trace(64).census();
+  EXPECT_GT(census.gemm / census.total(), 0.7);  // Fig. 1b: 82.39%
+  EXPECT_GT(census.gelu, 0.0);
+  EXPECT_GT(census.layernorm, 0.0);
+  EXPECT_GT(census.softmax, 0.0);
+  EXPECT_DOUBLE_EQ(census.batchnorm, 0.0);
+}
+
+TEST(GcnTrace, ShapeSane) {
+  const auto trace = gcn_trace();
+  const double macs = trace.total_ops() / 2.0;
+  // Paper-implied: 197.58 GOPS x 5.87 ms ~ 1.16 G ops.
+  EXPECT_GT(macs, 0.5e9);
+  EXPECT_LT(macs, 3.0e9);
+}
+
+TEST(TraceEstimate, LatencyInPaperBallpark) {
+  // Shape check, not number-matching: the reference design should land in
+  // the right order of magnitude vs Table IV (ResNet-50: 26 ms).
+  const sim::TimingModel timing(reference_config());
+  const auto est = estimate_trace(resnet50_trace(224), timing);
+  EXPECT_GT(est.latency_ms, 5.0);
+  EXPECT_LT(est.latency_ms, 120.0);
+  EXPECT_GT(est.gops, 20.0);
+  EXPECT_LT(est.gops, 410.0);  // bounded by peak 204.8 x2 margin
+}
+
+TEST(TraceEstimate, BiggerArrayIsFaster) {
+  const auto trace = bert_base_trace(128);
+  sim::ArrayConfig small = reference_config();
+  small.rows = small.cols = 4;
+  sim::ArrayConfig large = reference_config();
+  large.rows = large.cols = 16;
+  const auto slow = estimate_trace(trace, sim::TimingModel(small));
+  const auto fast = estimate_trace(trace, sim::TimingModel(large));
+  EXPECT_LT(fast.latency_ms, slow.latency_ms);
+}
+
+TEST(TraceEstimate, MoreMacsFaster) {
+  const auto trace = resnet50_trace(224);
+  sim::ArrayConfig two = reference_config();
+  two.macs_per_pe = 2;
+  sim::ArrayConfig thirtytwo = reference_config();
+  thirtytwo.macs_per_pe = 32;
+  EXPECT_LT(estimate_trace(trace, sim::TimingModel(thirtytwo)).latency_ms,
+            estimate_trace(trace, sim::TimingModel(two)).latency_ms);
+}
+
+TEST(TraceEstimate, CyclesIncludeAllPhases) {
+  const sim::TimingModel timing(reference_config());
+  const auto cycles = estimate_trace_cycles(bert_base_trace(32), timing);
+  EXPECT_GT(cycles.compute_cycles, 0u);
+  EXPECT_GT(cycles.fill_cycles, 0u);
+  EXPECT_GT(cycles.drain_cycles, 0u);
+  EXPECT_GT(cycles.ipf_cycles, 0u);  // GELU/exp/rsqrt passes
+}
+
+TEST(Resnet50Trace, ScalesWithImageSize) {
+  EXPECT_GT(resnet50_trace(224).total_ops(), 10.0 * resnet50_trace(64).total_ops());
+}
+
+TEST(Resnet50Trace, RejectsUnalignedImage) {
+  EXPECT_THROW(resnet50_trace(100), Error);
+}
+
+}  // namespace
+}  // namespace onesa::nn
