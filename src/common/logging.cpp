@@ -7,11 +7,25 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
 void Logger::write(LogLevel level, std::string_view msg) {
   if (!enabled(level)) return;
   static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  // Compose the full line before taking the lock so the critical section is
+  // one stream insertion — a concurrent writer can never split a line.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += '[';
+  line += kNames[static_cast<int>(level)];
+  line += "] ";
+  line += msg;
+  line += '\n';
   std::lock_guard<std::mutex> lock(mutex_);
-  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
+  (sink_ ? *sink_ : std::cerr) << line;
 }
 
 }  // namespace onesa

@@ -2,6 +2,7 @@
 // emits TRACE-level per-cycle events that are off by default.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -12,20 +13,30 @@ namespace onesa {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
 
-/// Global log configuration. Thread-safe; writes are serialized.
+/// Global log configuration. Thread-safe: the level is atomic (checked
+/// lock-free on the hot path), each log line is composed off-lock and
+/// emitted as a single sink write under one global mutex, so concurrent
+/// serve-pool workers can never interleave partial lines.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return static_cast<int>(level) >= static_cast<int>(level_); }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(this->level());
+  }
+
+  /// Redirect the sink (nullptr restores std::cerr). The caller keeps the
+  /// stream alive for the duration; used by tests to capture output.
+  void set_sink(std::ostream* sink);
 
   void write(LogLevel level, std::string_view msg);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::ostream* sink_ = nullptr;  // guarded by mutex_; nullptr = std::cerr
   std::mutex mutex_;
 };
 

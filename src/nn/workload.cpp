@@ -199,10 +199,9 @@ OpCensus cpu_time_census(const WorkloadTrace& trace) {
   return census;
 }
 
-sim::CycleStats estimate_trace_cycles(const WorkloadTrace& trace,
-                                      const sim::TimingModel& timing) {
+sim::CycleStats estimate_op_cycles(const TraceOp& op, const sim::TimingModel& timing) {
   sim::CycleStats total;
-  for (const auto& op : trace.ops) {
+  {
     const std::size_t elems = op.elements();
     switch (op.kind) {
       case Kind::kGemm:
@@ -253,6 +252,47 @@ sim::CycleStats estimate_trace_cycles(const WorkloadTrace& trace,
         break;
     }
   }
+  return total;
+}
+
+std::uint64_t op_mac_ops(const TraceOp& op) {
+  const auto e = static_cast<std::uint64_t>(op.elements());
+  const auto m = static_cast<std::uint64_t>(op.m);
+  switch (op.kind) {
+    case Kind::kGemm:
+      return static_cast<std::uint64_t>(op.m) * op.k * op.n;
+    case Kind::kSoftmax:
+      // subtract MHP + exp MHP + row-sum GEMM (m*n*1) + reciprocal MHP over
+      // the m sums + multiply MHP — the softmax_rows decomposition.
+      return 2 * e + 2 * e + e + 2 * m + 2 * e;
+    case Kind::kLayerNorm:
+      // mean GEMM + center MHP + square MHP + var GEMM + eps MHP + rsqrt MHP
+      // (both over the m per-row scalars) + normalize MHP + affine MHP.
+      return e + 2 * e + 2 * e + e + 2 * m + 2 * m + 2 * e + 2 * e;
+    case Kind::kBatchNorm:
+      // rsqrt over the n per-channel variances + the folded affine MHP.
+      return 2 * static_cast<std::uint64_t>(op.n) + 2 * e;
+    case Kind::kRelu:
+    case Kind::kGelu:
+    case Kind::kAdd:
+    case Kind::kMultiply:
+      return 2 * e;  // one MHP pass, 2 MACs per element
+    case Kind::kMaxPool:
+      return 0;  // streaming comparator, no MACs
+  }
+  throw Error("unknown TraceOp kind");
+}
+
+std::uint64_t trace_mac_ops(const WorkloadTrace& trace) {
+  std::uint64_t total = 0;
+  for (const auto& op : trace.ops) total += op_mac_ops(op);
+  return total;
+}
+
+sim::CycleStats estimate_trace_cycles(const WorkloadTrace& trace,
+                                      const sim::TimingModel& timing) {
+  sim::CycleStats total;
+  for (const auto& op : trace.ops) total += estimate_op_cycles(op, timing);
   return total;
 }
 

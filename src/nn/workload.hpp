@@ -75,8 +75,22 @@ WorkloadTrace gcn_trace(std::size_t nodes = 16384, std::size_t features = 602,
 /// ~72% with BatchNorm ~21%, BERT GEMM ~82% with GELU ~6%.
 OpCensus cpu_time_census(const WorkloadTrace& trace);
 
-/// Map the trace onto the ONE-SA cycle model, expanding softmax/layernorm
-/// into the same GEMM + MHP + CPWL sub-ops the accelerator executes.
+/// Map one trace op onto the ONE-SA cycle model, expanding softmax/layernorm
+/// into the same GEMM + MHP + CPWL sub-ops the accelerator executes. This is
+/// the per-op hook the serving tier (src/serve/) uses to execute traces
+/// incrementally on a pool worker's timing model.
+sim::CycleStats estimate_op_cycles(const TraceOp& op, const sim::TimingModel& timing);
+
+/// MAC operations one trace op charges, mirroring OneSaAccelerator's
+/// lifetime accounting for the same decomposition (GEMM: m*k*n; each MHP
+/// pass: 2 MACs per element). Feeds fleet-wide dynamic-power totals when
+/// traces are served from a worker pool.
+std::uint64_t op_mac_ops(const TraceOp& op);
+
+/// Sum of op_mac_ops over the trace.
+std::uint64_t trace_mac_ops(const WorkloadTrace& trace);
+
+/// Map the trace onto the ONE-SA cycle model (sum of estimate_op_cycles).
 sim::CycleStats estimate_trace_cycles(const WorkloadTrace& trace,
                                       const sim::TimingModel& timing);
 

@@ -1,0 +1,183 @@
+#include "serve/batcher.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace onesa::serve {
+
+namespace {
+
+double ms_between(ServeClock::time_point a, ServeClock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Rows of every request stacked on top of each other, padded with zero
+/// rows to a whole number of `tile_rows`-high tiles.
+tensor::FixMatrix pack_rows(const std::vector<ServeRequest>& batch, std::size_t tile_rows) {
+  std::size_t total_rows = 0;
+  for (const auto& req : batch) total_rows += req.rows();
+  const std::size_t cols = batch.front().x.cols();
+  const std::size_t padded =
+      (total_rows + tile_rows - 1) / tile_rows * tile_rows;
+  tensor::FixMatrix packed(padded, cols);  // zero-initialized padding rows
+  std::size_t row = 0;
+  for (const auto& req : batch) {
+    for (std::size_t r = 0; r < req.rows(); ++r, ++row)
+      for (std::size_t c = 0; c < cols; ++c) packed(row, c) = req.x(r, c);
+  }
+  return packed;
+}
+
+/// One request's output rows cut back out of the batched result.
+tensor::FixMatrix slice_rows(const tensor::FixMatrix& packed, std::size_t row0,
+                             std::size_t rows) {
+  tensor::FixMatrix out(rows, packed.cols());
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < packed.cols(); ++c) out(r, c) = packed(row0 + r, c);
+  return out;
+}
+
+/// Whole-model trace request: run every op of the trace against the
+/// worker's closed-form cycle model (nn::estimate_op_cycles — the same
+/// decompositions the accelerator façade executes) and charge the worker's
+/// accelerator so fleet-wide power accounting sees the work.
+BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t worker) {
+  const auto start = ServeClock::now();
+  const nn::TraceEstimate estimate = nn::estimate_trace(*req.trace, accel.timing());
+  const sim::CycleStats& cycles = estimate.cycles;
+  const std::uint64_t macs = nn::trace_mac_ops(*req.trace);
+  accel.add_lifetime(cycles, macs);
+
+  ServeResult result;
+  result.id = req.id;
+  result.kind = RequestKind::kTrace;
+  result.cycles = cycles;
+  result.mac_ops = macs;
+  result.trace = estimate;
+  result.worker = worker;
+  result.batch_rows = 1;
+  result.padded_rows = 1;
+  const auto end = ServeClock::now();
+  result.queue_ms = ms_between(req.enqueued, start);
+  result.service_ms = ms_between(start, end);
+
+  BatchRecord record;
+  record.cycles = cycles;
+  record.mac_ops = macs;
+  record.requests = 1;
+  record.rows = 1;
+  record.padded_rows = 1;
+  record.latency_ms.push_back(result.queue_ms + result.service_ms);
+  req.promise.set_value(std::move(result));
+  return record;
+}
+
+}  // namespace
+
+void BatcherConfig::validate() const {
+  if (max_batch_rows == 0) throw ConfigError("BatcherConfig::max_batch_rows must be > 0");
+  if (max_batch_requests == 0)
+    throw ConfigError("BatcherConfig::max_batch_requests must be > 0");
+}
+
+DynamicBatcher::DynamicBatcher(BatcherConfig config) : config_(config) {
+  config_.validate();
+}
+
+bool DynamicBatcher::compatible(const ServeRequest& head, const ServeRequest& req) {
+  if (head.kind != req.kind) return false;
+  switch (head.kind) {
+    case RequestKind::kTrace:
+      return false;  // whole-model executions never share a pass
+    case RequestKind::kElementwise:
+      return head.fn == req.fn && head.x.cols() == req.x.cols();
+    case RequestKind::kGemm:
+      // Same weight handle: stacking A rows over one B is exact. Identity
+      // only — compatible() runs under the queue lock for every candidate,
+      // and a deep element compare of large weights there would stall every
+      // submitter; sharing the B handle is the documented usage.
+      return head.weight == req.weight && head.x.cols() == req.x.cols();
+  }
+  return false;
+}
+
+std::vector<ServeRequest> DynamicBatcher::take_batch(std::deque<ServeRequest>& pending) const {
+  std::vector<ServeRequest> batch;
+  if (pending.empty()) return batch;
+  batch.push_back(std::move(pending.front()));
+  pending.pop_front();
+  if (batch.front().kind == RequestKind::kTrace) return batch;
+
+  std::size_t rows = batch.front().rows();
+  for (auto it = pending.begin();
+       it != pending.end() && batch.size() < config_.max_batch_requests;) {
+    if (compatible(batch.front(), *it) && rows + it->rows() <= config_.max_batch_rows) {
+      rows += it->rows();
+      batch.push_back(std::move(*it));
+      it = pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
+                                    OneSaAccelerator& accel, std::size_t worker) const {
+  ONESA_CHECK(!batch.empty(), "DynamicBatcher::execute on an empty batch");
+  if (batch.front().kind == RequestKind::kTrace) {
+    ONESA_CHECK(batch.size() == 1, "trace requests must not be batched");
+    return execute_trace(std::move(batch.front()), accel, worker);
+  }
+
+  const auto start = ServeClock::now();
+  const std::size_t tile_rows = accel.config().array.rows;
+  const tensor::FixMatrix packed = pack_rows(batch, tile_rows);
+
+  PassOutput pass = batch.front().kind == RequestKind::kElementwise
+                        ? accel.elementwise(batch.front().fn, packed)
+                        : accel.gemm(packed, *batch.front().weight);
+  const auto end = ServeClock::now();
+
+  std::size_t useful_rows = 0;
+  for (const auto& req : batch) useful_rows += req.rows();
+  // MAC charge of the pass, exactly as the accelerator's lifetime counters
+  // saw it (padding rows included — the array really streams them).
+  const std::uint64_t macs =
+      batch.front().kind == RequestKind::kElementwise
+          ? 2 * static_cast<std::uint64_t>(packed.size())
+          : static_cast<std::uint64_t>(packed.rows()) * packed.cols() *
+                batch.front().weight->cols();
+
+  BatchRecord record;
+  record.cycles = pass.cycles;
+  record.mac_ops = macs;
+  record.requests = batch.size();
+  record.rows = useful_rows;
+  record.padded_rows = packed.rows();
+  record.latency_ms.reserve(batch.size());
+
+  std::size_t row = 0;
+  for (auto& req : batch) {
+    ServeResult result;
+    result.id = req.id;
+    result.kind = req.kind;
+    result.y = slice_rows(pass.y, row, req.rows());
+    row += req.rows();
+    result.cycles = pass.cycles;
+    result.mac_ops = macs;
+    result.queue_ms = ms_between(req.enqueued, start);
+    result.service_ms = ms_between(start, end);
+    result.worker = worker;
+    result.batch_requests = batch.size();
+    result.batch_rows = useful_rows;
+    result.padded_rows = packed.rows();
+    record.latency_ms.push_back(result.queue_ms + result.service_ms);
+    req.promise.set_value(std::move(result));
+  }
+  return record;
+}
+
+}  // namespace onesa::serve

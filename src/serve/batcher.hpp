@@ -1,0 +1,59 @@
+// Dynamic request batching.
+//
+// The systolic array runs full when a pass covers whole tiles; a lone
+// 2-row request on an 8-row array wastes 6/8 of the fill/drain work (the
+// small-matrix throughput cliff of §V-C). The batcher packs compatible
+// requests — same op, same width, same weight — by stacking their rows into
+// one tall input, pads the stack with zero rows to a whole number of
+// array-height tiles, runs ONE accelerator pass, and slices each request's
+// rows back out of the result. Row-independence of every batched op (GEMM
+// rows, elementwise evaluation) makes the sliced outputs bit-identical to
+// serving each request alone, which tests/test_serve.cpp asserts.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "onesa/accelerator.hpp"
+#include "serve/request.hpp"
+#include "serve/stats.hpp"
+
+namespace onesa::serve {
+
+struct BatcherConfig {
+  /// Row budget of one packed tile stack (requests stop being added once
+  /// the stack would exceed this).
+  std::size_t max_batch_rows = 64;
+  /// Cap on requests packed into one batch.
+  std::size_t max_batch_requests = 16;
+
+  void validate() const;
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatcherConfig config = {});
+
+  const BatcherConfig& config() const { return config_; }
+
+  /// Can `req` ride in the same accelerator pass as `head`? Same-kind,
+  /// same-function (elementwise) or same-weight (GEMM), same width. Trace
+  /// requests never batch — each is a whole model execution.
+  static bool compatible(const ServeRequest& head, const ServeRequest& req);
+
+  /// Pop the head request plus every later compatible request (within the
+  /// config budgets) from `pending`, preserving arrival order. The caller
+  /// holds the queue lock. Empty result iff `pending` is empty.
+  std::vector<ServeRequest> take_batch(std::deque<ServeRequest>& pending) const;
+
+  /// Run one batch on `accel`, fulfill every request's promise with its
+  /// sliced rows, and return the batch's accounting (cycles charged once).
+  /// The stack is padded to a multiple of the accelerator's array height.
+  BatchRecord execute(std::vector<ServeRequest> batch, OneSaAccelerator& accel,
+                      std::size_t worker) const;
+
+ private:
+  BatcherConfig config_;
+};
+
+}  // namespace onesa::serve

@@ -1,0 +1,65 @@
+#include "serve/request.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace onesa::serve {
+
+namespace {
+
+RequestId next_id() {
+  static std::atomic<RequestId> counter{0};
+  return ++counter;
+}
+
+TaggedRequest tag(ServeRequest req) {
+  req.id = next_id();
+  req.enqueued = ServeClock::now();  // re-stamped on queue entry
+  TaggedRequest out{std::move(req), {}};
+  out.result = out.request.promise.get_future();
+  return out;
+}
+
+}  // namespace
+
+std::string_view kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kElementwise: return "elementwise";
+    case RequestKind::kGemm: return "gemm";
+    case RequestKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+TaggedRequest make_elementwise_request(cpwl::FunctionKind fn, tensor::FixMatrix x) {
+  ONESA_CHECK_SHAPE(!x.empty(), "elementwise request with empty input");
+  ServeRequest req;
+  req.kind = RequestKind::kElementwise;
+  req.fn = fn;
+  req.x = std::move(x);
+  return tag(std::move(req));
+}
+
+TaggedRequest make_gemm_request(tensor::FixMatrix a,
+                                std::shared_ptr<const tensor::FixMatrix> b) {
+  ONESA_CHECK(b != nullptr, "gemm request without a weight matrix");
+  ONESA_CHECK_SHAPE(!a.empty() && a.cols() == b->rows(),
+                    "gemm request A(" << a.rows() << "x" << a.cols() << ") incompatible with B("
+                                      << b->rows() << "x" << b->cols() << ")");
+  ServeRequest req;
+  req.kind = RequestKind::kGemm;
+  req.x = std::move(a);
+  req.weight = std::move(b);
+  return tag(std::move(req));
+}
+
+TaggedRequest make_trace_request(std::shared_ptr<const nn::WorkloadTrace> trace) {
+  ONESA_CHECK(trace != nullptr, "trace request without a trace");
+  ServeRequest req;
+  req.kind = RequestKind::kTrace;
+  req.trace = std::move(trace);
+  return tag(std::move(req));
+}
+
+}  // namespace onesa::serve

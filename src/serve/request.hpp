@@ -1,0 +1,94 @@
+// Request/response types of the serving runtime.
+//
+// A ServeRequest is one unit of client work — a tagged elementwise pass, a
+// GEMM against a shared weight matrix, or a whole model WorkloadTrace — with
+// future-based completion: the submitter holds a std::future<ServeResult>
+// that becomes ready when a pool worker finishes the batch containing the
+// request. See server_pool.hpp for the runtime that consumes these.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+
+#include "cpwl/functions.hpp"
+#include "nn/workload.hpp"
+#include "sim/clock.hpp"
+#include "tensor/matrix.hpp"
+
+namespace onesa::serve {
+
+using RequestId = std::uint64_t;
+using ServeClock = std::chrono::steady_clock;
+
+/// What kind of work a request carries.
+enum class RequestKind { kElementwise, kGemm, kTrace };
+
+std::string_view kind_name(RequestKind kind);
+
+/// Completion record delivered through the request's future.
+struct ServeResult {
+  RequestId id = 0;
+  RequestKind kind = RequestKind::kElementwise;
+
+  /// Output rows of this request only (padding/batch-mate rows sliced away).
+  /// Empty for trace requests, whose output is the estimate below.
+  tensor::FixMatrix y;
+
+  /// Simulated cycles of the accelerator pass that served this request. For
+  /// batched requests this is the whole batch's pass (shared by every
+  /// request in it — see batch_requests); per-worker busy totals count each
+  /// batch once.
+  sim::CycleStats cycles;
+  std::uint64_t mac_ops = 0;
+
+  /// Filled for trace requests: end-to-end latency/GOPS on the worker's
+  /// accelerator configuration.
+  nn::TraceEstimate trace;
+
+  /// Host wall-clock accounting (queueing delay and service time, ms).
+  double queue_ms = 0.0;
+  double service_ms = 0.0;
+
+  std::size_t worker = 0;          // index of the worker that served it
+  std::size_t batch_requests = 1;  // requests packed into the same tile
+  std::size_t batch_rows = 0;      // useful rows in the tile
+  std::size_t padded_rows = 0;     // tile rows including padding
+};
+
+/// One queued unit of work. Move-only (owns the completion promise).
+struct ServeRequest {
+  RequestId id = 0;
+  RequestKind kind = RequestKind::kElementwise;
+
+  cpwl::FunctionKind fn = cpwl::FunctionKind::kRelu;      // kElementwise
+  tensor::FixMatrix x;                                    // elementwise X / GEMM A
+  std::shared_ptr<const tensor::FixMatrix> weight;        // GEMM B, shared across requests
+  std::shared_ptr<const nn::WorkloadTrace> trace;         // kTrace
+
+  std::promise<ServeResult> promise;
+  ServeClock::time_point enqueued{};
+
+  std::size_t rows() const { return x.rows(); }
+};
+
+/// A freshly-built request paired with its completion future.
+struct TaggedRequest {
+  ServeRequest request;
+  std::future<ServeResult> result;
+};
+
+/// Y = f(X) through the CPWL + IPF + MHP path.
+TaggedRequest make_elementwise_request(cpwl::FunctionKind fn, tensor::FixMatrix x);
+
+/// C = A * B. B is shared (typically a model weight served to many
+/// requests); requests with the same B batch together.
+TaggedRequest make_gemm_request(tensor::FixMatrix a,
+                                std::shared_ptr<const tensor::FixMatrix> b);
+
+/// Full-model inference by shape trace (BERT/ResNet/GCN — nn/workload.hpp),
+/// executed op-by-op against the worker's cycle model.
+TaggedRequest make_trace_request(std::shared_ptr<const nn::WorkloadTrace> trace);
+
+}  // namespace onesa::serve

@@ -1,0 +1,55 @@
+#include "serve/request_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace onesa::serve {
+
+RequestQueue::RequestQueue(std::size_t workers, DynamicBatcher batcher)
+    : workers_(workers), batcher_(std::move(batcher)) {
+  ONESA_CHECK(workers_ > 0, "RequestQueue needs at least one worker");
+}
+
+void RequestQueue::push(ServeRequest req) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw Error("RequestQueue: push after close");
+    req.enqueued = ServeClock::now();
+    pending_.push_back(std::move(req));
+  }
+  cv_.notify_all();
+}
+
+std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
+  ONESA_CHECK(worker < workers_, "worker index " << worker << " out of " << workers_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    if (closed_ && pending_.empty()) return true;  // drained — exit
+    return !pending_.empty() && turn_ == worker;
+  });
+  if (pending_.empty()) return {};
+  auto batch = batcher_.take_batch(pending_);
+  turn_ = (turn_ + 1) % workers_;
+  lock.unlock();
+  cv_.notify_all();
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace onesa::serve

@@ -1,0 +1,58 @@
+// Thread-safe request queue with batch-granular rotation dispatch.
+//
+// Producers push tagged requests; pool workers block in pop_batch until a
+// batch is available. Dispatch is a strict worker rotation: worker w may
+// only take a batch on its turn, so with a uniform request stream every
+// worker receives every Nth batch and the *simulated* load of the modeled
+// accelerator fleet stays balanced — the aggregate-throughput numbers of
+// bench/serving_throughput.cpp are deterministic instead of depending on
+// host thread scheduling (which, on a single-core host, would otherwise
+// starve most workers).
+//
+// close() stops new submissions; workers keep draining until the queue is
+// empty and then observe the closed state, so every accepted request is
+// served before shutdown completes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/request.hpp"
+
+namespace onesa::serve {
+
+class RequestQueue {
+ public:
+  /// `workers` is the rotation size; batcher decides what rides together.
+  RequestQueue(std::size_t workers, DynamicBatcher batcher);
+
+  /// Enqueue a request (stamps its queue-entry time). Throws onesa::Error
+  /// if the queue is closed.
+  void push(ServeRequest req);
+
+  /// Block until it is `worker`'s turn and a batch is available, then pop
+  /// it. Returns an empty vector when the queue is closed and drained —
+  /// the worker's signal to exit.
+  std::vector<ServeRequest> pop_batch(std::size_t worker);
+
+  /// Stop accepting pushes and wake every waiter. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t pending() const;
+
+ private:
+  const std::size_t workers_;
+  DynamicBatcher batcher_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<ServeRequest> pending_;
+  std::size_t turn_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace onesa::serve

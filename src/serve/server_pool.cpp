@@ -1,0 +1,131 @@
+#include "serve/server_pool.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace onesa::serve {
+
+ServerPool::ServerPool(ServerPoolConfig config)
+    : config_(std::move(config)),
+      batcher_(config_.batcher),
+      queue_(config_.workers, batcher_) {
+  ONESA_CHECK(config_.workers > 0, "ServerPool needs at least one worker");
+  workers_.reserve(config_.workers);
+
+  // Build the CPWL tables once; every further instance aliases them
+  // read-only (the tables are immutable after construction).
+  auto first = std::make_unique<OneSaAccelerator>(config_.accelerator);
+  const std::shared_ptr<const cpwl::TableSet> tables = first->shared_tables();
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->accel = i == 0 ? std::move(first)
+                           : std::make_unique<OneSaAccelerator>(config_.accelerator, tables);
+    workers_.push_back(std::move(worker));
+  }
+  try {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+    }
+  } catch (...) {
+    // A thread failed to spawn: release the ones already running before the
+    // exception unwinds them as joinable (which would std::terminate).
+    queue_.close();
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+    throw;
+  }
+  ONESA_LOG_DEBUG << "serve: pool up with " << workers_.size() << " workers ("
+                  << config_.accelerator.array.rows << "x" << config_.accelerator.array.cols
+                  << " array each)";
+}
+
+ServerPool::~ServerPool() { shutdown(); }
+
+std::future<ServeResult> ServerPool::submit(TaggedRequest req) {
+  queue_.push(std::move(req.request));
+  return std::move(req.result);
+}
+
+std::future<ServeResult> ServerPool::submit_elementwise(cpwl::FunctionKind fn,
+                                                        tensor::FixMatrix x) {
+  return submit(make_elementwise_request(fn, std::move(x)));
+}
+
+std::future<ServeResult> ServerPool::submit_gemm(
+    tensor::FixMatrix a, std::shared_ptr<const tensor::FixMatrix> b) {
+  return submit(make_gemm_request(std::move(a), std::move(b)));
+}
+
+std::future<ServeResult> ServerPool::submit_trace(
+    std::shared_ptr<const nn::WorkloadTrace> trace) {
+  return submit(make_trace_request(std::move(trace)));
+}
+
+void ServerPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  ONESA_LOG_DEBUG << "serve: pool drained, " << stats().completed() << " requests served";
+}
+
+void ServerPool::worker_loop(std::size_t index) {
+  Worker& w = *workers_[index];
+  for (;;) {
+    std::vector<ServeRequest> batch = queue_.pop_batch(index);
+    if (batch.empty()) return;  // closed and drained
+    // Execute under the worker's mutex: the accelerator's lifetime counters
+    // mutate during the pass, and fleet_lifetime()/stats() may read them
+    // from a monitoring thread mid-flight. Only this worker's snapshot
+    // readers wait; other workers proceed on their own locks.
+    std::lock_guard<std::mutex> lock(w.mutex);
+    BatchRecord record = batcher_.execute(std::move(batch), *w.accel, index);
+    w.busy_cycles += record.cycles.total();
+    w.stats.record_batch(record);
+  }
+}
+
+ServeStats ServerPool::stats() const {
+  ServeStats merged;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    merged.merge(worker->stats);
+  }
+  return merged;
+}
+
+LifetimeTotals ServerPool::fleet_lifetime() const {
+  LifetimeTotals totals;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    totals.merge(worker->accel->lifetime());
+  }
+  return totals;
+}
+
+std::uint64_t ServerPool::makespan_cycles() const {
+  std::uint64_t makespan = 0;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    if (worker->busy_cycles > makespan) makespan = worker->busy_cycles;
+  }
+  return makespan;
+}
+
+std::vector<std::uint64_t> ServerPool::worker_busy_cycles() const {
+  std::vector<std::uint64_t> busy;
+  busy.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    busy.push_back(worker->busy_cycles);
+  }
+  return busy;
+}
+
+}  // namespace onesa::serve

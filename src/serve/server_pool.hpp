@@ -1,0 +1,98 @@
+// Multi-threaded batching inference runtime over a pool of simulated
+// ONE-SA accelerator instances.
+//
+// Architecture (one shared queue, N workers):
+//
+//   submit_*() ──> RequestQueue ──> worker 0 ── OneSaAccelerator #0
+//                  (rotation,  ──> worker 1 ── OneSaAccelerator #1
+//                   batching)  ──> ...
+//
+// Each worker thread owns its own accelerator instance (analytic or
+// cycle-accurate — the config is replicated), pulls batches packed by the
+// DynamicBatcher, executes them, fulfils the per-request futures and records
+// latency into its own ServeStats. The CPWL TableSet is built once and
+// shared read-only across every instance. Aggregate views merge the
+// per-worker state: stats() for the traffic metrics, fleet_lifetime() for
+// the power model's fleet-wide cycle/MAC totals, makespan_cycles() for the
+// simulated wall time of the fleet (max per-worker busy cycles — N workers
+// model N arrays running in parallel).
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "onesa/accelerator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/stats.hpp"
+
+namespace onesa::serve {
+
+struct ServerPoolConfig {
+  std::size_t workers = 4;
+  /// Replicated to every worker's accelerator instance.
+  OneSaConfig accelerator;
+  BatcherConfig batcher;
+};
+
+class ServerPool {
+ public:
+  explicit ServerPool(ServerPoolConfig config);
+  ~ServerPool();
+
+  ServerPool(const ServerPool&) = delete;
+  ServerPool& operator=(const ServerPool&) = delete;
+
+  // ------------------------------------------------------------- submission
+
+  std::future<ServeResult> submit_elementwise(cpwl::FunctionKind fn, tensor::FixMatrix x);
+  std::future<ServeResult> submit_gemm(tensor::FixMatrix a,
+                                       std::shared_ptr<const tensor::FixMatrix> b);
+  std::future<ServeResult> submit_trace(std::shared_ptr<const nn::WorkloadTrace> trace);
+  /// Submit a request built elsewhere (serve/request.hpp factories).
+  std::future<ServeResult> submit(TaggedRequest req);
+
+  // --------------------------------------------------------------- lifecycle
+
+  /// Stop accepting requests, serve everything already queued, join the
+  /// workers. Every accepted future is ready afterwards. Idempotent; also
+  /// run by the destructor.
+  void shutdown();
+
+  std::size_t workers() const { return workers_.size(); }
+  std::size_t pending() const { return queue_.pending(); }
+  const ServerPoolConfig& config() const { return config_; }
+
+  // -------------------------------------------------------------- aggregate
+
+  /// Fleet-wide traffic statistics (merged snapshot of every worker).
+  ServeStats stats() const;
+  /// Fleet-wide accelerator lifetime counters for the power model.
+  LifetimeTotals fleet_lifetime() const;
+  /// Simulated cycles until the last worker finishes its recorded work —
+  /// the fleet's makespan, since the N modeled arrays run in parallel.
+  std::uint64_t makespan_cycles() const;
+  /// Per-worker busy cycles (load-balance visibility).
+  std::vector<std::uint64_t> worker_busy_cycles() const;
+
+ private:
+  struct Worker {
+    std::unique_ptr<OneSaAccelerator> accel;
+    ServeStats stats;
+    std::uint64_t busy_cycles = 0;
+    std::thread thread;
+    mutable std::mutex mutex;  // guards stats/busy_cycles/accel counters
+  };
+
+  void worker_loop(std::size_t index);
+
+  ServerPoolConfig config_;
+  DynamicBatcher batcher_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace onesa::serve

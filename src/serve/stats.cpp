@@ -1,0 +1,65 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace onesa::serve {
+
+void ServeStats::record_batch(const BatchRecord& record) {
+  completed_ += record.requests;
+  batches_ += 1;
+  rows_ += record.rows;
+  padded_rows_ += record.padded_rows;
+  cycles_ += record.cycles;
+  mac_ops_ += record.mac_ops;
+  latency_ms_.insert(latency_ms_.end(), record.latency_ms.begin(), record.latency_ms.end());
+}
+
+void ServeStats::merge(const ServeStats& o) {
+  completed_ += o.completed_;
+  batches_ += o.batches_;
+  rows_ += o.rows_;
+  padded_rows_ += o.padded_rows_;
+  cycles_ += o.cycles_;
+  mac_ops_ += o.mac_ops_;
+  latency_ms_.insert(latency_ms_.end(), o.latency_ms_.begin(), o.latency_ms_.end());
+}
+
+double ServeStats::batch_fill() const {
+  return padded_rows_ == 0
+             ? 0.0
+             : static_cast<double>(rows_) / static_cast<double>(padded_rows_);
+}
+
+double ServeStats::mean_batch_requests() const {
+  return batches_ == 0 ? 0.0
+                       : static_cast<double>(completed_) / static_cast<double>(batches_);
+}
+
+double ServeStats::percentile_latency_ms(double p) const {
+  ONESA_CHECK(p >= 0.0 && p <= 100.0, "percentile " << p << " out of [0, 100]");
+  if (latency_ms_.empty()) return 0.0;
+  std::vector<double> sorted = latency_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: smallest value with at least p% of samples at or below it.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank > 0) --rank;
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+double ServeStats::mean_latency_ms() const {
+  if (latency_ms_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : latency_ms_) sum += v;
+  return sum / static_cast<double>(latency_ms_.size());
+}
+
+double ServeStats::requests_per_simulated_second(double clock_mhz) const {
+  const double secs = cycles_.seconds(clock_mhz);
+  return secs == 0.0 ? 0.0 : static_cast<double>(completed_) / secs;
+}
+
+}  // namespace onesa::serve

@@ -1,0 +1,66 @@
+// Serving statistics: throughput, latency percentiles, batch-fill ratio and
+// simulated-cycle totals.
+//
+// Each pool worker owns one ServeStats and records into it under the
+// worker's own lock; ServerPool::stats() merges the per-worker instances
+// into one fleet-wide snapshot. ServeStats itself is NOT thread-safe — the
+// synchronization lives in the pool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace onesa::serve {
+
+/// Per-batch accounting handed from the batch executor to the stats sink.
+/// Cycle/MAC charges appear once per batch; latencies once per request.
+struct BatchRecord {
+  sim::CycleStats cycles;
+  std::uint64_t mac_ops = 0;
+  std::size_t requests = 0;
+  std::size_t rows = 0;         // useful rows packed into the tile
+  std::size_t padded_rows = 0;  // tile rows including padding
+  std::vector<double> latency_ms;  // queue+service wall latency per request
+};
+
+class ServeStats {
+ public:
+  void record_batch(const BatchRecord& record);
+  void merge(const ServeStats& o);
+
+  std::size_t completed() const { return completed_; }
+  std::uint64_t batches() const { return batches_; }
+  std::uint64_t rows() const { return rows_; }
+  std::uint64_t padded_rows() const { return padded_rows_; }
+
+  /// Useful-row share of the padded tiles the array actually ran (1.0 =
+  /// every tile full, no padding waste).
+  double batch_fill() const;
+  double mean_batch_requests() const;
+
+  /// Wall-clock latency percentile in ms, p in [0, 100]. Nearest-rank on the
+  /// sorted latencies, so the result is monotone in p. 0 when empty.
+  double percentile_latency_ms(double p) const;
+  double mean_latency_ms() const;
+
+  /// Simulated totals summed over every recorded batch.
+  const sim::CycleStats& total_cycles() const { return cycles_; }
+  std::uint64_t total_mac_ops() const { return mac_ops_; }
+
+  /// Requests per simulated second at the given clock (aggregate hardware
+  /// throughput of the recorded work if it ran back-to-back on one array).
+  double requests_per_simulated_second(double clock_mhz) const;
+
+ private:
+  std::size_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t rows_ = 0;
+  std::uint64_t padded_rows_ = 0;
+  sim::CycleStats cycles_;
+  std::uint64_t mac_ops_ = 0;
+  std::vector<double> latency_ms_;
+};
+
+}  // namespace onesa::serve

@@ -30,6 +30,13 @@ struct CycleStats {
     return *this;
   }
 
+  /// Merge helper for aggregating counters across accelerator instances
+  /// (e.g. the serving tier's worker pool feeding fleet-wide totals into the
+  /// power model).
+  friend CycleStats operator+(CycleStats a, const CycleStats& b) { return a += b; }
+
+  bool operator==(const CycleStats& o) const = default;
+
   /// Seconds at the given clock.
   double seconds(double clock_mhz) const {
     return static_cast<double>(total()) / (clock_mhz * 1e6);

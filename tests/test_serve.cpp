@@ -1,0 +1,416 @@
+// Tests of the serving runtime (src/serve/): batched execution is
+// bit-identical to sequential per-request accelerator calls, padding rows
+// never leak into outputs, the pool drains cleanly on shutdown, the stats
+// percentiles are monotone, and lifetime counters merge across workers.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "onesa/accelerator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server_pool.hpp"
+#include "serve/stats.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::serve {
+namespace {
+
+using tensor::FixMatrix;
+using tensor::Matrix;
+using tensor::to_fixed;
+
+OneSaConfig small_config(ExecutionMode mode) {
+  OneSaConfig cfg;
+  cfg.array.rows = 4;
+  cfg.array.cols = 4;
+  cfg.array.macs_per_pe = 4;
+  cfg.mode = mode;
+  return cfg;
+}
+
+FixMatrix random_fix(std::size_t rows, std::size_t cols, Rng& rng, double lo = -2.0,
+                     double hi = 2.0) {
+  return to_fixed(tensor::random_uniform(rows, cols, rng, lo, hi));
+}
+
+// ------------------------------------------------------------------ batching
+
+class BatchBitIdentity : public ::testing::TestWithParam<ExecutionMode> {};
+
+TEST_P(BatchBitIdentity, ElementwiseMatchesSequential) {
+  // Ragged row counts so requests straddle tile boundaries.
+  const std::size_t row_counts[] = {1, 3, 2, 5};
+  Rng rng(11);
+  std::vector<FixMatrix> inputs;
+  for (std::size_t r : row_counts) inputs.push_back(random_fix(r, 6, rng, -4.0, 4.0));
+
+  std::vector<TaggedRequest> tagged;
+  for (const auto& x : inputs)
+    tagged.push_back(make_elementwise_request(cpwl::FunctionKind::kGelu, x));
+  std::vector<ServeRequest> batch;
+  std::vector<std::future<ServeResult>> futures;
+  for (auto& t : tagged) {
+    batch.push_back(std::move(t.request));
+    futures.push_back(std::move(t.result));
+  }
+
+  OneSaAccelerator batched_accel(small_config(GetParam()));
+  DynamicBatcher batcher;
+  const BatchRecord record = batcher.execute(std::move(batch), batched_accel, 0);
+  EXPECT_EQ(record.requests, 4u);
+  EXPECT_EQ(record.rows, 11u);
+  EXPECT_EQ(record.padded_rows % 4, 0u);  // whole tiles of the 4-row array
+
+  // Sequential reference: a fresh accelerator per request.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    OneSaAccelerator solo(small_config(GetParam()));
+    const auto want = solo.elementwise(cpwl::FunctionKind::kGelu, inputs[i]);
+    const ServeResult got = futures[i].get();
+    EXPECT_EQ(got.y, want.y) << "request " << i;
+    EXPECT_EQ(got.batch_requests, 4u);
+  }
+}
+
+TEST_P(BatchBitIdentity, GemmWithSharedWeightMatchesSequential) {
+  Rng rng(12);
+  const auto weight = std::make_shared<const FixMatrix>(random_fix(5, 7, rng));
+  const std::size_t row_counts[] = {2, 1, 4};
+  std::vector<FixMatrix> inputs;
+  for (std::size_t r : row_counts) inputs.push_back(random_fix(r, 5, rng));
+
+  std::vector<ServeRequest> batch;
+  std::vector<std::future<ServeResult>> futures;
+  for (const auto& a : inputs) {
+    auto t = make_gemm_request(a, weight);
+    batch.push_back(std::move(t.request));
+    futures.push_back(std::move(t.result));
+  }
+
+  OneSaAccelerator batched_accel(small_config(GetParam()));
+  DynamicBatcher batcher;
+  batcher.execute(std::move(batch), batched_accel, 0);
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    OneSaAccelerator solo(small_config(GetParam()));
+    const auto want = solo.gemm(inputs[i], *weight);
+    EXPECT_EQ(futures[i].get().y, want.y) << "request " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BatchBitIdentity,
+                         ::testing::Values(ExecutionMode::kCycleAccurate,
+                                           ExecutionMode::kAnalytic),
+                         [](const auto& info) {
+                           return info.param == ExecutionMode::kCycleAccurate
+                                      ? "CycleAccurate"
+                                      : "Analytic";
+                         });
+
+TEST(Batcher, PaddingRowsNeverLeakIntoOutputs) {
+  // Sigmoid(0) = 0.5 != 0, so a leaked zero padding row would be visible.
+  Rng rng(13);
+  const FixMatrix x = random_fix(3, 5, rng, -3.0, 3.0);  // pads 3 -> 4 rows
+  auto t = make_elementwise_request(cpwl::FunctionKind::kSigmoid, x);
+  std::vector<ServeRequest> batch;
+  batch.push_back(std::move(t.request));
+
+  OneSaAccelerator accel(small_config(ExecutionMode::kAnalytic));
+  const BatchRecord record = DynamicBatcher().execute(std::move(batch), accel, 0);
+  EXPECT_EQ(record.padded_rows, 4u);
+  EXPECT_EQ(record.rows, 3u);
+
+  const ServeResult got = t.result.get();
+  ASSERT_EQ(got.y.rows(), 3u);  // exactly the request's rows, no pad row
+  ASSERT_EQ(got.y.cols(), 5u);
+  OneSaAccelerator solo(small_config(ExecutionMode::kAnalytic));
+  EXPECT_EQ(got.y, solo.elementwise(cpwl::FunctionKind::kSigmoid, x).y);
+}
+
+TEST(Batcher, CompatibilityRules) {
+  Rng rng(14);
+  auto gelu_a = make_elementwise_request(cpwl::FunctionKind::kGelu, random_fix(2, 4, rng));
+  auto gelu_b = make_elementwise_request(cpwl::FunctionKind::kGelu, random_fix(3, 4, rng));
+  auto gelu_wide = make_elementwise_request(cpwl::FunctionKind::kGelu, random_fix(2, 6, rng));
+  auto relu = make_elementwise_request(cpwl::FunctionKind::kRelu, random_fix(2, 4, rng));
+  EXPECT_TRUE(DynamicBatcher::compatible(gelu_a.request, gelu_b.request));
+  EXPECT_FALSE(DynamicBatcher::compatible(gelu_a.request, gelu_wide.request));  // width
+  EXPECT_FALSE(DynamicBatcher::compatible(gelu_a.request, relu.request));       // function
+
+  const auto w1 = std::make_shared<const FixMatrix>(random_fix(4, 3, rng));
+  const auto w2 = std::make_shared<const FixMatrix>(random_fix(4, 3, rng));
+  auto g1 = make_gemm_request(random_fix(2, 4, rng), w1);
+  auto g2 = make_gemm_request(random_fix(3, 4, rng), w1);
+  auto g3 = make_gemm_request(random_fix(2, 4, rng), w2);
+  EXPECT_TRUE(DynamicBatcher::compatible(g1.request, g2.request));   // same weight
+  EXPECT_FALSE(DynamicBatcher::compatible(g1.request, g3.request));  // different weight
+  EXPECT_FALSE(DynamicBatcher::compatible(gelu_a.request, g1.request));
+
+  auto tr = make_trace_request(std::make_shared<nn::WorkloadTrace>(nn::gcn_trace(64, 8, 4, 2, 3)));
+  EXPECT_FALSE(DynamicBatcher::compatible(tr.request, tr.request));  // traces never batch
+}
+
+TEST(Batcher, TakeBatchRespectsBudgetsAndOrder) {
+  Rng rng(15);
+  BatcherConfig cfg;
+  cfg.max_batch_rows = 6;
+  DynamicBatcher batcher(cfg);
+
+  std::deque<ServeRequest> pending;
+  std::vector<RequestId> ids;
+  for (std::size_t rows : {3u, 2u, 4u, 1u}) {  // 3+2 fit; 4 overflows; 1 fits
+    auto t = make_elementwise_request(cpwl::FunctionKind::kTanh, random_fix(rows, 4, rng));
+    ids.push_back(t.request.id);
+    pending.push_back(std::move(t.request));
+  }
+  const auto batch = batcher.take_batch(pending);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, ids[0]);
+  EXPECT_EQ(batch[1].id, ids[1]);
+  EXPECT_EQ(batch[2].id, ids[3]);  // the 1-row request leapfrogs the 4-row one
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending.front().id, ids[2]);
+}
+
+// ---------------------------------------------------------------------- pool
+
+TEST(ServerPool, ServesManyRequestsBitIdentically) {
+  ServerPoolConfig cfg;
+  cfg.workers = 3;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  ServerPool pool(cfg);
+
+  Rng rng(16);
+  std::vector<FixMatrix> inputs;
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 30; ++i) {
+    inputs.push_back(random_fix(1 + i % 5, 8, rng, -3.0, 3.0));
+    futures.push_back(pool.submit_elementwise(cpwl::FunctionKind::kGelu, inputs.back()));
+  }
+  OneSaAccelerator solo(small_config(ExecutionMode::kAnalytic));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().y, solo.elementwise(cpwl::FunctionKind::kGelu, inputs[i]).y)
+        << "request " << i;
+  }
+}
+
+TEST(ServerPool, DrainsCleanlyOnShutdown) {
+  ServerPoolConfig cfg;
+  cfg.workers = 4;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  ServerPool pool(cfg);
+
+  Rng rng(17);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 25; ++i)
+    futures.push_back(pool.submit_elementwise(cpwl::FunctionKind::kRelu, random_fix(2, 4, rng)));
+
+  pool.shutdown();  // must serve all 25 before returning
+  EXPECT_EQ(pool.pending(), 0u);
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    f.get();
+  }
+  EXPECT_EQ(pool.stats().completed(), 25u);
+  // Closed pool rejects new work.
+  EXPECT_THROW(pool.submit_elementwise(cpwl::FunctionKind::kRelu, random_fix(2, 4, rng)),
+               Error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ServerPool, TraceRequestMatchesDirectEstimate) {
+  ServerPoolConfig cfg;
+  cfg.workers = 2;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  ServerPool pool(cfg);
+
+  const auto trace = std::make_shared<nn::WorkloadTrace>(nn::bert_base_trace(16));
+  auto future = pool.submit_trace(trace);
+  const ServeResult got = future.get();
+  pool.shutdown();
+
+  const sim::TimingModel timing(cfg.accelerator.array);
+  const auto want = nn::estimate_trace(*trace, timing);
+  EXPECT_EQ(got.cycles.total(), want.cycles.total());
+  EXPECT_DOUBLE_EQ(got.trace.latency_ms, want.latency_ms);
+  EXPECT_DOUBLE_EQ(got.trace.gops, want.gops);
+  EXPECT_EQ(got.mac_ops, nn::trace_mac_ops(*trace));
+
+  // The worker charged its accelerator, so the fleet totals see the trace.
+  const LifetimeTotals fleet = pool.fleet_lifetime();
+  EXPECT_EQ(fleet.cycles.total(), want.cycles.total());
+  EXPECT_EQ(fleet.mac_ops, nn::trace_mac_ops(*trace));
+}
+
+TEST(ServerPool, RotationBalancesSimulatedLoadExactly) {
+  // 16 identical trace requests over 4 workers: rotation dispatch gives each
+  // worker exactly 4, so per-worker busy cycles are equal and the fleet
+  // makespan is total/4 — the mechanism behind the N-worker speedup of
+  // bench/serving_throughput.cpp.
+  ServerPoolConfig cfg;
+  cfg.workers = 4;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  ServerPool pool(cfg);
+
+  const auto trace = std::make_shared<nn::WorkloadTrace>(nn::gcn_trace(256, 32, 16, 4, 8));
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(pool.submit_trace(trace));
+  for (auto& f : futures) f.get();
+  pool.shutdown();
+
+  const auto busy = pool.worker_busy_cycles();
+  ASSERT_EQ(busy.size(), 4u);
+  for (std::size_t w = 1; w < busy.size(); ++w) EXPECT_EQ(busy[w], busy[0]);
+  EXPECT_EQ(pool.makespan_cycles(), busy[0]);
+  EXPECT_EQ(pool.stats().total_cycles().total(), 4 * busy[0]);
+}
+
+TEST(ServerPool, BatchesCompatibleRequestsTogether) {
+  ServerPoolConfig cfg;
+  cfg.workers = 1;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  cfg.batcher.max_batch_rows = 64;
+  ServerPool pool(cfg);
+
+  Rng rng(18);
+  // Same function and width — all 6 should ride in few passes. The single
+  // worker only starts consuming after the first pop, so later requests
+  // accumulate and batch.
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(pool.submit_elementwise(cpwl::FunctionKind::kGelu, random_fix(4, 4, rng)));
+  for (auto& f : futures) f.get();
+  pool.shutdown();
+
+  const ServeStats stats = pool.stats();
+  EXPECT_EQ(stats.completed(), 6u);
+  EXPECT_LE(stats.batches(), 6u);
+  EXPECT_GT(stats.batch_fill(), 0.0);
+  EXPECT_LE(stats.batch_fill(), 1.0);
+}
+
+// --------------------------------------------------------------------- stats
+
+TEST(ServeStats, PercentilesAreMonotone) {
+  ServeStats stats;
+  BatchRecord record;
+  record.requests = 9;
+  record.rows = 9;
+  record.padded_rows = 12;
+  // Deliberately unsorted latencies.
+  record.latency_ms = {5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0};
+  stats.record_batch(record);
+
+  double prev = 0.0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double v = stats.percentile_latency_ms(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(stats.percentile_latency_ms(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.percentile_latency_ms(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.percentile_latency_ms(100.0), 9.0);
+  EXPECT_THROW(stats.percentile_latency_ms(101.0), Error);
+}
+
+TEST(ServeStats, MergeAccumulatesEverything) {
+  ServeStats a;
+  ServeStats b;
+  BatchRecord ra;
+  ra.requests = 2;
+  ra.rows = 4;
+  ra.padded_rows = 8;
+  ra.cycles.compute_cycles = 100;
+  ra.mac_ops = 50;
+  ra.latency_ms = {1.0, 2.0};
+  BatchRecord rb;
+  rb.requests = 1;
+  rb.rows = 4;
+  rb.padded_rows = 4;
+  rb.cycles.compute_cycles = 40;
+  rb.mac_ops = 20;
+  rb.latency_ms = {10.0};
+  a.record_batch(ra);
+  b.record_batch(rb);
+
+  a.merge(b);
+  EXPECT_EQ(a.completed(), 3u);
+  EXPECT_EQ(a.batches(), 2u);
+  EXPECT_EQ(a.total_cycles().compute_cycles, 140u);
+  EXPECT_EQ(a.total_mac_ops(), 70u);
+  EXPECT_DOUBLE_EQ(a.batch_fill(), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(a.percentile_latency_ms(100.0), 10.0);
+}
+
+// ------------------------------------------------- lifetime counter merging
+
+TEST(LifetimeTotals, CycleStatsMergeHelper) {
+  sim::CycleStats a;
+  a.fill_cycles = 1;
+  a.compute_cycles = 2;
+  a.drain_cycles = 3;
+  a.memory_cycles = 4;
+  a.ipf_cycles = 5;
+  sim::CycleStats b;
+  b.fill_cycles = 10;
+  b.compute_cycles = 20;
+  b.drain_cycles = 30;
+  b.memory_cycles = 40;
+  b.ipf_cycles = 50;
+
+  const sim::CycleStats sum = a + b;
+  EXPECT_EQ(sum.fill_cycles, 11u);
+  EXPECT_EQ(sum.compute_cycles, 22u);
+  EXPECT_EQ(sum.drain_cycles, 33u);
+  EXPECT_EQ(sum.memory_cycles, 44u);
+  EXPECT_EQ(sum.ipf_cycles, 55u);
+  EXPECT_EQ(sum.total(), a.total() + b.total());
+}
+
+TEST(LifetimeTotals, MergeAcrossAcceleratorInstances) {
+  Rng rng(19);
+  OneSaAccelerator a(small_config(ExecutionMode::kAnalytic));
+  OneSaAccelerator b(small_config(ExecutionMode::kAnalytic));
+  const FixMatrix x = random_fix(4, 4, rng);
+  a.gemm(x, x);
+  b.elementwise(cpwl::FunctionKind::kRelu, x);
+
+  LifetimeTotals fleet = a.lifetime();
+  fleet.merge(b.lifetime());
+  EXPECT_EQ(fleet.cycles, a.lifetime_cycles() + b.lifetime_cycles());
+  EXPECT_EQ(fleet.mac_ops, a.lifetime_mac_ops() + b.lifetime_mac_ops());
+}
+
+// ------------------------------------------------------- shared CPWL tables
+
+TEST(SharedTables, WorkersAliasOneTableSetBitIdentically) {
+  Rng rng(20);
+  OneSaAccelerator owner(small_config(ExecutionMode::kAnalytic));
+  OneSaAccelerator alias(small_config(ExecutionMode::kAnalytic), owner.shared_tables());
+  EXPECT_EQ(&owner.tables(), &alias.tables());
+
+  const FixMatrix x = random_fix(5, 5, rng, -4.0, 4.0);
+  EXPECT_EQ(owner.elementwise(cpwl::FunctionKind::kTanh, x).y,
+            alias.elementwise(cpwl::FunctionKind::kTanh, x).y);
+}
+
+TEST(SharedTables, GranularityMismatchRejected) {
+  OneSaAccelerator owner(small_config(ExecutionMode::kAnalytic));
+  OneSaConfig other = small_config(ExecutionMode::kAnalytic);
+  other.granularity = 1.0;
+  EXPECT_THROW(OneSaAccelerator(other, owner.shared_tables()), ConfigError);
+}
+
+TEST(SharedTables, FracBitsMismatchRejected) {
+  // A table set built directly with a different fixed-point format must not
+  // be silently accepted (OneSaConfig itself can only express Q6.9, so this
+  // guards hand-built sets).
+  const auto q8_tables = std::make_shared<const cpwl::TableSet>(0.25, /*frac_bits=*/8);
+  EXPECT_THROW(OneSaAccelerator(small_config(ExecutionMode::kAnalytic), q8_tables),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace onesa::serve
