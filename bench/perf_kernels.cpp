@@ -1,0 +1,309 @@
+// Kernel-layer performance harness: times the blocked/threaded GEMM against
+// the seed reference loop on shapes taken from the BERT-base and ResNet-50
+// traces (plus the 512^3 acceptance point), the batched CPWL evaluators
+// against their scalar loops, and the blocked transpose — then writes
+// BENCH_kernels.json so the bench trajectory has machine-readable data.
+//
+// Usage:
+//   bench_perf_kernels [--smoke] [--json PATH]
+//
+// --smoke shrinks every problem so the whole run takes well under a second:
+// CI uses it as a correctness gate (kernel-vs-reference equivalence on the
+// bench shapes; nonzero exit on mismatch) and uploads the JSON artifact.
+// Timing numbers are reported in both modes but only asserted on locally.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cpwl/segment_table.hpp"
+#include "tensor/kernels/elementwise.hpp"
+#include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/thread_pool.hpp"
+#include "tensor/kernels/transpose.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using onesa::Rng;
+using onesa::tensor::Matrix;
+namespace kernels = onesa::tensor::kernels;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Best-of-reps wall time of fn, in milliseconds.
+template <typename F>
+double time_best_ms(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, ms_since(t0));
+  }
+  return best;
+}
+
+struct GemmCase {
+  std::string name;
+  std::size_t m, k, n;
+};
+
+struct GemmResult {
+  GemmCase shape;
+  double ref_ms = 0.0;
+  double blocked_ms = 0.0;
+  double dispatch_ms = 0.0;
+  std::size_t dispatch_threads = 1;
+  double rel_error = 0.0;  // blocked vs reference
+  double speedup_single() const { return ref_ms / blocked_ms; }
+  double speedup_dispatch() const { return ref_ms / dispatch_ms; }
+  double gflops(double ms) const {
+    return 2.0 * static_cast<double>(m_macs()) / (ms * 1e6);
+  }
+  std::size_t m_macs() const { return shape.m * shape.k * shape.n; }
+};
+
+double relative_max_error(const Matrix& got, const Matrix& want) {
+  double scale = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i)
+    scale = std::max(scale, std::abs(want.at_flat(i)));
+  if (scale == 0.0) scale = 1.0;
+  return onesa::tensor::max_abs_distance(got, want) / scale;
+}
+
+GemmResult run_gemm_case(const GemmCase& c, int reps, Rng& rng) {
+  const Matrix a = onesa::tensor::random_uniform(c.m, c.k, rng);
+  const Matrix b = onesa::tensor::random_uniform(c.k, c.n, rng);
+  Matrix ref(c.m, c.n), blocked(c.m, c.n), dispatched(c.m, c.n);
+
+  GemmResult r;
+  r.shape = c;
+  r.ref_ms = time_best_ms(reps, [&] {
+    kernels::gemm_reference(a.data().data(), b.data().data(), ref.data().data(), c.m, c.k,
+                            c.n);
+  });
+  r.blocked_ms = time_best_ms(reps, [&] {
+    kernels::gemm_blocked(a.data().data(), b.data().data(), blocked.data().data(), c.m,
+                          c.k, c.n);
+  });
+  r.dispatch_ms = time_best_ms(reps, [&] {
+    kernels::gemm(a.data().data(), b.data().data(), dispatched.data().data(), c.m, c.k,
+                  c.n);
+  });
+  r.dispatch_threads = kernels::gemm_threads(c.m, c.k, c.n);
+  r.rel_error = std::max(relative_max_error(blocked, ref), relative_max_error(dispatched, ref));
+  return r;
+}
+
+struct CpwlResult {
+  std::string name;
+  std::size_t evals = 0;
+  double scalar_ms = 0.0;
+  double batch_ms = 0.0;
+  bool exact = false;
+  double speedup() const { return scalar_ms / batch_ms; }
+};
+
+CpwlResult run_cpwl_double(std::size_t n, int reps, Rng& rng) {
+  const auto table = onesa::cpwl::SegmentTable::build(onesa::cpwl::FunctionKind::kGelu);
+  std::vector<double> x(n), scalar_y(n), batch_y(n);
+  for (auto& v : x) v = rng.uniform(-10.0, 10.0);
+
+  CpwlResult r;
+  r.name = "gelu-double";
+  r.evals = n;
+  r.scalar_ms = time_best_ms(reps, [&] {
+    for (std::size_t i = 0; i < n; ++i) scalar_y[i] = table.eval(x[i]);
+  });
+  r.batch_ms = time_best_ms(reps, [&] { table.eval_batch(x, batch_y); });
+  r.exact = scalar_y == batch_y;
+  return r;
+}
+
+CpwlResult run_cpwl_fixed(std::size_t n, int reps, Rng& rng) {
+  const auto table = onesa::cpwl::SegmentTable::build(onesa::cpwl::FunctionKind::kTanh);
+  std::vector<onesa::fixed::Fix16> x(n), scalar_y(n), batch_y(n);
+  for (auto& v : x) v = onesa::fixed::Fix16::from_double(rng.uniform(-8.0, 8.0));
+
+  CpwlResult r;
+  r.name = "tanh-int16";
+  r.evals = n;
+  r.scalar_ms = time_best_ms(reps, [&] {
+    for (std::size_t i = 0; i < n; ++i) scalar_y[i] = table.eval_fixed(x[i]);
+  });
+  r.batch_ms = time_best_ms(reps, [&] { table.eval_fixed_batch(x, batch_y); });
+  r.exact = true;
+  for (std::size_t i = 0; i < n; ++i)
+    if (scalar_y[i].raw() != batch_y[i].raw()) r.exact = false;
+  return r;
+}
+
+struct TransposeResult {
+  std::size_t rows = 0, cols = 0;
+  double naive_ms = 0.0;
+  double blocked_ms = 0.0;
+  double speedup() const { return naive_ms / blocked_ms; }
+};
+
+TransposeResult run_transpose(std::size_t rows, std::size_t cols, int reps, Rng& rng) {
+  const Matrix a = onesa::tensor::random_uniform(rows, cols, rng);
+  Matrix naive(cols, rows), blocked(cols, rows);
+  TransposeResult r;
+  r.rows = rows;
+  r.cols = cols;
+  r.naive_ms = time_best_ms(reps, [&] {
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j) naive(j, i) = a(i, j);
+  });
+  r.blocked_ms = time_best_ms(reps, [&] {
+    kernels::transpose_blocked(a.data().data(), blocked.data().data(), rows, cols);
+  });
+  return r;
+}
+
+void write_json(const std::string& path, const std::vector<GemmResult>& gemms,
+                const std::vector<CpwlResult>& cpwls, const TransposeResult& transpose,
+                bool smoke, double accept_speedup, bool accept_pass) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"perf_kernels\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"threads\": " << kernels::ThreadPool::instance().threads() << ",\n";
+  out << "  \"deterministic\": " << (kernels::deterministic() ? "true" : "false") << ",\n";
+  out << "  \"gemm\": [\n";
+  for (std::size_t i = 0; i < gemms.size(); ++i) {
+    const GemmResult& g = gemms[i];
+    out << "    {\"name\": \"" << g.shape.name << "\", \"m\": " << g.shape.m
+        << ", \"k\": " << g.shape.k << ", \"n\": " << g.shape.n
+        << ", \"ref_ms\": " << g.ref_ms << ", \"blocked_ms\": " << g.blocked_ms
+        << ", \"dispatch_ms\": " << g.dispatch_ms
+        << ", \"dispatch_threads\": " << g.dispatch_threads
+        << ", \"ref_gflops\": " << g.gflops(g.ref_ms)
+        << ", \"blocked_gflops\": " << g.gflops(g.blocked_ms)
+        << ", \"speedup_single_thread\": " << g.speedup_single()
+        << ", \"speedup_dispatch\": " << g.speedup_dispatch()
+        << ", \"rel_error_vs_reference\": " << g.rel_error << "}"
+        << (i + 1 < gemms.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"cpwl\": [\n";
+  for (std::size_t i = 0; i < cpwls.size(); ++i) {
+    const CpwlResult& c = cpwls[i];
+    out << "    {\"name\": \"" << c.name << "\", \"evals\": " << c.evals
+        << ", \"scalar_ms\": " << c.scalar_ms << ", \"batch_ms\": " << c.batch_ms
+        << ", \"evals_per_sec_batch\": " << static_cast<double>(c.evals) / (c.batch_ms * 1e-3)
+        << ", \"speedup\": " << c.speedup()
+        << ", \"exact\": " << (c.exact ? "true" : "false") << "}"
+        << (i + 1 < cpwls.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"transpose\": {\"rows\": " << transpose.rows << ", \"cols\": " << transpose.cols
+      << ", \"naive_ms\": " << transpose.naive_ms
+      << ", \"blocked_ms\": " << transpose.blocked_ms
+      << ", \"speedup\": " << transpose.speedup() << "},\n";
+  // The measured shape is named explicitly: in --smoke mode the acceptance
+  // numbers come from the first (small) smoke shape, not from 512^3.
+  out << "  \"acceptance\": {\"shape\": \"" << gemms.front().shape.name
+      << "\", \"speedup_single_thread\": " << accept_speedup
+      << ", \"target\": 5.0, \"asserted\": " << (smoke ? "false" : "true")
+      << ", \"pass\": " << (accept_pass ? "true" : "false") << "}\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // GEMM shapes: the 512^3 acceptance point, BERT-base layer shapes at
+  // seq=128 (QKV/output projections, the two FFN GEMMs, per-head attention
+  // scores), and a ResNet-50 im2col shape (28x28 stage, 3x3 conv).
+  std::vector<GemmCase> cases;
+  if (smoke) {
+    cases = {{"square-64", 64, 64, 64},
+             {"tall-96x48x80", 96, 48, 80},
+             {"ragged-33x65x17", 33, 65, 17}};
+  } else {
+    cases = {{"square-512", 512, 512, 512},
+             {"bert-qkv-proj", 128, 768, 768},
+             {"bert-ffn-up", 128, 768, 3072},
+             {"bert-ffn-down", 128, 3072, 768},
+             {"bert-attn-scores", 128, 64, 128},
+             {"resnet-conv3x3-28x28", 784, 1152, 256}};
+  }
+  const int reps = smoke ? 1 : 3;
+  const std::size_t cpwl_n = smoke ? (1u << 14) : (1u << 21);
+  const std::size_t transpose_dim = smoke ? 128 : 1024;
+
+  Rng rng(42);
+  std::vector<GemmResult> gemms;
+  bool correct = true;
+  std::printf("%-22s %10s %10s %10s %8s %8s\n", "gemm", "ref_ms", "blocked", "dispatch",
+              "speedup", "relerr");
+  for (const GemmCase& c : cases) {
+    gemms.push_back(run_gemm_case(c, reps, rng));
+    const GemmResult& g = gemms.back();
+    std::printf("%-22s %10.2f %10.2f %10.2f %7.2fx %8.1e\n", g.shape.name.c_str(),
+                g.ref_ms, g.blocked_ms, g.dispatch_ms, g.speedup_single(), g.rel_error);
+    if (!(g.rel_error <= 1e-12)) {
+      std::fprintf(stderr, "FAIL: %s rel error %g exceeds 1e-12\n", g.shape.name.c_str(),
+                   g.rel_error);
+      correct = false;
+    }
+  }
+
+  std::vector<CpwlResult> cpwls = {run_cpwl_double(cpwl_n, reps, rng),
+                                   run_cpwl_fixed(cpwl_n, reps, rng)};
+  for (const CpwlResult& c : cpwls) {
+    std::printf("%-22s %10.2f %10.2f %19.2fx %8s\n", c.name.c_str(), c.scalar_ms,
+                c.batch_ms, c.speedup(), c.exact ? "exact" : "MISMATCH");
+    if (!c.exact) {
+      std::fprintf(stderr, "FAIL: %s batch evaluation diverged from scalar\n",
+                   c.name.c_str());
+      correct = false;
+    }
+  }
+
+  const TransposeResult transpose = run_transpose(transpose_dim, transpose_dim, reps, rng);
+  std::printf("%-22s %10.2f %10.2f %19.2fx\n", "transpose", transpose.naive_ms,
+              transpose.blocked_ms, transpose.speedup());
+
+  // Acceptance: >= 5x single-thread speedup over the seed loop at 512^3
+  // (reported in smoke mode on the largest smoke shape, asserted only on
+  // the real shape).
+  const GemmResult& accept = gemms.front();
+  const double accept_speedup = accept.speedup_single();
+  const bool accept_pass = smoke || accept_speedup >= 5.0;
+  if (!smoke) {
+    std::printf("\n512^3 single-thread speedup: %.2fx (target 5x) — %s\n", accept_speedup,
+                accept_pass ? "PASS" : "FAIL");
+  }
+
+  write_json(json_path, gemms, cpwls, transpose, smoke, accept_speedup, accept_pass);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!correct) return 1;
+  if (!accept_pass) return 3;
+  return 0;
+}

@@ -50,11 +50,17 @@ SegmentTable SegmentTable::build_custom(const std::function<double(double)>& f,
   t.max_segment_ = std::max(t.max_segment_, t.min_segment_);
 
   const int exp2 = power_of_two_exponent(g);
-  if (exp2 != -1000 && config.frac_bits + exp2 >= 0) {
+  t.pow2_granularity_ = exp2 != -1000;
+  t.inv_granularity_ = 1.0 / g;  // exact when g is a power of two
+  if (t.pow2_granularity_ && config.frac_bits + exp2 >= 0) {
     t.shift_amount_ = config.frac_bits + exp2;
   }
 
-  t.params_.reserve(static_cast<std::size_t>(t.max_segment_ - t.min_segment_ + 1));
+  const auto segments = static_cast<std::size_t>(t.max_segment_ - t.min_segment_ + 1);
+  t.k_params_.reserve(segments);
+  t.b_params_.reserve(segments);
+  t.k_fixed_params_.reserve(segments);
+  t.b_fixed_params_.reserve(segments);
   for (int s = t.min_segment_; s <= t.max_segment_; ++s) {
     // Endpoints of the segment, clipped to the domain so boundary segments
     // of functions with singular edges (e.g. 1/x near 0) stay finite.
@@ -63,12 +69,12 @@ SegmentTable SegmentTable::build_custom(const std::function<double(double)>& f,
     ONESA_CHECK(x1 > x0, "degenerate segment " << s << " for " << t.name_);
     const double y0 = f(x0);
     const double y1 = f(x1);
-    Params p;
-    p.k = (y1 - y0) / (x1 - x0);
-    p.b = y0 - p.k * x0;
-    p.k_fixed = fixed::Fix16::from_double(p.k);
-    p.b_fixed = fixed::Fix16::from_double(p.b);
-    t.params_.push_back(p);
+    const double k = (y1 - y0) / (x1 - x0);
+    const double b = y0 - k * x0;
+    t.k_params_.push_back(k);
+    t.b_params_.push_back(b);
+    t.k_fixed_params_.push_back(fixed::Fix16::from_double(k));
+    t.b_fixed_params_.push_back(fixed::Fix16::from_double(b));
   }
   return t;
 }
@@ -101,27 +107,111 @@ std::size_t SegmentTable::relative_index(int segment) const {
   return static_cast<std::size_t>(segment - min_segment_);
 }
 
-double SegmentTable::k(int segment) const { return params_[relative_index(segment)].k; }
-double SegmentTable::b(int segment) const { return params_[relative_index(segment)].b; }
+double SegmentTable::k(int segment) const { return k_params_[relative_index(segment)]; }
+double SegmentTable::b(int segment) const { return b_params_[relative_index(segment)]; }
 
 fixed::Fix16 SegmentTable::k_fixed(int segment) const {
-  return params_[relative_index(segment)].k_fixed;
+  return k_fixed_params_[relative_index(segment)];
 }
 fixed::Fix16 SegmentTable::b_fixed(int segment) const {
-  return params_[relative_index(segment)].b_fixed;
+  return b_fixed_params_[relative_index(segment)];
+}
+
+int SegmentTable::grid_segment(double x) const {
+  // Multiplying by the reciprocal is exact for power-of-two granularities
+  // (both are pure exponent scalings), so this matches raw_segment()'s
+  // divide bit-for-bit there; other granularities keep the divide.
+  const double t = pow2_granularity_ ? x * inv_granularity_ : x / granularity_;
+  // Branch-free floor-to-int (t is finite and well inside int range for any
+  // in-domain input: the domain is bounded and g >= one INT16 ulp).
+  int s = static_cast<int>(t);
+  s -= static_cast<double>(s) > t;
+  return s;
 }
 
 double SegmentTable::eval(double x) const {
-  const Params& p = params_[relative_index(segment_index(x))];
-  return p.k * x + p.b;
+  int s = grid_segment(x);
+  s = s < min_segment_ ? min_segment_ : s;
+  s = s > max_segment_ ? max_segment_ : s;
+  const std::size_t i = static_cast<std::size_t>(s - min_segment_);
+  return k_params_[i] * x + b_params_[i];
 }
 
 fixed::Fix16 SegmentTable::eval_fixed(fixed::Fix16 x) const {
-  const Params& p = params_[relative_index(segment_index_raw(x.raw()))];
+  const std::size_t i = relative_index(segment_index_raw(x.raw()));
   fixed::Acc16 acc;
-  acc.mac(p.k_fixed, x);
-  acc.mac(fixed::Fix16::from_double(1.0), p.b_fixed);
+  acc.mac(k_fixed_params_[i], x);
+  acc.mac(fixed::Fix16::from_double(1.0), b_fixed_params_[i]);
   return acc.result();
+}
+
+void SegmentTable::eval_batch(std::span<const double> x, std::span<double> y) const {
+  ONESA_CHECK(x.size() == y.size(),
+              "eval_batch spans differ: " << x.size() << " vs " << y.size());
+  const int lo = min_segment_;
+  const int hi = max_segment_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    int s = grid_segment(x[i]);
+    s = s < lo ? lo : s;
+    s = s > hi ? hi : s;
+    const std::size_t idx = static_cast<std::size_t>(s - lo);
+    y[i] = k_params_[idx] * x[i] + b_params_[idx];
+  }
+}
+
+void SegmentTable::eval_fixed_batch(std::span<const fixed::Fix16> x,
+                                    std::span<fixed::Fix16> y) const {
+  ONESA_CHECK(x.size() == y.size(),
+              "eval_fixed_batch spans differ: " << x.size() << " vs " << y.size());
+  const auto one = fixed::Fix16::from_double(1.0);
+  const int lo = min_segment_;
+  const int hi = max_segment_;
+  if (shift_indexable()) {
+    const int shift = shift_amount_;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      int s = static_cast<int>(x[i].raw()) >> shift;
+      s = s < lo ? lo : s;
+      s = s > hi ? hi : s;
+      const std::size_t idx = static_cast<std::size_t>(s - lo);
+      fixed::Acc16 acc;
+      acc.mac(k_fixed_params_[idx], x[i]);
+      acc.mac(one, b_fixed_params_[idx]);
+      y[i] = acc.result();
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = eval_fixed(x[i]);
+}
+
+SegmentTable::CapCounts SegmentTable::lookup_fixed_batch(
+    std::span<const fixed::Fix16> x, std::span<fixed::Fix16> segment,
+    std::span<fixed::Fix16> k, std::span<fixed::Fix16> b) const {
+  ONESA_CHECK(segment.size() == x.size() && k.size() == x.size() && b.size() == x.size(),
+              "lookup_fixed_batch spans must match the input length " << x.size());
+  CapCounts caps;
+  const int lo = min_segment_;
+  const int hi = max_segment_;
+  const bool shifted = shift_indexable();
+  const int shift = shift_amount_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const int uncapped = shifted
+                             ? static_cast<int>(x[i].raw()) >> shift
+                             : raw_segment(static_cast<double>(x[i].raw()) /
+                                           static_cast<double>(std::int32_t{1} << frac_bits_));
+    int s = uncapped;
+    if (s < lo) {
+      s = lo;
+      ++caps.low;
+    } else if (s > hi) {
+      s = hi;
+      ++caps.high;
+    }
+    const std::size_t idx = static_cast<std::size_t>(s - lo);
+    segment[i] = fixed::Fix16::from_raw(static_cast<std::int16_t>(s));
+    k[i] = k_fixed_params_[idx];
+    b[i] = b_fixed_params_[idx];
+  }
+  return caps;
 }
 
 TableSet::TableSet(double granularity, int frac_bits)

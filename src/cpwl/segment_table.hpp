@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -86,11 +87,42 @@ class SegmentTable {
   /// simulated IPF + MHP pipeline produces.
   fixed::Fix16 eval_fixed(fixed::Fix16 x) const;
 
+  // -------------------------------------------------------- batch evaluation
+  //
+  // O(1) uniform-grid lookups over the flat SoA parameter arrays: the index
+  // is one multiply (power-of-two granularities use the exact reciprocal —
+  // the same value a divide would produce) + floor + clamp, with no
+  // per-element function calls or AoS pointer chasing. Identical results to
+  // the scalar paths, element for element.
+
+  /// y[i] = eval(x[i]). Spans must have equal length.
+  void eval_batch(std::span<const double> x, std::span<double> y) const;
+
+  /// y[i] = eval_fixed(x[i]), bit-exact. Spans must have equal length.
+  void eval_fixed_batch(std::span<const fixed::Fix16> x,
+                        std::span<fixed::Fix16> y) const;
+
+  /// Cap counters of one batched lookup (the L3 scale-module statistics).
+  struct CapCounts {
+    std::uint64_t low = 0;
+    std::uint64_t high = 0;
+  };
+
+  /// The IPF fetch as one batched pass: for every raw INT16 input write the
+  /// capped segment number (as raw INT16), the fetched INT16 slope and the
+  /// intercept. Returns how many inputs capped at each boundary. This is the
+  /// lookup DataAddressing streams per element; batching it keeps the
+  /// accelerator's nonlinear pass on the flat-array fast path.
+  CapCounts lookup_fixed_batch(std::span<const fixed::Fix16> x,
+                               std::span<fixed::Fix16> segment,
+                               std::span<fixed::Fix16> k,
+                               std::span<fixed::Fix16> b) const;
+
   // -------------------------------------------------------------- metadata
 
   int min_segment() const { return min_segment_; }
   int max_segment() const { return max_segment_; }
-  std::size_t segment_count() const { return params_.size(); }
+  std::size_t segment_count() const { return k_params_.size(); }
 
   /// Bytes of L3 storage the preloaded table occupies: 2 INT16 params per
   /// segment. This is what bounds the practical granularity (§V-B: "the
@@ -103,23 +135,28 @@ class SegmentTable {
   const std::string& name() const { return name_; }
 
  private:
-  struct Params {
-    double k;
-    double b;
-    fixed::Fix16 k_fixed;
-    fixed::Fix16 b_fixed;
-  };
-
   SegmentTable() = default;
+
+  /// Uncapped segment of x using the batch indexer (multiply by the exact
+  /// reciprocal for power-of-two granularities, divide otherwise).
+  int grid_segment(double x) const;
 
   std::string name_;
   double granularity_ = 0.25;
+  double inv_granularity_ = 4.0;     // exact for power-of-two granularities
+  bool pow2_granularity_ = false;
   Domain domain_{0.0, 0.0};
   int frac_bits_ = fixed::kDefaultFracBits;
   int min_segment_ = 0;
   int max_segment_ = 0;
   int shift_amount_ = -1;  // -1 => divide path only
-  std::vector<Params> params_;
+
+  // Per-segment parameters as flat structure-of-arrays (segment - min_segment
+  // indexes all four): the batch evaluators stream k/b with unit stride.
+  std::vector<double> k_params_;
+  std::vector<double> b_params_;
+  std::vector<fixed::Fix16> k_fixed_params_;
+  std::vector<fixed::Fix16> b_fixed_params_;
 };
 
 /// Bundle of tables for every function a network needs, built once per

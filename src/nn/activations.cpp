@@ -1,6 +1,7 @@
 #include "nn/activations.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "common/error.hpp"
 
@@ -11,6 +12,13 @@ Activation::Activation(cpwl::FunctionKind kind) : kind_(kind) {}
 tensor::Matrix Activation::forward(const tensor::Matrix& x) {
   cached_input_ = x;
   features_ = x.cols();
+  if (table_ != nullptr) {
+    // CPWL functional mode: one batched grid lookup over the flat table.
+    tensor::Matrix y(x.rows(), x.cols(), tensor::kUninitialized);
+    table_->eval_batch(std::span<const double>(x.data().data(), x.size()),
+                       std::span<double>(y.data().data(), y.size()));
+    return y;
+  }
   return x.map([this](double v) { return cpwl::eval_reference(kind_, v); });
 }
 

@@ -3,11 +3,20 @@
 #pragma once
 
 #include "cpwl/functions.hpp"
+#include "cpwl/segment_table.hpp"
 #include "nn/layer.hpp"
 
 namespace onesa::nn {
 
 /// Generic element-wise activation parameterized by the catalog function.
+///
+/// forward() evaluates the exact reference function by default. Point the
+/// layer at a CPWL table with use_table() and forward() instead runs the
+/// table's batched O(1) grid lookup (tensor/kernels-era SoA fast path) —
+/// the double-precision functional model of the accelerator's nonlinear
+/// pass, useful for approximation studies without the INT16 datapath.
+/// backward() always uses the exact derivative; the CPWL mode is an
+/// inference-side approximation, not a training nonlinearity.
 class Activation : public Layer {
  public:
   explicit Activation(cpwl::FunctionKind kind);
@@ -27,10 +36,16 @@ class Activation : public Layer {
   /// count_ops can attribute element counts.
   void set_features(std::size_t features) { features_ = features; }
 
+  /// Evaluate forward() through `table` (not owned; must outlive the layer
+  /// and approximate this layer's function). nullptr restores the exact path.
+  void use_table(const cpwl::SegmentTable* table) { table_ = table; }
+  const cpwl::SegmentTable* table() const { return table_; }
+
  private:
   double derivative(double x) const;
 
   cpwl::FunctionKind kind_;
+  const cpwl::SegmentTable* table_ = nullptr;
   tensor::Matrix cached_input_;
   std::size_t features_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernels/transpose.hpp"
 #include "tensor/ops.hpp"
 
 namespace onesa::nn {
@@ -93,8 +94,8 @@ tensor::Matrix MultiHeadSelfAttention::backward(const tensor::Matrix& grad_out) 
   const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
 
   // Output projection.
-  wo_.grad = tensor::add(wo_.grad,
-                         tensor::matmul(tensor::transpose(cached_concat_), grad_out));
+  tensor::add_inplace(wo_.grad,
+                      tensor::matmul(tensor::transpose(cached_concat_), grad_out));
   const tensor::Matrix grad_concat =
       tensor::matmul(grad_out, tensor::transpose(wo_.value));
 
@@ -121,16 +122,16 @@ tensor::Matrix MultiHeadSelfAttention::backward(const tensor::Matrix& grad_out) 
   }
 
   // Projection weights and input gradient.
-  wq_.grad = tensor::add(wq_.grad,
-                         tensor::matmul(tensor::transpose(cached_input_), grad_q_full));
-  wk_.grad = tensor::add(wk_.grad,
-                         tensor::matmul(tensor::transpose(cached_input_), grad_k_full));
-  wv_.grad = tensor::add(wv_.grad,
-                         tensor::matmul(tensor::transpose(cached_input_), grad_v_full));
+  tensor::add_inplace(wq_.grad,
+                      tensor::matmul(tensor::transpose(cached_input_), grad_q_full));
+  tensor::add_inplace(wk_.grad,
+                      tensor::matmul(tensor::transpose(cached_input_), grad_k_full));
+  tensor::add_inplace(wv_.grad,
+                      tensor::matmul(tensor::transpose(cached_input_), grad_v_full));
 
   tensor::Matrix grad_in = tensor::matmul(grad_q_full, tensor::transpose(wq_.value));
-  grad_in = tensor::add(grad_in, tensor::matmul(grad_k_full, tensor::transpose(wk_.value)));
-  grad_in = tensor::add(grad_in, tensor::matmul(grad_v_full, tensor::transpose(wv_.value)));
+  tensor::add_inplace(grad_in, tensor::matmul(grad_k_full, tensor::transpose(wk_.value)));
+  tensor::add_inplace(grad_in, tensor::matmul(grad_v_full, tensor::transpose(wv_.value)));
   return grad_in;
 }
 
@@ -150,9 +151,9 @@ tensor::FixMatrix MultiHeadSelfAttention::forward_accel(OneSaAccelerator& accel,
     return out;
   };
   auto transpose_fix = [](const tensor::FixMatrix& m) {
-    tensor::FixMatrix out(m.cols(), m.rows());
-    for (std::size_t i = 0; i < m.rows(); ++i)
-      for (std::size_t j = 0; j < m.cols(); ++j) out(j, i) = m(i, j);
+    tensor::FixMatrix out(m.cols(), m.rows(), tensor::kUninitialized);
+    tensor::kernels::transpose_blocked(m.data().data(), out.data().data(), m.rows(),
+                                       m.cols());
     return out;
   };
 

@@ -44,8 +44,8 @@ tensor::Matrix Conv2d::backward(const tensor::Matrix& grad_out) {
         grad_result(p, c) = grad_out(n, c * pixels + p);
 
     // dW += patches^T * g ; db += column sums ; dpatches = g * W^T.
-    weight_.grad = tensor::add(weight_.grad,
-                               tensor::matmul(tensor::transpose(patches), grad_result));
+    tensor::add_inplace(weight_.grad,
+                        tensor::matmul(tensor::transpose(patches), grad_result));
     for (std::size_t p = 0; p < pixels; ++p)
       for (std::size_t c = 0; c < out_channels_; ++c)
         bias_.grad(0, c) += grad_result(p, c);

@@ -32,8 +32,8 @@ tensor::Matrix Linear::forward(const tensor::Matrix& x) {
 
 tensor::Matrix Linear::backward(const tensor::Matrix& grad_out) {
   // dW = x^T g, db = column sums of g, dx = g W^T.
-  weight_.grad = tensor::add(weight_.grad,
-                             tensor::matmul(tensor::transpose(cached_input_), grad_out));
+  tensor::add_inplace(weight_.grad,
+                      tensor::matmul(tensor::transpose(cached_input_), grad_out));
   for (std::size_t i = 0; i < grad_out.rows(); ++i)
     for (std::size_t j = 0; j < grad_out.cols(); ++j)
       bias_.grad(0, j) += grad_out(i, j);

@@ -1,5 +1,7 @@
 #include "onesa/data_addressing.hpp"
 
+#include <span>
+
 #include "common/error.hpp"
 
 namespace onesa {
@@ -24,40 +26,31 @@ AddressingResult DataAddressing::process(const tensor::FixMatrix& x) {
   const cpwl::SegmentTable& t = *table_;
 
   AddressingResult result;
-  result.segment = tensor::FixMatrix(x.rows(), x.cols());
-  result.k = tensor::FixMatrix(x.rows(), x.cols());
-  result.b = tensor::FixMatrix(x.rows(), x.cols());
+  result.segment = tensor::FixMatrix(x.rows(), x.cols(), tensor::kUninitialized);
+  result.k = tensor::FixMatrix(x.rows(), x.cols(), tensor::kUninitialized);
+  result.b = tensor::FixMatrix(x.rows(), x.cols(), tensor::kUninitialized);
 
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const fixed::Fix16 xi = x.at_flat(i);
+  // Data shift module + scale module + parameter fetch as one batched pass
+  // over the table's flat SoA arrays (identical per-element results to the
+  // element-at-a-time stream, which tests/test_ipf.cpp pins down).
+  const cpwl::SegmentTable::CapCounts caps = t.lookup_fixed_batch(
+      std::span<const fixed::Fix16>(x.data().data(), x.size()),
+      std::span<fixed::Fix16>(result.segment.data().data(), result.segment.size()),
+      std::span<fixed::Fix16>(result.k.data().data(), result.k.size()),
+      std::span<fixed::Fix16>(result.b.data().data(), result.b.size()));
+  result.capped_low = caps.low;
+  result.capped_high = caps.high;
 
-    // Data shift module: raw arithmetic shift -> uncapped segment.
-    const int uncapped = t.shift_indexable()
-                             ? (static_cast<int>(xi.raw()) >> t.shift_amount())
-                             : t.raw_segment(xi.to_double());
-    // Scale module: cap to the preloaded range.
-    int seg = uncapped;
-    if (seg < t.min_segment()) {
-      seg = t.min_segment();
-      ++result.capped_low;
-    } else if (seg > t.max_segment()) {
-      seg = t.max_segment();
-      ++result.capped_high;
-    }
-
-    // The segment value flows through the Reg FIFO while k/b are fetched;
-    // the fetched parameters pass through the k FIFO and the original
-    // output-stream element through the C FIFO. Streaming is rate-matched,
-    // so we push and pop in the same element slot; peak occupancy records
-    // the burst depth the hardware FIFOs must cover.
-    (void)c_fifo_.push(xi);
-    (void)reg_fifo_.push(fixed::Fix16::from_raw(static_cast<std::int16_t>(seg)));
-
-    result.segment.at_flat(i) = fixed::Fix16::from_raw(static_cast<std::int16_t>(seg));
-    result.k.at_flat(i) = t.k_fixed(seg);
-    result.b.at_flat(i) = t.b_fixed(seg);
-
-    (void)k_fifo_.push(t.k_fixed(seg));
+  if (!x.empty()) {
+    // Streaming is rate-matched: the segment value flows through the Reg
+    // FIFO while k/b are fetched, the fetched parameters pass the k FIFO and
+    // the original output-stream element the C FIFO, each slot popped in the
+    // same element cycle it was pushed. Occupancy therefore never exceeds
+    // one element per FIFO; record that burst depth once per streamed
+    // matrix instead of replaying the push/pop pair per element.
+    (void)c_fifo_.push(x.at_flat(0));
+    (void)reg_fifo_.push(result.segment.at_flat(0));
+    (void)k_fifo_.push(result.k.at_flat(0));
     (void)k_fifo_.pop();
     (void)c_fifo_.pop();
     (void)reg_fifo_.pop();

@@ -1,5 +1,6 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -14,7 +15,9 @@ double ms_between(ServeClock::time_point a, ServeClock::time_point b) {
 }
 
 /// Rows of every request stacked on top of each other, padded with zero
-/// rows to a whole number of `tile_rows`-high tiles.
+/// rows to a whole number of `tile_rows`-high tiles. Each request's rows
+/// are one contiguous row-major block, so the stack is a flat copy per
+/// request (the kernel-layer idiom) instead of an element loop.
 tensor::FixMatrix pack_rows(const std::vector<ServeRequest>& batch, std::size_t tile_rows) {
   std::size_t total_rows = 0;
   for (const auto& req : batch) total_rows += req.rows();
@@ -22,10 +25,9 @@ tensor::FixMatrix pack_rows(const std::vector<ServeRequest>& batch, std::size_t 
   const std::size_t padded =
       (total_rows + tile_rows - 1) / tile_rows * tile_rows;
   tensor::FixMatrix packed(padded, cols);  // zero-initialized padding rows
-  std::size_t row = 0;
+  fixed::Fix16* dst = packed.data().data();
   for (const auto& req : batch) {
-    for (std::size_t r = 0; r < req.rows(); ++r, ++row)
-      for (std::size_t c = 0; c < cols; ++c) packed(row, c) = req.x(r, c);
+    dst = std::copy(req.x.data().begin(), req.x.data().end(), dst);
   }
   return packed;
 }
@@ -33,9 +35,9 @@ tensor::FixMatrix pack_rows(const std::vector<ServeRequest>& batch, std::size_t 
 /// One request's output rows cut back out of the batched result.
 tensor::FixMatrix slice_rows(const tensor::FixMatrix& packed, std::size_t row0,
                              std::size_t rows) {
-  tensor::FixMatrix out(rows, packed.cols());
-  for (std::size_t r = 0; r < rows; ++r)
-    for (std::size_t c = 0; c < packed.cols(); ++c) out(r, c) = packed(row0 + r, c);
+  tensor::FixMatrix out(rows, packed.cols(), tensor::kUninitialized);
+  const fixed::Fix16* src = packed.data().data() + row0 * packed.cols();
+  std::copy(src, src + rows * packed.cols(), out.data().data());
   return out;
 }
 

@@ -16,12 +16,26 @@ RequestId next_id() {
 TaggedRequest tag(ServeRequest req) {
   req.id = next_id();
   req.enqueued = ServeClock::now();  // re-stamped on queue entry
+  req.cost = req.estimated_cost();
   TaggedRequest out{std::move(req), {}};
   out.result = out.request.promise.get_future();
   return out;
 }
 
 }  // namespace
+
+std::uint64_t ServeRequest::estimated_cost() const {
+  switch (kind) {
+    case RequestKind::kElementwise:
+      return 2 * static_cast<std::uint64_t>(x.size());
+    case RequestKind::kGemm:
+      return static_cast<std::uint64_t>(x.rows()) * x.cols() *
+             (weight != nullptr ? weight->cols() : 0);
+    case RequestKind::kTrace:
+      return trace != nullptr ? nn::trace_mac_ops(*trace) : 0;
+  }
+  return 0;
+}
 
 std::string_view kind_name(RequestKind kind) {
   switch (kind) {

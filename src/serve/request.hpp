@@ -70,7 +70,19 @@ struct ServeRequest {
   std::promise<ServeResult> promise;
   ServeClock::time_point enqueued{};
 
+  /// Simulated-work estimate in MAC operations (see estimated_cost()),
+  /// stamped once by the request factories so the dispatcher never walks a
+  /// trace under the queue lock.
+  std::uint64_t cost = 0;
+
   std::size_t rows() const { return x.rows(); }
+
+  /// Simulated-work estimate in MAC operations, mirroring the accelerator's
+  /// lifetime accounting for each kind (GEMM m*k*n, elementwise 2 MACs per
+  /// element, traces via nn::trace_mac_ops). The least-loaded dispatcher
+  /// balances the sum of these across workers, so heterogeneous request
+  /// streams spread by simulated cost instead of request count.
+  std::uint64_t estimated_cost() const;
 };
 
 /// A freshly-built request paired with its completion future.

@@ -1,11 +1,25 @@
 #include "serve/request_queue.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace onesa::serve {
 
-RequestQueue::RequestQueue(std::size_t workers, DynamicBatcher batcher)
-    : workers_(workers), batcher_(std::move(batcher)) {
+std::string_view dispatch_policy_name(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kLeastLoaded: return "least-loaded";
+    case DispatchPolicy::kRotation: return "rotation";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(std::size_t workers, DynamicBatcher batcher,
+                           DispatchPolicy policy)
+    : workers_(workers),
+      batcher_(std::move(batcher)),
+      policy_(policy),
+      assigned_cost_(workers, 0) {
   ONESA_CHECK(workers_ > 0, "RequestQueue needs at least one worker");
 }
 
@@ -19,16 +33,33 @@ void RequestQueue::push(ServeRequest req) {
   cv_.notify_all();
 }
 
+bool RequestQueue::is_turn(std::size_t worker) const {
+  if (policy_ == DispatchPolicy::kRotation) return turn_ == worker;
+  // Least-loaded: smallest cumulative assigned cost wins, lowest index on
+  // ties — deterministic regardless of which worker threads are awake.
+  const auto least =
+      std::min_element(assigned_cost_.begin(), assigned_cost_.end());
+  return static_cast<std::size_t>(least - assigned_cost_.begin()) == worker;
+}
+
 std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
   ONESA_CHECK(worker < workers_, "worker index " << worker << " out of " << workers_);
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] {
     if (closed_ && pending_.empty()) return true;  // drained — exit
-    return !pending_.empty() && turn_ == worker;
+    return !pending_.empty() && is_turn(worker);
   });
   if (pending_.empty()) return {};
   auto batch = batcher_.take_batch(pending_);
-  turn_ = (turn_ + 1) % workers_;
+  if (policy_ == DispatchPolicy::kRotation) {
+    turn_ = (turn_ + 1) % workers_;
+  } else {
+    std::uint64_t cost = 0;
+    for (const auto& req : batch) cost += req.cost;  // stamped at submit time
+    // Charge at least one unit so zero-cost batches still advance the tie
+    // break instead of pinning every batch on one worker.
+    assigned_cost_[worker] += std::max<std::uint64_t>(cost, 1);
+  }
   lock.unlock();
   cv_.notify_all();
   return batch;
@@ -50,6 +81,11 @@ bool RequestQueue::closed() const {
 std::size_t RequestQueue::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_.size();
+}
+
+std::vector<std::uint64_t> RequestQueue::assigned_cost() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return assigned_cost_;
 }
 
 }  // namespace onesa::serve

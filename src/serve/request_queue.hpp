@@ -1,13 +1,29 @@
-// Thread-safe request queue with batch-granular rotation dispatch.
+// Thread-safe request queue with batch-granular dispatch.
 //
 // Producers push tagged requests; pool workers block in pop_batch until a
-// batch is available. Dispatch is a strict worker rotation: worker w may
-// only take a batch on its turn, so with a uniform request stream every
-// worker receives every Nth batch and the *simulated* load of the modeled
-// accelerator fleet stays balanced — the aggregate-throughput numbers of
-// bench/serving_throughput.cpp are deterministic instead of depending on
-// host thread scheduling (which, on a single-core host, would otherwise
-// starve most workers).
+// batch is available and it is their turn to take one. Two dispatch
+// policies govern whose turn it is:
+//
+//   kLeastLoaded (default) — the worker whose cumulative *assigned simulated
+//     cost* (sum of ServeRequest::estimated_cost over every batch it has
+//     taken, ties broken by lowest index) is smallest takes the next batch.
+//     With heterogeneous request costs this greedily levels the modeled
+//     fleet's per-worker busy cycles, which is what bounds makespan_cycles;
+//     with uniform costs it degenerates to the old rotation. (ROADMAP item:
+//     rotation assumed uniform request cost.)
+//
+//   kRotation — strict worker rotation, kept for A/B comparison and for
+//     experiments that want every worker to see every Nth batch regardless
+//     of cost.
+//
+// Determinism: given the *sequence of batches*, both policies pick workers
+// deterministically (rotation by turn counter, least-loaded by assigned
+// cost with a fixed tie break), never by which worker thread happens to be
+// awake. Batch composition itself still depends on how many compatible
+// requests are pending at pop time, as it always has — so per-worker
+// totals are host-independent for streams whose batching is fixed (e.g.
+// trace requests, which never share a batch, or one-request-per-batch
+// configurations), and the serving benchmarks rely on exactly those.
 //
 // close() stops new submissions; workers keep draining until the queue is
 // empty and then observe the closed state, so every accepted request is
@@ -15,8 +31,10 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "serve/batcher.hpp"
@@ -24,10 +42,16 @@
 
 namespace onesa::serve {
 
+/// How pop_batch decides which worker takes the next batch.
+enum class DispatchPolicy { kLeastLoaded, kRotation };
+
+std::string_view dispatch_policy_name(DispatchPolicy policy);
+
 class RequestQueue {
  public:
-  /// `workers` is the rotation size; batcher decides what rides together.
-  RequestQueue(std::size_t workers, DynamicBatcher batcher);
+  /// `workers` is the dispatch-set size; batcher decides what rides together.
+  RequestQueue(std::size_t workers, DynamicBatcher batcher,
+               DispatchPolicy policy = DispatchPolicy::kLeastLoaded);
 
   /// Enqueue a request (stamps its queue-entry time). Throws onesa::Error
   /// if the queue is closed.
@@ -43,15 +67,26 @@ class RequestQueue {
 
   bool closed() const;
   std::size_t pending() const;
+  DispatchPolicy policy() const { return policy_; }
+
+  /// Cumulative estimated simulated cost (MACs) assigned to each worker so
+  /// far — the quantity the least-loaded policy levels.
+  std::vector<std::uint64_t> assigned_cost() const;
 
  private:
+  /// True when `worker` is the one that should take the next batch.
+  /// Caller holds mutex_.
+  bool is_turn(std::size_t worker) const;
+
   const std::size_t workers_;
   DynamicBatcher batcher_;
+  const DispatchPolicy policy_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<ServeRequest> pending_;
-  std::size_t turn_ = 0;
+  std::size_t turn_ = 0;                      // kRotation state
+  std::vector<std::uint64_t> assigned_cost_;  // kLeastLoaded state
   bool closed_ = false;
 };
 

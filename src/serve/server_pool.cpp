@@ -8,7 +8,7 @@ namespace onesa::serve {
 ServerPool::ServerPool(ServerPoolConfig config)
     : config_(std::move(config)),
       batcher_(config_.batcher),
-      queue_(config_.workers, batcher_) {
+      queue_(config_.workers, batcher_, config_.dispatch) {
   ONESA_CHECK(config_.workers > 0, "ServerPool needs at least one worker");
   workers_.reserve(config_.workers);
 
@@ -37,7 +37,8 @@ ServerPool::ServerPool(ServerPoolConfig config)
   }
   ONESA_LOG_DEBUG << "serve: pool up with " << workers_.size() << " workers ("
                   << config_.accelerator.array.rows << "x" << config_.accelerator.array.cols
-                  << " array each)";
+                  << " array each, " << dispatch_policy_name(config_.dispatch)
+                  << " dispatch)";
 }
 
 ServerPool::~ServerPool() { shutdown(); }

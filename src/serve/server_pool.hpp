@@ -4,8 +4,9 @@
 // Architecture (one shared queue, N workers):
 //
 //   submit_*() ──> RequestQueue ──> worker 0 ── OneSaAccelerator #0
-//                  (rotation,  ──> worker 1 ── OneSaAccelerator #1
-//                   batching)  ──> ...
+//                  (least-loaded ─> worker 1 ── OneSaAccelerator #1
+//                   dispatch,   ──> ...
+//                   batching)
 //
 // Each worker thread owns its own accelerator instance (analytic or
 // cycle-accurate — the config is replicated), pulls batches packed by the
@@ -34,6 +35,10 @@ struct ServerPoolConfig {
   /// Replicated to every worker's accelerator instance.
   OneSaConfig accelerator;
   BatcherConfig batcher;
+  /// How the queue picks the worker for the next batch. Least-loaded levels
+  /// per-worker simulated cycles under heterogeneous request costs;
+  /// rotation gives every worker every Nth batch regardless of cost.
+  DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
 };
 
 class ServerPool {
@@ -75,6 +80,9 @@ class ServerPool {
   std::uint64_t makespan_cycles() const;
   /// Per-worker busy cycles (load-balance visibility).
   std::vector<std::uint64_t> worker_busy_cycles() const;
+  /// Per-worker cumulative estimated cost the dispatcher has assigned (the
+  /// quantity the least-loaded policy levels; MAC units).
+  std::vector<std::uint64_t> assigned_cost() const { return queue_.assigned_cost(); }
 
  private:
   struct Worker {

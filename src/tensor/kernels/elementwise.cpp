@@ -1,0 +1,82 @@
+#include "tensor/kernels/elementwise.hpp"
+
+#include <cmath>
+
+#include "tensor/kernels/thread_pool.hpp"
+
+namespace onesa::tensor::kernels {
+
+namespace {
+
+/// Below this element count the pool dispatch costs more than the loop.
+constexpr std::size_t kParallelGrain = 1u << 16;
+
+template <typename Body>
+void for_range(std::size_t n, Body&& body) {
+  if (n < kParallelGrain) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  ThreadPool::instance().parallel_for(0, n, kParallelGrain,
+                                      [&](std::size_t lo, std::size_t hi) { body(lo, hi); });
+}
+
+}  // namespace
+
+void add(const double* a, const double* b, double* y, std::size_t n) {
+  for_range(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] = a[i] + b[i];
+  });
+}
+
+void sub(const double* a, const double* b, double* y, std::size_t n) {
+  for_range(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] = a[i] - b[i];
+  });
+}
+
+void hadamard(const double* a, const double* b, double* y, std::size_t n) {
+  for_range(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] = a[i] * b[i];
+  });
+}
+
+void scale(const double* a, double s, double* y, std::size_t n) {
+  for_range(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] = s * a[i];
+  });
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for_range(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+  });
+}
+
+void sgd_momentum_step(double* value, const double* grad, double* velocity,
+                       std::size_t n, double lr, double momentum, double weight_decay) {
+  for_range(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double g = grad[i] + weight_decay * value[i];
+      velocity[i] = momentum * velocity[i] + g;
+      value[i] -= lr * velocity[i];
+    }
+  });
+}
+
+void adam_step(double* value, const double* grad, double* m, double* v, std::size_t n,
+               double lr, double beta1, double beta2, double bc1, double bc2,
+               double epsilon) {
+  for_range(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double g = grad[i];
+      m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+      v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      value[i] -= lr * mhat / (std::sqrt(vhat) + epsilon);
+    }
+  });
+}
+
+}  // namespace onesa::tensor::kernels

@@ -1,0 +1,38 @@
+// Fused elementwise kernels over flat buffers.
+//
+// Every kernel is element-independent, so the multi-threaded path (ranges
+// spread over the kernel ThreadPool for large buffers) produces bit-identical
+// results to the serial loop — no determinism switch needed here. The fused
+// optimizer steps keep the exact per-element expression order of the original
+// train/optimizer.cpp loops for the same reason.
+#pragma once
+
+#include <cstddef>
+
+namespace onesa::tensor::kernels {
+
+/// y[i] = a[i] + b[i].
+void add(const double* a, const double* b, double* y, std::size_t n);
+/// y[i] = a[i] - b[i].
+void sub(const double* a, const double* b, double* y, std::size_t n);
+/// y[i] = a[i] * b[i] (Hadamard).
+void hadamard(const double* a, const double* b, double* y, std::size_t n);
+/// y[i] = s * a[i].
+void scale(const double* a, double s, double* y, std::size_t n);
+/// y[i] += alpha * x[i].
+void axpy(double alpha, const double* x, double* y, std::size_t n);
+
+/// SGD + momentum update, one fused pass (train/optimizer.cpp semantics):
+///   g        = grad[i] + weight_decay * value[i]
+///   velocity = momentum * velocity[i] + g
+///   value   -= lr * velocity
+void sgd_momentum_step(double* value, const double* grad, double* velocity,
+                       std::size_t n, double lr, double momentum, double weight_decay);
+
+/// Adam update, one fused pass. `bc1`/`bc2` are the bias-correction terms
+/// 1 - beta^t precomputed by the caller.
+void adam_step(double* value, const double* grad, double* m, double* v, std::size_t n,
+               double lr, double beta1, double beta2, double bc1, double bc2,
+               double epsilon);
+
+}  // namespace onesa::tensor::kernels

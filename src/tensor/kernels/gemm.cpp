@@ -1,0 +1,323 @@
+#include "tensor/kernels/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define ONESA_GEMM_X86_KERNELS 1
+#endif
+
+#include "tensor/kernels/thread_pool.hpp"
+
+namespace onesa::tensor::kernels {
+
+namespace {
+
+// Blocking parameters. The micro-tile is MR x nr register accumulators
+// (nr is per-ISA, below); the packed A block (MC x KC) targets L2, the
+// packed B sliver (KC x nr) streams from L1 while a whole B panel (KC x NC)
+// sits behind it.
+constexpr std::size_t MR = 4;
+constexpr std::size_t kMaxNr = 16;
+constexpr std::size_t MC = 64;
+constexpr std::size_t KC = 256;
+constexpr std::size_t NC = 512;  // multiple of every kernel's nr
+
+/// Problems below this MAC count take the reference loop: packing overhead
+/// dominates before the blocked path can win.
+constexpr std::size_t kTinyMacs = 16 * 16 * 16;
+
+/// Minimum MACs per thread before the multi-thread path switches on.
+constexpr std::size_t kMacsPerThread = 1u << 20;
+
+std::size_t round_up(std::size_t v, std::size_t to) { return (v + to - 1) / to * to; }
+
+// ---------------------------------------------------------- micro-kernels
+//
+// A micro-kernel computes acc[MR x nr] = sum_p ap[p][:] (outer) bp[p][:]
+// over MR-tall A slivers and nr-wide B slivers, accumulators held in
+// registers across the whole k-panel — this is where the speedup over the
+// reference loop comes from (the reference re-reads and re-writes the C row
+// every k step). Several ISA variants exist; which one runs is picked once
+// at startup from CPUID, the same runtime-dispatch scheme BLAS libraries
+// use, so no special build flags are needed and the baseline C++ kernel
+// remains the portable fallback.
+//
+// Numerics: every variant accumulates each output element in the same
+// ascending-k order as the reference, so for finite inputs the only
+// divergence is rounding — k-panel partial sums are added back
+// panel-by-panel (reassociation) and the x86 kernels fuse the multiply+add
+// (FMA). Both effects stay inside the documented 1e-12 relative envelope.
+// (Non-finite operands are outside the contract: the reference's aik==0
+// skip can hide 0*Inf/NaN products the blocked kernels would surface.)
+// Deterministic mode bypasses the micro-kernels entirely.
+
+using MicroKernelFn = void (*)(const double*, const double*, std::size_t, double*);
+
+/// Portable fallback, 4x8. The accumulator tile is a local array (not the
+/// caller's buffer): the compiler then knows it cannot alias the packed
+/// inputs and keeps the accumulators in vector registers.
+void micro_kernel_generic(const double* __restrict ap, const double* __restrict bp,
+                          std::size_t kc, double* __restrict acc_out) {
+  constexpr std::size_t nr = 8;
+  double acc[MR * nr];
+  for (std::size_t i = 0; i < MR * nr; ++i) acc[i] = 0.0;
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* __restrict av = ap + p * MR;
+    const double* __restrict bv = bp + p * nr;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const double ar = av[r];
+      double* __restrict accr = acc + r * nr;
+      for (std::size_t cc = 0; cc < nr; ++cc) accr[cc] += ar * bv[cc];
+    }
+  }
+  for (std::size_t i = 0; i < MR * nr; ++i) acc_out[i] = acc[i];
+}
+
+#ifdef ONESA_GEMM_X86_KERNELS
+/// Hand-scheduled 4x8 AVX2+FMA tile: 8 ymm accumulators (4 rows x 2
+/// 4-double vectors), one broadcast per A element, two B vector loads per k
+/// step — 13 live ymm registers, no spills.
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(const double* __restrict ap,
+                                                           const double* __restrict bp,
+                                                           std::size_t kc,
+                                                           double* __restrict acc_out) {
+  constexpr std::size_t nr = 8;
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(bp + p * nr);
+    const __m256d b1 = _mm256_loadu_pd(bp + p * nr + 4);
+    __m256d a = _mm256_broadcast_sd(ap + p * MR + 0);
+    c00 = _mm256_fmadd_pd(a, b0, c00);
+    c01 = _mm256_fmadd_pd(a, b1, c01);
+    a = _mm256_broadcast_sd(ap + p * MR + 1);
+    c10 = _mm256_fmadd_pd(a, b0, c10);
+    c11 = _mm256_fmadd_pd(a, b1, c11);
+    a = _mm256_broadcast_sd(ap + p * MR + 2);
+    c20 = _mm256_fmadd_pd(a, b0, c20);
+    c21 = _mm256_fmadd_pd(a, b1, c21);
+    a = _mm256_broadcast_sd(ap + p * MR + 3);
+    c30 = _mm256_fmadd_pd(a, b0, c30);
+    c31 = _mm256_fmadd_pd(a, b1, c31);
+  }
+  _mm256_storeu_pd(acc_out + 0, c00);
+  _mm256_storeu_pd(acc_out + 4, c01);
+  _mm256_storeu_pd(acc_out + 8, c10);
+  _mm256_storeu_pd(acc_out + 12, c11);
+  _mm256_storeu_pd(acc_out + 16, c20);
+  _mm256_storeu_pd(acc_out + 20, c21);
+  _mm256_storeu_pd(acc_out + 24, c30);
+  _mm256_storeu_pd(acc_out + 28, c31);
+}
+
+/// 4x16 AVX-512 tile: 8 zmm accumulators (4 rows x 2 8-double vectors),
+/// twice the flops of the AVX2 tile per k step at the same instruction
+/// count. 11 live zmm registers out of 32.
+__attribute__((target("avx512f"))) void micro_kernel_avx512(const double* __restrict ap,
+                                                            const double* __restrict bp,
+                                                            std::size_t kc,
+                                                            double* __restrict acc_out) {
+  constexpr std::size_t nr = 16;
+  __m512d c00 = _mm512_setzero_pd(), c01 = _mm512_setzero_pd();
+  __m512d c10 = _mm512_setzero_pd(), c11 = _mm512_setzero_pd();
+  __m512d c20 = _mm512_setzero_pd(), c21 = _mm512_setzero_pd();
+  __m512d c30 = _mm512_setzero_pd(), c31 = _mm512_setzero_pd();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m512d b0 = _mm512_loadu_pd(bp + p * nr);
+    const __m512d b1 = _mm512_loadu_pd(bp + p * nr + 8);
+    __m512d a = _mm512_set1_pd(ap[p * MR + 0]);
+    c00 = _mm512_fmadd_pd(a, b0, c00);
+    c01 = _mm512_fmadd_pd(a, b1, c01);
+    a = _mm512_set1_pd(ap[p * MR + 1]);
+    c10 = _mm512_fmadd_pd(a, b0, c10);
+    c11 = _mm512_fmadd_pd(a, b1, c11);
+    a = _mm512_set1_pd(ap[p * MR + 2]);
+    c20 = _mm512_fmadd_pd(a, b0, c20);
+    c21 = _mm512_fmadd_pd(a, b1, c21);
+    a = _mm512_set1_pd(ap[p * MR + 3]);
+    c30 = _mm512_fmadd_pd(a, b0, c30);
+    c31 = _mm512_fmadd_pd(a, b1, c31);
+  }
+  _mm512_storeu_pd(acc_out + 0, c00);
+  _mm512_storeu_pd(acc_out + 8, c01);
+  _mm512_storeu_pd(acc_out + 16, c10);
+  _mm512_storeu_pd(acc_out + 24, c11);
+  _mm512_storeu_pd(acc_out + 32, c20);
+  _mm512_storeu_pd(acc_out + 40, c21);
+  _mm512_storeu_pd(acc_out + 48, c30);
+  _mm512_storeu_pd(acc_out + 56, c31);
+}
+#endif  // ONESA_GEMM_X86_KERNELS
+
+/// The selected micro-kernel and the B sliver width its packing uses.
+struct MicroKernel {
+  MicroKernelFn fn;
+  std::size_t nr;
+};
+
+MicroKernel select_micro_kernel() {
+#ifdef ONESA_GEMM_X86_KERNELS
+  if (__builtin_cpu_supports("avx512f")) return {micro_kernel_avx512, 16};
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {micro_kernel_avx2, 8};
+  }
+#endif
+  return {micro_kernel_generic, 8};
+}
+
+const MicroKernel g_micro = select_micro_kernel();
+
+static_assert(NC % kMaxNr == 0, "B panel width must hold whole slivers");
+
+std::atomic<int> g_deterministic_override{-1};  // -1 = follow the environment
+
+bool deterministic_from_env() {
+  const char* env = std::getenv("ONESA_DETERMINISTIC_KERNELS");
+  if (env == nullptr) return false;
+  return env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace
+
+bool deterministic() {
+  const int forced = g_deterministic_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = deterministic_from_env();
+  return from_env;
+}
+
+void set_deterministic(bool on) {
+  g_deterministic_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void gemm_reference(const double* a, const double* b, double* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+  std::fill(c, c + m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a[i * k + kk];
+      if (aik == 0.0) continue;
+      const double* brow = b + kk * n;
+      double* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_blocked(const double* a, const double* b, double* c, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0);
+    return;
+  }
+  const MicroKernelFn micro = g_micro.fn;
+  const std::size_t nr = g_micro.nr;
+  thread_local std::vector<double> apack;
+  thread_local std::vector<double> bpack;
+
+  for (std::size_t jc = 0; jc < n; jc += NC) {
+    const std::size_t ncb = std::min(NC, n - jc);
+    const std::size_t ncb_pad = round_up(ncb, nr);
+    for (std::size_t kc = 0; kc < k; kc += KC) {
+      const std::size_t kcb = std::min(KC, k - kc);
+      const bool first_panel = kc == 0;
+
+      // Pack B[kc:kc+kcb, jc:jc+ncb] into nr-wide slivers, zero-padded so
+      // every micro-tile sees full-width vectors.
+      bpack.resize(kcb * ncb_pad);
+      for (std::size_t jr = 0; jr < ncb; jr += nr) {
+        double* dst = bpack.data() + jr * kcb;
+        const std::size_t w = std::min(nr, ncb - jr);
+        for (std::size_t p = 0; p < kcb; ++p) {
+          const double* src = b + (kc + p) * n + jc + jr;
+          for (std::size_t cc = 0; cc < w; ++cc) dst[p * nr + cc] = src[cc];
+          for (std::size_t cc = w; cc < nr; ++cc) dst[p * nr + cc] = 0.0;
+        }
+      }
+
+      for (std::size_t ic = 0; ic < m; ic += MC) {
+        const std::size_t mcb = std::min(MC, m - ic);
+        const std::size_t mcb_pad = round_up(mcb, MR);
+
+        // Pack A[ic:ic+mcb, kc:kc+kcb] into MR-tall slivers (column of the
+        // tile contiguous per k step), zero-padded.
+        apack.resize(mcb_pad * kcb);
+        for (std::size_t ir = 0; ir < mcb; ir += MR) {
+          double* dst = apack.data() + ir * kcb;
+          const std::size_t h = std::min(MR, mcb - ir);
+          for (std::size_t p = 0; p < kcb; ++p) {
+            for (std::size_t r = 0; r < h; ++r)
+              dst[p * MR + r] = a[(ic + ir + r) * k + kc + p];
+            for (std::size_t r = h; r < MR; ++r) dst[p * MR + r] = 0.0;
+          }
+        }
+
+        for (std::size_t jr = 0; jr < ncb; jr += nr) {
+          const double* bp = bpack.data() + jr * kcb;
+          const std::size_t w = std::min(nr, ncb - jr);
+          for (std::size_t ir = 0; ir < mcb; ir += MR) {
+            const double* ap = apack.data() + ir * kcb;
+            const std::size_t h = std::min(MR, mcb - ir);
+            double acc[MR * kMaxNr];
+            micro(ap, bp, kcb, acc);
+            double* cdst = c + (ic + ir) * n + jc + jr;
+            if (first_panel) {
+              for (std::size_t r = 0; r < h; ++r)
+                for (std::size_t cc = 0; cc < w; ++cc)
+                  cdst[r * n + cc] = acc[r * nr + cc];
+            } else {
+              for (std::size_t r = 0; r < h; ++r)
+                for (std::size_t cc = 0; cc < w; ++cc)
+                  cdst[r * n + cc] += acc[r * nr + cc];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::size_t gemm_threads(std::size_t m, std::size_t k, std::size_t n) {
+  if (deterministic()) return 1;
+  const std::size_t macs = m * k * n;
+  std::size_t t = ThreadPool::instance().threads();
+  t = std::min(t, std::max<std::size_t>(1, macs / kMacsPerThread));
+  t = std::min(t, (m + MR - 1) / MR);  // at least one micro-row block each
+  return t;
+}
+
+void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+          std::size_t n) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0);
+    return;
+  }
+  if (deterministic() || m * k * n <= kTinyMacs) {
+    gemm_reference(a, b, c, m, k, n);
+    return;
+  }
+  const std::size_t threads = gemm_threads(m, k, n);
+  if (threads <= 1) {
+    gemm_blocked(a, b, c, m, k, n);
+    return;
+  }
+  // Contiguous row slices, rounded to whole micro-rows: every thread runs
+  // the full blocked kernel on its slice (B is re-packed per thread — cheap
+  // next to the O(m·k·n) work and free of cross-thread coordination).
+  const std::size_t per = round_up((m + threads - 1) / threads, MR);
+  ThreadPool::instance().run(threads, [&](std::size_t part) {
+    const std::size_t lo = std::min(m, part * per);
+    const std::size_t hi = std::min(m, lo + per);
+    if (lo < hi) gemm_blocked(a + lo * k, b, c + lo * n, hi - lo, k, n);
+  });
+}
+
+}  // namespace onesa::tensor::kernels

@@ -1,0 +1,56 @@
+// Cache-blocked, multi-threaded double-precision GEMM over flat row-major
+// buffers — the fast path behind tensor::matmul.
+//
+// Structure (BLIS-style, scaled down to readable C++):
+//
+//   for jc over N in NC columns            (B column panel)
+//     for kc over K in KC rows             (k-panel: packed B sliver block)
+//       pack B[kc, jc] into NR-wide slivers
+//       for ic over M in MC rows           (A row block, one thread each)
+//         pack A[ic, kc] into MR-tall slivers
+//         for each MR x NR micro-tile: k-panel inner loop on register
+//           accumulators, then one store (first panel) or accumulate-store
+//
+// Per output element the k-panel sums are formed in registers and added back
+// panel-by-panel in ascending k order. That reassociates the reference
+// accumulation (c += a_ik * b_kj for k ascending), so results can differ
+// from gemm_reference by rounding only — bounded well under 1e-12 relative
+// for the library's workloads and asserted in tests/test_kernels.cpp. When
+// bit-exact reproduction of the seed numerics is required, set the
+// ONESA_DETERMINISTIC_KERNELS environment variable (or call
+// set_deterministic(true)): every matmul then takes the reference-order
+// single-thread path.
+#pragma once
+
+#include <cstddef>
+
+namespace onesa::tensor::kernels {
+
+/// Reference GEMM: exactly the seed tensor::matmul loop nest (i-k-j, c
+/// zero-filled then accumulated in ascending k order). C is fully
+/// overwritten; A is m x k, B is k x n, C is m x n, all row-major.
+void gemm_reference(const double* a, const double* b, double* c, std::size_t m,
+                    std::size_t k, std::size_t n);
+
+/// Blocked single-thread GEMM. C is fully overwritten (no zero-init needed).
+void gemm_blocked(const double* a, const double* b, double* c, std::size_t m,
+                  std::size_t k, std::size_t n);
+
+/// Production entry point: picks reference order (deterministic mode or tiny
+/// problems), blocked single-thread, or blocked multi-thread (row blocks
+/// spread over the kernel ThreadPool) by problem size. C is fully
+/// overwritten.
+void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+          std::size_t n);
+
+/// Threads the dispatcher would use for an m x k x n problem (1 = serial).
+/// Exposed for tests and the perf harness.
+std::size_t gemm_threads(std::size_t m, std::size_t k, std::size_t n);
+
+/// Deterministic-kernel switch. Defaults to the ONESA_DETERMINISTIC_KERNELS
+/// environment variable (any non-empty value but "0" enables it); the setter
+/// overrides the environment for the rest of the process.
+bool deterministic();
+void set_deterministic(bool on);
+
+}  // namespace onesa::tensor::kernels

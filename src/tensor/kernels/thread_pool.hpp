@@ -1,0 +1,70 @@
+// Persistent worker pool for the tensor kernel layer.
+//
+// The pool is the kernels' analogue of the serve-tier worker set: N-1
+// long-lived threads plus the calling thread cooperate on one data-parallel
+// job at a time (a GEMM row-block sweep, an elementwise range). Jobs are
+// synchronous — submit() returns when every part has run — so kernels stay
+// drop-in replacements for the serial loops they replace. Calls from inside
+// a pool worker (or while another job is in flight on the same pool) degrade
+// to inline execution instead of deadlocking, which lets serve-pool worker
+// threads call kernel-backed ops freely.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace onesa::tensor::kernels {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total lane count including the caller; the pool spawns
+  /// `threads - 1` workers. 0 means "one lane per hardware thread".
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool shared by every kernel. Sized from
+  /// ONESA_KERNEL_THREADS when set, hardware_concurrency() otherwise.
+  static ThreadPool& instance();
+
+  /// Total lanes (workers + caller).
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Run fn(part) for part in [0, parts), spread over the pool lanes; blocks
+  /// until every part finished. The first exception thrown by any part is
+  /// rethrown on the caller. Reentrant calls run inline on the caller.
+  void run(std::size_t parts, const std::function<void(std::size_t)>& fn);
+
+  /// Split [begin, end) into at most `threads()` contiguous chunks of at
+  /// least `grain` elements and run body(lo, hi) for each in parallel.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  /// Claim-and-run parts of the current job until none remain.
+  void drain_current_job();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // workers wait here for a job
+  std::condition_variable done_cv_;  // submitter waits here for completion
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_parts_ = 0;
+  std::size_t next_part_ = 0;
+  std::size_t parts_left_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  std::mutex submit_mutex_;  // serializes concurrent submitters
+};
+
+}  // namespace onesa::tensor::kernels

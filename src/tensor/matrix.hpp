@@ -8,6 +8,9 @@
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -16,13 +19,54 @@
 
 namespace onesa::tensor {
 
+/// Allocator adaptor that default-initializes instead of value-initializing:
+/// `vector<double, ...>(n)` leaves the doubles uninitialized. Kernels that
+/// fully overwrite their output (GEMM, elementwise, transpose) use this via
+/// the kUninitialized constructor tag to skip the redundant zero fill.
+/// Note the skip only applies to element types whose default-initialization
+/// is a no-op (double); fixed::Fix16 carries a default member initializer,
+/// so FixMatrix buffers are zero-filled either way and the tag is merely a
+/// statement of intent there.
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename std::allocator_traits<A>::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<A>::construct(static_cast<A&>(*this), ptr,
+                                        std::forward<Args>(args)...);
+  }
+};
+
+/// Tag requesting uninitialized storage (every element must be written
+/// before it is read — reserved for kernels that fully overwrite the output).
+struct Uninitialized {};
+inline constexpr Uninitialized kUninitialized{};
+
 template <typename T>
 class MatrixT {
  public:
+  using Buffer = std::vector<T, DefaultInitAllocator<T>>;
+
   MatrixT() = default;
 
   MatrixT(std::size_t rows, std::size_t cols, T init = T{})
       : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  /// Uninitialized storage; the caller promises to overwrite every element.
+  MatrixT(std::size_t rows, std::size_t cols, Uninitialized)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
 
   /// Build from nested initializer lists: MatrixT<double>{{1,2},{3,4}}.
   MatrixT(std::initializer_list<std::initializer_list<T>> rows) {
@@ -55,8 +99,8 @@ class MatrixT {
   T& at_flat(std::size_t i) { return data_[i]; }
   const T& at_flat(std::size_t i) const { return data_[i]; }
 
-  std::vector<T>& data() { return data_; }
-  const std::vector<T>& data() const { return data_; }
+  Buffer& data() { return data_; }
+  const Buffer& data() const { return data_; }
 
   bool same_shape(const MatrixT& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
 
@@ -72,7 +116,7 @@ class MatrixT {
   /// Return a new matrix with f applied element-wise.
   template <typename F>
   MatrixT<std::invoke_result_t<F, T>> map(F&& f) const {
-    MatrixT<std::invoke_result_t<F, T>> out(rows_, cols_);
+    MatrixT<std::invoke_result_t<F, T>> out(rows_, cols_, kUninitialized);
     for (std::size_t i = 0; i < data_.size(); ++i) out.at_flat(i) = f(data_[i]);
     return out;
   }
@@ -80,7 +124,7 @@ class MatrixT {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<T> data_;
+  Buffer data_;
 };
 
 using Matrix = MatrixT<double>;
@@ -88,7 +132,7 @@ using FixMatrix = MatrixT<fixed::Fix16>;
 
 /// Quantize every element to INT16 fixed point.
 inline FixMatrix to_fixed(const Matrix& m) {
-  FixMatrix out(m.rows(), m.cols());
+  FixMatrix out(m.rows(), m.cols(), kUninitialized);
   for (std::size_t i = 0; i < m.size(); ++i)
     out.at_flat(i) = fixed::Fix16::from_double(m.at_flat(i));
   return out;
@@ -96,7 +140,7 @@ inline FixMatrix to_fixed(const Matrix& m) {
 
 /// Dequantize back to double for error measurement.
 inline Matrix to_double(const FixMatrix& m) {
-  Matrix out(m.rows(), m.cols());
+  Matrix out(m.rows(), m.cols(), kUninitialized);
   for (std::size_t i = 0; i < m.size(); ++i) out.at_flat(i) = m.at_flat(i).to_double();
   return out;
 }
@@ -104,7 +148,7 @@ inline Matrix to_double(const FixMatrix& m) {
 /// Matrix with i.i.d. normal entries (used by weight init and workloads).
 inline Matrix random_normal(std::size_t rows, std::size_t cols, Rng& rng,
                             double mean = 0.0, double stddev = 1.0) {
-  Matrix out(rows, cols);
+  Matrix out(rows, cols, kUninitialized);
   for (auto& v : out.data()) v = rng.normal(mean, stddev);
   return out;
 }
@@ -112,7 +156,7 @@ inline Matrix random_normal(std::size_t rows, std::size_t cols, Rng& rng,
 /// Matrix with i.i.d. uniform entries in [lo, hi).
 inline Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
                              double lo = -1.0, double hi = 1.0) {
-  Matrix out(rows, cols);
+  Matrix out(rows, cols, kUninitialized);
   for (auto& v : out.data()) v = rng.uniform(lo, hi);
   return out;
 }

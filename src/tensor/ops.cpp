@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#include "tensor/kernels/elementwise.hpp"
+#include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/transpose.hpp"
+
 namespace onesa::tensor {
 
 namespace {
@@ -17,50 +21,50 @@ void check_same_shape(const auto& a, const auto& b, const char* op) {
 Matrix matmul(const Matrix& a, const Matrix& b) {
   ONESA_CHECK_SHAPE(a.cols() == b.rows(), "matmul inner dims " << a.cols() << " vs "
                                                                << b.rows());
-  Matrix c(a.rows(), b.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += aik * b(k, j);
-      }
-    }
-  }
+  // The kernel fully overwrites C, so the output skips the zero fill the
+  // seed accumulate-loop needed.
+  Matrix c(a.rows(), b.cols(), kUninitialized);
+  kernels::gemm(a.data().data(), b.data().data(), c.data().data(), a.rows(), a.cols(),
+                b.cols());
   return c;
 }
 
 Matrix hadamard(const Matrix& a, const Matrix& b) {
   check_same_shape(a, b, "hadamard");
-  Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) * b.at_flat(i);
+  Matrix c(a.rows(), a.cols(), kUninitialized);
+  kernels::hadamard(a.data().data(), b.data().data(), c.data().data(), a.size());
   return c;
 }
 
 Matrix add(const Matrix& a, const Matrix& b) {
   check_same_shape(a, b, "add");
-  Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) + b.at_flat(i);
+  Matrix c(a.rows(), a.cols(), kUninitialized);
+  kernels::add(a.data().data(), b.data().data(), c.data().data(), a.size());
   return c;
+}
+
+Matrix& add_inplace(Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "add_inplace");
+  kernels::axpy(1.0, b.data().data(), a.data().data(), a.size());
+  return a;
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
   check_same_shape(a, b, "sub");
-  Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) - b.at_flat(i);
+  Matrix c(a.rows(), a.cols(), kUninitialized);
+  kernels::sub(a.data().data(), b.data().data(), c.data().data(), a.size());
   return c;
 }
 
 Matrix scale(const Matrix& a, double s) {
-  Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.at_flat(i) = a.at_flat(i) * s;
+  Matrix c(a.rows(), a.cols(), kUninitialized);
+  kernels::scale(a.data().data(), s, c.data().data(), a.size());
   return c;
 }
 
 Matrix transpose(const Matrix& a) {
-  Matrix c(a.cols(), a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) c(j, i) = a(i, j);
+  Matrix c(a.cols(), a.rows(), kUninitialized);
+  kernels::transpose_blocked(a.data().data(), c.data().data(), a.rows(), a.cols());
   return c;
 }
 

@@ -1,7 +1,13 @@
-// Reference linear algebra on Matrix (double) and FixMatrix (INT16).
+// Linear algebra on Matrix (double) and FixMatrix (INT16).
 //
 // These are the *functional* golden models: the cycle-accurate simulator and
 // the ONE-SA accelerator façade are checked against them in the test suite.
+// The double-precision ops execute through the cache-blocked, multi-threaded
+// kernels in tensor/kernels/ (see gemm.hpp for the determinism contract:
+// results match the seed loop nests bit-for-bit under
+// ONESA_DETERMINISTIC_KERNELS, and to < 1e-12 relative otherwise). The INT16
+// ops keep their scalar loops: they replicate the modeled hardware's
+// saturating MAC datapath exactly.
 #pragma once
 
 #include "tensor/matrix.hpp"
@@ -18,6 +24,10 @@ Matrix hadamard(const Matrix& a, const Matrix& b);
 
 /// C = A + B element-wise.
 Matrix add(const Matrix& a, const Matrix& b);
+
+/// A += B element-wise, in place (gradient accumulation without the
+/// temporary that add() allocates). Returns `a`.
+Matrix& add_inplace(Matrix& a, const Matrix& b);
 
 /// C = A - B element-wise.
 Matrix sub(const Matrix& a, const Matrix& b);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/kernels/elementwise.hpp"
+
 namespace onesa::train {
 
 Sgd::Sgd(std::vector<nn::Param*> params, double lr, double momentum,
@@ -19,11 +21,9 @@ Sgd::Sgd(std::vector<nn::Param*> params, double lr, double momentum,
 void Sgd::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     nn::Param& p = *params_[i];
-    for (std::size_t j = 0; j < p.value.size(); ++j) {
-      const double g = p.grad.at_flat(j) + weight_decay_ * p.value.at_flat(j);
-      velocity_[i].at_flat(j) = momentum_ * velocity_[i].at_flat(j) + g;
-      p.value.at_flat(j) -= lr_ * velocity_[i].at_flat(j);
-    }
+    tensor::kernels::sgd_momentum_step(p.value.data().data(), p.grad.data().data(),
+                                       velocity_[i].data().data(), p.value.size(), lr_,
+                                       momentum_, weight_decay_);
   }
 }
 
@@ -48,14 +48,9 @@ void Adam::step() {
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (std::size_t i = 0; i < params_.size(); ++i) {
     nn::Param& p = *params_[i];
-    for (std::size_t j = 0; j < p.value.size(); ++j) {
-      const double g = p.grad.at_flat(j);
-      m_[i].at_flat(j) = beta1_ * m_[i].at_flat(j) + (1.0 - beta1_) * g;
-      v_[i].at_flat(j) = beta2_ * v_[i].at_flat(j) + (1.0 - beta2_) * g * g;
-      const double mhat = m_[i].at_flat(j) / bc1;
-      const double vhat = v_[i].at_flat(j) / bc2;
-      p.value.at_flat(j) -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
-    }
+    tensor::kernels::adam_step(p.value.data().data(), p.grad.data().data(),
+                               m_[i].data().data(), v_[i].data().data(), p.value.size(),
+                               lr_, beta1_, beta2_, bc1, bc2, epsilon_);
   }
 }
 

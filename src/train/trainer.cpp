@@ -1,5 +1,6 @@
 #include "train/trainer.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 
@@ -21,15 +22,19 @@ std::unique_ptr<Optimizer> make_optimizer(nn::Sequential& model,
 
 tensor::Matrix slice_rows(const tensor::Matrix& m, const std::vector<std::size_t>& idx,
                           std::size_t begin, std::size_t end) {
-  tensor::Matrix out(end - begin, m.cols());
-  for (std::size_t r = begin; r < end; ++r)
-    for (std::size_t c = 0; c < m.cols(); ++c) out(r - begin, c) = m(idx[r], c);
+  const std::size_t cols = m.cols();
+  tensor::Matrix out(end - begin, cols, tensor::kUninitialized);
+  for (std::size_t r = begin; r < end; ++r) {
+    const double* src = m.data().data() + idx[r] * cols;
+    std::copy(src, src + cols, out.data().data() + (r - begin) * cols);
+  }
   return out;
 }
 
 tensor::Matrix single_row(const tensor::Matrix& m, std::size_t row) {
-  tensor::Matrix out(1, m.cols());
-  for (std::size_t c = 0; c < m.cols(); ++c) out(0, c) = m(row, c);
+  tensor::Matrix out(1, m.cols(), tensor::kUninitialized);
+  const double* src = m.data().data() + row * m.cols();
+  std::copy(src, src + m.cols(), out.data().data());
   return out;
 }
 

@@ -1,0 +1,284 @@
+// Kernel-vs-reference equivalence: the blocked/threaded tensor kernels and
+// the batched CPWL evaluators must reproduce the seed's scalar loops —
+// bit-exactly where the contract says exact (deterministic mode, elementwise,
+// transpose, INT16 batch eval), and within 1e-12 relative where the blocked
+// GEMM reassociates the k-sum.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+#include "cpwl/segment_table.hpp"
+#include "nn/activations.hpp"
+#include "tensor/kernels/elementwise.hpp"
+#include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/thread_pool.hpp"
+#include "tensor/kernels/transpose.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa {
+namespace {
+
+using tensor::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  return tensor::random_uniform(rows, cols, rng, -2.0, 2.0);
+}
+
+/// max |a-b| scaled by max |b| (0-safe).
+double relative_max_error(const Matrix& a, const Matrix& b) {
+  double scale = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) scale = std::max(scale, std::abs(b.at_flat(i)));
+  if (scale == 0.0) scale = 1.0;
+  return tensor::max_abs_distance(a, b) / scale;
+}
+
+// Shapes chosen to hit every packing edge: empty, single row/col/inner,
+// exact multiples of the micro-tile, one-off-from-block sizes, and shapes
+// larger than one MC x KC x NC block.
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kGemmShapes[] = {
+    {0, 5, 3},  {5, 0, 3},   {5, 3, 0},   {1, 1, 1},   {1, 7, 9},    {7, 13, 1},
+    {4, 8, 8},  {8, 8, 8},   {7, 13, 9},  {16, 16, 16}, {33, 17, 65}, {65, 64, 63},
+    {70, 300, 40}, {128, 64, 96}, {3, 257, 5}};
+
+TEST(GemmKernel, BlockedMatchesReferenceAcrossShapes) {
+  Rng rng(7);
+  for (const Shape& s : kGemmShapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    Matrix ref(s.m, s.n);
+    Matrix fast(s.m, s.n);
+    tensor::kernels::gemm_reference(a.data().data(), b.data().data(), ref.data().data(),
+                                    s.m, s.k, s.n);
+    tensor::kernels::gemm_blocked(a.data().data(), b.data().data(), fast.data().data(),
+                                  s.m, s.k, s.n);
+    EXPECT_LE(relative_max_error(fast, ref), 1e-12)
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmKernel, DispatcherMatchesReferenceAcrossShapes) {
+  Rng rng(8);
+  for (const Shape& s : kGemmShapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    Matrix ref(s.m, s.n);
+    tensor::kernels::gemm_reference(a.data().data(), b.data().data(), ref.data().data(),
+                                    s.m, s.k, s.n);
+    const Matrix fast = tensor::matmul(a, b);
+    EXPECT_LE(relative_max_error(fast, ref), 1e-12)
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmKernel, DeterministicModeIsBitExactWithReference) {
+  const bool prev = tensor::kernels::deterministic();  // keep env-driven mode
+  tensor::kernels::set_deterministic(true);
+  Rng rng(9);
+  for (const Shape& s : kGemmShapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    Matrix ref(s.m, s.n);
+    tensor::kernels::gemm_reference(a.data().data(), b.data().data(), ref.data().data(),
+                                    s.m, s.k, s.n);
+    const Matrix fast = tensor::matmul(a, b);
+    EXPECT_EQ(fast, ref) << s.m << "x" << s.k << "x" << s.n;  // bit-exact
+  }
+  tensor::kernels::set_deterministic(prev);
+}
+
+TEST(GemmKernel, MultiThreadMatchesSingleThreadBitExactly) {
+  // Row-sliced threading never reassociates any output element's sum, so the
+  // threaded path must equal the single-thread blocked path exactly.
+  Rng rng(10);
+  const std::size_t m = 97, k = 129, n = 65;
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix st(m, n);
+  tensor::kernels::gemm_blocked(a.data().data(), b.data().data(), st.data().data(), m, k,
+                                n);
+
+  tensor::kernels::ThreadPool pool(4);
+  const std::size_t per = 28;  // ceil(97 rows / 4 slices), rounded up to MR=4
+  Matrix mt(m, n);
+  pool.run(4, [&](std::size_t part) {
+    const std::size_t lo = std::min(m, part * per);
+    const std::size_t hi = std::min(m, lo + per);
+    if (lo < hi)
+      tensor::kernels::gemm_blocked(a.data().data() + lo * k, b.data().data(),
+                                    mt.data().data() + lo * n, hi - lo, k, n);
+  });
+  EXPECT_EQ(mt, st);
+}
+
+TEST(GemmKernel, ZeroInnerDimYieldsZeroMatrix) {
+  const Matrix a(4, 0);
+  const Matrix b(0, 6);
+  const Matrix c = tensor::matmul(a, b);
+  ASSERT_EQ(c.rows(), 4u);
+  ASSERT_EQ(c.cols(), 6u);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.at_flat(i), 0.0);
+}
+
+TEST(ElementwiseKernels, MatchNaiveLoopsBitExactly) {
+  Rng rng(11);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{257}, std::size_t{70000}}) {
+    const Matrix a = random_matrix(1, n, rng);
+    const Matrix b = random_matrix(1, n, rng);
+    std::vector<double> y(n), want(n);
+
+    tensor::kernels::add(a.data().data(), b.data().data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = a.at_flat(i) + b.at_flat(i);
+    EXPECT_EQ(y, want);
+
+    tensor::kernels::sub(a.data().data(), b.data().data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = a.at_flat(i) - b.at_flat(i);
+    EXPECT_EQ(y, want);
+
+    tensor::kernels::hadamard(a.data().data(), b.data().data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = a.at_flat(i) * b.at_flat(i);
+    EXPECT_EQ(y, want);
+
+    tensor::kernels::scale(a.data().data(), 1.75, y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = 1.75 * a.at_flat(i);
+    EXPECT_EQ(y, want);
+
+    std::fill(y.begin(), y.end(), 0.5);
+    std::fill(want.begin(), want.end(), 0.5);
+    tensor::kernels::axpy(-0.25, a.data().data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) want[i] += -0.25 * a.at_flat(i);
+    EXPECT_EQ(y, want);
+  }
+}
+
+TEST(TransposeKernel, MatchesNaiveAcrossShapes) {
+  Rng rng(12);
+  for (const auto& [rows, cols] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 0}, {1, 1}, {1, 17}, {17, 1}, {31, 33}, {64, 64}, {100, 37}}) {
+    const Matrix a = random_matrix(rows, cols, rng);
+    const Matrix t = tensor::transpose(a);
+    ASSERT_EQ(t.rows(), cols);
+    ASSERT_EQ(t.cols(), rows);
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j) EXPECT_EQ(t(j, i), a(i, j));
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  tensor::kernels::ThreadPool pool(4);
+  std::vector<int> hits(10000, 0);
+  pool.parallel_for(0, hits.size(), 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  tensor::kernels::ThreadPool pool(3);
+  EXPECT_THROW(pool.run(8,
+                        [&](std::size_t part) {
+                          if (part == 5) throw Error("boom");
+                        }),
+               Error);
+  // Pool must stay usable after a failed job.
+  std::atomic<int> ran{0};
+  pool.run(4, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+// ------------------------------------------------------------------- CPWL
+
+TEST(CpwlBatch, EvalBatchMatchesScalarEvalBitExactly) {
+  for (double g : {0.25, 0.125, 0.1}) {  // power-of-two fast index + divide path
+    cpwl::SegmentTableConfig cfg;
+    cfg.granularity = g;
+    const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu, cfg);
+    Rng rng(13);
+    std::vector<double> x(4096), y(4096);
+    for (auto& v : x) v = rng.uniform(-12.0, 12.0);  // includes capped range
+    table.eval_batch(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(y[i], table.eval(x[i])) << "g=" << g << " x=" << x[i];
+    }
+  }
+}
+
+TEST(CpwlBatch, EvalFixedBatchMatchesScalarBitExactly) {
+  for (double g : {0.25, 0.1}) {
+    cpwl::SegmentTableConfig cfg;
+    cfg.granularity = g;
+    const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kTanh, cfg);
+    // Every raw INT16 value: the full input space of the hardware indexer.
+    std::vector<fixed::Fix16> x, y;
+    for (int raw = -32768; raw <= 32767; ++raw)
+      x.push_back(fixed::Fix16::from_raw(static_cast<std::int16_t>(raw)));
+    y.resize(x.size());
+    table.eval_fixed_batch(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(y[i].raw(), table.eval_fixed(x[i]).raw()) << "g=" << g;
+    }
+  }
+}
+
+TEST(CpwlBatch, LookupFixedBatchMatchesScalarIndexingAndCapCounts) {
+  // 0.25 exercises the shift indexer, 0.1 the divide fallback.
+  for (double g : {0.25, 0.1}) {
+    cpwl::SegmentTableConfig cfg;
+    cfg.granularity = g;
+    const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kExp, cfg);
+    std::vector<fixed::Fix16> x;
+    Rng rng(14);
+    for (int i = 0; i < 2000; ++i)
+      x.push_back(fixed::Fix16::from_double(rng.uniform(-50.0, 50.0)));
+    std::vector<fixed::Fix16> seg(x.size()), k(x.size()), b(x.size());
+    const auto caps = table.lookup_fixed_batch(x, seg, k, b);
+
+    std::uint64_t low = 0, high = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const int want_seg = table.segment_index_raw(x[i].raw());
+      EXPECT_EQ(static_cast<int>(seg[i].raw()), want_seg) << "g=" << g;
+      EXPECT_EQ(k[i].raw(), table.k_fixed(want_seg).raw()) << "g=" << g;
+      EXPECT_EQ(b[i].raw(), table.b_fixed(want_seg).raw()) << "g=" << g;
+      const int uncapped =
+          table.shift_indexable()
+              ? (static_cast<int>(x[i].raw()) >> table.shift_amount())
+              : table.raw_segment(static_cast<double>(x[i].raw()) /
+                                  static_cast<double>(1 << table.frac_bits()));
+      if (uncapped < table.min_segment()) ++low;
+      if (uncapped > table.max_segment()) ++high;
+    }
+    EXPECT_EQ(caps.low, low) << "g=" << g;
+    EXPECT_EQ(caps.high, high) << "g=" << g;
+  }
+}
+
+TEST(CpwlBatch, ActivationTableModeMatchesScalarTableEval) {
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu);
+  nn::Activation act(cpwl::FunctionKind::kGelu);
+  act.use_table(&table);
+  Rng rng(15);
+  const Matrix x = tensor::random_uniform(9, 13, rng, -8.0, 8.0);
+  const Matrix y = act.forward(x);
+  ASSERT_EQ(y.rows(), x.rows());
+  ASSERT_EQ(y.cols(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_EQ(y.at_flat(i), table.eval(x.at_flat(i)));
+
+  // nullptr restores the exact reference path.
+  act.use_table(nullptr);
+  const Matrix exact = act.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_EQ(exact.at_flat(i), cpwl::eval_reference(cpwl::FunctionKind::kGelu, x.at_flat(i)));
+}
+
+}  // namespace
+}  // namespace onesa

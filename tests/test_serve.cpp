@@ -251,6 +251,7 @@ TEST(ServerPool, RotationBalancesSimulatedLoadExactly) {
   // bench/serving_throughput.cpp.
   ServerPoolConfig cfg;
   cfg.workers = 4;
+  cfg.dispatch = DispatchPolicy::kRotation;
   cfg.accelerator = small_config(ExecutionMode::kAnalytic);
   ServerPool pool(cfg);
 
@@ -265,6 +266,84 @@ TEST(ServerPool, RotationBalancesSimulatedLoadExactly) {
   for (std::size_t w = 1; w < busy.size(); ++w) EXPECT_EQ(busy[w], busy[0]);
   EXPECT_EQ(pool.makespan_cycles(), busy[0]);
   EXPECT_EQ(pool.stats().total_cycles().total(), 4 * busy[0]);
+}
+
+TEST(ServerPool, LeastLoadedMatchesRotationOnUniformCosts) {
+  // Identical costs: least-loaded with lowest-index tie-break degenerates to
+  // the rotation schedule, so the uniform-traffic guarantees carry over.
+  ServerPoolConfig cfg;
+  cfg.workers = 4;
+  cfg.dispatch = DispatchPolicy::kLeastLoaded;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  ServerPool pool(cfg);
+
+  const auto trace = std::make_shared<nn::WorkloadTrace>(nn::gcn_trace(256, 32, 16, 4, 8));
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(pool.submit_trace(trace));
+  for (auto& f : futures) f.get();
+  pool.shutdown();
+
+  const auto busy = pool.worker_busy_cycles();
+  ASSERT_EQ(busy.size(), 4u);
+  for (std::size_t w = 1; w < busy.size(); ++w) EXPECT_EQ(busy[w], busy[0]);
+}
+
+TEST(ServerPool, LeastLoadedBalancesSkewedCostsBetterThanRotation) {
+  // Heterogeneous traffic: one heavy trace followed by many light ones. The
+  // rotation hands every second request to the worker already holding the
+  // heavy trace; least-loaded routes the light stream to the other worker
+  // until the assigned simulated cost evens out.
+  const auto heavy =
+      std::make_shared<nn::WorkloadTrace>(nn::gcn_trace(2048, 64, 32, 8, 16));
+  const auto light = std::make_shared<nn::WorkloadTrace>(nn::gcn_trace(64, 16, 8, 4, 4));
+  const std::uint64_t heavy_macs = nn::trace_mac_ops(*heavy);
+  const std::uint64_t light_macs = nn::trace_mac_ops(*light);
+  ASSERT_GT(heavy_macs, 8 * light_macs);  // the skew the test depends on
+
+  auto run = [&](DispatchPolicy policy) {
+    ServerPoolConfig cfg;
+    cfg.workers = 2;
+    cfg.dispatch = policy;
+    cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+    ServerPool pool(cfg);
+    std::vector<std::future<ServeResult>> futures;
+    futures.push_back(pool.submit_trace(heavy));
+    for (int i = 0; i < 12; ++i) futures.push_back(pool.submit_trace(light));
+    for (auto& f : futures) f.get();
+    pool.shutdown();
+    return pool.makespan_cycles();
+  };
+
+  const std::uint64_t rotation_makespan = run(DispatchPolicy::kRotation);
+  const std::uint64_t least_loaded_makespan = run(DispatchPolicy::kLeastLoaded);
+  // Rotation pins ~6 light traces behind the heavy one on worker 0;
+  // least-loaded sends every light trace to worker 1 until the costs level,
+  // so its makespan must be strictly better.
+  EXPECT_LT(least_loaded_makespan, rotation_makespan);
+}
+
+TEST(ServerPool, LeastLoadedAssignedCostTracksEstimates) {
+  ServerPoolConfig cfg;
+  cfg.workers = 2;
+  cfg.dispatch = DispatchPolicy::kLeastLoaded;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  // One request per batch so assigned costs map 1:1 to request estimates.
+  cfg.batcher.max_batch_requests = 1;
+  ServerPool pool(cfg);
+
+  Rng rng(77);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(
+        pool.submit_elementwise(cpwl::FunctionKind::kGelu, random_fix(2, 8, rng)));
+  for (auto& f : futures) f.get();
+  pool.shutdown();
+
+  const auto assigned = pool.assigned_cost();
+  ASSERT_EQ(assigned.size(), 2u);
+  // 6 equal-cost requests (2x8 elementwise = 32 MACs each) level to 3 each.
+  EXPECT_EQ(assigned[0], assigned[1]);
+  EXPECT_EQ(assigned[0] + assigned[1], 6u * 2u * 16u);
 }
 
 TEST(ServerPool, BatchesCompatibleRequestsTogether) {
