@@ -53,7 +53,12 @@ void print_results(const std::vector<TaskResult>& results) {
     std::vector<std::string> row{r.model, r.task,
                                  TablePrinter::num(r.original * 100.0, 1) + "%"};
     for (double d : r.deltas) {
-      row.push_back((d > 0 ? "+" : "") + TablePrinter::num(d * 100.0, 1) + "%");
+      // std::string prefix (not a char literal +) sidesteps GCC 12's
+      // -Wrestrict false positive (PR 105651) under -Werror.
+      std::string cell = d > 0 ? "+" : "";
+      cell += TablePrinter::num(d * 100.0, 1);
+      cell += "%";
+      row.push_back(std::move(cell));
     }
     table.add_row(std::move(row));
   }

@@ -12,6 +12,10 @@ Activation::Activation(cpwl::FunctionKind kind) : kind_(kind) {}
 tensor::Matrix Activation::forward(const tensor::Matrix& x) {
   cached_input_ = x;
   features_ = x.cols();
+  return infer(x);
+}
+
+tensor::Matrix Activation::infer(const tensor::Matrix& x) const {
   if (table_ != nullptr) {
     // CPWL functional mode: one batched grid lookup over the flat table.
     tensor::Matrix y(x.rows(), x.cols(), tensor::kUninitialized);

@@ -25,6 +25,7 @@ class Activation : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
                                   const tensor::FixMatrix& x) override;

@@ -65,29 +65,47 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t d_model, std::size_t 
   wo_ = Param(tensor::random_uniform(d_model, d_model, rng, -bound, bound));
 }
 
-tensor::Matrix MultiHeadSelfAttention::forward(const tensor::Matrix& x) {
+tensor::Matrix MultiHeadSelfAttention::attend(const tensor::Matrix& x,
+                                              std::vector<HeadCache>* cache_out,
+                                              tensor::Matrix* concat_out) const {
   ONESA_CHECK_SHAPE(x.cols() == d_model_, "attention d_model " << x.cols());
-  cached_input_ = x;
-  seq_len_ = x.rows();
   const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
 
   const tensor::Matrix q = tensor::matmul(x, wq_.value);
   const tensor::Matrix k = tensor::matmul(x, wk_.value);
   const tensor::Matrix v = tensor::matmul(x, wv_.value);
 
-  head_cache_.assign(heads_, {});
-  cached_concat_ = tensor::Matrix(x.rows(), d_model_);
+  tensor::Matrix concat(x.rows(), d_model_);
   for (std::size_t h = 0; h < heads_; ++h) {
-    HeadCache& cache = head_cache_[h];
-    cache.q = slice_cols(q, h, d_head_);
-    cache.k = slice_cols(k, h, d_head_);
-    cache.v = slice_cols(v, h, d_head_);
+    const tensor::Matrix qh = slice_cols(q, h, d_head_);
+    const tensor::Matrix kh = slice_cols(k, h, d_head_);
+    const tensor::Matrix vh = slice_cols(v, h, d_head_);
     const tensor::Matrix scores =
-        tensor::scale(tensor::matmul(cache.q, tensor::transpose(cache.k)), scale);
-    cache.attn = softmax_rows_ref(scores);
-    paste_cols(cached_concat_, tensor::matmul(cache.attn, cache.v), h, d_head_);
+        tensor::scale(tensor::matmul(qh, tensor::transpose(kh)), scale);
+    tensor::Matrix attn = softmax_rows_ref(scores);
+    paste_cols(concat, tensor::matmul(attn, vh), h, d_head_);
+    if (cache_out != nullptr) {
+      HeadCache& cache = (*cache_out)[h];
+      cache.q = qh;
+      cache.k = kh;
+      cache.v = vh;
+      cache.attn = std::move(attn);
+    }
   }
-  return tensor::matmul(cached_concat_, wo_.value);
+  tensor::Matrix out = tensor::matmul(concat, wo_.value);
+  if (concat_out != nullptr) *concat_out = std::move(concat);
+  return out;
+}
+
+tensor::Matrix MultiHeadSelfAttention::forward(const tensor::Matrix& x) {
+  cached_input_ = x;
+  seq_len_ = x.rows();
+  head_cache_.assign(heads_, {});
+  return attend(x, &head_cache_, &cached_concat_);
+}
+
+tensor::Matrix MultiHeadSelfAttention::infer(const tensor::Matrix& x) const {
+  return attend(x, nullptr, nullptr);
 }
 
 tensor::Matrix MultiHeadSelfAttention::backward(const tensor::Matrix& grad_out) {

@@ -18,6 +18,7 @@ class MultiHeadSelfAttention : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override {
     return {&wq_, &wk_, &wv_, &wo_};
   }
@@ -37,6 +38,12 @@ class MultiHeadSelfAttention : public Layer {
     tensor::Matrix q, k, v;  // seq x d_head
     tensor::Matrix attn;     // seq x seq (post-softmax)
   };
+
+  /// Shared forward/infer arithmetic; writes the backward caches only when
+  /// the out-params are non-null (forward), so infer stays const and the two
+  /// paths cannot diverge (the serving tier's bit-exactness contract).
+  tensor::Matrix attend(const tensor::Matrix& x, std::vector<HeadCache>* cache_out,
+                        tensor::Matrix* concat_out) const;
 
   std::size_t d_model_;
   std::size_t heads_;

@@ -22,6 +22,10 @@ std::size_t Conv2d::out_features() const {
 
 tensor::Matrix Conv2d::forward(const tensor::Matrix& x) {
   cached_input_ = x;
+  return infer(x);
+}
+
+tensor::Matrix Conv2d::infer(const tensor::Matrix& x) const {
   return tensor::conv2d_via_gemm(x, weight_.value, bias_.value, shape_);
 }
 
@@ -104,11 +108,10 @@ std::size_t MaxPool2d::window_origin(std::size_t c, std::size_t oy, std::size_t 
   return (c * height_ + oy * pool_ + wy) * width_ + ox * pool_ + wx;
 }
 
-tensor::Matrix MaxPool2d::forward(const tensor::Matrix& x) {
+tensor::Matrix MaxPool2d::pool(const tensor::Matrix& x,
+                               std::vector<std::size_t>* argmax_out) const {
   ONESA_CHECK_SHAPE(x.cols() == channels_ * height_ * width_,
                     "maxpool expected " << channels_ * height_ * width_ << " cols");
-  cached_batch_ = x.rows();
-  argmax_.assign(x.rows() * out_features(), 0);
   tensor::Matrix y(x.rows(), out_features());
   for (std::size_t n = 0; n < x.rows(); ++n) {
     for (std::size_t c = 0; c < channels_; ++c) {
@@ -127,13 +130,21 @@ tensor::Matrix MaxPool2d::forward(const tensor::Matrix& x) {
           }
           const std::size_t out_idx = (c * out_h_ + oy) * out_w_ + ox;
           y(n, out_idx) = best;
-          argmax_[n * out_features() + out_idx] = best_idx;
+          if (argmax_out != nullptr) (*argmax_out)[n * out_features() + out_idx] = best_idx;
         }
       }
     }
   }
   return y;
 }
+
+tensor::Matrix MaxPool2d::forward(const tensor::Matrix& x) {
+  cached_batch_ = x.rows();
+  argmax_.assign(x.rows() * out_features(), 0);
+  return pool(x, &argmax_);
+}
+
+tensor::Matrix MaxPool2d::infer(const tensor::Matrix& x) const { return pool(x, nullptr); }
 
 tensor::Matrix MaxPool2d::backward(const tensor::Matrix& grad_out) {
   tensor::Matrix grad_in(cached_batch_, channels_ * height_ * width_, 0.0);
@@ -180,10 +191,14 @@ GlobalAvgPool::GlobalAvgPool(std::size_t channels, std::size_t height, std::size
     : channels_(channels), spatial_(height * width) {}
 
 tensor::Matrix GlobalAvgPool::forward(const tensor::Matrix& x) {
+  cached_batch_ = x.rows();
+  return infer(x);
+}
+
+tensor::Matrix GlobalAvgPool::infer(const tensor::Matrix& x) const {
   ONESA_CHECK_SHAPE(x.cols() == channels_ * spatial_, "gap expected "
                                                           << channels_ * spatial_
                                                           << " cols, got " << x.cols());
-  cached_batch_ = x.rows();
   tensor::Matrix y(x.rows(), channels_, 0.0);
   for (std::size_t n = 0; n < x.rows(); ++n)
     for (std::size_t c = 0; c < channels_; ++c) {

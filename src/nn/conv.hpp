@@ -20,6 +20,7 @@ class Conv2d : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
@@ -49,6 +50,7 @@ class MaxPool2d : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
                                   const tensor::FixMatrix& x) override;
@@ -59,6 +61,8 @@ class MaxPool2d : public Layer {
  private:
   std::size_t window_origin(std::size_t c, std::size_t oy, std::size_t ox,
                             std::size_t wy, std::size_t wx) const;
+  /// Shared forward/infer scan; records the argmax only when requested.
+  tensor::Matrix pool(const tensor::Matrix& x, std::vector<std::size_t>* argmax_out) const;
 
   std::size_t channels_;
   std::size_t height_;
@@ -79,6 +83,7 @@ class GlobalAvgPool : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
                                   const tensor::FixMatrix& x) override;

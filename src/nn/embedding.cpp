@@ -20,20 +20,29 @@ double Embedding::positional_term(std::size_t pos, std::size_t dim) const {
   return 0.25 * (dim % 2 == 0 ? std::sin(angle) : std::cos(angle));
 }
 
-tensor::Matrix Embedding::forward(const tensor::Matrix& ids) {
+tensor::Matrix Embedding::gather(const tensor::Matrix& ids,
+                                 std::vector<std::size_t>* ids_out) const {
   ONESA_CHECK_SHAPE(ids.rows() == 1, "embedding expects a 1 x seq id row");
   const std::size_t seq = ids.cols();
-  cached_ids_.resize(seq);
   tensor::Matrix out(seq, d_model_);
   for (std::size_t p = 0; p < seq; ++p) {
     const auto id = static_cast<std::size_t>(ids(0, p));
     ONESA_CHECK(id < vocab_, "token id " << id << " out of vocab " << vocab_);
-    cached_ids_[p] = id;
+    if (ids_out != nullptr) (*ids_out)[p] = id;
     for (std::size_t j = 0; j < d_model_; ++j) {
       out(p, j) = table_.value(id, j) + (positional_ ? positional_term(p, j) : 0.0);
     }
   }
   return out;
+}
+
+tensor::Matrix Embedding::forward(const tensor::Matrix& ids) {
+  cached_ids_.assign(ids.cols(), 0);
+  return gather(ids, &cached_ids_);
+}
+
+tensor::Matrix Embedding::infer(const tensor::Matrix& ids) const {
+  return gather(ids, nullptr);
 }
 
 tensor::Matrix Embedding::backward(const tensor::Matrix& grad_out) {
@@ -67,6 +76,10 @@ void Embedding::count_ops(OpCensus& census, std::size_t batch) const {
 
 tensor::Matrix SequenceMeanPool::forward(const tensor::Matrix& x) {
   cached_seq_ = x.rows();
+  return infer(x);
+}
+
+tensor::Matrix SequenceMeanPool::infer(const tensor::Matrix& x) const {
   tensor::Matrix out(1, x.cols(), 0.0);
   for (std::size_t i = 0; i < x.rows(); ++i)
     for (std::size_t j = 0; j < x.cols(); ++j) out(0, j) += x(i, j);

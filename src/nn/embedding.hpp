@@ -18,6 +18,7 @@ class Embedding : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& ids) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& ids) const override;
   std::vector<Param*> params() override { return {&table_}; }
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
@@ -26,6 +27,10 @@ class Embedding : public Layer {
 
  private:
   double positional_term(std::size_t pos, std::size_t dim) const;
+  /// Shared forward/infer gather; records the ids for backward only when
+  /// requested (ids_out sized to the sequence by the caller).
+  tensor::Matrix gather(const tensor::Matrix& ids,
+                        std::vector<std::size_t>* ids_out) const;
 
   std::size_t vocab_;
   std::size_t d_model_;
@@ -44,6 +49,7 @@ class SequenceMeanPool : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
                                   const tensor::FixMatrix& x) override;

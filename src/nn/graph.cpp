@@ -37,13 +37,23 @@ GraphConv::GraphConv(tensor::Matrix adjacency, std::size_t in_features,
   bias_ = Param(tensor::Matrix(1, out_, 0.0));
 }
 
-tensor::Matrix GraphConv::forward(const tensor::Matrix& x) {
+tensor::Matrix GraphConv::propagate(const tensor::Matrix& x, tensor::Matrix* ax_out) const {
   ONESA_CHECK_SHAPE(x.rows() == adjacency_.rows(), "graph_conv node count "
                                                        << x.rows() << " vs "
                                                        << adjacency_.rows());
-  cached_ax_ = tensor::matmul(adjacency_, x);
-  return tensor::add_row_broadcast(tensor::matmul(cached_ax_, weight_.value),
-                                   bias_.value);
+  tensor::Matrix ax = tensor::matmul(adjacency_, x);
+  tensor::Matrix out =
+      tensor::add_row_broadcast(tensor::matmul(ax, weight_.value), bias_.value);
+  if (ax_out != nullptr) *ax_out = std::move(ax);
+  return out;
+}
+
+tensor::Matrix GraphConv::forward(const tensor::Matrix& x) {
+  return propagate(x, &cached_ax_);
+}
+
+tensor::Matrix GraphConv::infer(const tensor::Matrix& x) const {
+  return propagate(x, nullptr);
 }
 
 tensor::Matrix GraphConv::backward(const tensor::Matrix& grad_out) {

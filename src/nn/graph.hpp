@@ -21,6 +21,7 @@ class GraphConv : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
@@ -28,6 +29,10 @@ class GraphConv : public Layer {
   void count_ops(OpCensus& census, std::size_t batch) const override;
 
  private:
+  /// Shared forward/infer arithmetic; caches A_hat*x for backward only when
+  /// the out-param is non-null.
+  tensor::Matrix propagate(const tensor::Matrix& x, tensor::Matrix* ax_out) const;
+
   tensor::Matrix adjacency_;  // n x n, fixed
   std::size_t in_;
   std::size_t out_;

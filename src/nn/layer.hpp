@@ -64,6 +64,14 @@ class Layer {
   /// parameter gradients. Must be called after forward() on the same batch.
   virtual tensor::Matrix backward(const tensor::Matrix& grad_out) = 0;
 
+  /// Thread-safe inference forward: identical arithmetic to forward() (the
+  /// serving tier asserts bit-identical outputs) but const — no backward
+  /// caches are written, no running statistics updated — so N pool workers
+  /// can run it concurrently against one shared model instance. Layers with
+  /// train/eval duality (BatchNorm) always use their inference statistics
+  /// here. The default throws for layers without an inference path.
+  virtual tensor::Matrix infer(const tensor::Matrix& x) const;
+
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
 
@@ -76,5 +84,9 @@ class Layer {
 };
 
 using LayerPtr = std::unique_ptr<Layer>;
+
+inline tensor::Matrix Layer::infer(const tensor::Matrix&) const {
+  throw Error("layer '" + name() + "' has no thread-safe inference path (infer)");
+}
 
 }  // namespace onesa::nn

@@ -27,6 +27,10 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
 
 tensor::Matrix Linear::forward(const tensor::Matrix& x) {
   cached_input_ = x;
+  return infer(x);
+}
+
+tensor::Matrix Linear::infer(const tensor::Matrix& x) const {
   return tensor::add_row_broadcast(tensor::matmul(x, weight_.value), bias_.value);
 }
 

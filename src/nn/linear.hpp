@@ -14,6 +14,7 @@ class Linear : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,

@@ -12,25 +12,34 @@ LayerNorm::LayerNorm(std::size_t features, double epsilon)
   beta_ = Param(tensor::Matrix(1, features, 0.0));
 }
 
-tensor::Matrix LayerNorm::forward(const tensor::Matrix& x) {
+tensor::Matrix LayerNorm::normalize(const tensor::Matrix& x, tensor::Matrix* xhat_out,
+                                    tensor::Matrix* rstd_out) const {
   ONESA_CHECK_SHAPE(x.cols() == features_, "layernorm features " << x.cols() << " vs "
                                                                  << features_);
   const tensor::Matrix mean = tensor::row_mean(x);
   const tensor::Matrix var = tensor::row_var(x);
 
-  cached_xhat_ = tensor::Matrix(x.rows(), x.cols());
-  cached_rstd_ = tensor::Matrix(x.rows(), 1);
   tensor::Matrix y(x.rows(), x.cols());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     const double rstd = 1.0 / std::sqrt(var(i, 0) + epsilon_);
-    cached_rstd_(i, 0) = rstd;
+    if (rstd_out != nullptr) (*rstd_out)(i, 0) = rstd;
     for (std::size_t j = 0; j < x.cols(); ++j) {
       const double xhat = (x(i, j) - mean(i, 0)) * rstd;
-      cached_xhat_(i, j) = xhat;
+      if (xhat_out != nullptr) (*xhat_out)(i, j) = xhat;
       y(i, j) = xhat * gamma_.value(0, j) + beta_.value(0, j);
     }
   }
   return y;
+}
+
+tensor::Matrix LayerNorm::forward(const tensor::Matrix& x) {
+  cached_xhat_ = tensor::Matrix(x.rows(), x.cols());
+  cached_rstd_ = tensor::Matrix(x.rows(), 1);
+  return normalize(x, &cached_xhat_, &cached_rstd_);
+}
+
+tensor::Matrix LayerNorm::infer(const tensor::Matrix& x) const {
+  return normalize(x, nullptr, nullptr);
 }
 
 tensor::Matrix LayerNorm::backward(const tensor::Matrix& grad_out) {
@@ -118,19 +127,38 @@ tensor::Matrix BatchNorm2d::forward(const tensor::Matrix& x) {
 
   cached_xhat_ = tensor::Matrix(batch, x.cols());
   cached_rstd_ = tensor::Matrix(1, channels_);
+  return channel_affine(x, mean, var, &cached_xhat_, &cached_rstd_);
+}
+
+tensor::Matrix BatchNorm2d::channel_affine(const tensor::Matrix& x,
+                                           const tensor::Matrix& mean,
+                                           const tensor::Matrix& var,
+                                           tensor::Matrix* xhat_out,
+                                           tensor::Matrix* rstd_out) const {
+  const std::size_t batch = x.rows();
   tensor::Matrix y(batch, x.cols());
   for (std::size_t c = 0; c < channels_; ++c) {
     const double rstd = 1.0 / std::sqrt(var(0, c) + epsilon_);
-    cached_rstd_(0, c) = rstd;
+    if (rstd_out != nullptr) (*rstd_out)(0, c) = rstd;
     for (std::size_t n = 0; n < batch; ++n) {
       for (std::size_t p = 0; p < spatial_; ++p) {
         const double xhat = (x(n, c * spatial_ + p) - mean(0, c)) * rstd;
-        cached_xhat_(n, c * spatial_ + p) = xhat;
+        if (xhat_out != nullptr) (*xhat_out)(n, c * spatial_ + p) = xhat;
         y(n, c * spatial_ + p) = xhat * gamma_.value(0, c) + beta_.value(0, c);
       }
     }
   }
   return y;
+}
+
+tensor::Matrix BatchNorm2d::infer(const tensor::Matrix& x) const {
+  // The inference-statistics branch of forward() without the cache writes —
+  // one shared arithmetic body, so outputs are bit-identical to eval-mode
+  // forward (the serving tier relies on this).
+  ONESA_CHECK_SHAPE(x.cols() == channels_ * spatial_,
+                    "batchnorm2d expected " << channels_ * spatial_ << " cols, got "
+                                            << x.cols());
+  return channel_affine(x, running_mean_, running_var_, nullptr, nullptr);
 }
 
 tensor::Matrix BatchNorm2d::backward(const tensor::Matrix& grad_out) {

@@ -19,6 +19,7 @@ class LayerNorm : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
@@ -26,6 +27,11 @@ class LayerNorm : public Layer {
   void count_ops(OpCensus& census, std::size_t batch) const override;
 
  private:
+  /// Shared forward/infer arithmetic; writes the backward caches only when
+  /// the out-params are non-null (forward), so infer stays const.
+  tensor::Matrix normalize(const tensor::Matrix& x, tensor::Matrix* xhat_out,
+                           tensor::Matrix* rstd_out) const;
+
   std::size_t features_;
   double epsilon_;
   Param gamma_;  // 1 x features
@@ -48,6 +54,9 @@ class BatchNorm2d : public Layer {
   /// Training-mode forward (batch statistics, running-stat update).
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  /// Always the inference statistics (running estimates), regardless of the
+  /// training flag — bit-identical to forward() in eval mode.
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
 
   /// Switch forward() to inference statistics (used when measuring the
@@ -59,6 +68,12 @@ class BatchNorm2d : public Layer {
   void count_ops(OpCensus& census, std::size_t batch) const override;
 
  private:
+  /// Shared forward/infer arithmetic (per-channel normalize + affine);
+  /// writes the backward caches only when the out-params are non-null.
+  tensor::Matrix channel_affine(const tensor::Matrix& x, const tensor::Matrix& mean,
+                                const tensor::Matrix& var, tensor::Matrix* xhat_out,
+                                tensor::Matrix* rstd_out) const;
+
   std::size_t channels_;
   std::size_t spatial_;  // H*W
   double epsilon_;

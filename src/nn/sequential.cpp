@@ -10,6 +10,12 @@ tensor::Matrix Sequential::forward(const tensor::Matrix& x) {
   return h;
 }
 
+tensor::Matrix Sequential::infer(const tensor::Matrix& x) const {
+  tensor::Matrix h = x;
+  for (const auto& layer : layers_) h = layer->infer(h);
+  return h;
+}
+
 tensor::Matrix Sequential::backward(const tensor::Matrix& grad_out) {
   tensor::Matrix g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
@@ -39,6 +45,10 @@ void Sequential::count_ops(OpCensus& census, std::size_t batch) const {
 tensor::Matrix Residual::forward(const tensor::Matrix& x) {
   cached_features_ = x.cols();
   return tensor::add(inner_->forward(x), x);
+}
+
+tensor::Matrix Residual::infer(const tensor::Matrix& x) const {
+  return tensor::add(inner_->infer(x), x);
 }
 
 tensor::Matrix Residual::backward(const tensor::Matrix& grad_out) {

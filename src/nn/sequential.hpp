@@ -20,6 +20,9 @@ class Sequential : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  /// Const, thread-safe inference chain (see Layer::infer) — the entry point
+  /// the serving tier's ModelRegistry calls from pool worker threads.
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override;
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
@@ -41,6 +44,7 @@ class Residual : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override { return inner_->params(); }
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,

@@ -14,29 +14,41 @@ double ms_between(ServeClock::time_point a, ServeClock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Rows of every request stacked on top of each other, padded with zero
-/// rows to a whole number of `tile_rows`-high tiles. Each request's rows
-/// are one contiguous row-major block, so the stack is a flat copy per
-/// request (the kernel-layer idiom) instead of an element loop.
-tensor::FixMatrix pack_rows(const std::vector<ServeRequest>& batch, std::size_t tile_rows) {
+/// Completed at `end` — did `req` blow its deadline? Stamps the result and
+/// returns the miss for the batch counter.
+bool stamp_slo(ServeResult& result, const ServeRequest& req, ServeClock::time_point end) {
+  result.priority = req.priority;
+  result.deadline_missed = req.has_deadline() && end > req.deadline;
+  return result.deadline_missed;
+}
+
+/// The `field` rows of every request stacked on top of each other, padded
+/// with zero rows to a whole number of `tile_rows`-high tiles (tile_rows =
+/// 1 means no padding — model batches run on kernels, not the tiled array).
+/// Each request's rows are one contiguous row-major block, so the stack is
+/// a flat copy per request (the kernel-layer idiom) instead of an element
+/// loop.
+template <typename Mat>
+Mat pack_rows(const std::vector<ServeRequest>& batch, std::size_t tile_rows,
+              Mat ServeRequest::* field) {
   std::size_t total_rows = 0;
-  for (const auto& req : batch) total_rows += req.rows();
-  const std::size_t cols = batch.front().x.cols();
+  for (const auto& req : batch) total_rows += (req.*field).rows();
+  const std::size_t cols = (batch.front().*field).cols();
   const std::size_t padded =
       (total_rows + tile_rows - 1) / tile_rows * tile_rows;
-  tensor::FixMatrix packed(padded, cols);  // zero-initialized padding rows
-  fixed::Fix16* dst = packed.data().data();
+  Mat packed(padded, cols);  // zero-initialized padding rows
+  auto* dst = packed.data().data();
   for (const auto& req : batch) {
-    dst = std::copy(req.x.data().begin(), req.x.data().end(), dst);
+    dst = std::copy((req.*field).data().begin(), (req.*field).data().end(), dst);
   }
   return packed;
 }
 
 /// One request's output rows cut back out of the batched result.
-tensor::FixMatrix slice_rows(const tensor::FixMatrix& packed, std::size_t row0,
-                             std::size_t rows) {
-  tensor::FixMatrix out(rows, packed.cols(), tensor::kUninitialized);
-  const fixed::Fix16* src = packed.data().data() + row0 * packed.cols();
+template <typename Mat>
+Mat slice_rows(const Mat& packed, std::size_t row0, std::size_t rows) {
+  Mat out(rows, packed.cols(), tensor::kUninitialized);
+  const auto* src = packed.data().data() + row0 * packed.cols();
   std::copy(src, src + rows * packed.cols(), out.data().data());
   return out;
 }
@@ -64,6 +76,7 @@ BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t
   const auto end = ServeClock::now();
   result.queue_ms = ms_between(req.enqueued, start);
   result.service_ms = ms_between(start, end);
+  const bool missed = stamp_slo(result, req, end);
 
   BatchRecord record;
   record.cycles = cycles;
@@ -71,8 +84,112 @@ BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t
   record.requests = 1;
   record.rows = 1;
   record.padded_rows = 1;
+  record.deadline_misses = missed ? 1 : 0;
   record.latency_ms.push_back(result.queue_ms + result.service_ms);
   req.promise.set_value(std::move(result));
+  return record;
+}
+
+/// Simulated cycle/MAC charge of one model batch. With a registered cost
+/// trace the batch is charged one trace execution per request (the trace
+/// models one inference); otherwise the model's MAC volume streams through
+/// the array's GEMM path as a (rows x mac_per_row x 1) product — a coarse
+/// but monotone cost model that keeps real-inference serving visible in the
+/// fleet's cycle/power accounting.
+sim::CycleStats model_batch_cycles(const ModelEntry& entry, std::size_t requests,
+                                   std::size_t rows, const sim::TimingModel& timing,
+                                   std::uint64_t& macs_out) {
+  if (entry.cost_trace != nullptr) {
+    const sim::CycleStats per_request = entry.trace_cycles_for(timing);
+    sim::CycleStats total;
+    for (std::size_t i = 0; i < requests; ++i) total += per_request;
+    macs_out = entry.cost_trace_macs * requests;
+    return total;
+  }
+  nn::TraceOp op;
+  op.kind = nn::TraceOp::Kind::kGemm;
+  op.m = rows;
+  op.k = static_cast<std::size_t>(entry.mac_ops_per_row);
+  op.n = 1;
+  macs_out = nn::op_mac_ops(op);
+  return nn::estimate_op_cycles(op, timing);
+}
+
+/// Real-inference batch: ONE nn::Sequential::infer over the stacked rows
+/// (kernel-layer GEMMs on this worker thread), logits sliced back per
+/// request, simulated cycles charged to the worker's accelerator.
+///
+/// Model code is the one batch path that runs caller-registered layers, so
+/// failures (shape mismatch against the registered model, a layer without an
+/// infer path, a row-count-changing model registered as batchable) must fail
+/// THIS batch's futures — never escape into worker_loop, where an uncaught
+/// exception would std::terminate the whole pool.
+BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& accel,
+                          std::size_t worker) {
+  const auto start = ServeClock::now();
+  const ModelEntry& entry = *batch.front().model;
+  std::size_t total_rows = 0;
+  for (const auto& req : batch) total_rows += req.rows();
+  tensor::Matrix logits;
+  try {
+    // Solo batches (the only shape non-batchable models and
+    // one-request-per-pass configs ever see) infer on the request's input
+    // directly — no pack copy on the worker hot path.
+    logits = batch.size() == 1
+                 ? entry.infer(batch.front().input)
+                 : entry.infer(pack_rows(batch, 1, &ServeRequest::input));
+    // A multi-request batch is served by row slicing, so the model must
+    // preserve the row count; otherwise the slices below would read out of
+    // bounds. Single-request batches hand the whole output back, so
+    // row-count-changing models (e.g. sequence pools) work there — register
+    // them with batchable=false.
+    ONESA_CHECK(batch.size() == 1 || logits.rows() == total_rows,
+                "model '" << entry.name << "' returned " << logits.rows()
+                          << " rows for a batched pass of " << total_rows
+                          << " input rows — row-count-changing models must be "
+                             "registered with batchable=false");
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (auto& req : batch) req.promise.set_exception(error);
+    return {};  // nothing completed, nothing charged
+  }
+  const auto end = ServeClock::now();
+
+  std::uint64_t macs = 0;
+  const sim::CycleStats cycles =
+      model_batch_cycles(entry, batch.size(), total_rows, accel.timing(), macs);
+  accel.add_lifetime(cycles, macs);
+
+  BatchRecord record;
+  record.cycles = cycles;
+  record.mac_ops = macs;
+  record.requests = batch.size();
+  record.rows = total_rows;
+  record.padded_rows = total_rows;  // no padding: kernels need no tile alignment
+  record.latency_ms.reserve(batch.size());
+
+  std::size_t row = 0;
+  for (auto& req : batch) {
+    ServeResult result;
+    result.id = req.id;
+    result.kind = RequestKind::kModel;
+    // Solo pass: the whole output belongs to the one request (this is the
+    // path row-count-changing models take). Batched pass: slice.
+    result.logits = batch.size() == 1 ? std::move(logits)
+                                      : slice_rows(logits, row, req.rows());
+    row += req.rows();
+    result.cycles = cycles;
+    result.mac_ops = macs;
+    result.queue_ms = ms_between(req.enqueued, start);
+    result.service_ms = ms_between(start, end);
+    result.worker = worker;
+    result.batch_requests = batch.size();
+    result.batch_rows = total_rows;
+    result.padded_rows = total_rows;
+    if (stamp_slo(result, req, end)) ++record.deadline_misses;
+    record.latency_ms.push_back(result.queue_ms + result.service_ms);
+    req.promise.set_value(std::move(result));
+  }
   return record;
 }
 
@@ -101,6 +218,11 @@ bool DynamicBatcher::compatible(const ServeRequest& head, const ServeRequest& re
       // and a deep element compare of large weights there would stall every
       // submitter; sharing the B handle is the documented usage.
       return head.weight == req.weight && head.x.cols() == req.x.cols();
+    case RequestKind::kModel:
+      // Same registered model (handle identity — one immutable entry per
+      // name), marked batchable by the registry, same input width.
+      return head.model == req.model && head.model != nullptr &&
+             head.model->batchable && head.input.cols() == req.input.cols();
   }
   return false;
 }
@@ -133,10 +255,13 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
     ONESA_CHECK(batch.size() == 1, "trace requests must not be batched");
     return execute_trace(std::move(batch.front()), accel, worker);
   }
+  if (batch.front().kind == RequestKind::kModel) {
+    return execute_model(std::move(batch), accel, worker);
+  }
 
   const auto start = ServeClock::now();
   const std::size_t tile_rows = accel.config().array.rows;
-  const tensor::FixMatrix packed = pack_rows(batch, tile_rows);
+  const tensor::FixMatrix packed = pack_rows(batch, tile_rows, &ServeRequest::x);
 
   PassOutput pass = batch.front().kind == RequestKind::kElementwise
                         ? accel.elementwise(batch.front().fn, packed)
@@ -176,6 +301,7 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
     result.batch_requests = batch.size();
     result.batch_rows = useful_rows;
     result.padded_rows = packed.rows();
+    if (stamp_slo(result, req, end)) ++record.deadline_misses;
     record.latency_ms.push_back(result.queue_ms + result.service_ms);
     req.promise.set_value(std::move(result));
   }

@@ -9,6 +9,14 @@
 // rows back out of the result. Row-independence of every batched op (GEMM
 // rows, elementwise evaluation) makes the sliced outputs bit-identical to
 // serving each request alone, which tests/test_serve.cpp asserts.
+//
+// Model requests (real nn::Sequential inference) batch the same way when the
+// registry marked the model batchable (rows are independent samples): the
+// input rows of every request stack into one matrix, ONE infer() call runs
+// through the kernel-layer GEMMs, and each request gets its logit rows back
+// — bit-identical to a direct forward because every batchable layer is
+// row-independent. Non-batchable models (per-sequence transformers) execute
+// one request per pass, like traces.
 #pragma once
 
 #include <deque>
@@ -37,8 +45,9 @@ class DynamicBatcher {
   const BatcherConfig& config() const { return config_; }
 
   /// Can `req` ride in the same accelerator pass as `head`? Same-kind,
-  /// same-function (elementwise) or same-weight (GEMM), same width. Trace
-  /// requests never batch — each is a whole model execution.
+  /// same-function (elementwise) or same-weight (GEMM) or same-batchable-
+  /// model (kModel), same width. Trace requests never batch — each is a
+  /// whole model execution.
   static bool compatible(const ServeRequest& head, const ServeRequest& req);
 
   /// Pop the head request plus every later compatible request (within the

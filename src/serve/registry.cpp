@@ -1,0 +1,78 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace onesa::serve {
+
+sim::CycleStats ModelEntry::trace_cycles_for(const sim::TimingModel& timing) const {
+  std::lock_guard<std::mutex> lock(cost_cache_mutex_);
+  if (!cost_cache_valid_ || !(cost_cache_config_ == timing.config())) {
+    cost_cache_cycles_ = nn::estimate_trace_cycles(*cost_trace, timing);
+    cost_cache_config_ = timing.config();
+    cost_cache_valid_ = true;
+  }
+  return cost_cache_cycles_;
+}
+
+ModelHandle ModelRegistry::add(std::string name, std::unique_ptr<nn::Sequential> model,
+                               ModelOptions options) {
+  ONESA_CHECK(model != nullptr, "ModelRegistry::add('" << name << "'): null model");
+  ONESA_CHECK(!name.empty(), "ModelRegistry::add: empty model name");
+
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->batchable = options.batchable;
+  entry->cost_trace = std::move(options.cost_trace);
+  if (entry->cost_trace != nullptr)
+    entry->cost_trace_macs = nn::trace_mac_ops(*entry->cost_trace);
+
+  if (options.mac_ops_per_row > 0) {
+    entry->mac_ops_per_row = options.mac_ops_per_row;
+  } else {
+    // Census-derived per-row simulated cost (one multiply+add pair = one
+    // MAC), computed once here so the dispatcher and admission control never
+    // walk the layer graph. See ModelOptions::mac_ops_per_row for what the
+    // static census can and cannot see.
+    nn::OpCensus census;
+    model->count_ops(census, 1);
+    entry->mac_ops_per_row =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(census.total() / 2.0));
+  }
+
+  entry->model = std::shared_ptr<const nn::Sequential>(std::move(model));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = models_.emplace(std::move(name), std::move(entry));
+  ONESA_CHECK(inserted, "ModelRegistry: model '" << it->first << "' already registered");
+  return it->second;
+}
+
+ModelHandle ModelRegistry::get(const std::string& name) const {
+  ModelHandle handle = find(name);
+  ONESA_CHECK(handle != nullptr, "ModelRegistry: unknown model '" << name << "'");
+  return handle;
+}
+
+ModelHandle ModelRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace onesa::serve

@@ -1,0 +1,106 @@
+// Model registry: named nn::Sequential models served by the pool.
+//
+// Registering a model freezes it behind a shared immutable handle
+// (std::shared_ptr<const ModelEntry>): ONE copy of the weights per pool, not
+// per worker, aliased read-only by every in-flight request — the
+// cross-request weight cache of the serving tier. Workers run inference
+// through nn::Sequential::infer(), the const thread-safe forward path, so
+// concurrent batches against the same entry never race.
+//
+// An entry also carries the serving metadata the scheduler needs:
+//   batchable    — whether requests may stack rows into one infer() call.
+//                  Opt-in (default false): safe only for rows-are-samples
+//                  models like MLPs/CNNs; per-sequence models (transformer
+//                  classifier, sequence pools) treat ALL input rows as one
+//                  sequence and must stay non-batchable.
+//   cost_trace   — optional WorkloadTrace used as the simulated cycle model
+//                  of one request; without it the cycle charge falls back to
+//                  streaming the model's MAC volume through the array's GEMM
+//                  path.
+//   mac_ops_per_row — census-derived simulated cost estimate, feeding both
+//                  least-loaded dispatch and admission control.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "nn/workload.hpp"
+
+namespace onesa::serve {
+
+struct ModelOptions {
+  /// May rows of different requests ride in one infer() call? Only safe for
+  /// models where every layer treats rows as independent samples (MLPs,
+  /// CNNs over rows-as-images). Deliberately opt-in: a row-COUPLING model
+  /// (attention over feature rows, sequence pools) registered as batchable
+  /// would mix one request's data into another's logits, which nothing can
+  /// detect at execution time when the row count is preserved.
+  bool batchable = false;
+  /// Optional per-request simulated cycle model (e.g. nn::bert_base_trace).
+  std::shared_ptr<const nn::WorkloadTrace> cost_trace;
+  /// Explicit per-row MAC estimate; 0 derives it from the model's op census.
+  /// The census counts a never-run model, so layers whose op counts depend
+  /// on forward-set state (Activation features, sequence-pool length)
+  /// contribute nothing — GEMM-bearing layers (Linear/Conv/GraphConv/
+  /// attention) dominate real models and are counted statically, but for
+  /// activation-only models set this (or attach a cost_trace) so admission
+  /// control and least-loaded dispatch see a non-trivial cost.
+  std::uint64_t mac_ops_per_row = 0;
+};
+
+/// One registered model. Immutable after registration; shared by handle.
+struct ModelEntry {
+  std::string name;
+  std::shared_ptr<const nn::Sequential> model;
+  bool batchable = false;  // matches ModelOptions: batching is opt-in
+  std::shared_ptr<const nn::WorkloadTrace> cost_trace;
+  /// Simulated MACs of one input row (census-derived; >= 1).
+  std::uint64_t mac_ops_per_row = 1;
+  /// nn::trace_mac_ops(*cost_trace), cached at registration (0 = no trace).
+  std::uint64_t cost_trace_macs = 0;
+
+  /// Thread-safe forward through the shared weights.
+  tensor::Matrix infer(const tensor::Matrix& x) const { return model->infer(x); }
+
+  /// Per-request cycle estimate of cost_trace on `timing`, cached after the
+  /// first call per array configuration (a pool replicates one config across
+  /// its workers, so every batch after the first hits the cache instead of
+  /// re-walking the trace under the worker lock). Must only be called when
+  /// cost_trace is set.
+  sim::CycleStats trace_cycles_for(const sim::TimingModel& timing) const;
+
+ private:
+  mutable std::mutex cost_cache_mutex_;
+  mutable bool cost_cache_valid_ = false;
+  mutable sim::ArrayConfig cost_cache_config_;
+  mutable sim::CycleStats cost_cache_cycles_;
+};
+
+using ModelHandle = std::shared_ptr<const ModelEntry>;
+
+class ModelRegistry {
+ public:
+  /// Register `model` under `name`, freezing it. Throws onesa::Error if the
+  /// name is taken or the model is null. Returns the shared handle.
+  ModelHandle add(std::string name, std::unique_ptr<nn::Sequential> model,
+                  ModelOptions options = {});
+
+  /// Handle for `name`; throws onesa::Error when unknown.
+  ModelHandle get(const std::string& name) const;
+  /// Handle for `name`, or nullptr when unknown.
+  ModelHandle find(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ModelHandle> models_;
+};
+
+}  // namespace onesa::serve

@@ -13,9 +13,15 @@ RequestId next_id() {
   return ++counter;
 }
 
-TaggedRequest tag(ServeRequest req) {
+TaggedRequest tag(ServeRequest req, const SubmitOptions& options) {
   req.id = next_id();
   req.enqueued = ServeClock::now();  // re-stamped on queue entry
+  req.priority = options.priority;
+  if (options.deadline_ms > 0.0) {
+    req.deadline = req.enqueued + std::chrono::duration_cast<ServeClock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          options.deadline_ms));
+  }
   req.cost = req.estimated_cost();
   TaggedRequest out{std::move(req), {}};
   out.result = out.request.promise.get_future();
@@ -33,6 +39,13 @@ std::uint64_t ServeRequest::estimated_cost() const {
              (weight != nullptr ? weight->cols() : 0);
     case RequestKind::kTrace:
       return trace != nullptr ? nn::trace_mac_ops(*trace) : 0;
+    case RequestKind::kModel:
+      if (model == nullptr) return 0;
+      // Mirror what execution will actually charge (model_batch_cycles, same
+      // predicate): a registered cost trace models one whole request;
+      // otherwise the census-derived per-row MAC volume scales with rows.
+      if (model->cost_trace != nullptr) return model->cost_trace_macs;
+      return static_cast<std::uint64_t>(input.rows()) * model->mac_ops_per_row;
   }
   return 0;
 }
@@ -42,21 +55,33 @@ std::string_view kind_name(RequestKind kind) {
     case RequestKind::kElementwise: return "elementwise";
     case RequestKind::kGemm: return "gemm";
     case RequestKind::kTrace: return "trace";
+    case RequestKind::kModel: return "model";
   }
   return "?";
 }
 
-TaggedRequest make_elementwise_request(cpwl::FunctionKind fn, tensor::FixMatrix x) {
+std::string_view priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kNormal: return "normal";
+    case Priority::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+TaggedRequest make_elementwise_request(cpwl::FunctionKind fn, tensor::FixMatrix x,
+                                       SubmitOptions options) {
   ONESA_CHECK_SHAPE(!x.empty(), "elementwise request with empty input");
   ServeRequest req;
   req.kind = RequestKind::kElementwise;
   req.fn = fn;
   req.x = std::move(x);
-  return tag(std::move(req));
+  return tag(std::move(req), options);
 }
 
 TaggedRequest make_gemm_request(tensor::FixMatrix a,
-                                std::shared_ptr<const tensor::FixMatrix> b) {
+                                std::shared_ptr<const tensor::FixMatrix> b,
+                                SubmitOptions options) {
   ONESA_CHECK(b != nullptr, "gemm request without a weight matrix");
   ONESA_CHECK_SHAPE(!a.empty() && a.cols() == b->rows(),
                     "gemm request A(" << a.rows() << "x" << a.cols() << ") incompatible with B("
@@ -65,15 +90,27 @@ TaggedRequest make_gemm_request(tensor::FixMatrix a,
   req.kind = RequestKind::kGemm;
   req.x = std::move(a);
   req.weight = std::move(b);
-  return tag(std::move(req));
+  return tag(std::move(req), options);
 }
 
-TaggedRequest make_trace_request(std::shared_ptr<const nn::WorkloadTrace> trace) {
+TaggedRequest make_trace_request(std::shared_ptr<const nn::WorkloadTrace> trace,
+                                 SubmitOptions options) {
   ONESA_CHECK(trace != nullptr, "trace request without a trace");
   ServeRequest req;
   req.kind = RequestKind::kTrace;
   req.trace = std::move(trace);
-  return tag(std::move(req));
+  return tag(std::move(req), options);
+}
+
+TaggedRequest make_model_request(ModelHandle model, tensor::Matrix input,
+                                 SubmitOptions options) {
+  ONESA_CHECK(model != nullptr, "model request without a model handle");
+  ONESA_CHECK_SHAPE(!input.empty(), "model request with empty input");
+  ServeRequest req;
+  req.kind = RequestKind::kModel;
+  req.model = std::move(model);
+  req.input = std::move(input);
+  return tag(std::move(req), options);
 }
 
 }  // namespace onesa::serve

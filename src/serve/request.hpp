@@ -1,10 +1,14 @@
 // Request/response types of the serving runtime.
 //
 // A ServeRequest is one unit of client work — a tagged elementwise pass, a
-// GEMM against a shared weight matrix, or a whole model WorkloadTrace — with
+// GEMM against a shared weight matrix, a whole model WorkloadTrace, or a
+// real nn::Sequential forward pass against a registered model — with
 // future-based completion: the submitter holds a std::future<ServeResult>
 // that becomes ready when a pool worker finishes the batch containing the
-// request. See server_pool.hpp for the runtime that consumes these.
+// request. Every request carries a priority class and an optional deadline;
+// the queue schedules earliest-deadline-first within priority classes and
+// the stats track per-request SLO outcomes. See server_pool.hpp for the
+// runtime that consumes these.
 #pragma once
 
 #include <chrono>
@@ -14,6 +18,7 @@
 
 #include "cpwl/functions.hpp"
 #include "nn/workload.hpp"
+#include "serve/registry.hpp"
 #include "sim/clock.hpp"
 #include "tensor/matrix.hpp"
 
@@ -23,9 +28,24 @@ using RequestId = std::uint64_t;
 using ServeClock = std::chrono::steady_clock;
 
 /// What kind of work a request carries.
-enum class RequestKind { kElementwise, kGemm, kTrace };
+enum class RequestKind { kElementwise, kGemm, kTrace, kModel };
 
 std::string_view kind_name(RequestKind kind);
+
+/// Scheduling class. Lower value = served first; within a class the queue
+/// orders by deadline (EDF), then arrival.
+enum class Priority : std::uint8_t { kInteractive = 0, kNormal = 1, kBulk = 2 };
+
+std::string_view priority_name(Priority priority);
+
+/// Per-request scheduling options, shared by every submit path.
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Completion SLO relative to submission; <= 0 means no deadline. A
+  /// request finishing after its deadline still completes but is counted as
+  /// a deadline miss (ServeResult::deadline_missed, ServeStats).
+  double deadline_ms = 0.0;
+};
 
 /// Completion record delivered through the request's future.
 struct ServeResult {
@@ -35,6 +55,11 @@ struct ServeResult {
   /// Output rows of this request only (padding/batch-mate rows sliced away).
   /// Empty for trace requests, whose output is the estimate below.
   tensor::FixMatrix y;
+
+  /// Real model output for kModel requests (this request's rows of the
+  /// batched nn::Sequential::infer pass) — bit-identical to calling the
+  /// model's forward directly on the request's input.
+  tensor::Matrix logits;
 
   /// Simulated cycles of the accelerator pass that served this request. For
   /// batched requests this is the whole batch's pass (shared by every
@@ -51,6 +76,11 @@ struct ServeResult {
   double queue_ms = 0.0;
   double service_ms = 0.0;
 
+  /// SLO outcome: the request's class, and whether it completed past its
+  /// deadline (always false for requests submitted without one).
+  Priority priority = Priority::kNormal;
+  bool deadline_missed = false;
+
   std::size_t worker = 0;          // index of the worker that served it
   std::size_t batch_requests = 1;  // requests packed into the same tile
   std::size_t batch_rows = 0;      // useful rows in the tile
@@ -66,22 +96,34 @@ struct ServeRequest {
   tensor::FixMatrix x;                                    // elementwise X / GEMM A
   std::shared_ptr<const tensor::FixMatrix> weight;        // GEMM B, shared across requests
   std::shared_ptr<const nn::WorkloadTrace> trace;         // kTrace
+  ModelHandle model;                                      // kModel
+  tensor::Matrix input;                                   // kModel forward input
 
   std::promise<ServeResult> promise;
   ServeClock::time_point enqueued{};
+
+  /// Scheduling state: class, absolute deadline (time_point::max() = none)
+  /// and the queue-entry sequence number used as the final FIFO tie-break.
+  Priority priority = Priority::kNormal;
+  ServeClock::time_point deadline = ServeClock::time_point::max();
+  std::uint64_t seq = 0;
+
+  bool has_deadline() const { return deadline != ServeClock::time_point::max(); }
 
   /// Simulated-work estimate in MAC operations (see estimated_cost()),
   /// stamped once by the request factories so the dispatcher never walks a
   /// trace under the queue lock.
   std::uint64_t cost = 0;
 
-  std::size_t rows() const { return x.rows(); }
+  std::size_t rows() const { return kind == RequestKind::kModel ? input.rows() : x.rows(); }
 
   /// Simulated-work estimate in MAC operations, mirroring the accelerator's
   /// lifetime accounting for each kind (GEMM m*k*n, elementwise 2 MACs per
-  /// element, traces via nn::trace_mac_ops). The least-loaded dispatcher
-  /// balances the sum of these across workers, so heterogeneous request
-  /// streams spread by simulated cost instead of request count.
+  /// element, traces via nn::trace_mac_ops, models via the registry's
+  /// census-derived per-row MACs). The least-loaded dispatcher balances the
+  /// sum of these across workers, and admission control bounds the backlog's
+  /// sum, so heterogeneous request streams are managed by simulated cost
+  /// instead of request count.
   std::uint64_t estimated_cost() const;
 };
 
@@ -92,15 +134,24 @@ struct TaggedRequest {
 };
 
 /// Y = f(X) through the CPWL + IPF + MHP path.
-TaggedRequest make_elementwise_request(cpwl::FunctionKind fn, tensor::FixMatrix x);
+TaggedRequest make_elementwise_request(cpwl::FunctionKind fn, tensor::FixMatrix x,
+                                       SubmitOptions options = {});
 
 /// C = A * B. B is shared (typically a model weight served to many
 /// requests); requests with the same B batch together.
 TaggedRequest make_gemm_request(tensor::FixMatrix a,
-                                std::shared_ptr<const tensor::FixMatrix> b);
+                                std::shared_ptr<const tensor::FixMatrix> b,
+                                SubmitOptions options = {});
 
 /// Full-model inference by shape trace (BERT/ResNet/GCN — nn/workload.hpp),
 /// executed op-by-op against the worker's cycle model.
-TaggedRequest make_trace_request(std::shared_ptr<const nn::WorkloadTrace> trace);
+TaggedRequest make_trace_request(std::shared_ptr<const nn::WorkloadTrace> trace,
+                                 SubmitOptions options = {});
+
+/// Real nn::Sequential forward pass through a registered model: the batched
+/// input rows run model->infer() on the worker (kernel-layer GEMMs), and the
+/// response carries the request's logits plus the simulated cycle charge.
+TaggedRequest make_model_request(ModelHandle model, tensor::Matrix input,
+                                 SubmitOptions options = {});
 
 }  // namespace onesa::serve

@@ -1,8 +1,7 @@
 #include "serve/request_queue.hpp"
 
 #include <algorithm>
-
-#include "common/error.hpp"
+#include <string>
 
 namespace onesa::serve {
 
@@ -14,23 +13,116 @@ std::string_view dispatch_policy_name(DispatchPolicy policy) {
   return "?";
 }
 
+std::string_view overload_policy_name(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kReject: return "reject";
+    case OverloadPolicy::kDropOldest: return "drop-oldest";
+  }
+  return "?";
+}
+
 RequestQueue::RequestQueue(std::size_t workers, DynamicBatcher batcher,
-                           DispatchPolicy policy)
+                           DispatchPolicy policy, AdmissionConfig admission)
     : workers_(workers),
       batcher_(std::move(batcher)),
       policy_(policy),
+      admission_(admission),
       assigned_cost_(workers, 0) {
   ONESA_CHECK(workers_ > 0, "RequestQueue needs at least one worker");
 }
 
-void RequestQueue::push(ServeRequest req) {
+bool RequestQueue::over_budget(std::size_t extra_requests, std::uint64_t extra_cost) const {
+  if (admission_.max_pending_requests != 0 &&
+      pending_.size() + extra_requests > admission_.max_pending_requests)
+    return true;
+  if (admission_.max_backlog_cost != 0 &&
+      backlog_cost_ + extra_cost > admission_.max_backlog_cost)
+    return true;
+  return false;
+}
+
+bool RequestQueue::push(ServeRequest req) {
+  bool admitted = true;
+  // Shed promises are fulfilled after the lock drops: formatting and waking
+  // a future's waiter are not worth serializing every submitter and worker
+  // behind, especially in the drop-oldest eviction loop under overload.
+  std::vector<std::pair<ServeRequest, std::string_view>> shed_list;
+  std::size_t backlog_requests = 0;
+  std::uint64_t backlog_macs = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) throw Error("RequestQueue: push after close");
     req.enqueued = ServeClock::now();
-    pending_.push_back(std::move(req));
+    req.seq = next_seq_++;
+
+    if (!admission_.unlimited() && over_budget(1, req.cost)) {
+      // Shed the newcomer outright — without destroying admitted work — when
+      // no amount of allowed eviction could ever make it fit: it exceeds the
+      // budget alone, or the at-or-below-class share of the backlog is too
+      // small to free enough room (higher classes are never evicted for it).
+      bool hopeless = admission_.max_backlog_cost != 0 &&
+                      req.cost > admission_.max_backlog_cost;
+      if (!hopeless && admission_.policy == OverloadPolicy::kDropOldest) {
+        std::size_t evictable = 0;
+        std::uint64_t evictable_cost = 0;
+        for (const auto& pending : pending_) {
+          if (pending.priority >= req.priority) {
+            ++evictable;
+            evictable_cost += pending.cost;
+          }
+        }
+        if (admission_.max_pending_requests != 0 &&
+            pending_.size() - evictable + 1 > admission_.max_pending_requests)
+          hopeless = true;
+        if (admission_.max_backlog_cost != 0 &&
+            backlog_cost_ - evictable_cost + req.cost > admission_.max_backlog_cost)
+          hopeless = true;
+      }
+      if (!hopeless && admission_.policy == OverloadPolicy::kDropOldest) {
+        // Evict the oldest request of the lowest priority class present
+        // until the newcomer fits. Never evict above the newcomer's class
+        // (the hopeless pre-check guarantees this loop frees enough room).
+        while (over_budget(1, req.cost) && !pending_.empty()) {
+          std::size_t victim = 0;
+          for (std::size_t i = 1; i < pending_.size(); ++i) {
+            const ServeRequest& a = pending_[i];
+            const ServeRequest& b = pending_[victim];
+            if (a.priority > b.priority ||
+                (a.priority == b.priority && a.seq < b.seq))
+              victim = i;
+          }
+          if (pending_[victim].priority < req.priority) break;  // all outrank it
+          ServeRequest evicted = std::move(pending_[victim]);
+          pending_.erase(pending_.begin() +
+                         static_cast<std::ptrdiff_t>(victim));
+          backlog_cost_ -= evicted.cost;
+          ++sheds_;
+          shed_list.emplace_back(std::move(evicted), "evicted for newer arrival");
+        }
+      }
+      if (over_budget(1, req.cost)) {
+        ++sheds_;
+        admitted = false;
+        shed_list.emplace_back(std::move(req), "over budget");
+      }
+    }
+    if (admitted) {
+      backlog_cost_ += req.cost;
+      pending_.push_back(std::move(req));
+    }
+    backlog_requests = pending_.size();
+    backlog_macs = backlog_cost_;
   }
-  cv_.notify_all();
+  // A shed push never adds work (evictions only shrink the backlog), so
+  // waking the workers would be pure lock contention during overload storms.
+  if (admitted) cv_.notify_all();
+  for (auto& [victim, reason] : shed_list) {
+    victim.promise.set_exception(std::make_exception_ptr(OverloadError(
+        "request " + std::to_string(victim.id) + " shed by admission control (" +
+        std::string(reason) + "): backlog " + std::to_string(backlog_requests) +
+        " requests / " + std::to_string(backlog_macs) + " MACs")));
+  }
+  return admitted;
 }
 
 bool RequestQueue::is_turn(std::size_t worker) const {
@@ -42,6 +134,22 @@ bool RequestQueue::is_turn(std::size_t worker) const {
   return static_cast<std::size_t>(least - assigned_cost_.begin()) == worker;
 }
 
+std::size_t RequestQueue::scheduled_head() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const ServeRequest& a = pending_[i];
+    const ServeRequest& b = pending_[best];
+    if (a.priority != b.priority) {
+      if (a.priority < b.priority) best = i;
+    } else if (a.deadline != b.deadline) {
+      if (a.deadline < b.deadline) best = i;  // EDF; "no deadline" sorts last
+    } else if (a.seq < b.seq) {
+      best = i;
+    }
+  }
+  return best;
+}
+
 std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
   ONESA_CHECK(worker < workers_, "worker index " << worker << " out of " << workers_);
   std::unique_lock<std::mutex> lock(mutex_);
@@ -50,12 +158,23 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
     return !pending_.empty() && is_turn(worker);
   });
   if (pending_.empty()) return {};
+
+  // Rotate the scheduled head (priority -> EDF -> arrival) to the front;
+  // the batcher packs arrival-ordered compatible riders behind it.
+  const std::size_t head = scheduled_head();
+  if (head != 0) {
+    const auto first = pending_.begin();
+    std::rotate(first, first + static_cast<std::ptrdiff_t>(head),
+                first + static_cast<std::ptrdiff_t>(head) + 1);
+  }
   auto batch = batcher_.take_batch(pending_);
+
+  std::uint64_t cost = 0;
+  for (const auto& req : batch) cost += req.cost;  // stamped at submit time
+  backlog_cost_ -= std::min(backlog_cost_, cost);
   if (policy_ == DispatchPolicy::kRotation) {
     turn_ = (turn_ + 1) % workers_;
   } else {
-    std::uint64_t cost = 0;
-    for (const auto& req : batch) cost += req.cost;  // stamped at submit time
     // Charge at least one unit so zero-cost batches still advance the tie
     // break instead of pinning every batch on one worker.
     assigned_cost_[worker] += std::max<std::uint64_t>(cost, 1);
@@ -81,6 +200,16 @@ bool RequestQueue::closed() const {
 std::size_t RequestQueue::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_.size();
+}
+
+std::uint64_t RequestQueue::backlog_cost() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backlog_cost_;
+}
+
+std::uint64_t RequestQueue::sheds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sheds_;
 }
 
 std::vector<std::uint64_t> RequestQueue::assigned_cost() const {

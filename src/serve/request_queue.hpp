@@ -1,29 +1,44 @@
-// Thread-safe request queue with batch-granular dispatch.
+// Thread-safe request queue with priority/deadline scheduling, admission
+// control, and batch-granular dispatch.
 //
-// Producers push tagged requests; pool workers block in pop_batch until a
-// batch is available and it is their turn to take one. Two dispatch
-// policies govern whose turn it is:
+// SCHEDULING. Producers push tagged requests; the queue orders service
+// earliest-deadline-first within priority classes:
+//   1. strict priority — an interactive request is always scheduled before
+//      a normal one, which beats bulk;
+//   2. EDF inside the class — earliest absolute deadline first, requests
+//      without a deadline after every dated one;
+//   3. arrival sequence as the final FIFO tie-break.
+// The chosen request becomes the batch head; the DynamicBatcher then packs
+// later compatible requests around it (batch-mates keep their own deadlines,
+// and misses are accounted per request at completion).
+//
+// ADMISSION CONTROL. The queue is bounded by AdmissionConfig: a cap on
+// pending requests and/or on the backlog's estimated simulated cost (sum of
+// ServeRequest::cost, MAC units). When a push would exceed a cap the
+// configured overload policy sheds load:
+//   kReject     — the incoming request is refused: its future fails with
+//                 OverloadError and the queue is untouched.
+//   kDropOldest — the oldest request of the *lowest* priority class present
+//                 is evicted (its future fails with OverloadError) until the
+//                 newcomer fits; if the backlog is all higher-priority work
+//                 the newcomer itself is shed.
+// Shed counts are exported for ServeStats.
+//
+// WORKER DISPATCH. Pool workers block in pop_batch until a batch is
+// available and it is their turn to take one. Two dispatch policies govern
+// whose turn it is:
 //
 //   kLeastLoaded (default) — the worker whose cumulative *assigned simulated
 //     cost* (sum of ServeRequest::estimated_cost over every batch it has
 //     taken, ties broken by lowest index) is smallest takes the next batch.
-//     With heterogeneous request costs this greedily levels the modeled
-//     fleet's per-worker busy cycles, which is what bounds makespan_cycles;
-//     with uniform costs it degenerates to the old rotation. (ROADMAP item:
-//     rotation assumed uniform request cost.)
 //
-//   kRotation — strict worker rotation, kept for A/B comparison and for
-//     experiments that want every worker to see every Nth batch regardless
-//     of cost.
+//   kRotation — strict worker rotation, kept for A/B comparison.
 //
 // Determinism: given the *sequence of batches*, both policies pick workers
 // deterministically (rotation by turn counter, least-loaded by assigned
 // cost with a fixed tie break), never by which worker thread happens to be
 // awake. Batch composition itself still depends on how many compatible
-// requests are pending at pop time, as it always has — so per-worker
-// totals are host-independent for streams whose batching is fixed (e.g.
-// trace requests, which never share a batch, or one-request-per-batch
-// configurations), and the serving benchmarks rely on exactly those.
+// requests are pending at pop time, as it always has.
 //
 // close() stops new submissions; workers keep draining until the queue is
 // empty and then observe the closed state, so every accepted request is
@@ -37,10 +52,33 @@
 #include <string_view>
 #include <vector>
 
+#include "common/error.hpp"
 #include "serve/batcher.hpp"
 #include "serve/request.hpp"
 
 namespace onesa::serve {
+
+/// Raised through a shed request's future when admission control refuses it.
+class OverloadError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// What to shed when a push would exceed the admission budget.
+enum class OverloadPolicy { kReject, kDropOldest };
+
+std::string_view overload_policy_name(OverloadPolicy policy);
+
+/// Backlog bounds. Zero means "unlimited" for either cap; with both zero the
+/// queue never sheds (the pre-admission-control behaviour).
+struct AdmissionConfig {
+  std::size_t max_pending_requests = 0;
+  /// Cap on the backlog's summed estimated cost (MAC units).
+  std::uint64_t max_backlog_cost = 0;
+  OverloadPolicy policy = OverloadPolicy::kReject;
+
+  bool unlimited() const { return max_pending_requests == 0 && max_backlog_cost == 0; }
+};
 
 /// How pop_batch decides which worker takes the next batch.
 enum class DispatchPolicy { kLeastLoaded, kRotation };
@@ -51,15 +89,19 @@ class RequestQueue {
  public:
   /// `workers` is the dispatch-set size; batcher decides what rides together.
   RequestQueue(std::size_t workers, DynamicBatcher batcher,
-               DispatchPolicy policy = DispatchPolicy::kLeastLoaded);
+               DispatchPolicy policy = DispatchPolicy::kLeastLoaded,
+               AdmissionConfig admission = {});
 
-  /// Enqueue a request (stamps its queue-entry time). Throws onesa::Error
-  /// if the queue is closed.
-  void push(ServeRequest req);
+  /// Enqueue a request (stamps its queue-entry time and arrival sequence).
+  /// Returns true when admitted; when admission control sheds the request
+  /// instead, its promise fails with OverloadError and push returns false.
+  /// Throws onesa::Error if the queue is closed.
+  bool push(ServeRequest req);
 
   /// Block until it is `worker`'s turn and a batch is available, then pop
-  /// it. Returns an empty vector when the queue is closed and drained —
-  /// the worker's signal to exit.
+  /// the scheduled batch (EDF-within-priority head plus compatible riders).
+  /// Returns an empty vector when the queue is closed and drained — the
+  /// worker's signal to exit.
   std::vector<ServeRequest> pop_batch(std::size_t worker);
 
   /// Stop accepting pushes and wake every waiter. Idempotent.
@@ -67,7 +109,13 @@ class RequestQueue {
 
   bool closed() const;
   std::size_t pending() const;
+  /// Summed estimated cost (MACs) of the backlog right now.
+  std::uint64_t backlog_cost() const;
   DispatchPolicy policy() const { return policy_; }
+  const AdmissionConfig& admission() const { return admission_; }
+
+  /// Requests shed by admission control so far (rejected or evicted).
+  std::uint64_t sheds() const;
 
   /// Cumulative estimated simulated cost (MACs) assigned to each worker so
   /// far — the quantity the least-loaded policy levels.
@@ -78,13 +126,29 @@ class RequestQueue {
   /// Caller holds mutex_.
   bool is_turn(std::size_t worker) const;
 
+  /// Index of the next request to serve (priority, then EDF, then arrival).
+  /// Caller holds mutex_; pending_ must be non-empty. O(pending) per pop —
+  /// deliberate: admission control bounds the backlog in production
+  /// configurations, and a linear scan of a deque beats maintaining ordered
+  /// per-class structures at realistic queue depths. Revisit with a
+  /// per-class deadline-ordered index if unbounded queues ever need to
+  /// scale past ~10^4 pending requests.
+  std::size_t scheduled_head() const;
+
+  /// Would the backlog (plus `extra_cost`/`extra_requests`) exceed a cap?
+  bool over_budget(std::size_t extra_requests, std::uint64_t extra_cost) const;
+
   const std::size_t workers_;
   DynamicBatcher batcher_;
   const DispatchPolicy policy_;
+  const AdmissionConfig admission_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<ServeRequest> pending_;
+  std::uint64_t backlog_cost_ = 0;            // sum of pending_[i].cost
+  std::uint64_t next_seq_ = 0;                // arrival stamp
+  std::uint64_t sheds_ = 0;                   // admission-control counter
   std::size_t turn_ = 0;                      // kRotation state
   std::vector<std::uint64_t> assigned_cost_;  // kLeastLoaded state
   bool closed_ = false;

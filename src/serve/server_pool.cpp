@@ -2,13 +2,14 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "tensor/kernels/thread_pool.hpp"
 
 namespace onesa::serve {
 
 ServerPool::ServerPool(ServerPoolConfig config)
     : config_(std::move(config)),
       batcher_(config_.batcher),
-      queue_(config_.workers, batcher_, config_.dispatch) {
+      queue_(config_.workers, batcher_, config_.dispatch, config_.admission) {
   ONESA_CHECK(config_.workers > 0, "ServerPool needs at least one worker");
   workers_.reserve(config_.workers);
 
@@ -22,6 +23,7 @@ ServerPool::ServerPool(ServerPoolConfig config)
                            : std::make_unique<OneSaAccelerator>(config_.accelerator, tables);
     workers_.push_back(std::move(worker));
   }
+
   try {
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
@@ -38,10 +40,35 @@ ServerPool::ServerPool(ServerPoolConfig config)
   ONESA_LOG_DEBUG << "serve: pool up with " << workers_.size() << " workers ("
                   << config_.accelerator.array.rows << "x" << config_.accelerator.array.cols
                   << " array each, " << dispatch_policy_name(config_.dispatch)
-                  << " dispatch)";
+                  << " dispatch, admission "
+                  << (config_.admission.unlimited()
+                          ? std::string_view("unlimited")
+                          : overload_policy_name(config_.admission.policy))
+                  << ")";
 }
 
 ServerPool::~ServerPool() { shutdown(); }
+
+ModelHandle ServerPool::register_model(std::string name,
+                                       std::unique_ptr<nn::Sequential> model,
+                                       ModelOptions options) {
+  ModelHandle handle = registry_.add(std::move(name), std::move(model), std::move(options));
+  // First SUCCESSFUL registration: reserve the worker fleet in the kernels'
+  // shared ThreadPool so model forwards on the workers cap their GEMM
+  // fan-out instead of stacking N serve threads on top of a full
+  // kernel-pool fan-out. Lazy on purpose — pools serving only simulated
+  // traffic never run worker-side GEMMs and must not throttle other kernel
+  // users (which is also why a registration that throws above must not
+  // reserve). Released once in shutdown().
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (!shut_down_ && !threads_reserved_) {
+      tensor::kernels::ThreadPool::instance().reserve(config_.workers);
+      threads_reserved_ = true;
+    }
+  }
+  return handle;
+}
 
 std::future<ServeResult> ServerPool::submit(TaggedRequest req) {
   queue_.push(std::move(req.request));
@@ -49,31 +76,51 @@ std::future<ServeResult> ServerPool::submit(TaggedRequest req) {
 }
 
 std::future<ServeResult> ServerPool::submit_elementwise(cpwl::FunctionKind fn,
-                                                        tensor::FixMatrix x) {
-  return submit(make_elementwise_request(fn, std::move(x)));
+                                                        tensor::FixMatrix x,
+                                                        SubmitOptions options) {
+  return submit(make_elementwise_request(fn, std::move(x), options));
 }
 
 std::future<ServeResult> ServerPool::submit_gemm(
-    tensor::FixMatrix a, std::shared_ptr<const tensor::FixMatrix> b) {
-  return submit(make_gemm_request(std::move(a), std::move(b)));
+    tensor::FixMatrix a, std::shared_ptr<const tensor::FixMatrix> b,
+    SubmitOptions options) {
+  return submit(make_gemm_request(std::move(a), std::move(b), options));
 }
 
 std::future<ServeResult> ServerPool::submit_trace(
-    std::shared_ptr<const nn::WorkloadTrace> trace) {
-  return submit(make_trace_request(std::move(trace)));
+    std::shared_ptr<const nn::WorkloadTrace> trace, SubmitOptions options) {
+  return submit(make_trace_request(std::move(trace), options));
+}
+
+std::future<ServeResult> ServerPool::submit_model(const std::string& name,
+                                                  tensor::Matrix input,
+                                                  SubmitOptions options) {
+  return submit_model(registry_.get(name), std::move(input), options);
+}
+
+std::future<ServeResult> ServerPool::submit_model(ModelHandle model, tensor::Matrix input,
+                                                  SubmitOptions options) {
+  return submit(make_model_request(std::move(model), std::move(input), options));
 }
 
 void ServerPool::shutdown() {
+  bool release_threads = false;
   {
     std::lock_guard<std::mutex> lock(shutdown_mutex_);
     if (shut_down_) return;
     shut_down_ = true;
+    release_threads = threads_reserved_;
+    threads_reserved_ = false;
   }
   queue_.close();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
-  ONESA_LOG_DEBUG << "serve: pool drained, " << stats().completed() << " requests served";
+  if (release_threads) {
+    tensor::kernels::ThreadPool::instance().release(config_.workers);
+  }
+  ONESA_LOG_DEBUG << "serve: pool drained, " << stats().completed() << " requests served, "
+                  << queue_.sheds() << " shed";
 }
 
 void ServerPool::worker_loop(std::size_t index) {
@@ -88,7 +135,10 @@ void ServerPool::worker_loop(std::size_t index) {
     std::lock_guard<std::mutex> lock(w.mutex);
     BatchRecord record = batcher_.execute(std::move(batch), *w.accel, index);
     w.busy_cycles += record.cycles.total();
-    w.stats.record_batch(record);
+    // A failed batch (every promise already holds the error) returns an
+    // empty record; recording it would count a zero-request batch and skew
+    // mean_batch_requests()/batch_fill().
+    if (record.requests > 0) w.stats.record_batch(record);
   }
 }
 
@@ -98,6 +148,7 @@ ServeStats ServerPool::stats() const {
     std::lock_guard<std::mutex> lock(worker->mutex);
     merged.merge(worker->stats);
   }
+  merged.record_sheds(queue_.sheds());
   return merged;
 }
 

@@ -1,12 +1,21 @@
 // Multi-threaded batching inference runtime over a pool of simulated
-// ONE-SA accelerator instances.
+// ONE-SA accelerator instances, serving both cost-model traffic (traces,
+// shape requests) and REAL nn::Sequential inference from a model registry.
 //
 // Architecture (one shared queue, N workers):
 //
 //   submit_*() ──> RequestQueue ──> worker 0 ── OneSaAccelerator #0
-//                  (least-loaded ─> worker 1 ── OneSaAccelerator #1
-//                   dispatch,   ──> ...
-//                   batching)
+//   ModelRegistry  (admission     ─> worker 1 ── OneSaAccelerator #1
+//   (shared        control, EDF  ──> ...
+//    weights)      scheduling,
+//                  least-loaded
+//                  dispatch, batching)
+//
+// Real-model requests run nn::Sequential::infer on the worker thread through
+// the kernel layer (tensor/kernels). The pool reserves its worker count in
+// the kernels' shared ThreadPool for its lifetime, so worker-side GEMMs
+// shrink their fan-out instead of oversubscribing the machine
+// (N workers x M GEMM threads — see ThreadPool::reserve).
 //
 // Each worker thread owns its own accelerator instance (analytic or
 // cycle-accurate — the config is replicated), pulls batches packed by the
@@ -20,11 +29,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "onesa/accelerator.hpp"
 #include "serve/batcher.hpp"
+#include "serve/registry.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/stats.hpp"
 
@@ -39,6 +50,8 @@ struct ServerPoolConfig {
   /// per-worker simulated cycles under heterogeneous request costs;
   /// rotation gives every worker every Nth batch regardless of cost.
   DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
+  /// Backlog bounds + load-shedding policy (default: unlimited, no sheds).
+  AdmissionConfig admission;
 };
 
 class ServerPool {
@@ -49,12 +62,36 @@ class ServerPool {
   ServerPool(const ServerPool&) = delete;
   ServerPool& operator=(const ServerPool&) = delete;
 
-  // ------------------------------------------------------------- submission
+  // ----------------------------------------------------------------- models
 
-  std::future<ServeResult> submit_elementwise(cpwl::FunctionKind fn, tensor::FixMatrix x);
+  /// Register a model with the pool's registry (one immutable weight copy,
+  /// shared by every worker and request). Returns the frozen handle.
+  ModelHandle register_model(std::string name, std::unique_ptr<nn::Sequential> model,
+                             ModelOptions options = {});
+
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+  // ------------------------------------------------------------- submission
+  //
+  // Every submit path takes SubmitOptions (priority class + deadline). When
+  // admission control sheds a request, the returned future fails with
+  // OverloadError instead of delivering a result.
+
+  std::future<ServeResult> submit_elementwise(cpwl::FunctionKind fn, tensor::FixMatrix x,
+                                              SubmitOptions options = {});
   std::future<ServeResult> submit_gemm(tensor::FixMatrix a,
-                                       std::shared_ptr<const tensor::FixMatrix> b);
-  std::future<ServeResult> submit_trace(std::shared_ptr<const nn::WorkloadTrace> trace);
+                                       std::shared_ptr<const tensor::FixMatrix> b,
+                                       SubmitOptions options = {});
+  std::future<ServeResult> submit_trace(std::shared_ptr<const nn::WorkloadTrace> trace,
+                                        SubmitOptions options = {});
+  /// Real nn::Sequential inference by registered name / handle: the batched
+  /// forward runs on a worker thread through the kernel layer, and the
+  /// result's logits are bit-identical to the model's direct forward.
+  std::future<ServeResult> submit_model(const std::string& name, tensor::Matrix input,
+                                        SubmitOptions options = {});
+  std::future<ServeResult> submit_model(ModelHandle model, tensor::Matrix input,
+                                        SubmitOptions options = {});
   /// Submit a request built elsewhere (serve/request.hpp factories).
   std::future<ServeResult> submit(TaggedRequest req);
 
@@ -67,12 +104,17 @@ class ServerPool {
 
   std::size_t workers() const { return workers_.size(); }
   std::size_t pending() const { return queue_.pending(); }
+  /// Backlog's summed estimated cost (MACs) — the admission-control input.
+  std::uint64_t backlog_cost() const { return queue_.backlog_cost(); }
   const ServerPoolConfig& config() const { return config_; }
 
   // -------------------------------------------------------------- aggregate
 
-  /// Fleet-wide traffic statistics (merged snapshot of every worker).
+  /// Fleet-wide traffic statistics (merged snapshot of every worker, plus
+  /// the queue's admission-control shed counter).
   ServeStats stats() const;
+  /// Requests shed by admission control so far.
+  std::uint64_t sheds() const { return queue_.sheds(); }
   /// Fleet-wide accelerator lifetime counters for the power model.
   LifetimeTotals fleet_lifetime() const;
   /// Simulated cycles until the last worker finishes its recorded work —
@@ -98,8 +140,10 @@ class ServerPool {
   ServerPoolConfig config_;
   DynamicBatcher batcher_;
   RequestQueue queue_;
+  ModelRegistry registry_;
   std::vector<std::unique_ptr<Worker>> workers_;
   bool shut_down_ = false;
+  bool threads_reserved_ = false;  // kernel-pool reservation released once
   std::mutex shutdown_mutex_;
 };
 

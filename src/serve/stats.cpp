@@ -12,6 +12,7 @@ void ServeStats::record_batch(const BatchRecord& record) {
   batches_ += 1;
   rows_ += record.rows;
   padded_rows_ += record.padded_rows;
+  deadline_misses_ += record.deadline_misses;
   cycles_ += record.cycles;
   mac_ops_ += record.mac_ops;
   latency_ms_.insert(latency_ms_.end(), record.latency_ms.begin(), record.latency_ms.end());
@@ -22,6 +23,8 @@ void ServeStats::merge(const ServeStats& o) {
   batches_ += o.batches_;
   rows_ += o.rows_;
   padded_rows_ += o.padded_rows_;
+  deadline_misses_ += o.deadline_misses_;
+  sheds_ += o.sheds_;
   cycles_ += o.cycles_;
   mac_ops_ += o.mac_ops_;
   latency_ms_.insert(latency_ms_.end(), o.latency_ms_.begin(), o.latency_ms_.end());

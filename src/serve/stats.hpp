@@ -22,18 +22,27 @@ struct BatchRecord {
   std::size_t requests = 0;
   std::size_t rows = 0;         // useful rows packed into the tile
   std::size_t padded_rows = 0;  // tile rows including padding
+  std::size_t deadline_misses = 0;  // requests completed past their deadline
   std::vector<double> latency_ms;  // queue+service wall latency per request
 };
 
 class ServeStats {
  public:
   void record_batch(const BatchRecord& record);
+  /// Count requests shed by admission control (merged from the queue by
+  /// ServerPool::stats()).
+  void record_sheds(std::uint64_t count) { sheds_ += count; }
   void merge(const ServeStats& o);
 
   std::size_t completed() const { return completed_; }
   std::uint64_t batches() const { return batches_; }
   std::uint64_t rows() const { return rows_; }
   std::uint64_t padded_rows() const { return padded_rows_; }
+
+  /// SLO counters: completions past their deadline, and requests shed by
+  /// admission control (sheds never appear in completed()).
+  std::uint64_t deadline_misses() const { return deadline_misses_; }
+  std::uint64_t sheds() const { return sheds_; }
 
   /// Useful-row share of the padded tiles the array actually ran (1.0 =
   /// every tile full, no padding waste).
@@ -58,6 +67,8 @@ class ServeStats {
   std::uint64_t batches_ = 0;
   std::uint64_t rows_ = 0;
   std::uint64_t padded_rows_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t sheds_ = 0;
   sim::CycleStats cycles_;
   std::uint64_t mac_ops_ = 0;
   std::vector<double> latency_ms_;

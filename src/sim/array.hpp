@@ -62,6 +62,8 @@ struct ArrayConfig {
 
   /// Throws ConfigError on inconsistent parameters.
   void validate() const;
+
+  bool operator==(const ArrayConfig&) const = default;
 };
 
 /// Result of one simulated pass: INT16 output plus the cycle breakdown.

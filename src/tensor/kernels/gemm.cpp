@@ -26,9 +26,19 @@ constexpr std::size_t MC = 64;
 constexpr std::size_t KC = 256;
 constexpr std::size_t NC = 512;  // multiple of every kernel's nr
 
-/// Problems below this MAC count take the reference loop: packing overhead
-/// dominates before the blocked path can win.
-constexpr std::size_t kTinyMacs = 16 * 16 * 16;
+/// Problems whose PER-ROW work (k * n MACs) is below this take the
+/// reference-order loop (row-sliced over the pool when m alone makes the
+/// problem big): packing overhead dominates before the blocked path can
+/// win on such skinny rows. The criterion is deliberately independent of m
+/// so that stacking extra rows onto a GEMM never changes which kernel path
+/// — and therefore which bit pattern — a given row's result takes. The
+/// serving tier's dynamic batcher relies on this: a request served inside a
+/// tall batched matmul must be bit-identical to the same request served
+/// alone (blocked results are per-row position-independent, see
+/// gemm_blocked; this keeps the reference/blocked dispatch row-stable too).
+/// Kept small (8x8) so real workload shapes — e.g. conv im2col GEMMs with
+/// k*n in the hundreds — stay on the blocked SIMD path at any m.
+constexpr std::size_t kTinyRowMacs = 8 * 8;
 
 /// Minimum MACs per thread before the multi-thread path switches on.
 constexpr std::size_t kMacsPerThread = 1u << 20;
@@ -287,7 +297,7 @@ void gemm_blocked(const double* a, const double* b, double* c, std::size_t m,
 std::size_t gemm_threads(std::size_t m, std::size_t k, std::size_t n) {
   if (deterministic()) return 1;
   const std::size_t macs = m * k * n;
-  std::size_t t = ThreadPool::instance().threads();
+  std::size_t t = ThreadPool::instance().effective_threads();
   t = std::min(t, std::max<std::size_t>(1, macs / kMacsPerThread));
   t = std::min(t, (m + MR - 1) / MR);  // at least one micro-row block each
   return t;
@@ -300,8 +310,25 @@ void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_
     std::fill(c, c + m * n, 0.0);
     return;
   }
-  if (deterministic() || m * k * n <= kTinyMacs) {
+  if (deterministic()) {
     gemm_reference(a, b, c, m, k, n);
+    return;
+  }
+  if (k * n <= kTinyRowMacs) {
+    // Skinny rows: reference order, but still row-sliced over the pool when
+    // a tall m makes the total work worth threading (slicing never changes
+    // a row's bits).
+    const std::size_t threads = gemm_threads(m, k, n);
+    if (threads <= 1) {
+      gemm_reference(a, b, c, m, k, n);
+      return;
+    }
+    const std::size_t per = (m + threads - 1) / threads;
+    ThreadPool::instance().run(threads, [&](std::size_t part) {
+      const std::size_t lo = std::min(m, part * per);
+      const std::size_t hi = std::min(m, lo + per);
+      if (lo < hi) gemm_reference(a + lo * k, b, c + lo * n, hi - lo, k, n);
+    });
     return;
   }
   const std::size_t threads = gemm_threads(m, k, n);

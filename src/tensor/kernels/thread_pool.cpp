@@ -60,6 +60,28 @@ ThreadPool& ThreadPool::instance() {
   return pool;
 }
 
+std::size_t ThreadPool::effective_threads() const {
+  // One lane is the reserved thread itself (it computes inline), so with R
+  // reserved threads and T lanes, a fan-out may use T - R extra helpers at
+  // most: R inline threads + (T - R) lanes = T running threads total.
+  const std::size_t r = reserved_.load(std::memory_order_relaxed);
+  const std::size_t t = threads();
+  return r >= t ? 1 : t - r;
+}
+
+void ThreadPool::reserve(std::size_t n) {
+  reserved_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ThreadPool::release(std::size_t n) {
+  // Clamp at zero (lock-free CAS) so an unbalanced release cannot wrap the
+  // counter and permanently disable parallelism.
+  std::size_t cur = reserved_.load(std::memory_order_relaxed);
+  while (!reserved_.compare_exchange_weak(cur, cur > n ? cur - n : 0,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
 void ThreadPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -133,7 +155,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
   if (end <= begin) return;
   if (grain == 0) grain = 1;
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(threads(), (total + grain - 1) / grain);
+  const std::size_t chunks = std::min(effective_threads(), (total + grain - 1) / grain);
   if (chunks <= 1) {
     body(begin, end);
     return;

@@ -10,6 +10,7 @@
 // threads call kernel-backed ops freely.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -37,6 +38,21 @@ class ThreadPool {
   /// Total lanes (workers + caller).
   std::size_t threads() const { return workers_.size() + 1; }
 
+  /// Lanes a kernel should actually fan out to right now: threads() minus
+  /// the externally reserved thread budget (never below 1). Kernels size
+  /// their parallelism from this so a serve-tier worker fleet and the kernel
+  /// pool never oversubscribe the machine together.
+  std::size_t effective_threads() const;
+
+  /// Declare `n` long-lived threads outside this pool that will also run
+  /// compute (e.g. ServerPool workers calling threaded GEMM). While
+  /// reserved, effective_threads() shrinks so that reserved threads running
+  /// inline + one pool fan-out stay within the lane budget. Balanced by
+  /// release(); over-release is clamped at zero.
+  void reserve(std::size_t n);
+  void release(std::size_t n);
+  std::size_t reserved() const { return reserved_.load(std::memory_order_relaxed); }
+
   /// Run fn(part) for part in [0, parts), spread over the pool lanes; blocks
   /// until every part finished. The first exception thrown by any part is
   /// rethrown on the caller. Reentrant calls run inline on the caller.
@@ -63,6 +79,7 @@ class ThreadPool {
   std::size_t parts_left_ = 0;
   std::exception_ptr first_error_;
   bool stop_ = false;
+  std::atomic<std::size_t> reserved_{0};
 
   std::mutex submit_mutex_;  // serializes concurrent submitters
 };

@@ -5,9 +5,14 @@
 // GEMM reassociates the k-sum.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
+#include <set>
 #include <span>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/error.hpp"
@@ -120,6 +125,40 @@ TEST(GemmKernel, MultiThreadMatchesSingleThreadBitExactly) {
   EXPECT_EQ(mt, st);
 }
 
+TEST(GemmKernel, ResultsAreRowStableUnderStacking) {
+  // The serving batcher stacks request rows into one tall GEMM and slices
+  // the results back out; that is only exact if a row's result never depends
+  // on how many other rows ride along. Dispatch is per-row-shape (k * n), and
+  // the blocked kernel computes each row position-independently, so the
+  // sliced rows must be bit-identical to a solo matmul — across sizes that
+  // take the reference, blocked, and threaded paths.
+  Rng rng(9);
+  // Shapes chosen to cross dispatch boundaries: tiny (reference path),
+  // mid-size (blocked single-thread), and a stack big enough that
+  // gemm_threads exceeds one on multi-core hosts (256*128*128 MACs > 4x the
+  // per-thread minimum) while the solo slice stays single-thread.
+  for (auto [solo_rows, extra_rows, k, n] :
+       {std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>{2, 3, 8, 8},
+        {2, 32, 32, 64},
+        {3, 253, 128, 128}}) {
+    const Matrix solo = random_matrix(solo_rows, k, rng);
+    const Matrix extra = random_matrix(extra_rows, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+
+    Matrix stacked(solo_rows + extra_rows, k, tensor::kUninitialized);
+    std::copy(solo.data().begin(), solo.data().end(), stacked.data().begin());
+    std::copy(extra.data().begin(), extra.data().end(),
+              stacked.data().begin() + static_cast<std::ptrdiff_t>(solo.size()));
+
+    const Matrix want = tensor::matmul(solo, b);
+    const Matrix full = tensor::matmul(stacked, b);
+    for (std::size_t i = 0; i < solo_rows; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_EQ(full(i, j), want(i, j)) << solo_rows << "+" << extra_rows << " k=" << k
+                                          << " n=" << n << " at (" << i << "," << j << ")";
+  }
+}
+
 TEST(GemmKernel, ZeroInnerDimYieldsZeroMatrix) {
   const Matrix a(4, 0);
   const Matrix b(0, 6);
@@ -193,6 +232,40 @@ TEST(ThreadPool, PropagatesExceptions) {
   std::atomic<int> ran{0};
   pool.run(4, [&](std::size_t) { ++ran; });
   EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, ReservationShrinksEffectiveLanes) {
+  // reserve(n) models n long-lived external compute threads (serve-pool
+  // workers): fan-out must shrink so reserved + helpers never exceeds the
+  // lane budget, and release() must restore it (clamped at zero).
+  tensor::kernels::ThreadPool pool(4);
+  EXPECT_EQ(pool.effective_threads(), 4u);
+  pool.reserve(2);
+  EXPECT_EQ(pool.reserved(), 2u);
+  EXPECT_EQ(pool.effective_threads(), 2u);
+  pool.reserve(10);  // over-reserve: floor at one inline lane
+  EXPECT_EQ(pool.effective_threads(), 1u);
+  pool.release(12);
+  EXPECT_EQ(pool.reserved(), 0u);
+  EXPECT_EQ(pool.effective_threads(), 4u);
+  pool.release(5);  // over-release clamps instead of wrapping
+  EXPECT_EQ(pool.reserved(), 0u);
+  EXPECT_EQ(pool.effective_threads(), 4u);
+}
+
+TEST(ThreadPool, ReservationCapsParallelForFanOut) {
+  tensor::kernels::ThreadPool pool(4);
+  pool.reserve(3);  // one helper lane left
+  std::mutex mutex;
+  std::set<std::thread::id> threads_used;
+  pool.parallel_for(0, 10000, 1, [&](std::size_t, std::size_t) {
+    std::lock_guard<std::mutex> lock(mutex);
+    threads_used.insert(std::this_thread::get_id());
+  });
+  // With 3 of 4 lanes reserved the sweep must collapse to one chunk on the
+  // calling thread (no helper fan-out).
+  EXPECT_EQ(threads_used.size(), 1u);
+  pool.release(3);
 }
 
 // ------------------------------------------------------------------- CPWL

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "nn/activations.hpp"
 #include "nn/attention.hpp"
@@ -238,6 +239,75 @@ TEST(OpCensus, TransformerHasGeluAndLayernorm) {
   EXPECT_GT(census.layernorm, 0.0);
   EXPECT_GT(census.softmax, 0.0);
   EXPECT_DOUBLE_EQ(census.batchnorm, 0.0);
+}
+
+// ------------------------------------------------- const inference path
+//
+// Layer::infer is the thread-safe forward the serving tier runs against
+// shared model weights; its contract is bit-identical outputs to forward()
+// (eval mode for BatchNorm). Exercised across all three model families so
+// every layer type's infer override is covered.
+
+TEST(InferPath, CnnMatchesEvalForwardBitExactly) {
+  Rng rng(31);
+  CnnSpec spec;
+  auto model = make_cnn_classifier(spec, rng);
+  set_training_mode(*model, false);  // BatchNorm running stats, like infer
+  const std::size_t features = spec.in_channels * spec.height * spec.width;
+  const Matrix x = tensor::random_uniform(3, features, rng, -1.0, 1.0);
+
+  const Matrix want = model->forward(x);
+  const nn::Sequential& frozen = *model;  // infer is const — usable via const ref
+  EXPECT_EQ(frozen.infer(x), want);
+}
+
+TEST(InferPath, TransformerMatchesForwardBitExactly) {
+  Rng rng(32);
+  TransformerSpec spec;
+  auto model = make_transformer_classifier(spec, rng);
+  Matrix ids(1, spec.seq_len);
+  for (std::size_t p = 0; p < spec.seq_len; ++p)
+    ids(0, p) = static_cast<double>((p * 7) % spec.vocab);
+
+  const Matrix want = model->forward(ids);
+  EXPECT_EQ(std::as_const(*model).infer(ids), want);
+}
+
+TEST(InferPath, GcnMatchesForwardBitExactly) {
+  Rng rng(33);
+  const std::size_t nodes = 12;
+  const auto adj = normalized_adjacency(
+      nodes, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {6, 7}, {8, 9}, {10, 11}});
+  GcnSpec spec;
+  auto model = make_gcn_classifier(adj, spec, rng);
+  const Matrix x = tensor::random_uniform(nodes, spec.features, rng, -1.0, 1.0);
+
+  const Matrix want = model->forward(x);
+  EXPECT_EQ(std::as_const(*model).infer(x), want);
+}
+
+TEST(InferPath, InferNeverTouchesTrainingState) {
+  // Running infer between forward and backward must not disturb the cached
+  // activations: gradients match a run without the interleaved infer.
+  Rng rng(34);
+  Linear a(5, 4, rng);
+  Linear b(5, 4, rng);
+  // Same weights for both instances.
+  b.weight().value = a.weight().value;
+  b.bias().value = a.bias().value;
+
+  const Matrix x = tensor::random_uniform(3, 5, rng, -1.0, 1.0);
+  const Matrix grad = tensor::random_uniform(3, 4, rng, -1.0, 1.0);
+
+  a.forward(x);
+  a.backward(grad);
+
+  b.forward(x);
+  b.infer(tensor::random_uniform(6, 5, rng, -1.0, 1.0));  // interleaved inference
+  b.backward(grad);
+
+  EXPECT_EQ(a.weight().grad, b.weight().grad);
+  EXPECT_EQ(a.bias().grad, b.bias().grad);
 }
 
 }  // namespace
