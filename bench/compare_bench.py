@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON artifacts and fail on performance-trajectory regressions.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json [--threshold 0.2]
+
+Walks both files in parallel and compares every numeric field whose name
+contains "speedup" or equals "aggregate_rps" — the machine-portable figures
+of merit (simulated-throughput ratios and measured speedup ratios). A fresh
+value more than THRESHOLD (default 20%) below its baseline fails the run
+with exit code 1.
+
+List entries are matched by identity key (name / shape / priority /
+workers / row_budget / lanes); entries present in only one file are skipped
+with a note, so a baseline produced by a full run and a fresh smoke run
+(different shape sets) degrade to "nothing comparable" instead of a false
+failure. For the same reason, when both files carry a top-level "smoke"
+flag and the flags differ, all timing comparisons are skipped outright —
+timing ratios of differently-sized problems are not a trajectory.
+
+Absolute timings (ms), GFLOP/s, and host latencies are deliberately NOT
+compared: they move with the runner hardware. Ratios computed on one host
+within one run are the stable signal.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_watched(key: str) -> bool:
+    return key == "aggregate_rps" or "speedup" in key
+
+
+def entry_key(obj):
+    """Identity of a list entry, built from its discriminating fields."""
+    parts = []
+    for field in ("name", "shape", "priority", "workers", "row_budget", "lanes", "bench"):
+        if field in obj:
+            parts.append((field, obj[field]))
+    return tuple(parts) if parts else None
+
+
+def walk(base, fresh, path, results):
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in base:
+            if key in fresh:
+                walk(base[key], fresh[key], f"{path}.{key}" if path else key, results)
+    elif isinstance(base, list) and isinstance(fresh, list):
+        fresh_by_key = {}
+        for item in fresh:
+            if isinstance(item, dict):
+                key = entry_key(item)
+                if key is not None:
+                    fresh_by_key[key] = item
+        for item in base:
+            if not isinstance(item, dict):
+                continue
+            key = entry_key(item)
+            match = fresh_by_key.get(key)
+            if match is None:
+                results["skipped"].append(f"{path}[{key}] (no fresh counterpart)")
+                continue
+            label = next((str(v) for _, v in (key or ())), "?")
+            walk(item, match, f"{path}[{label}]", results)
+    elif isinstance(base, (int, float)) and isinstance(fresh, (int, float)):
+        leaf = path.rsplit(".", 1)[-1]
+        if not is_watched(leaf) or isinstance(base, bool) or isinstance(fresh, bool):
+            return
+        results["compared"].append((path, base, fresh))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed fractional regression (default 0.2 = 20%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    if ("smoke" in base and "smoke" in fresh and base["smoke"] != fresh["smoke"]):
+        print(f"compare_bench: smoke flags differ ({base['smoke']} vs {fresh['smoke']}); "
+              "problem sizes are not comparable — skipping all comparisons")
+        return 0
+
+    results = {"compared": [], "skipped": []}
+    walk(base, fresh, "", results)
+
+    regressions = []
+    for path, old, new in results["compared"]:
+        floor = old * (1.0 - args.threshold)
+        status = "OK"
+        if old > 0 and new < floor:
+            status = "REGRESSION"
+            regressions.append((path, old, new))
+        print(f"  {status:<10} {path}: {old:.4g} -> {new:.4g}")
+
+    for note in results["skipped"]:
+        print(f"  skipped    {note}")
+    print(f"compare_bench: {len(results['compared'])} field(s) compared, "
+          f"{len(results['skipped'])} entr(ies) skipped, {len(regressions)} regression(s) "
+          f"(threshold {args.threshold:.0%})")
+
+    # A gate that compares nothing guards nothing: when the problem sets were
+    # supposed to be comparable (no smoke mismatch — that case returned
+    # above), zero matched fields means a section/field was renamed or
+    # dropped, and silently passing would disarm the CI check forever.
+    if not results["compared"]:
+        print("FAIL: no comparable speedup/aggregate_rps fields found — was a bench "
+              "section renamed or dropped? Regenerate the committed baseline alongside "
+              "the bench change.", file=sys.stderr)
+        return 1
+
+    if regressions:
+        for path, old, new in regressions:
+            print(f"FAIL: {path} regressed {old:.4g} -> {new:.4g} "
+                  f"({(1 - new / old):.1%} below baseline)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,15 @@ class Activation : public Layer {
   void use_table(const cpwl::SegmentTable* table) { table_ = table; }
   const cpwl::SegmentTable* table() const { return table_; }
 
+  /// True when this activation can ride in a preceding Linear's fused GEMM
+  /// epilogue with bit-identical results: table mode (any function — the
+  /// epilogue evaluates the same table the batched path would) or exact
+  /// ReLU (the one catalog function whose reference evaluation the epilogue
+  /// reproduces bit for bit). Sequential::infer pairs on this.
+  bool epilogue_fusable() const {
+    return table_ != nullptr || kind_ == cpwl::FunctionKind::kRelu;
+  }
+
  private:
   double derivative(double x) const;
 

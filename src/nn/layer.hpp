@@ -12,6 +12,7 @@
 //       analysis (Fig. 1).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,14 @@ namespace onesa::nn {
 struct Param {
   tensor::Matrix value;
   tensor::Matrix grad;
+
+  /// Bumped by every optimizer step that rewrites `value`. Layers that
+  /// derive state from the value (Linear's packed-weight cache) key their
+  /// caches on this, so serving a frozen model never re-derives while a
+  /// training loop invalidates automatically. Code that assigns `value`
+  /// directly (outside the optimizers) must bump this itself — or call the
+  /// owning layer's invalidation hook.
+  std::uint64_t version = 0;
 
   explicit Param(tensor::Matrix v = {})
       : value(std::move(v)), grad(value.rows(), value.cols(), 0.0) {}
@@ -74,6 +83,13 @@ class Layer {
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
+
+  /// Build any derived inference-time state ahead of serving — Linear packs
+  /// its weight matrix into the kernel layer's PackedB form here, containers
+  /// recurse. Safe to skip (infer() builds lazily); the serving registry
+  /// calls it at registration so worker threads never pack on the request
+  /// path. Const because it only touches mutable caches.
+  virtual void prepack() const {}
 
   /// INT16 inference on the ONE-SA accelerator.
   virtual tensor::FixMatrix forward_accel(OneSaAccelerator& accel,

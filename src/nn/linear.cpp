@@ -2,9 +2,21 @@
 
 #include <cmath>
 
+#include "cpwl/segment_table.hpp"
+#include "tensor/kernels/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace onesa::nn {
+
+namespace {
+
+/// Epilogue adapter: the kernel layer stays free of cpwl includes, so the
+/// table evaluation crosses as an opaque function pointer.
+double table_eval_adapter(const void* table, double x) {
+  return static_cast<const cpwl::SegmentTable*>(table)->eval(x);
+}
+
+}  // namespace
 
 OpCensus& OpCensus::operator+=(const OpCensus& o) {
   gemm += o.gemm;
@@ -27,11 +39,52 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
 
 tensor::Matrix Linear::forward(const tensor::Matrix& x) {
   cached_input_ = x;
-  return infer(x);
+  // Training path: compute on the raw weights, never through the packed
+  // cache — gradient checks and ad-hoc weight edits must always see the
+  // current values, and training rewrites the weights every step anyway so
+  // a pack would never be reused. Bit-identical to infer() (the packed GEMM
+  // contract, tensor/kernels/gemm.hpp).
+  return tensor::add_row_broadcast(tensor::matmul(x, weight_.value), bias_.value);
+}
+
+std::shared_ptr<const tensor::kernels::PackedB> Linear::packed_weight() const {
+  std::lock_guard<std::mutex> lock(pack_mutex_);
+  if (packed_ == nullptr || packed_version_ != weight_.version) {
+    packed_ = std::make_shared<tensor::kernels::PackedB>(
+        tensor::kernels::PackedB::pack(weight_.value.data().data(), in_, out_));
+    packed_version_ = weight_.version;
+  }
+  return packed_;
+}
+
+void Linear::prepack() const { packed_weight(); }
+
+void Linear::invalidate_packed() const {
+  std::lock_guard<std::mutex> lock(pack_mutex_);
+  packed_ = nullptr;
 }
 
 tensor::Matrix Linear::infer(const tensor::Matrix& x) const {
-  return tensor::add_row_broadcast(tensor::matmul(x, weight_.value), bias_.value);
+  return infer_with_epilogue(x, tensor::kernels::Epilogue::Kind::kBias, nullptr);
+}
+
+tensor::Matrix Linear::infer_with_epilogue(const tensor::Matrix& x,
+                                           tensor::kernels::Epilogue::Kind kind,
+                                           const cpwl::SegmentTable* table) const {
+  ONESA_CHECK_SHAPE(x.cols() == in_, "linear infer " << x.rows() << "x" << x.cols()
+                                                     << " into " << in_ << "x" << out_);
+  const std::shared_ptr<const tensor::kernels::PackedB> packed = packed_weight();
+  tensor::kernels::Epilogue epi;
+  epi.kind = kind;
+  epi.bias = bias_.value.data().data();
+  if (kind == tensor::kernels::Epilogue::Kind::kBiasTable) {
+    ONESA_CHECK(table != nullptr, "linear kBiasTable epilogue needs a segment table");
+    epi.table = table;
+    epi.table_eval = table_eval_adapter;
+  }
+  tensor::Matrix y(x.rows(), out_, tensor::kUninitialized);
+  tensor::kernels::gemm_packed(x.data().data(), *packed, y.data().data(), x.rows(), epi);
+  return y;
 }
 
 tensor::Matrix Linear::backward(const tensor::Matrix& grad_out) {

@@ -1,7 +1,25 @@
 // Fully-connected layer: y = x W + b.
+//
+// Inference runs through the kernel layer's pack-once GEMM: the weight
+// matrix is packed into kernels::PackedB form lazily (or ahead of time via
+// prepack()) and cached until an optimizer step bumps the weight Param's
+// version, so repeated infer() calls — the serving hot path — never re-pack.
+// The bias broadcast is fused into the GEMM's output store, and
+// Sequential::infer additionally fuses a following ReLU / CPWL-table
+// activation through infer_with_epilogue(). All fused paths are
+// bit-identical to the unfused matmul + add_row_broadcast + activation
+// composition (the kernel-layer contract, see tensor/kernels/gemm.hpp).
 #pragma once
 
+#include <memory>
+#include <mutex>
+
 #include "nn/layer.hpp"
+#include "tensor/kernels/pack.hpp"
+
+namespace onesa::cpwl {
+class SegmentTable;
+}
 
 namespace onesa::nn {
 
@@ -21,6 +39,26 @@ class Linear : public Layer {
                                   const tensor::FixMatrix& x) override;
   void count_ops(OpCensus& census, std::size_t batch) const override;
 
+  /// Build (or refresh) the packed-weight cache now. Called by the serving
+  /// registry at model registration so no request ever packs.
+  void prepack() const override;
+
+  /// Inference with a caller-chosen fused epilogue: kBias is the plain
+  /// layer (what infer() uses); kBiasRelu / kBiasTable additionally fold a
+  /// following activation into the GEMM store (Sequential::infer pairs the
+  /// layers). `table` is required for kBiasTable and must outlive the call.
+  tensor::Matrix infer_with_epilogue(const tensor::Matrix& x,
+                                     tensor::kernels::Epilogue::Kind kind,
+                                     const cpwl::SegmentTable* table) const;
+
+  /// Drop the packed-weight cache. Only needed after assigning the weight
+  /// Param's value directly (the optimizers bump Param::version instead).
+  void invalidate_packed() const;
+
+  /// The current packed weights (building them if stale/absent). Shared so
+  /// in-flight GEMMs keep their copy alive across an invalidation.
+  std::shared_ptr<const tensor::kernels::PackedB> packed_weight() const;
+
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
   Param& weight() { return weight_; }
@@ -32,6 +70,14 @@ class Linear : public Layer {
   Param weight_;  // in x out
   Param bias_;    // 1 x out
   tensor::Matrix cached_input_;
+
+  // Packed-weight cache: rebuilt when weight_.version moves. The mutex only
+  // guards the (pointer, version) pair — the PackedB itself is immutable
+  // after construction, so N serving threads GEMM against one shared copy
+  // lock-free.
+  mutable std::mutex pack_mutex_;
+  mutable std::shared_ptr<const tensor::kernels::PackedB> packed_;
+  mutable std::uint64_t packed_version_ = 0;
 };
 
 }  // namespace onesa::nn

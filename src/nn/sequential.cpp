@@ -1,5 +1,7 @@
 #include "nn/sequential.hpp"
 
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
 #include "tensor/ops.hpp"
 
 namespace onesa::nn {
@@ -11,9 +13,33 @@ tensor::Matrix Sequential::forward(const tensor::Matrix& x) {
 }
 
 tensor::Matrix Sequential::infer(const tensor::Matrix& x) const {
+  // The inference chain pairs Linear + fusable Activation into one
+  // pack-once GEMM whose epilogue applies bias and activation in the output
+  // store — two fewer full passes over the hidden matrix per pair, and
+  // bit-identical to running the layers separately (forward() keeps the
+  // per-layer path; the serving tier asserts forward/infer equality).
   tensor::Matrix h = x;
-  for (const auto& layer : layers_) h = layer->infer(h);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (const auto* lin = dynamic_cast<const Linear*>(layers_[i].get());
+        lin != nullptr && i + 1 < layers_.size()) {
+      if (const auto* act = dynamic_cast<const Activation*>(layers_[i + 1].get());
+          act != nullptr && act->epilogue_fusable()) {
+        h = lin->infer_with_epilogue(
+            h,
+            act->table() != nullptr ? tensor::kernels::Epilogue::Kind::kBiasTable
+                                    : tensor::kernels::Epilogue::Kind::kBiasRelu,
+            act->table());
+        ++i;  // the activation ran inside the epilogue
+        continue;
+      }
+    }
+    h = layers_[i]->infer(h);
+  }
   return h;
+}
+
+void Sequential::prepack() const {
+  for (const auto& layer : layers_) layer->prepack();
 }
 
 tensor::Matrix Sequential::backward(const tensor::Matrix& grad_out) {

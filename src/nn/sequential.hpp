@@ -22,8 +22,13 @@ class Sequential : public Layer {
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;
   /// Const, thread-safe inference chain (see Layer::infer) — the entry point
   /// the serving tier's ModelRegistry calls from pool worker threads.
+  /// Adjacent Linear + fusable Activation pairs execute as ONE pack-once
+  /// GEMM with a fused bias+activation epilogue, bit-identical to the
+  /// per-layer chain forward() runs.
   tensor::Matrix infer(const tensor::Matrix& x) const override;
   std::vector<Param*> params() override;
+  /// Pre-build every layer's packed-weight cache (serving registration).
+  void prepack() const override;
 
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
                                   const tensor::FixMatrix& x) override;
@@ -50,6 +55,7 @@ class Residual : public Layer {
   tensor::FixMatrix forward_accel(OneSaAccelerator& accel,
                                   const tensor::FixMatrix& x) override;
   void count_ops(OpCensus& census, std::size_t batch) const override;
+  void prepack() const override { inner_->prepack(); }
 
   Layer& inner() { return *inner_; }
 

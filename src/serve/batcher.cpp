@@ -86,6 +86,7 @@ BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t
   record.padded_rows = 1;
   record.deadline_misses = missed ? 1 : 0;
   record.latency_ms.push_back(result.queue_ms + result.service_ms);
+  record.latency_class.push_back(req.priority);
   req.promise.set_value(std::move(result));
   return record;
 }
@@ -188,6 +189,7 @@ BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& acc
     result.padded_rows = total_rows;
     if (stamp_slo(result, req, end)) ++record.deadline_misses;
     record.latency_ms.push_back(result.queue_ms + result.service_ms);
+    record.latency_class.push_back(req.priority);
     req.promise.set_value(std::move(result));
   }
   return record;
@@ -303,6 +305,7 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
     result.padded_rows = packed.rows();
     if (stamp_slo(result, req, end)) ++record.deadline_misses;
     record.latency_ms.push_back(result.queue_ms + result.service_ms);
+    record.latency_class.push_back(req.priority);
     req.promise.set_value(std::move(result));
   }
   return record;

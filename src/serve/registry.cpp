@@ -42,6 +42,12 @@ ModelHandle ModelRegistry::add(std::string name, std::unique_ptr<nn::Sequential>
         std::max<std::uint64_t>(1, static_cast<std::uint64_t>(census.total() / 2.0));
   }
 
+  // Pre-pack every layer's weights NOW, while registration still owns the
+  // model exclusively: workers then serve from immutable packed panels with
+  // zero packing (and zero pack-cache contention) on the request path. The
+  // weights never change after this point — registered models are frozen —
+  // so the packed form lives as long as the entry.
+  model->prepack();
   entry->model = std::shared_ptr<const nn::Sequential>(std::move(model));
 
   std::lock_guard<std::mutex> lock(mutex_);

@@ -3,9 +3,13 @@
 // Registering a model freezes it behind a shared immutable handle
 // (std::shared_ptr<const ModelEntry>): ONE copy of the weights per pool, not
 // per worker, aliased read-only by every in-flight request — the
-// cross-request weight cache of the serving tier. Workers run inference
-// through nn::Sequential::infer(), the const thread-safe forward path, so
-// concurrent batches against the same entry never race.
+// cross-request weight cache of the serving tier. Registration also
+// PRE-PACKS every layer's weights (Layer::prepack -> Linear's PackedB), so
+// worker threads serve from immutable packed GEMM panels with zero packing
+// and zero pack-cache contention on the request path. Workers run inference
+// through nn::Sequential::infer(), the const thread-safe forward path (with
+// Linear+activation pairs fused into packed-GEMM epilogues), so concurrent
+// batches against the same entry never race.
 //
 // An entry also carries the serving metadata the scheduler needs:
 //   batchable    — whether requests may stack rows into one infer() call.

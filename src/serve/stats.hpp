@@ -7,12 +7,17 @@
 // synchronization lives in the pool.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "serve/request.hpp"
 #include "sim/clock.hpp"
 
 namespace onesa::serve {
+
+/// Number of scheduling classes (Priority::kInteractive/kNormal/kBulk).
+inline constexpr std::size_t kPriorityClasses = 3;
 
 /// Per-batch accounting handed from the batch executor to the stats sink.
 /// Cycle/MAC charges appear once per batch; latencies once per request.
@@ -24,6 +29,9 @@ struct BatchRecord {
   std::size_t padded_rows = 0;  // tile rows including padding
   std::size_t deadline_misses = 0;  // requests completed past their deadline
   std::vector<double> latency_ms;  // queue+service wall latency per request
+  /// Scheduling class of each latency_ms entry (parallel vector). May be
+  /// left empty by hand-built records; every entry then counts as kNormal.
+  std::vector<Priority> latency_class;
 };
 
 class ServeStats {
@@ -54,6 +62,14 @@ class ServeStats {
   double percentile_latency_ms(double p) const;
   double mean_latency_ms() const;
 
+  /// Per-priority-class SLO accounting: completions and host-latency
+  /// percentiles/means of one scheduling class only, so an interactive p95
+  /// is never averaged away by bulk traffic (and the fused-GEMM latency win
+  /// is visible per class in the bench JSON).
+  std::uint64_t class_completed(Priority c) const;
+  double class_percentile_latency_ms(Priority c, double p) const;
+  double class_mean_latency_ms(Priority c) const;
+
   /// Simulated totals summed over every recorded batch.
   const sim::CycleStats& total_cycles() const { return cycles_; }
   std::uint64_t total_mac_ops() const { return mac_ops_; }
@@ -72,6 +88,7 @@ class ServeStats {
   sim::CycleStats cycles_;
   std::uint64_t mac_ops_ = 0;
   std::vector<double> latency_ms_;
+  std::array<std::vector<double>, kPriorityClasses> class_latency_ms_;
 };
 
 }  // namespace onesa::serve

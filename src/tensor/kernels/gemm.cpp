@@ -10,21 +10,23 @@
 #define ONESA_GEMM_X86_KERNELS 1
 #endif
 
+#include "common/error.hpp"
+#include "tensor/kernels/pack.hpp"
 #include "tensor/kernels/thread_pool.hpp"
 
 namespace onesa::tensor::kernels {
 
 namespace {
 
-// Blocking parameters. The micro-tile is MR x nr register accumulators
-// (nr is per-ISA, below); the packed A block (MC x KC) targets L2, the
-// packed B sliver (KC x nr) streams from L1 while a whole B panel (KC x NC)
-// sits behind it.
-constexpr std::size_t MR = 4;
-constexpr std::size_t kMaxNr = 16;
-constexpr std::size_t MC = 64;
-constexpr std::size_t KC = 256;
-constexpr std::size_t NC = 512;  // multiple of every kernel's nr
+// Blocking parameters live in pack.hpp (kMR / kMC / kKC / kNC): the packer
+// and this loop nest must agree on the panel geometry. The micro-tile is
+// kMR x nr register accumulators (nr is per-ISA, below); the packed A block
+// (kMC x kKC) targets L2, the packed B sliver (kKC x nr) streams from L1
+// while a whole B panel (kKC x kNC) sits behind it.
+constexpr std::size_t MR = kMR;
+constexpr std::size_t MC = kMC;
+constexpr std::size_t KC = kKC;
+constexpr std::size_t NC = kNC;
 
 /// Problems whose PER-ROW work (k * n MACs) is below this take the
 /// reference-order loop (row-sliced over the pool when m alone makes the
@@ -38,10 +40,26 @@ constexpr std::size_t NC = 512;  // multiple of every kernel's nr
 /// gemm_blocked; this keeps the reference/blocked dispatch row-stable too).
 /// Kept small (8x8) so real workload shapes — e.g. conv im2col GEMMs with
 /// k*n in the hundreds — stay on the blocked SIMD path at any m.
+/// gemm_packed() uses the identical criterion, so the packed path is
+/// row-stable by the same argument.
 constexpr std::size_t kTinyRowMacs = 8 * 8;
 
 /// Minimum MACs per thread before the multi-thread path switches on.
 constexpr std::size_t kMacsPerThread = 1u << 20;
+
+/// Largest pack scratch a thread keeps alive between calls. Reuse matters
+/// on the serving hot path (small per-request A packs, zero allocations),
+/// but a one-off huge training GEMM must not pin tens of MB per thread for
+/// the rest of its life — anything above this is freed after the call (the
+/// old per-panel scratch was bounded at ~1 MB, one KC x NC panel).
+constexpr std::size_t kScratchRetainBytes = 4u << 20;
+
+/// Row-block height of the pack-once path. With B already packed there is
+/// no pack-as-you-go locality to protect, so a taller block (A block
+/// 128 x KC = 256 KB, still L2-resident) halves how often each packed B
+/// panel must be re-streamed from L3 for short serving batches. Pure
+/// traversal parameter — bits are unaffected.
+constexpr std::size_t kMCPacked = 128;
 
 std::size_t round_up(std::size_t v, std::size_t to) { return (v + to - 1) / to * to; }
 
@@ -66,6 +84,21 @@ std::size_t round_up(std::size_t v, std::size_t to) { return (v + to - 1) / to *
 // Deterministic mode bypasses the micro-kernels entirely.
 
 using MicroKernelFn = void (*)(const double*, const double*, std::size_t, double*);
+
+/// Full-tile store hook of a micro-kernel (nullptr = scalar store loops).
+/// The enumerator values are load-bearing: implementations decode
+/// accumulate with `mode & 1` and the epilogue tiers with ordered
+/// comparisons, so keep the copy/accum pairs adjacent and in this order.
+enum StoreMode : int {
+  kStoreCopy = 0,
+  kStoreAccum = 1,
+  kStoreCopyBias = 2,
+  kStoreAccumBias = 3,
+  kStoreCopyBiasRelu = 4,
+  kStoreAccumBiasRelu = 5,
+};
+using StoreTileFn = void (*)(double* c, std::size_t ldc, const double* acc, int mode,
+                             const double* bias);
 
 /// Portable fallback, 4x8. The accumulator tile is a local array (not the
 /// caller's buffer): the compiler then knows it cannot alias the packed
@@ -163,25 +196,161 @@ __attribute__((target("avx512f"))) void micro_kernel_avx512(const double* __rest
   _mm512_storeu_pd(acc_out + 48, c30);
   _mm512_storeu_pd(acc_out + 56, c31);
 }
+/// 8x16 AVX-512 tile for the pack-once path: 16 zmm accumulators (8 rows x
+/// 2 8-double vectors), 19 live zmm registers out of 32. Twice the rows of
+/// the 4x16 tile means twice the accumulators in flight (fully hiding FMA
+/// latency, where 8 accumulators sit right at the latency-throughput
+/// product) and half the B sliver loads per MAC. Per output element the
+/// k-loop order is unchanged, so results are bit-identical to the 4-row
+/// tiles — the micro-tile height only groups rows.
+__attribute__((target("avx512f"))) void micro_kernel_avx512_8x16(
+    const double* __restrict ap, const double* __restrict bp, std::size_t kc,
+    double* __restrict acc_out) {
+  constexpr std::size_t nr = 16;
+  constexpr std::size_t mr = 8;
+  __m512d c00 = _mm512_setzero_pd(), c01 = _mm512_setzero_pd();
+  __m512d c10 = _mm512_setzero_pd(), c11 = _mm512_setzero_pd();
+  __m512d c20 = _mm512_setzero_pd(), c21 = _mm512_setzero_pd();
+  __m512d c30 = _mm512_setzero_pd(), c31 = _mm512_setzero_pd();
+  __m512d c40 = _mm512_setzero_pd(), c41 = _mm512_setzero_pd();
+  __m512d c50 = _mm512_setzero_pd(), c51 = _mm512_setzero_pd();
+  __m512d c60 = _mm512_setzero_pd(), c61 = _mm512_setzero_pd();
+  __m512d c70 = _mm512_setzero_pd(), c71 = _mm512_setzero_pd();
+  for (std::size_t p = 0; p < kc; ++p) {
+    // Stay ~8 k-steps ahead of the B stream: the packed sliver is a pure
+    // sequential read, so a single T0 prefetch per step hides the L2->L1
+    // latency the 16-FMA body cannot.
+    _mm_prefetch(reinterpret_cast<const char*>(bp + (p + 8) * nr), _MM_HINT_T0);
+    const __m512d b0 = _mm512_loadu_pd(bp + p * nr);
+    const __m512d b1 = _mm512_loadu_pd(bp + p * nr + 8);
+    __m512d a = _mm512_set1_pd(ap[p * mr + 0]);
+    c00 = _mm512_fmadd_pd(a, b0, c00);
+    c01 = _mm512_fmadd_pd(a, b1, c01);
+    a = _mm512_set1_pd(ap[p * mr + 1]);
+    c10 = _mm512_fmadd_pd(a, b0, c10);
+    c11 = _mm512_fmadd_pd(a, b1, c11);
+    a = _mm512_set1_pd(ap[p * mr + 2]);
+    c20 = _mm512_fmadd_pd(a, b0, c20);
+    c21 = _mm512_fmadd_pd(a, b1, c21);
+    a = _mm512_set1_pd(ap[p * mr + 3]);
+    c30 = _mm512_fmadd_pd(a, b0, c30);
+    c31 = _mm512_fmadd_pd(a, b1, c31);
+    a = _mm512_set1_pd(ap[p * mr + 4]);
+    c40 = _mm512_fmadd_pd(a, b0, c40);
+    c41 = _mm512_fmadd_pd(a, b1, c41);
+    a = _mm512_set1_pd(ap[p * mr + 5]);
+    c50 = _mm512_fmadd_pd(a, b0, c50);
+    c51 = _mm512_fmadd_pd(a, b1, c51);
+    a = _mm512_set1_pd(ap[p * mr + 6]);
+    c60 = _mm512_fmadd_pd(a, b0, c60);
+    c61 = _mm512_fmadd_pd(a, b1, c61);
+    a = _mm512_set1_pd(ap[p * mr + 7]);
+    c70 = _mm512_fmadd_pd(a, b0, c70);
+    c71 = _mm512_fmadd_pd(a, b1, c71);
+  }
+  _mm512_storeu_pd(acc_out + 0, c00);
+  _mm512_storeu_pd(acc_out + 8, c01);
+  _mm512_storeu_pd(acc_out + 16, c10);
+  _mm512_storeu_pd(acc_out + 24, c11);
+  _mm512_storeu_pd(acc_out + 32, c20);
+  _mm512_storeu_pd(acc_out + 40, c21);
+  _mm512_storeu_pd(acc_out + 48, c30);
+  _mm512_storeu_pd(acc_out + 56, c31);
+  _mm512_storeu_pd(acc_out + 64, c40);
+  _mm512_storeu_pd(acc_out + 72, c41);
+  _mm512_storeu_pd(acc_out + 80, c50);
+  _mm512_storeu_pd(acc_out + 88, c51);
+  _mm512_storeu_pd(acc_out + 96, c60);
+  _mm512_storeu_pd(acc_out + 104, c61);
+  _mm512_storeu_pd(acc_out + 112, c70);
+  _mm512_storeu_pd(acc_out + 120, c71);
+}
+/// Vectorized full-tile store for the 8x16 pack-once pipeline: moves the
+/// accumulator tile into C (copy or accumulate) with the bias / bias+ReLU
+/// epilogue folded in, 16 zmm stores instead of 128 scalar ones. Element
+/// op order matches the scalar store loops exactly (v = [c +] acc, then
+/// + bias, then max with +0.0 — vmaxpd(v, 0) returns +0.0 for -0.0 and NaN
+/// like the scalar `v > 0 ? v : 0`), so bits are unchanged.
+// gcc 12's avx512fintrin.h trips -Wmaybe-uninitialized inside the masked
+// _mm512_max_pd builtin (header-internal `__Y`, a known false positive —
+// same family as the -Wrestrict one sidestepped in bench/table3); scope the
+// suppression to this one function.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) void store_tile_avx512_8x16(double* c, std::size_t ldc,
+                                                               const double* acc,
+                                                               int mode,
+                                                               const double* bias) {
+  constexpr std::size_t nr = 16;
+  const bool accum = (mode & 1) != 0;
+  const bool has_bias = mode >= kStoreCopyBias;
+  const bool relu = mode >= kStoreCopyBiasRelu;
+  const __m512d zero = _mm512_setzero_pd();
+  __m512d bias0 = zero, bias1 = zero;
+  if (has_bias) {
+    bias0 = _mm512_loadu_pd(bias);
+    bias1 = _mm512_loadu_pd(bias + 8);
+  }
+  for (std::size_t r = 0; r < 8; ++r) {
+    __m512d v0 = _mm512_loadu_pd(acc + r * nr);
+    __m512d v1 = _mm512_loadu_pd(acc + r * nr + 8);
+    double* crow = c + r * ldc;
+    if (accum) {
+      v0 = _mm512_add_pd(_mm512_loadu_pd(crow), v0);
+      v1 = _mm512_add_pd(_mm512_loadu_pd(crow + 8), v1);
+    }
+    if (has_bias) {
+      v0 = _mm512_add_pd(v0, bias0);
+      v1 = _mm512_add_pd(v1, bias1);
+    }
+    if (relu) {
+      v0 = _mm512_max_pd(v0, zero);
+      v1 = _mm512_max_pd(v1, zero);
+    }
+    _mm512_storeu_pd(crow, v0);
+    _mm512_storeu_pd(crow + 8, v1);
+  }
+}
+#pragma GCC diagnostic pop
 #endif  // ONESA_GEMM_X86_KERNELS
 
-/// The selected micro-kernel and the B sliver width its packing uses.
+/// Widest micro-row height any kernel uses (sizes the stack accumulator).
+constexpr std::size_t kMaxMr = 8;
+
+/// A selected micro-kernel: function, tile height, B sliver width, and an
+/// optional vectorized full-tile store (nullptr = scalar store loops).
 struct MicroKernel {
   MicroKernelFn fn;
+  std::size_t mr;
   std::size_t nr;
+  StoreTileFn store = nullptr;
 };
 
 MicroKernel select_micro_kernel() {
 #ifdef ONESA_GEMM_X86_KERNELS
-  if (__builtin_cpu_supports("avx512f")) return {micro_kernel_avx512, 16};
+  if (__builtin_cpu_supports("avx512f")) return {micro_kernel_avx512, MR, 16, nullptr};
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return {micro_kernel_avx2, 8};
+    return {micro_kernel_avx2, MR, 8, nullptr};
   }
 #endif
-  return {micro_kernel_generic, 8};
+  return {micro_kernel_generic, MR, 8, nullptr};
+}
+
+/// Micro-kernel of the pack-once path. On AVX-512 the 8x16 tile wins (see
+/// micro_kernel_avx512_8x16); AVX2 lacks the registers for 8 rows (8x8
+/// would need 16 accumulator ymm of the 16 total), so other ISAs keep the
+/// 4-row tile. Same bits either way — only the traversal grouping differs.
+MicroKernel select_packed_micro_kernel() {
+#ifdef ONESA_GEMM_X86_KERNELS
+  if (__builtin_cpu_supports("avx512f")) {
+    return {micro_kernel_avx512_8x16, 8, 16, store_tile_avx512_8x16};
+  }
+#endif
+  return select_micro_kernel();
 }
 
 const MicroKernel g_micro = select_micro_kernel();
+const MicroKernel g_packed_micro = select_packed_micro_kernel();
 
 static_assert(NC % kMaxNr == 0, "B panel width must hold whole slivers");
 
@@ -193,7 +362,241 @@ bool deterministic_from_env() {
   return env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
 }
 
+/// Epilogue pass over a whole output block, used by the reference-order
+/// fallbacks (where the GEMM itself ran unfused). Element order matches the
+/// unfused add_row_broadcast + activation sweeps exactly.
+void apply_epilogue_block(double* c, std::size_t m, std::size_t n, const Epilogue& epi) {
+  if (epi.kind == Epilogue::Kind::kNone) return;
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = epilogue_apply(epi, j, crow[j]);
+  }
+}
+
+/// Reference-order GEMM reading B back out of the packed layout: identical
+/// loop nest, identical doubles (packing is loss-free), so the result is
+/// bit-identical to gemm_reference on the original B. Powers deterministic
+/// mode and the tiny-row dispatch of gemm_packed.
+void gemm_reference_packed(const double* a, const PackedB& b, double* c, std::size_t m) {
+  const std::size_t k = b.k();
+  const std::size_t n = b.n();
+  std::fill(c, c + m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a[i * k + kk];
+      if (aik == 0.0) continue;
+      double* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * b.at(kk, j);
+    }
+  }
+}
+
+/// Pack A[ic:ic+mcb, kc:kc+kcb] into mr-tall slivers (column of the tile
+/// contiguous per k step), zero-padded to whole micro-rows.
+void pack_a_block(const double* a, std::size_t k, std::size_t ic, std::size_t kc,
+                  std::size_t mcb, std::size_t kcb, std::size_t mr, double* dst_base) {
+  for (std::size_t ir = 0; ir < mcb; ir += mr) {
+    double* dst = dst_base + ir * kcb;
+    const std::size_t h = std::min(mr, mcb - ir);
+    for (std::size_t p = 0; p < kcb; ++p) {
+      for (std::size_t r = 0; r < h; ++r) dst[p * mr + r] = a[(ic + ir + r) * k + kc + p];
+      for (std::size_t r = h; r < mr; ++r) dst[p * mr + r] = 0.0;
+    }
+  }
+}
+
+/// The blocked loop nest, parameterized over where packed operands come
+/// from:
+///   b_panel_of(jc, kc, kcb, ncb) — base of that B panel's slivers (packed
+///       inline for the one-shot path, or a PackedB panel for the pack-once
+///       path; both produce the identical layout, so results are
+///       bit-identical between the two);
+///   a_block_of(ic, kc, mcb, kcb) — base of the packed A block (packed per
+///       visit for the one-shot path, or once per call for the pack-once
+///       path — same layout, same bits, the traversal factor is the only
+///       difference).
+/// The epilogue, if any, is fused into the store of the LAST k-panel: each
+/// output element receives bias+activation exactly once, after its full
+/// k-sum is formed, in the same order the unfused composed ops would apply
+/// them.
+template <typename BPanelFn, typename ABlockFn>
+void blocked_compute(double* c, std::size_t m, std::size_t k, std::size_t n,
+                     const Epilogue& epi, const MicroKernel& mk, std::size_t mc,
+                     BPanelFn&& b_panel_of, ABlockFn&& a_block_of) {
+  const MicroKernelFn micro = mk.fn;
+  const std::size_t mr = mk.mr;
+  const std::size_t nr = mk.nr;
+
+  for (std::size_t jc = 0; jc < n; jc += NC) {
+    const std::size_t ncb = std::min(NC, n - jc);
+    for (std::size_t kc = 0; kc < k; kc += KC) {
+      const std::size_t kcb = std::min(KC, k - kc);
+      const bool first_panel = kc == 0;
+      const bool last_panel = kc + KC >= k;
+      const double* bpack = b_panel_of(jc, kc, kcb, ncb);
+
+      for (std::size_t ic = 0; ic < m; ic += mc) {
+        const std::size_t mcb = std::min(mc, m - ic);
+        const double* apack = a_block_of(ic, kc, mcb, kcb);
+
+        for (std::size_t jr = 0; jr < ncb; jr += nr) {
+          const double* bp = bpack + jr * kcb;
+          const std::size_t w = std::min(nr, ncb - jr);
+          for (std::size_t ir = 0; ir < mcb; ir += mr) {
+            const double* ap = apack + ir * kcb;
+            const std::size_t h = std::min(mr, mcb - ir);
+            double acc[kMaxMr * kMaxNr];
+            micro(ap, bp, kcb, acc);
+            double* cdst = c + (ic + ir) * n + jc + jr;
+            if (mk.store != nullptr && h == mr && w == nr &&
+                !(last_panel && epi.kind == Epilogue::Kind::kBiasTable)) {
+              // Full interior tile on a kernel with a vectorized store:
+              // copy/accumulate (+ bias / + bias+ReLU) in 16 vector ops,
+              // same element-wise op order as the scalar loops below.
+              int mode;
+              const double* brow = nullptr;
+              if (last_panel && epi.kind != Epilogue::Kind::kNone) {
+                brow = epi.bias + jc + jr;
+                mode = epi.kind == Epilogue::Kind::kBiasRelu
+                           ? (first_panel ? kStoreCopyBiasRelu : kStoreAccumBiasRelu)
+                           : (first_panel ? kStoreCopyBias : kStoreAccumBias);
+              } else {
+                mode = first_panel ? kStoreCopy : kStoreAccum;
+              }
+              mk.store(cdst, n, acc, mode, brow);
+            } else if (last_panel && epi.kind != Epilogue::Kind::kNone) {
+              // Specialized per-kind store loops: the switch is hoisted out
+              // of the element sweep and the bias sliver is read through a
+              // __restrict local, so the bias/ReLU epilogues stay
+              // vectorizable instead of reloading epi per element.
+              const double* __restrict bias = epi.bias + jc + jr;
+              switch (epi.kind) {
+                case Epilogue::Kind::kBias:
+                  for (std::size_t r = 0; r < h; ++r)
+                    for (std::size_t cc = 0; cc < w; ++cc) {
+                      const double v = first_panel
+                                           ? acc[r * nr + cc]
+                                           : cdst[r * n + cc] + acc[r * nr + cc];
+                      cdst[r * n + cc] = v + bias[cc];
+                    }
+                  break;
+                case Epilogue::Kind::kBiasRelu:
+                  for (std::size_t r = 0; r < h; ++r)
+                    for (std::size_t cc = 0; cc < w; ++cc) {
+                      const double v = (first_panel
+                                            ? acc[r * nr + cc]
+                                            : cdst[r * n + cc] + acc[r * nr + cc]) +
+                                       bias[cc];
+                      cdst[r * n + cc] = v > 0.0 ? v : 0.0;
+                    }
+                  break;
+                case Epilogue::Kind::kBiasTable:
+                  for (std::size_t r = 0; r < h; ++r)
+                    for (std::size_t cc = 0; cc < w; ++cc) {
+                      const double v = (first_panel
+                                            ? acc[r * nr + cc]
+                                            : cdst[r * n + cc] + acc[r * nr + cc]) +
+                                       bias[cc];
+                      cdst[r * n + cc] = epi.table_eval(epi.table, v);
+                    }
+                  break;
+                case Epilogue::Kind::kNone:
+                  break;  // unreachable (outer if)
+              }
+            } else if (first_panel) {
+              for (std::size_t r = 0; r < h; ++r)
+                for (std::size_t cc = 0; cc < w; ++cc)
+                  cdst[r * n + cc] = acc[r * nr + cc];
+            } else {
+              for (std::size_t r = 0; r < h; ++r)
+                for (std::size_t cc = 0; cc < w; ++cc)
+                  cdst[r * n + cc] += acc[r * nr + cc];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Blocked compute against a pre-packed B: no B packing at all, and A is
+/// packed exactly ONCE per call (the one-shot path re-packs each A block
+/// once per B column panel instead — with B pre-packed the whole A fits the
+/// same L2 budget the per-panel scheme targeted, and the repeated-B hot
+/// path drops n/NC - 1 redundant A sweeps). Same block layout, same bits.
+void blocked_over_packed(const double* a, const PackedB& b, double* c, std::size_t m,
+                         const Epilogue& epi) {
+  const std::size_t k = b.k();
+  thread_local std::vector<double, PackAllocator<double>> apack_full;
+  thread_local std::vector<std::size_t> a_offsets;
+
+  const std::size_t mr = g_packed_micro.mr;
+  const std::size_t mcp = kMCPacked;
+  const std::size_t kc_panels = b.kc_panels();
+  const std::size_t ic_blocks = (m + mcp - 1) / mcp;
+  a_offsets.clear();
+  a_offsets.reserve(ic_blocks * kc_panels);
+  std::size_t total = 0;
+  for (std::size_t ic = 0; ic < m; ic += mcp) {
+    const std::size_t mcb_pad = round_up(std::min(mcp, m - ic), mr);
+    for (std::size_t kc = 0; kc < k; kc += KC) {
+      a_offsets.push_back(total);
+      total += mcb_pad * std::min(KC, k - kc);
+    }
+  }
+  struct ScratchCap {  // free an outsized A pack when the call ends
+    std::vector<double, PackAllocator<double>>& buf;
+    ~ScratchCap() {
+      if (buf.capacity() * sizeof(double) > kScratchRetainBytes) {
+        buf.clear();
+        buf.shrink_to_fit();
+      }
+    }
+  } scratch_cap{apack_full};
+  apack_full.resize(total);
+  std::size_t block = 0;
+  for (std::size_t ic = 0; ic < m; ic += mcp) {
+    const std::size_t mcb = std::min(mcp, m - ic);
+    for (std::size_t kc = 0; kc < k; kc += KC) {
+      pack_a_block(a, k, ic, kc, mcb, std::min(KC, k - kc), mr,
+                   apack_full.data() + a_offsets[block++]);
+    }
+  }
+
+  blocked_compute(
+      c, m, k, b.n(), epi, g_packed_micro, mcp,
+      [&b](std::size_t jc, std::size_t kc, std::size_t, std::size_t) {
+        return b.panel(jc / NC, kc / KC);
+      },
+      [&](std::size_t ic, std::size_t kc, std::size_t, std::size_t) {
+        return apack_full.data() + a_offsets[(ic / mcp) * kc_panels + kc / KC];
+      });
+}
+
+/// Row-sliced fan-out of blocked_over_packed: every worker consumes the ONE
+/// shared packed B (read-only) — this is what replaced the old
+/// pack-B-per-thread scheme. Slices are whole micro-rows, so per-row bits
+/// match the single-thread result exactly.
+void blocked_over_packed_sliced(const double* a, const PackedB& b, double* c,
+                                std::size_t m, const Epilogue& epi,
+                                std::size_t threads) {
+  if (threads <= 1) {
+    blocked_over_packed(a, b, c, m, epi);
+    return;
+  }
+  const std::size_t k = b.k();
+  const std::size_t n = b.n();
+  const std::size_t per = round_up((m + threads - 1) / threads, g_packed_micro.mr);
+  ThreadPool::instance().run(threads, [&](std::size_t part) {
+    const std::size_t lo = std::min(m, part * per);
+    const std::size_t hi = std::min(m, lo + per);
+    if (lo < hi) blocked_over_packed(a + lo * k, b, c + lo * n, hi - lo, epi);
+  });
+}
+
 }  // namespace
+
+std::size_t sliver_width() { return g_micro.nr; }
 
 bool deterministic() {
   const int forced = g_deterministic_override.load(std::memory_order_relaxed);
@@ -227,71 +630,35 @@ void gemm_blocked(const double* a, const double* b, double* c, std::size_t m,
     std::fill(c, c + m * n, 0.0);
     return;
   }
-  const MicroKernelFn micro = g_micro.fn;
   const std::size_t nr = g_micro.nr;
-  thread_local std::vector<double> apack;
   thread_local std::vector<double> bpack;
-
-  for (std::size_t jc = 0; jc < n; jc += NC) {
-    const std::size_t ncb = std::min(NC, n - jc);
-    const std::size_t ncb_pad = round_up(ncb, nr);
-    for (std::size_t kc = 0; kc < k; kc += KC) {
-      const std::size_t kcb = std::min(KC, k - kc);
-      const bool first_panel = kc == 0;
-
-      // Pack B[kc:kc+kcb, jc:jc+ncb] into nr-wide slivers, zero-padded so
-      // every micro-tile sees full-width vectors.
-      bpack.resize(kcb * ncb_pad);
-      for (std::size_t jr = 0; jr < ncb; jr += nr) {
-        double* dst = bpack.data() + jr * kcb;
-        const std::size_t w = std::min(nr, ncb - jr);
-        for (std::size_t p = 0; p < kcb; ++p) {
-          const double* src = b + (kc + p) * n + jc + jr;
-          for (std::size_t cc = 0; cc < w; ++cc) dst[p * nr + cc] = src[cc];
-          for (std::size_t cc = w; cc < nr; ++cc) dst[p * nr + cc] = 0.0;
-        }
-      }
-
-      for (std::size_t ic = 0; ic < m; ic += MC) {
-        const std::size_t mcb = std::min(MC, m - ic);
-        const std::size_t mcb_pad = round_up(mcb, MR);
-
-        // Pack A[ic:ic+mcb, kc:kc+kcb] into MR-tall slivers (column of the
-        // tile contiguous per k step), zero-padded.
-        apack.resize(mcb_pad * kcb);
-        for (std::size_t ir = 0; ir < mcb; ir += MR) {
-          double* dst = apack.data() + ir * kcb;
-          const std::size_t h = std::min(MR, mcb - ir);
-          for (std::size_t p = 0; p < kcb; ++p) {
-            for (std::size_t r = 0; r < h; ++r)
-              dst[p * MR + r] = a[(ic + ir + r) * k + kc + p];
-            for (std::size_t r = h; r < MR; ++r) dst[p * MR + r] = 0.0;
-          }
-        }
-
+  thread_local std::vector<double> apack;
+  // One-shot path: pack each B panel inline, right before its compute (best
+  // cache locality when B is used once), and each A block per visit.
+  // Identical sliver layouts to the pack-once path, so blocked results
+  // match it bit for bit.
+  blocked_compute(
+      c, m, k, n, Epilogue{}, g_micro, MC,
+      [&](std::size_t jc, std::size_t kc, std::size_t kcb, std::size_t ncb) {
+        const std::size_t ncb_pad = round_up(ncb, nr);
+        bpack.resize(kcb * ncb_pad);
         for (std::size_t jr = 0; jr < ncb; jr += nr) {
-          const double* bp = bpack.data() + jr * kcb;
+          double* dst = bpack.data() + jr * kcb;
           const std::size_t w = std::min(nr, ncb - jr);
-          for (std::size_t ir = 0; ir < mcb; ir += MR) {
-            const double* ap = apack.data() + ir * kcb;
-            const std::size_t h = std::min(MR, mcb - ir);
-            double acc[MR * kMaxNr];
-            micro(ap, bp, kcb, acc);
-            double* cdst = c + (ic + ir) * n + jc + jr;
-            if (first_panel) {
-              for (std::size_t r = 0; r < h; ++r)
-                for (std::size_t cc = 0; cc < w; ++cc)
-                  cdst[r * n + cc] = acc[r * nr + cc];
-            } else {
-              for (std::size_t r = 0; r < h; ++r)
-                for (std::size_t cc = 0; cc < w; ++cc)
-                  cdst[r * n + cc] += acc[r * nr + cc];
-            }
+          for (std::size_t p = 0; p < kcb; ++p) {
+            const double* src = b + (kc + p) * n + jc + jr;
+            for (std::size_t cc = 0; cc < w; ++cc) dst[p * nr + cc] = src[cc];
+            for (std::size_t cc = w; cc < nr; ++cc) dst[p * nr + cc] = 0.0;
           }
         }
-      }
-    }
-  }
+        detail::note_pack_panel();
+        return bpack.data();
+      },
+      [&](std::size_t ic, std::size_t kc, std::size_t mcb, std::size_t kcb) {
+        apack.resize(round_up(mcb, MR) * kcb);
+        pack_a_block(a, k, ic, kc, mcb, kcb, MR, apack.data());
+        return apack.data();
+      });
 }
 
 std::size_t gemm_threads(std::size_t m, std::size_t k, std::size_t n) {
@@ -336,15 +703,59 @@ void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_
     gemm_blocked(a, b, c, m, k, n);
     return;
   }
-  // Contiguous row slices, rounded to whole micro-rows: every thread runs
-  // the full blocked kernel on its slice (B is re-packed per thread — cheap
-  // next to the O(m·k·n) work and free of cross-thread coordination).
-  const std::size_t per = round_up((m + threads - 1) / threads, MR);
-  ThreadPool::instance().run(threads, [&](std::size_t part) {
-    const std::size_t lo = std::min(m, part * per);
-    const std::size_t hi = std::min(m, lo + per);
-    if (lo < hi) gemm_blocked(a + lo * k, b, c + lo * n, hi - lo, k, n);
-  });
+  // Multi-thread: pack B ONCE into a per-call scratch (buffer reused across
+  // calls on this thread), then fan row slices out over the pool against
+  // the one shared packed copy. This replaced the old per-thread re-pack —
+  // every (kc, jc) panel is now packed exactly once per gemm, not once per
+  // thread (asserted by the pack counter in tests). Safe to reuse the
+  // thread_local here: the slice workers never re-enter gemm(), so the
+  // scratch cannot be aliased recursively.
+  thread_local PackedB shared;
+  PackedB::pack_into(shared, b, k, n);
+  blocked_over_packed_sliced(a, shared, c, m, Epilogue{}, threads);
+  if (shared.packed_bytes() > kScratchRetainBytes) shared = PackedB();
+}
+
+void gemm_packed(const double* a, const PackedB& b, double* c, std::size_t m,
+                 const Epilogue& epi) {
+  const std::size_t k = b.k();
+  const std::size_t n = b.n();
+  if (m == 0 || n == 0) return;
+  ONESA_CHECK(b.nr() == g_micro.nr || b.empty(),
+              "gemm_packed: PackedB sliver width " << b.nr()
+                                                   << " does not match the selected "
+                                                      "micro-kernel ("
+                                                   << g_micro.nr << ")");
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0);
+    apply_epilogue_block(c, m, n, epi);
+    return;
+  }
+  if (deterministic()) {
+    gemm_reference_packed(a, b, c, m);
+    apply_epilogue_block(c, m, n, epi);
+    return;
+  }
+  if (k * n <= kTinyRowMacs) {
+    // Same tiny-row dispatch (and therefore row-stability) as gemm().
+    const std::size_t threads = gemm_threads(m, k, n);
+    if (threads <= 1) {
+      gemm_reference_packed(a, b, c, m);
+      apply_epilogue_block(c, m, n, epi);
+      return;
+    }
+    const std::size_t per = (m + threads - 1) / threads;
+    ThreadPool::instance().run(threads, [&](std::size_t part) {
+      const std::size_t lo = std::min(m, part * per);
+      const std::size_t hi = std::min(m, lo + per);
+      if (lo < hi) {
+        gemm_reference_packed(a + lo * k, b, c + lo * n, hi - lo);
+        apply_epilogue_block(c + lo * n, hi - lo, n, epi);
+      }
+    });
+    return;
+  }
+  blocked_over_packed_sliced(a, b, c, m, epi, gemm_threads(m, k, n));
 }
 
 }  // namespace onesa::tensor::kernels

@@ -24,6 +24,8 @@
 
 #include <cstddef>
 
+#include "tensor/kernels/pack.hpp"
+
 namespace onesa::tensor::kernels {
 
 /// Reference GEMM: exactly the seed tensor::matmul loop nest (i-k-j, c
@@ -38,10 +40,34 @@ void gemm_blocked(const double* a, const double* b, double* c, std::size_t m,
 
 /// Production entry point: picks reference order (deterministic mode or tiny
 /// problems), blocked single-thread, or blocked multi-thread (row blocks
-/// spread over the kernel ThreadPool) by problem size. C is fully
-/// overwritten.
+/// spread over the kernel ThreadPool) by problem size. The multi-thread path
+/// packs B ONCE and shares the packed copy across every row-slice worker —
+/// each (kc, jc) panel is packed exactly once per call, never once per
+/// thread. C is fully overwritten.
 void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
           std::size_t n);
+
+/// GEMM against a pre-packed B (see pack.hpp): the repeated-B hot path. No
+/// packing happens here at all — single- and multi-thread paths both consume
+/// the one shared packed copy — and the optional epilogue fuses the bias
+/// broadcast + activation into the output store, removing the separate
+/// add_row_broadcast/activation passes over C.
+///
+/// Numerics contract (all asserted in tests/test_kernels.cpp):
+///  - bit-identical to gemm(a, B, c, ...) on the unpacked B for every shape
+///    and thread count (identical dispatch criterion, identical loop
+///    orders, identical packed layout);
+///  - with an epilogue, bit-identical to the unfused composition
+///    matmul + add_row_broadcast + activation (bias and activation are
+///    applied once per element, after its complete k-sum, in the same
+///    order);
+///  - deterministic mode falls back to the seed reference loop order
+///    (reading B back out of the packed layout — loss-free), epilogue
+///    applied as a separate pass, exactly like the unfused ops would;
+///  - row-stable under stacking: same per-row k*n dispatch criterion as
+///    gemm(), so batching requests never changes a row's bits.
+void gemm_packed(const double* a, const PackedB& b, double* c, std::size_t m,
+                 const Epilogue& epi = {});
 
 /// Threads the dispatcher would use for an m x k x n problem (1 = serial).
 /// Exposed for tests and the perf harness.

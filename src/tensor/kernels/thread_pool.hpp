@@ -53,6 +53,24 @@ class ThreadPool {
   void release(std::size_t n);
   std::size_t reserved() const { return reserved_.load(std::memory_order_relaxed); }
 
+  /// RAII reserve/release pair. Also the idiom for pinning a kernel's
+  /// fan-out during a measurement: ScopedReserve(pool, pool.threads() - t)
+  /// caps effective_threads() at t for its lifetime (the perf harness uses
+  /// this for its thread-scaling sweep).
+  class ScopedReserve {
+   public:
+    ScopedReserve(ThreadPool& pool, std::size_t n) : pool_(pool), n_(n) {
+      pool_.reserve(n_);
+    }
+    ~ScopedReserve() { pool_.release(n_); }
+    ScopedReserve(const ScopedReserve&) = delete;
+    ScopedReserve& operator=(const ScopedReserve&) = delete;
+
+   private:
+    ThreadPool& pool_;
+    std::size_t n_;
+  };
+
   /// Run fn(part) for part in [0, parts), spread over the pool lanes; blocks
   /// until every part finished. The first exception thrown by any part is
   /// rethrown on the caller. Reentrant calls run inline on the caller.

@@ -24,6 +24,7 @@ void Sgd::step() {
     tensor::kernels::sgd_momentum_step(p.value.data().data(), p.grad.data().data(),
                                        velocity_[i].data().data(), p.value.size(), lr_,
                                        momentum_, weight_decay_);
+    ++p.version;  // invalidates value-derived caches (Linear's PackedB)
   }
 }
 
@@ -51,6 +52,7 @@ void Adam::step() {
     tensor::kernels::adam_step(p.value.data().data(), p.grad.data().data(),
                                m_[i].data().data(), v_[i].data().data(), p.value.size(),
                                lr_, beta1_, beta2_, bc1, bc2, epsilon_);
+    ++p.version;  // invalidates value-derived caches (Linear's PackedB)
   }
 }
 

@@ -125,6 +125,164 @@ TEST(GemmKernel, MultiThreadMatchesSingleThreadBitExactly) {
   EXPECT_EQ(mt, st);
 }
 
+// ------------------------------------------------------------ packed GEMM
+
+TEST(PackedB, RoundTripsEveryElementAcrossShapes) {
+  // Packing must be loss-free and the at() accessor must invert the sliver
+  // layout exactly — the reference-order fallbacks depend on it.
+  Rng rng(21);
+  for (const Shape& s : kGemmShapes) {
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    const auto packed = tensor::kernels::PackedB::pack(b.data().data(), s.k, s.n);
+    ASSERT_EQ(packed.k(), s.k);
+    ASSERT_EQ(packed.n(), s.n);
+    for (std::size_t kk = 0; kk < s.k; ++kk)
+      for (std::size_t j = 0; j < s.n; ++j)
+        ASSERT_EQ(packed.at(kk, j), b(kk, j)) << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmPacked, MatchesDispatcherBitExactlyAcrossShapes) {
+  // gemm_packed shares the dispatch criterion and loop orders with gemm(),
+  // so on every shape — tiny/reference, blocked, threaded — the packed path
+  // must reproduce the unpacked dispatcher bit for bit.
+  Rng rng(22);
+  for (const Shape& s : kGemmShapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    const Matrix want = tensor::matmul(a, b);
+    const auto packed = tensor::kernels::PackedB::pack(b.data().data(), s.k, s.n);
+    Matrix got(s.m, s.n);
+    tensor::kernels::gemm_packed(a.data().data(), packed, got.data().data(), s.m);
+    EXPECT_EQ(got, want) << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmPacked, DeterministicModeBitExactWithReference) {
+  const bool prev = tensor::kernels::deterministic();
+  tensor::kernels::set_deterministic(true);
+  Rng rng(23);
+  for (const Shape& s : kGemmShapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    Matrix ref(s.m, s.n);
+    tensor::kernels::gemm_reference(a.data().data(), b.data().data(), ref.data().data(),
+                                    s.m, s.k, s.n);
+    const auto packed = tensor::kernels::PackedB::pack(b.data().data(), s.k, s.n);
+    Matrix got(s.m, s.n);
+    tensor::kernels::gemm_packed(a.data().data(), packed, got.data().data(), s.m);
+    EXPECT_EQ(got, ref) << s.m << "x" << s.k << "x" << s.n;
+  }
+  tensor::kernels::set_deterministic(prev);
+}
+
+TEST(GemmPacked, FusedEpilogueMatchesUnfusedAcrossShapes) {
+  // The fused store applies bias (and activation) once per element after
+  // its complete k-sum, in the unfused order — so fused results must equal
+  // matmul + add_row_broadcast (+ activation) BIT FOR BIT on every shape,
+  // whichever kernel path dispatch picks.
+  using Epilogue = tensor::kernels::Epilogue;
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu);
+  Rng rng(24);
+  for (const Shape& s : kGemmShapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    const Matrix bias = random_matrix(1, s.n, rng);
+    const auto packed = tensor::kernels::PackedB::pack(b.data().data(), s.k, s.n);
+    const Matrix biased = tensor::add_row_broadcast(tensor::matmul(a, b), bias);
+
+    Epilogue epi;
+    epi.bias = bias.data().data();
+    Matrix got(s.m, s.n);
+
+    epi.kind = Epilogue::Kind::kBias;
+    tensor::kernels::gemm_packed(a.data().data(), packed, got.data().data(), s.m, epi);
+    EXPECT_EQ(got, biased) << "kBias " << s.m << "x" << s.k << "x" << s.n;
+
+    epi.kind = Epilogue::Kind::kBiasRelu;
+    tensor::kernels::gemm_packed(a.data().data(), packed, got.data().data(), s.m, epi);
+    const Matrix relued =
+        biased.map([](double v) { return cpwl::eval_reference(cpwl::FunctionKind::kRelu, v); });
+    EXPECT_EQ(got, relued) << "kBiasRelu " << s.m << "x" << s.k << "x" << s.n;
+
+    epi.kind = Epilogue::Kind::kBiasTable;
+    epi.table = &table;
+    epi.table_eval = [](const void* t, double x) {
+      return static_cast<const cpwl::SegmentTable*>(t)->eval(x);
+    };
+    tensor::kernels::gemm_packed(a.data().data(), packed, got.data().data(), s.m, epi);
+    const Matrix tabled = biased.map([&](double v) { return table.eval(v); });
+    EXPECT_EQ(got, tabled) << "kBiasTable " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmPacked, OneSharedPackServesManyThreadsBitExactly) {
+  // The pack-once contract under real concurrency: four threads row-slice
+  // one GEMM against the SAME PackedB (each calling gemm_packed on its
+  // slice), and the stitched result must equal the one-call result exactly
+  // — no thread ever needs a private packed copy.
+  Rng rng(25);
+  const std::size_t m = 97, k = 129, n = 65;
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  const auto packed = tensor::kernels::PackedB::pack(b.data().data(), k, n);
+
+  Matrix whole(m, n);
+  tensor::kernels::gemm_packed(a.data().data(), packed, whole.data().data(), m);
+
+  tensor::kernels::ThreadPool pool(4);
+  const std::size_t per = 28;  // ceil(97 / 4) rounded up to MR=4
+  Matrix sliced(m, n);
+  pool.run(4, [&](std::size_t part) {
+    const std::size_t lo = std::min(m, part * per);
+    const std::size_t hi = std::min(m, lo + per);
+    if (lo < hi)
+      tensor::kernels::gemm_packed(a.data().data() + lo * k, packed,
+                                   sliced.data().data() + lo * n, hi - lo);
+  });
+  EXPECT_EQ(sliced, whole);
+}
+
+TEST(GemmPacked, ThreadedPathPacksEachPanelExactlyOnce) {
+  // The old multi-thread gemm() re-packed B once PER THREAD; the pack-once
+  // refactor packs each (kc, jc) panel exactly once per call — and the
+  // pre-packed path packs nothing at all. The debug pack counter observes
+  // every panel pack in the kernel layer.
+  if (!tensor::kernels::pack_counter_enabled()) {
+    GTEST_SKIP() << "pack counter compiled out (NDEBUG)";
+  }
+  const bool prev = tensor::kernels::deterministic();
+  tensor::kernels::set_deterministic(false);  // reference path packs nothing
+  Rng rng(26);
+  // Tall m and >1 panel along each of k and n; big enough that the threaded
+  // path engages whenever the pool has more than one lane.
+  const std::size_t m = 512, k = 300, n = 600;
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n);
+
+  tensor::kernels::reset_pack_panel_count();
+  const auto packed = tensor::kernels::PackedB::pack(b.data().data(), k, n);
+  const std::uint64_t panels = packed.kc_panels() * packed.nc_panels();
+  EXPECT_EQ(packed.kc_panels(), 2u);
+  EXPECT_EQ(packed.nc_panels(), 2u);
+  EXPECT_EQ(tensor::kernels::pack_panel_count(), panels);
+
+  // Pre-packed GEMMs perform ZERO packs, at any thread count.
+  tensor::kernels::reset_pack_panel_count();
+  tensor::kernels::gemm_packed(a.data().data(), packed, c.data().data(), m);
+  tensor::kernels::gemm_packed(a.data().data(), packed, c.data().data(), m);
+  EXPECT_EQ(tensor::kernels::pack_panel_count(), 0u);
+
+  // The dispatcher (threaded or not) packs each panel exactly once per call
+  // — never once per thread.
+  tensor::kernels::reset_pack_panel_count();
+  tensor::kernels::gemm(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  EXPECT_EQ(tensor::kernels::pack_panel_count(), panels)
+      << "threads=" << tensor::kernels::gemm_threads(m, k, n);
+  tensor::kernels::set_deterministic(prev);
+}
+
 TEST(GemmKernel, ResultsAreRowStableUnderStacking) {
   // The serving batcher stacks request rows into one tall GEMM and slices
   // the results back out; that is only exact if a row's result never depends
@@ -156,6 +314,25 @@ TEST(GemmKernel, ResultsAreRowStableUnderStacking) {
       for (std::size_t j = 0; j < n; ++j)
         ASSERT_EQ(full(i, j), want(i, j)) << solo_rows << "+" << extra_rows << " k=" << k
                                           << " n=" << n << " at (" << i << "," << j << ")";
+
+    // The packed path keeps the identical per-row (k * n) dispatch
+    // criterion, so it must be row-stable the same way — including with a
+    // fused epilogue (bias+relu are per-element, so they cannot couple rows).
+    const Matrix bias = random_matrix(1, n, rng);
+    tensor::kernels::Epilogue epi;
+    epi.kind = tensor::kernels::Epilogue::Kind::kBiasRelu;
+    epi.bias = bias.data().data();
+    const auto packed = tensor::kernels::PackedB::pack(b.data().data(), k, n);
+    Matrix solo_packed(solo_rows, n), full_packed(solo_rows + extra_rows, n);
+    tensor::kernels::gemm_packed(solo.data().data(), packed, solo_packed.data().data(),
+                                 solo_rows, epi);
+    tensor::kernels::gemm_packed(stacked.data().data(), packed,
+                                 full_packed.data().data(), solo_rows + extra_rows, epi);
+    for (std::size_t i = 0; i < solo_rows; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_EQ(full_packed(i, j), solo_packed(i, j))
+            << "packed " << solo_rows << "+" << extra_rows << " k=" << k << " n=" << n
+            << " at (" << i << "," << j << ")";
   }
 }
 

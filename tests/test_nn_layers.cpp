@@ -13,6 +13,8 @@
 #include "nn/linear.hpp"
 #include "nn/models.hpp"
 #include "nn/norm.hpp"
+#include "nn/sequential.hpp"
+#include "train/optimizer.hpp"
 #include "tensor/ops.hpp"
 
 namespace onesa::nn {
@@ -284,6 +286,55 @@ TEST(InferPath, GcnMatchesForwardBitExactly) {
 
   const Matrix want = model->forward(x);
   EXPECT_EQ(std::as_const(*model).infer(x), want);
+}
+
+TEST(InferPath, PackedWeightCacheInvalidatedByOptimizerStep) {
+  // infer() caches the packed weights; an optimizer step bumps the weight
+  // Param's version, so the next infer must re-pack and see the new values
+  // (still bit-identical to the unfused training forward on them).
+  Rng rng(44);
+  Linear lin(6, 5, rng);
+  const Matrix x = tensor::random_uniform(3, 6, rng, -1.0, 1.0);
+
+  const Matrix before = lin.infer(x);  // builds the packed cache
+  EXPECT_EQ(before, lin.forward(x));
+
+  // One SGD step with a non-zero gradient rewrites the weights.
+  lin.forward(x);
+  lin.backward(tensor::random_uniform(3, 5, rng, -1.0, 1.0));
+  train::Sgd sgd(lin.params(), /*lr=*/0.1);
+  sgd.step();
+
+  const Matrix after = lin.infer(x);
+  EXPECT_NE(after, before);             // stale cache would reproduce `before`
+  EXPECT_EQ(after, lin.forward(x));     // fresh pack matches the raw weights
+
+  // Direct value assignment bypasses the version bump; the documented
+  // escape hatch is invalidate_packed().
+  lin.weight().value = tensor::random_uniform(6, 5, rng, -1.0, 1.0);
+  lin.invalidate_packed();
+  EXPECT_EQ(lin.infer(x), lin.forward(x));
+}
+
+TEST(InferPath, SequentialFusesLinearActivationPairsBitExactly) {
+  // Sequential::infer runs Linear+ReLU (and Linear+table-activation) pairs
+  // through the fused GEMM epilogue; the per-layer training forward is the
+  // unfused reference, and both must agree bit for bit.
+  Rng rng(45);
+  Sequential model;
+  model.add(std::make_unique<Linear>(7, 11, rng));
+  model.add(make_relu());
+  model.add(std::make_unique<Linear>(11, 9, rng));
+  model.add(make_gelu());  // exact gelu: NOT fusable, runs as its own layer
+  model.add(std::make_unique<Linear>(9, 4, rng));
+
+  const Matrix x = tensor::random_uniform(5, 7, rng, -2.0, 2.0);
+  EXPECT_EQ(std::as_const(model).infer(x), model.forward(x));
+
+  // Table mode makes the gelu fusable through the kBiasTable epilogue.
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu);
+  dynamic_cast<Activation&>(model.at(3)).use_table(&table);
+  EXPECT_EQ(std::as_const(model).infer(x), model.forward(x));
 }
 
 TEST(InferPath, InferNeverTouchesTrainingState) {

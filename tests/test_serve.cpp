@@ -453,6 +453,80 @@ TEST(ServeStats, MergeAccumulatesEverything) {
   EXPECT_DOUBLE_EQ(a.percentile_latency_ms(100.0), 10.0);
 }
 
+TEST(ServeStats, PerClassLatencyAccounting) {
+  // Latencies attribute to their request's scheduling class, so a bulk
+  // flood can never hide an interactive p95. Hand-built records without a
+  // class vector count as kNormal (backwards compatibility).
+  ServeStats stats;
+  BatchRecord record;
+  record.requests = 5;
+  record.rows = 5;
+  record.padded_rows = 5;
+  record.latency_ms = {1.0, 100.0, 2.0, 200.0, 3.0};
+  record.latency_class = {Priority::kInteractive, Priority::kBulk, Priority::kInteractive,
+                          Priority::kBulk, Priority::kInteractive};
+  stats.record_batch(record);
+
+  EXPECT_EQ(stats.class_completed(Priority::kInteractive), 3u);
+  EXPECT_EQ(stats.class_completed(Priority::kBulk), 2u);
+  EXPECT_EQ(stats.class_completed(Priority::kNormal), 0u);
+  EXPECT_DOUBLE_EQ(stats.class_percentile_latency_ms(Priority::kInteractive, 95.0), 3.0);
+  EXPECT_DOUBLE_EQ(stats.class_percentile_latency_ms(Priority::kBulk, 95.0), 200.0);
+  EXPECT_DOUBLE_EQ(stats.class_mean_latency_ms(Priority::kInteractive), 2.0);
+  EXPECT_DOUBLE_EQ(stats.class_percentile_latency_ms(Priority::kNormal, 95.0), 0.0);
+  // The classless aggregate still sees everything.
+  EXPECT_DOUBLE_EQ(stats.percentile_latency_ms(100.0), 200.0);
+
+  // Classless record: everything lands in kNormal.
+  BatchRecord classless;
+  classless.requests = 2;
+  classless.rows = 2;
+  classless.padded_rows = 2;
+  classless.latency_ms = {7.0, 9.0};
+  ServeStats other;
+  other.record_batch(classless);
+  EXPECT_EQ(other.class_completed(Priority::kNormal), 2u);
+
+  // merge() folds the per-class series too.
+  stats.merge(other);
+  EXPECT_EQ(stats.class_completed(Priority::kNormal), 2u);
+  EXPECT_EQ(stats.class_completed(Priority::kInteractive), 3u);
+  EXPECT_DOUBLE_EQ(stats.class_percentile_latency_ms(Priority::kNormal, 100.0), 9.0);
+}
+
+TEST(ServeStats, PoolTracksPerClassLatencies) {
+  // End-to-end: requests of three classes served by a real pool appear in
+  // the merged per-class accounting with the right counts.
+  ServerPoolConfig cfg;
+  cfg.workers = 2;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  ServerPool pool(cfg);
+
+  Rng rng(91);
+  const ModelHandle handle = pool.register_model("mlp", make_mlp(4, 8, 2, rng));
+  std::vector<std::future<ServeResult>> futures;
+  const Priority classes[] = {Priority::kInteractive, Priority::kNormal, Priority::kBulk};
+  for (int i = 0; i < 12; ++i) {
+    SubmitOptions options;
+    options.priority = classes[i % 3];
+    futures.push_back(
+        pool.submit_model(handle, tensor::random_uniform(2, 4, rng), options));
+  }
+  for (auto& f : futures) f.get();
+  pool.shutdown();
+
+  const ServeStats stats = pool.stats();
+  EXPECT_EQ(stats.completed(), 12u);
+  EXPECT_EQ(stats.class_completed(Priority::kInteractive), 4u);
+  EXPECT_EQ(stats.class_completed(Priority::kNormal), 4u);
+  EXPECT_EQ(stats.class_completed(Priority::kBulk), 4u);
+  for (Priority c : classes) {
+    EXPECT_GE(stats.class_percentile_latency_ms(c, 95.0),
+              stats.class_percentile_latency_ms(c, 50.0));
+    EXPECT_GT(stats.class_mean_latency_ms(c), 0.0);
+  }
+}
+
 // ------------------------------------------------- lifetime counter merging
 
 TEST(LifetimeTotals, CycleStatsMergeHelper) {
@@ -615,6 +689,35 @@ TEST(ServerPool, NonBatchableModelsServeOneRequestPerPass) {
   for (auto& f : futures) EXPECT_EQ(f.get().batch_requests, 1u);
   pool.shutdown();
   EXPECT_EQ(pool.stats().batches(), 8u);
+}
+
+TEST(ServerPool, PrepackedRegistryLogitsBitExactVsTrainingForward) {
+  // Registration pre-packs every Linear's weights, and the served infer()
+  // fuses Linear+ReLU pairs into packed GEMM epilogues. None of that may
+  // move a single bit: served logits must equal the per-layer TRAINING
+  // forward of an identically-initialized model (the unfused reference
+  // composition, matmul + bias broadcast + activation as separate passes).
+  ServerPoolConfig cfg;
+  cfg.workers = 2;
+  cfg.accelerator = small_config(ExecutionMode::kAnalytic);
+  ServerPool pool(cfg);
+
+  Rng rng_served(77);
+  Rng rng_reference(77);  // identical init stream -> identical weights
+  const ModelHandle handle = pool.register_model("mlp", make_mlp(6, 16, 4, rng_served));
+  auto reference = make_mlp(6, 16, 4, rng_reference);
+
+  Rng rng_inputs(78);
+  std::vector<tensor::Matrix> inputs;
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    inputs.push_back(tensor::random_uniform(2, 6, rng_inputs, -1.0, 1.0));
+    futures.push_back(pool.submit_model(handle, inputs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().logits, reference->forward(inputs[i])) << "request " << i;
+  }
+  pool.shutdown();
 }
 
 TEST(Batcher, ModelCompatibilityRules) {
