@@ -5,18 +5,24 @@ Usage:
     compare_bench.py BASELINE.json FRESH.json [--threshold 0.2]
 
 Walks both files in parallel and compares every numeric field whose name
-contains "speedup" or equals "aggregate_rps" — the machine-portable figures
-of merit (simulated-throughput ratios and measured speedup ratios). A fresh
-value more than THRESHOLD (default 20%) below its baseline fails the run
-with exit code 1.
+contains "speedup" or equals "aggregate_rps" / "fleet_aggregate_rps" — the
+machine-portable figures of merit (simulated-throughput ratios and measured
+speedup ratios). A fresh value more than THRESHOLD (default 20%) below its
+baseline fails the run with exit code 1.
 
 List entries are matched by identity key (name / shape / priority /
-workers / row_budget / lanes); entries present in only one file are skipped
-with a note, so a baseline produced by a full run and a fresh smoke run
-(different shape sets) degrade to "nothing comparable" instead of a false
-failure. For the same reason, when both files carry a top-level "smoke"
-flag and the flags differ, all timing comparisons are skipped outright —
-timing ratios of differently-sized problems are not a trajectory.
+workers / shards / row_budget / window_ms / class / lanes); entries present
+in only one file are skipped with a note, so a baseline produced by a full
+run and a fresh smoke run (different shape sets) degrade to "nothing
+comparable" instead of a false failure. For the same reason, when both
+files carry a top-level "smoke" flag and the flags differ, all timing
+comparisons are skipped outright — timing ratios of differently-sized
+problems are not a trajectory.
+
+Fields or list entries present in the FRESH file but absent from the
+baseline are tolerated with a warning (never a failure): a bench gaining a
+section must be able to land before the regenerated baseline is committed
+(no chicken-and-egg), while the note keeps the gap visible until it is.
 
 Absolute timings (ms), GFLOP/s, and host latencies are deliberately NOT
 compared: they move with the runner hardware. Ratios computed on one host
@@ -29,13 +35,14 @@ import sys
 
 
 def is_watched(key: str) -> bool:
-    return key == "aggregate_rps" or "speedup" in key
+    return key in ("aggregate_rps", "fleet_aggregate_rps") or "speedup" in key
 
 
 def entry_key(obj):
     """Identity of a list entry, built from its discriminating fields."""
     parts = []
-    for field in ("name", "shape", "priority", "workers", "row_budget", "lanes", "bench"):
+    for field in ("name", "shape", "priority", "workers", "shards", "row_budget",
+                  "window_ms", "class", "lanes", "bench"):
         if field in obj:
             parts.append((field, obj[field]))
     return tuple(parts) if parts else None
@@ -46,6 +53,16 @@ def walk(base, fresh, path, results):
         for key in base:
             if key in fresh:
                 walk(base[key], fresh[key], f"{path}.{key}" if path else key, results)
+        for key in fresh:
+            if key not in base:
+                # New-in-fresh field: warn, never fail — lets a bench grow a
+                # section before the regenerated baseline lands. Flag watched
+                # fields specially: they stay unguarded until the baseline
+                # catches up.
+                label = f"{path}.{key}" if path else key
+                if is_watched(key):
+                    label += " (WATCHED, unguarded until baseline regenerated)"
+                results["new"].append(label)
     elif isinstance(base, list) and isinstance(fresh, list):
         fresh_by_key = {}
         for item in fresh:
@@ -57,12 +74,14 @@ def walk(base, fresh, path, results):
             if not isinstance(item, dict):
                 continue
             key = entry_key(item)
-            match = fresh_by_key.get(key)
+            match = fresh_by_key.pop(key, None)
             if match is None:
                 results["skipped"].append(f"{path}[{key}] (no fresh counterpart)")
                 continue
             label = next((str(v) for _, v in (key or ())), "?")
             walk(item, match, f"{path}[{label}]", results)
+        for key in fresh_by_key:
+            results["new"].append(f"{path}[{key}] (no baseline counterpart)")
     elif isinstance(base, (int, float)) and isinstance(fresh, (int, float)):
         leaf = path.rsplit(".", 1)[-1]
         if not is_watched(leaf) or isinstance(base, bool) or isinstance(fresh, bool):
@@ -88,7 +107,7 @@ def main():
               "problem sizes are not comparable — skipping all comparisons")
         return 0
 
-    results = {"compared": [], "skipped": []}
+    results = {"compared": [], "skipped": [], "new": []}
     walk(base, fresh, "", results)
 
     regressions = []
@@ -102,8 +121,11 @@ def main():
 
     for note in results["skipped"]:
         print(f"  skipped    {note}")
+    for note in results["new"]:
+        print(f"  WARNING    new in fresh, absent from baseline: {note}")
     print(f"compare_bench: {len(results['compared'])} field(s) compared, "
-          f"{len(results['skipped'])} entr(ies) skipped, {len(regressions)} regression(s) "
+          f"{len(results['skipped'])} entr(ies) skipped, "
+          f"{len(results['new'])} new-in-fresh warning(s), {len(regressions)} regression(s) "
           f"(threshold {args.threshold:.0%})")
 
     # A gate that compares nothing guards nothing: when the problem sets were

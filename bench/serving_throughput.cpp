@@ -25,12 +25,27 @@
 // Part 4 overloads one worker behind a tight admission budget and hopeless
 // deadlines, so the deadline-miss and shed counters appear with real values
 // in the JSON artifact.
+//
+// Part 5 is the FLEET sweep: shards x workers serving real-model requests
+// through serve::Fleet (least-outstanding-cost routing, one shared
+// registry), with aggregate simulated RPS scaling against the 1-shard
+// baseline (`fleet_aggregate_rps`).
+//
+// Part 6 sweeps the latency-aware batching window on a trickled request
+// stream: larger windows pack fuller batches at the cost of head latency,
+// and the interactive class — which forces immediate launch — keeps its p99
+// flat under the largest window (the acceptance comparison).
+//
+// Part 7 hot-swaps a model under sustained load: every future must resolve
+// and every logit must match one published version's direct forward
+// bit-exactly (zero dropped, zero corrupted requests across version flips).
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table.hpp"
@@ -38,6 +53,7 @@
 #include "nn/linear.hpp"
 #include "nn/norm.hpp"
 #include "nn/workload.hpp"
+#include "serve/fleet.hpp"
 #include "serve/server_pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -86,6 +102,30 @@ struct ClassRow {
   double mean_ms = 0.0;
 };
 
+struct FleetRow {
+  std::size_t shards = 0;
+  std::size_t workers_per_shard = 0;
+  double makespan_mcycles = 0.0;
+  double fleet_rps = 0.0;
+  double speedup = 0.0;
+  double host_ms = 0.0;
+};
+
+struct WindowRow {
+  double window_ms = 0.0;
+  std::string latency_class;
+  double p99_ms = 0.0;
+  double mean_requests = 0.0;
+  std::uint64_t window_expiries = 0;
+};
+
+struct HotSwapResult {
+  std::size_t requests = 0;
+  std::size_t swaps = 0;
+  std::size_t failed = 0;     // futures that resolved with an error
+  std::size_t corrupted = 0;  // logits matching no published version
+};
+
 std::unique_ptr<nn::Sequential> make_serving_mlp(Rng& rng) {
   auto model = std::make_unique<nn::Sequential>();
   model->add(std::make_unique<nn::Linear>(64, 128, rng));
@@ -98,8 +138,11 @@ std::unique_ptr<nn::Sequential> make_serving_mlp(Rng& rng) {
 void write_json(const std::string& path, const std::vector<SweepRow>& traces,
                 const std::vector<BatchRow>& batches, const std::vector<SweepRow>& models,
                 const std::vector<ClassRow>& classes, const OverloadResult& overload,
-                double trace_speedup_at_8, double model_speedup_at_8, bool logits_exact,
-                bool pass) {
+                const std::vector<FleetRow>& fleet_rows,
+                const std::vector<WindowRow>& window_rows, const HotSwapResult& hot_swap,
+                double trace_speedup_at_8, double model_speedup_at_8,
+                double fleet_speedup_at_4, bool window_interactive_improves,
+                bool logits_exact, bool pass) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"bench\": \"serving_throughput\",\n";
@@ -144,8 +187,37 @@ void write_json(const std::string& path, const std::vector<SweepRow>& traces,
       << ", \"completed\": " << overload.completed << ", \"sheds\": " << overload.sheds
       << ", \"deadline_misses\": " << overload.deadline_misses
       << ", \"policy\": \"reject\"},\n";
+  out << "  \"fleet_sweep\": [\n";
+  for (std::size_t i = 0; i < fleet_rows.size(); ++i) {
+    const FleetRow& r = fleet_rows[i];
+    out << "    {\"shards\": " << r.shards << ", \"workers_per_shard\": "
+        << r.workers_per_shard << ", \"makespan_mcycles\": " << r.makespan_mcycles
+        << ", \"fleet_aggregate_rps\": " << r.fleet_rps << ", \"speedup\": " << r.speedup
+        << ", \"host_ms\": " << r.host_ms << "}" << (i + 1 < fleet_rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"window_sweep\": [\n";
+  for (std::size_t i = 0; i < window_rows.size(); ++i) {
+    const WindowRow& r = window_rows[i];
+    out << "    {\"window_ms\": " << r.window_ms << ", \"class\": \"" << r.latency_class
+        << "\", \"p99_host_ms\": " << r.p99_ms
+        << ", \"mean_requests_per_batch\": " << r.mean_requests
+        << ", \"window_expiries\": " << r.window_expiries << "}"
+        << (i + 1 < window_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"hot_swap\": {\"requests\": " << hot_swap.requests
+      << ", \"swaps\": " << hot_swap.swaps << ", \"failed\": " << hot_swap.failed
+      << ", \"corrupted\": " << hot_swap.corrupted << "},\n";
   out << "  \"accept\": {\"trace_speedup_at_8\": " << trace_speedup_at_8
       << ", \"model_speedup_at_8\": " << model_speedup_at_8
+      << ", \"fleet_speedup_at_4\": " << fleet_speedup_at_4
+      << ", \"fleet_bar\": 2.0"
+      << ", \"window_interactive_improves\": "
+      << (window_interactive_improves ? "true" : "false")
+      << ", \"hot_swap_clean\": "
+      << (hot_swap.failed == 0 && hot_swap.corrupted == 0 ? "true" : "false")
       << ", \"logits_bit_exact\": " << (logits_exact ? "true" : "false")
       << ", \"bar\": 4.0, \"pass\": " << (pass ? "true" : "false") << "}\n";
   out << "}\n";
@@ -380,10 +452,198 @@ int main(int argc, char** argv) {
               << overload.deadline_misses << "\n\n";
   }
 
-  const bool pass =
-      trace_speedup_at_8 >= 4.0 && model_speedup_at_8 >= 4.0 && logits_exact;
+  std::cout << "=== Fleet sweep: shards x 2 workers, real-model requests ===\n\n";
+  std::vector<FleetRow> fleet_rows;
+  double fleet_baseline_rps = 0.0;
+  double fleet_speedup_at_4 = 0.0;
+  {
+    constexpr std::size_t kFleetRequests = 48;
+    constexpr std::size_t kWorkersPerShard = 2;
+    TablePrinter fleet_table({"Shards", "Workers", "Makespan Mcycles", "Fleet req/s",
+                              "Speedup", "Host ms"});
+    for (std::size_t shards : {1u, 2u, 4u}) {
+      serve::FleetConfig cfg;
+      cfg.shards = shards;
+      cfg.workers_per_shard = kWorkersPerShard;
+      cfg.accelerator.mode = ExecutionMode::kAnalytic;
+      // One request per pass, like the pool-level model sweep: identical
+      // simulated charges isolate routing/dispatch scaling.
+      cfg.batcher.max_batch_requests = 1;
+      serve::Fleet fleet(cfg);
+
+      Rng rng(11);
+      const serve::ModelHandle mlp = fleet.register_model("mlp", make_serving_mlp(rng));
+      std::vector<tensor::Matrix> inputs;
+      std::vector<std::future<serve::ServeResult>> futures;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < kFleetRequests; ++i) {
+        inputs.push_back(tensor::random_uniform(4, 64, rng, -1.0, 1.0));
+        futures.push_back(fleet.submit_model(mlp, inputs.back()));
+      }
+      std::vector<serve::ServeResult> results;
+      results.reserve(futures.size());
+      for (auto& f : futures) results.push_back(f.get());
+      fleet.shutdown();
+      const double host_ms = wall_ms_since(start);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!(results[i].logits == mlp->infer(inputs[i]))) logits_exact = false;
+      }
+      // Shard sums must equal the fleet totals (the aggregation contract).
+      serve::ServeStats summed;
+      for (const serve::ServeStats& s : fleet.shard_stats()) summed += s;
+      if (summed.completed() != fleet.stats().completed() ||
+          summed.completed() != kFleetRequests) {
+        logits_exact = false;  // fold into the hard failure path
+        std::cout << "FAIL: shard stats sum " << summed.completed()
+                  << " != fleet completed " << fleet.stats().completed() << "\n";
+      }
+
+      const double clock_mhz = cfg.accelerator.array.clock_mhz;
+      const double makespan_s =
+          static_cast<double>(fleet.makespan_cycles()) / (clock_mhz * 1e6);
+      const double rps = static_cast<double>(kFleetRequests) / makespan_s;
+      if (shards == 1) fleet_baseline_rps = rps;
+      const double speedup = rps / fleet_baseline_rps;
+      if (shards == 4) fleet_speedup_at_4 = speedup;
+      fleet_rows.push_back({shards, kWorkersPerShard,
+                            static_cast<double>(fleet.makespan_cycles()) / 1e6, rps,
+                            speedup, host_ms});
+      fleet_table.add_row(
+          {std::to_string(shards), std::to_string(kWorkersPerShard),
+           TablePrinter::num(static_cast<double>(fleet.makespan_cycles()) / 1e6, 2),
+           TablePrinter::num(rps, 1), TablePrinter::num(speedup, 2) + "x",
+           TablePrinter::num(host_ms, 1)});
+    }
+    fleet_table.render(std::cout);
+    std::cout << "\n(least-outstanding-cost routing over one shared registry — weights\n"
+                 " packed once per fleet; fleet makespan = max shard makespan since the\n"
+                 " S x W modeled arrays run in parallel)\n\n";
+  }
+
+  std::cout << "=== Batching-window sweep: trickled stream, 1 worker ===\n\n";
+  std::vector<WindowRow> window_rows;
+  bool window_interactive_improves = false;
+  {
+    constexpr std::size_t kWindowRequests = 24;
+    constexpr double kMaxWindowMs = 20.0;
+    TablePrinter window_table({"Window ms", "Class", "p99 host ms", "Mean req/batch",
+                               "Expiries"});
+    auto run_windowed = [&](double window_ms, serve::Priority priority) {
+      serve::ServerPoolConfig cfg;
+      cfg.workers = 1;
+      cfg.accelerator.mode = ExecutionMode::kAnalytic;
+      cfg.batcher.max_batch_requests = 16;
+      cfg.batcher.max_batch_rows = 256;
+      serve::ServerPool pool(cfg);
+      Rng rng(13);
+      serve::ModelOptions options;
+      options.batchable = true;
+      options.batch_window_ms = window_ms;
+      const serve::ModelHandle mlp =
+          pool.register_model("win-mlp", make_serving_mlp(rng), options);
+      serve::SubmitOptions submit;
+      submit.priority = priority;
+      std::vector<std::future<serve::ServeResult>> futures;
+      for (std::size_t i = 0; i < kWindowRequests; ++i) {
+        // Trickle: arrivals slower than service, so batches only fill when
+        // the window holds the head open.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        futures.push_back(
+            pool.submit_model(mlp, tensor::random_uniform(4, 64, rng, -1.0, 1.0), submit));
+      }
+      for (auto& f : futures) f.get();
+      pool.shutdown();
+      const serve::ServeStats stats = pool.stats();
+      WindowRow row{window_ms, std::string(serve::priority_name(priority)),
+                    stats.percentile_latency_ms(99.0), stats.mean_batch_requests(),
+                    stats.window_expiries()};
+      window_rows.push_back(row);
+      window_table.add_row({TablePrinter::num(window_ms, 0), row.latency_class,
+                            TablePrinter::num(row.p99_ms, 2),
+                            TablePrinter::num(row.mean_requests, 2),
+                            std::to_string(row.window_expiries)});
+      return row;
+    };
+    WindowRow full_batch_wait{};
+    for (double window : {0.0, 5.0, kMaxWindowMs}) {
+      full_batch_wait = run_windowed(window, serve::Priority::kNormal);
+    }
+    const WindowRow interactive = run_windowed(kMaxWindowMs, serve::Priority::kInteractive);
+    window_table.render(std::cout);
+    window_interactive_improves = interactive.p99_ms < full_batch_wait.p99_ms;
+    std::cout << "\n(larger windows hold partial batches open for riders — fuller\n"
+                 " batches, higher head latency; the interactive class forces immediate\n"
+                 " launch, keeping its p99 at "
+              << TablePrinter::num(interactive.p99_ms, 2) << " ms vs "
+              << TablePrinter::num(full_batch_wait.p99_ms, 2)
+              << " ms for window-waiting normal traffic)\n\n";
+  }
+
+  std::cout << "=== Hot swap under load: 2x2 fleet, 4 version flips ===\n\n";
+  HotSwapResult hot_swap;
+  {
+    serve::FleetConfig cfg;
+    cfg.shards = 2;
+    cfg.workers_per_shard = 2;
+    cfg.accelerator.mode = ExecutionMode::kAnalytic;
+    serve::Fleet fleet(cfg);
+    Rng rng(17);
+    serve::ModelOptions options;
+    options.batchable = true;
+    std::vector<serve::ModelHandle> versions;
+    versions.push_back(
+        fleet.register_model("hot-mlp", make_serving_mlp(rng), options));
+
+    constexpr std::size_t kSwapRequests = 200;
+    constexpr std::size_t kSwaps = 4;
+    std::vector<tensor::Matrix> inputs;
+    std::vector<std::future<serve::ServeResult>> futures;
+    std::thread submitter([&fleet, &inputs, &futures] {
+      Rng stream_rng(19);
+      inputs.reserve(kSwapRequests);
+      futures.reserve(kSwapRequests);
+      for (std::size_t i = 0; i < kSwapRequests; ++i) {
+        inputs.push_back(tensor::random_uniform(2 + i % 3, 64, stream_rng, -1.0, 1.0));
+        futures.push_back(fleet.submit_model("hot-mlp", inputs.back()));
+      }
+    });
+    for (std::size_t s = 0; s < kSwaps; ++s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      versions.push_back(fleet.swap_model("hot-mlp", make_serving_mlp(rng)));
+    }
+    submitter.join();
+    fleet.shutdown();
+
+    hot_swap.requests = futures.size();
+    hot_swap.swaps = kSwaps;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      try {
+        const serve::ServeResult got = futures[i].get();
+        bool matched = false;
+        for (const serve::ModelHandle& v : versions) {
+          if (got.logits == v->infer(inputs[i])) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) ++hot_swap.corrupted;
+      } catch (...) {
+        ++hot_swap.failed;
+      }
+    }
+    std::cout << hot_swap.requests << " requests across " << hot_swap.swaps
+              << " version flips: " << hot_swap.failed << " failed futures, "
+              << hot_swap.corrupted
+              << " corrupted logit sets (every logit matched a published version)\n\n";
+  }
+
+  const bool hot_swap_clean = hot_swap.failed == 0 && hot_swap.corrupted == 0;
+  const bool pass = trace_speedup_at_8 >= 4.0 && model_speedup_at_8 >= 4.0 &&
+                    fleet_speedup_at_4 >= 2.0 && window_interactive_improves &&
+                    hot_swap_clean && logits_exact;
   write_json(json_path, trace_rows, batch_rows, model_rows, class_rows, overload,
-             trace_speedup_at_8, model_speedup_at_8, logits_exact, pass);
+             fleet_rows, window_rows, hot_swap, trace_speedup_at_8, model_speedup_at_8,
+             fleet_speedup_at_4, window_interactive_improves, logits_exact, pass);
   std::cout << "wrote " << json_path << "\n";
 
   if (!logits_exact) {
@@ -396,8 +656,24 @@ int main(int argc, char** argv) {
               << TablePrinter::num(model_speedup_at_8, 2) << "x)\n";
     return 1;
   }
+  if (fleet_speedup_at_4 < 2.0) {
+    std::cout << "FAIL: 4-shard fleet aggregate speedup "
+              << TablePrinter::num(fleet_speedup_at_4, 2) << "x below the 2x bar\n";
+    return 1;
+  }
+  if (!window_interactive_improves) {
+    std::cout << "FAIL: interactive p99 did not improve on window-waiting traffic\n";
+    return 1;
+  }
+  if (!hot_swap_clean) {
+    std::cout << "FAIL: hot swap dropped or corrupted requests (" << hot_swap.failed
+              << " failed, " << hot_swap.corrupted << " corrupted)\n";
+    return 1;
+  }
   std::cout << "OK: 8-worker aggregate speedup trace " << TablePrinter::num(trace_speedup_at_8, 2)
             << "x, real-model " << TablePrinter::num(model_speedup_at_8, 2)
-            << "x (>= 4x bar), logits bit-exact\n";
+            << "x (>= 4x bar); 4-shard fleet " << TablePrinter::num(fleet_speedup_at_4, 2)
+            << "x (>= 2x bar); interactive p99 beats window waiting; hot swap clean; "
+               "logits bit-exact\n";
   return 0;
 }

@@ -1,14 +1,19 @@
-// Serving demo: one pool, mixed traffic — including REAL model inference.
+// Serving demo: a multi-pool FLEET serving mixed traffic — including REAL
+// model inference and a hot swap under load.
 //
-// Spins up a 4-worker ServerPool (one simulated ONE-SA array per worker,
-// sharing a single CPWL table set) and throws mixed traffic at it
-// concurrently: BERT / ResNet-50 / GCN model traces, raw GELU elementwise
-// requests, GEMM requests against one shared weight matrix (which the
-// dynamic batcher packs into common array passes), and real forward passes
-// through an nn::Sequential MLP registered with the pool's ModelRegistry —
-// one immutable weight copy shared by every worker, logits verified
-// bit-exact against the direct forward. Requests carry priority classes and
-// deadlines; the run prints the SLO counters next to the fleet statistics.
+// Spins up a serve::Fleet of 2 shards x 2 workers (each worker one
+// simulated ONE-SA array; one CPWL table set and one version-aware
+// ModelRegistry shared across the whole fleet) and throws mixed traffic at
+// it concurrently: BERT / ResNet-50 / GCN model traces, raw GELU
+// elementwise requests, GEMM requests against one shared weight matrix,
+// and real forward passes through an nn::Sequential MLP registered with
+// the fleet — one immutable weight copy packed once for every shard,
+// logits verified bit-exact against the direct forward. Requests carry
+// priority classes and deadlines; the least-outstanding-cost router levels
+// the shards, and the run finishes by hot-swapping the MLP to a new
+// version while serving, proving version-consistent logits across the
+// flip. Per-shard statistics print next to the fleet aggregate (their sums
+// are equal by construction).
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -18,23 +23,40 @@
 #include "nn/linear.hpp"
 #include "nn/norm.hpp"
 #include "nn/workload.hpp"
-#include "serve/server_pool.hpp"
+#include "serve/fleet.hpp"
 #include "tensor/ops.hpp"
+
+namespace {
+
+std::unique_ptr<onesa::nn::Sequential> make_demo_mlp(onesa::Rng& rng) {
+  using namespace onesa;
+  auto model = std::make_unique<nn::Sequential>();
+  model->add(std::make_unique<nn::Linear>(32, 64, rng));
+  model->add(nn::make_relu());
+  model->add(std::make_unique<nn::LayerNorm>(64));
+  model->add(std::make_unique<nn::Linear>(64, 8, rng));
+  return model;
+}
+
+}  // namespace
 
 int main() {
   using namespace onesa;
 
-  std::cout << "=== ONE-SA serving runtime demo ===\n\n";
+  std::cout << "=== ONE-SA serving runtime demo: the fleet tier ===\n\n";
 
-  serve::ServerPoolConfig cfg;
-  cfg.workers = 4;
+  serve::FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 2;
   cfg.accelerator.mode = ExecutionMode::kAnalytic;  // paper reference 8x8x16 array
   cfg.batcher.max_batch_rows = 64;
-  serve::ServerPool pool(cfg);
-  std::cout << "pool: " << pool.workers() << " workers, "
-            << cfg.accelerator.array.rows << "x" << cfg.accelerator.array.cols
-            << " array x " << cfg.accelerator.array.macs_per_pe
-            << " MACs each, shared CPWL tables\n\n";
+  serve::Fleet fleet(cfg);
+  std::cout << "fleet: " << fleet.shards() << " shards x " << cfg.workers_per_shard
+            << " workers, " << cfg.accelerator.array.rows << "x"
+            << cfg.accelerator.array.cols << " array x "
+            << cfg.accelerator.array.macs_per_pe << " MACs each, "
+            << serve::router_policy_name(cfg.router)
+            << " routing, shared CPWL tables + model registry\n\n";
 
   // --- model-trace traffic: three network families, several requests each.
   struct ModelJob {
@@ -55,21 +77,16 @@ int main() {
 
   constexpr int kPerModel = 6;
   for (int i = 0; i < kPerModel; ++i)
-    for (auto& job : jobs) job.futures.push_back(pool.submit_trace(job.trace));
+    for (auto& job : jobs) job.futures.push_back(fleet.submit_trace(job.trace));
 
-  // --- real-model traffic: a registered MLP served end-to-end. The handle
-  // freezes one weight copy for the whole pool; interactive priority with a
-  // 50 ms deadline exercises the EDF scheduler.
+  // --- real-model traffic: a registered MLP served end-to-end. The
+  // registry is shared by every shard, so the weights pack exactly once;
+  // interactive priority with a 50 ms deadline exercises the EDF scheduler.
   Rng rng(7);
   const serve::ModelHandle mlp = [&] {
-    auto model = std::make_unique<nn::Sequential>();
-    model->add(std::make_unique<nn::Linear>(32, 64, rng));
-    model->add(nn::make_relu());
-    model->add(std::make_unique<nn::LayerNorm>(64));
-    model->add(std::make_unique<nn::Linear>(64, 8, rng));
     serve::ModelOptions options;
     options.batchable = true;  // every layer is row-independent
-    return pool.register_model("mlp-classifier", std::move(model), options);
+    return fleet.register_model("mlp-classifier", make_demo_mlp(rng), std::move(options));
   }();
   serve::SubmitOptions interactive;
   interactive.priority = serve::Priority::kInteractive;
@@ -78,7 +95,7 @@ int main() {
   std::vector<std::future<serve::ServeResult>> mlp_futures;
   for (int i = 0; i < 10; ++i) {
     mlp_inputs.push_back(tensor::random_uniform(2 + i % 3, 32, rng, -1.0, 1.0));
-    mlp_futures.push_back(pool.submit_model(mlp, mlp_inputs.back(), interactive));
+    mlp_futures.push_back(fleet.submit_model(mlp, mlp_inputs.back(), interactive));
   }
 
   // --- raw-op traffic interleaved with the models.
@@ -86,10 +103,10 @@ int main() {
       tensor::to_fixed(tensor::random_uniform(64, 64, rng, -0.5, 0.5)));
   std::vector<std::future<serve::ServeResult>> op_futures;
   for (int i = 0; i < 12; ++i) {
-    op_futures.push_back(pool.submit_elementwise(
+    op_futures.push_back(fleet.submit_elementwise(
         cpwl::FunctionKind::kGelu,
         tensor::to_fixed(tensor::random_uniform(4, 64, rng, -3.0, 3.0))));
-    op_futures.push_back(pool.submit_gemm(
+    op_futures.push_back(fleet.submit_gemm(
         tensor::to_fixed(tensor::random_uniform(4, 64, rng, -1.0, 1.0)), weight));
   }
 
@@ -122,10 +139,9 @@ int main() {
     if (r.deadline_missed) ++misses;
     mlp_service_ms += r.service_ms;
   }
-  pool.shutdown();
   models.render(std::cout);
 
-  std::cout << "\n--- real-model serving (" << mlp->name << ", "
+  std::cout << "\n--- real-model serving (" << mlp->name << " v" << mlp->version << ", "
             << serve::priority_name(serve::Priority::kInteractive)
             << " class, 50 ms deadline) ---\n"
             << mlp_futures.size() << " requests served, " << exact
@@ -134,49 +150,86 @@ int main() {
             << TablePrinter::num(mlp_service_ms / static_cast<double>(mlp_futures.size()), 3)
             << " ms\n";
 
-  // --- fleet-wide statistics.
-  const serve::ServeStats stats = pool.stats();
+  // --- hot swap while serving: publish v2 and keep submitting by name. The
+  // new version is pre-packed before the atomic publish; in-flight work
+  // finishes on v1, new submissions resolve v2.
+  const serve::ModelHandle mlp_v2 = fleet.swap_model("mlp-classifier", make_demo_mlp(rng));
+  std::vector<tensor::Matrix> v2_inputs;
+  std::vector<std::future<serve::ServeResult>> v2_futures;
+  for (int i = 0; i < 6; ++i) {
+    v2_inputs.push_back(tensor::random_uniform(2, 32, rng, -1.0, 1.0));
+    v2_futures.push_back(fleet.submit_model("mlp-classifier", v2_inputs.back()));
+  }
+  std::size_t v2_exact = 0;
+  for (std::size_t i = 0; i < v2_futures.size(); ++i) {
+    if (v2_futures[i].get().logits == mlp_v2->infer(v2_inputs[i])) ++v2_exact;
+  }
+  fleet.shutdown();
+  std::cout << "\n--- hot swap ---\nswapped " << mlp_v2->name << " v" << mlp->version
+            << " -> v" << mlp_v2->version << " under load: " << v2_exact << "/"
+            << v2_futures.size()
+            << " post-swap logit sets bit-exact vs the NEW version's forward\n";
+
+  // --- fleet-wide statistics plus the per-shard breakdown they sum from.
+  const serve::ServeStats stats = fleet.stats();
   const double clock = cfg.accelerator.array.clock_mhz;
   std::cout << "\n--- fleet statistics ---\n";
-  TablePrinter fleet({"Metric", "Value"});
-  fleet.add_row({"requests served", std::to_string(stats.completed())});
-  fleet.add_row({"array passes (batches)", std::to_string(stats.batches())});
-  fleet.add_row({"mean requests/batch", TablePrinter::num(stats.mean_batch_requests(), 2)});
-  fleet.add_row({"batch fill ratio", TablePrinter::num(stats.batch_fill(), 2)});
-  fleet.add_row({"deadline misses", std::to_string(stats.deadline_misses())});
-  fleet.add_row({"admission sheds", std::to_string(stats.sheds())});
-  fleet.add_row({"host latency p50 ms", TablePrinter::num(stats.percentile_latency_ms(50.0), 2)});
-  fleet.add_row({"host latency p95 ms", TablePrinter::num(stats.percentile_latency_ms(95.0), 2)});
-  fleet.add_row({"host latency p99 ms", TablePrinter::num(stats.percentile_latency_ms(99.0), 2)});
-  fleet.add_row({"simulated Gcycles (sum)",
-                 TablePrinter::num(static_cast<double>(stats.total_cycles().total()) / 1e9, 2)});
-  fleet.add_row({"fleet makespan ms (simulated)",
-                 TablePrinter::num(static_cast<double>(pool.makespan_cycles()) / (clock * 1e3),
-                                   2)});
-  fleet.add_row({"aggregate req/s (simulated)",
-                 TablePrinter::num(static_cast<double>(stats.completed()) /
-                                       (static_cast<double>(pool.makespan_cycles()) /
-                                        (clock * 1e6)),
-                                   1)});
-  fleet.render(std::cout);
+  TablePrinter fleet_table({"Metric", "Value"});
+  fleet_table.add_row({"requests served", std::to_string(stats.completed())});
+  fleet_table.add_row({"array passes (batches)", std::to_string(stats.batches())});
+  fleet_table.add_row(
+      {"mean requests/batch", TablePrinter::num(stats.mean_batch_requests(), 2)});
+  fleet_table.add_row({"batch fill ratio", TablePrinter::num(stats.batch_fill(), 2)});
+  fleet_table.add_row({"deadline misses", std::to_string(stats.deadline_misses())});
+  fleet_table.add_row({"admission sheds", std::to_string(stats.sheds())});
+  fleet_table.add_row(
+      {"batching-window expiries", std::to_string(stats.window_expiries())});
+  fleet_table.add_row(
+      {"host latency p50 ms", TablePrinter::num(stats.percentile_latency_ms(50.0), 2)});
+  fleet_table.add_row(
+      {"host latency p95 ms", TablePrinter::num(stats.percentile_latency_ms(95.0), 2)});
+  fleet_table.add_row(
+      {"host latency p99 ms", TablePrinter::num(stats.percentile_latency_ms(99.0), 2)});
+  fleet_table.add_row(
+      {"simulated Gcycles (sum)",
+       TablePrinter::num(static_cast<double>(stats.total_cycles().total()) / 1e9, 2)});
+  fleet_table.add_row(
+      {"fleet makespan ms (simulated)",
+       TablePrinter::num(static_cast<double>(fleet.makespan_cycles()) / (clock * 1e3), 2)});
+  fleet_table.add_row(
+      {"aggregate req/s (simulated)",
+       TablePrinter::num(static_cast<double>(stats.completed()) /
+                             (static_cast<double>(fleet.makespan_cycles()) / (clock * 1e6)),
+                         1)});
+  fleet_table.render(std::cout);
+
+  std::cout << "\nper-shard breakdown (sums equal the fleet totals):\n";
+  TablePrinter shard_table({"Shard", "Completed", "Batches", "Busy Mcycles"});
+  const std::vector<serve::ServeStats> per_shard = fleet.shard_stats();
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    shard_table.add_row(
+        {std::to_string(s), std::to_string(per_shard[s].completed()),
+         std::to_string(per_shard[s].batches()),
+         TablePrinter::num(
+             static_cast<double>(per_shard[s].total_cycles().total()) / 1e6, 1)});
+  }
+  shard_table.render(std::cout);
 
   // --- the merged lifetime counters the power model consumes.
-  const LifetimeTotals totals = pool.fleet_lifetime();
-  std::cout << "\npower-model input (merged across " << pool.workers()
-            << " accelerators): " << totals.cycles.total() << " cycles, " << totals.mac_ops
-            << " MACs\n";
+  const LifetimeTotals totals = fleet.fleet_lifetime();
+  std::cout << "\npower-model input (merged across " << fleet.shards() << " shards x "
+            << cfg.workers_per_shard << " accelerators): " << totals.cycles.total()
+            << " cycles, " << totals.mac_ops << " MACs\n";
 
-  const auto busy = pool.worker_busy_cycles();
-  std::cout << "per-worker busy Mcycles:";
-  for (std::size_t w = 0; w < busy.size(); ++w)
-    std::cout << " [" << w << "] " << TablePrinter::num(static_cast<double>(busy[w]) / 1e6, 1);
-  std::cout << "\n\nEvery request — whole-model traces, raw array ops and real\n"
-               "nn::Sequential forwards alike — flowed through one pool: simulated\n"
-               "passes on the replicated one-size-fits-all array, real logits through\n"
-               "the kernel layer against the registry's shared weights.\n";
+  std::cout << "\nEvery request — whole-model traces, raw array ops and real\n"
+               "nn::Sequential forwards alike — flowed through ONE fleet submit API:\n"
+               "routed across shards by outstanding cost, served from one shared\n"
+               "registry whose weights packed once, and hot-swapped mid-stream with\n"
+               "zero dropped or torn requests.\n";
 
-  if (exact != mlp_futures.size()) {
-    std::cout << "\nFAIL: " << (mlp_futures.size() - exact)
+  if (exact != mlp_futures.size() || v2_exact != v2_futures.size()) {
+    std::cout << "\nFAIL: "
+              << (mlp_futures.size() - exact) + (v2_futures.size() - v2_exact)
               << " served logit sets diverged from the direct forward\n";
     return 1;
   }

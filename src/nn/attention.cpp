@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernels/gemm.hpp"
 #include "tensor/kernels/transpose.hpp"
 #include "tensor/ops.hpp"
 
@@ -65,15 +66,26 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t d_model, std::size_t 
   wo_ = Param(tensor::random_uniform(d_model, d_model, rng, -bound, bound));
 }
 
+tensor::Matrix MultiHeadSelfAttention::project(const tensor::Matrix& x, const Param& w,
+                                               const PackedWeightCache& cache,
+                                               bool use_packed) const {
+  if (!use_packed) return tensor::matmul(x, w.value);
+  const std::shared_ptr<const tensor::kernels::PackedB> packed = cache.get(w);
+  tensor::Matrix y(x.rows(), w.value.cols(), tensor::kUninitialized);
+  tensor::kernels::gemm_packed(x.data().data(), *packed, y.data().data(), x.rows());
+  return y;
+}
+
 tensor::Matrix MultiHeadSelfAttention::attend(const tensor::Matrix& x,
                                               std::vector<HeadCache>* cache_out,
-                                              tensor::Matrix* concat_out) const {
+                                              tensor::Matrix* concat_out,
+                                              bool use_packed) const {
   ONESA_CHECK_SHAPE(x.cols() == d_model_, "attention d_model " << x.cols());
   const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
 
-  const tensor::Matrix q = tensor::matmul(x, wq_.value);
-  const tensor::Matrix k = tensor::matmul(x, wk_.value);
-  const tensor::Matrix v = tensor::matmul(x, wv_.value);
+  const tensor::Matrix q = project(x, wq_, packed_q_, use_packed);
+  const tensor::Matrix k = project(x, wk_, packed_k_, use_packed);
+  const tensor::Matrix v = project(x, wv_, packed_v_, use_packed);
 
   tensor::Matrix concat(x.rows(), d_model_);
   for (std::size_t h = 0; h < heads_; ++h) {
@@ -92,7 +104,7 @@ tensor::Matrix MultiHeadSelfAttention::attend(const tensor::Matrix& x,
       cache.attn = std::move(attn);
     }
   }
-  tensor::Matrix out = tensor::matmul(concat, wo_.value);
+  tensor::Matrix out = project(concat, wo_, packed_o_, use_packed);
   if (concat_out != nullptr) *concat_out = std::move(concat);
   return out;
 }
@@ -101,11 +113,18 @@ tensor::Matrix MultiHeadSelfAttention::forward(const tensor::Matrix& x) {
   cached_input_ = x;
   seq_len_ = x.rows();
   head_cache_.assign(heads_, {});
-  return attend(x, &head_cache_, &cached_concat_);
+  return attend(x, &head_cache_, &cached_concat_, /*use_packed=*/false);
 }
 
 tensor::Matrix MultiHeadSelfAttention::infer(const tensor::Matrix& x) const {
-  return attend(x, nullptr, nullptr);
+  return attend(x, nullptr, nullptr, /*use_packed=*/true);
+}
+
+void MultiHeadSelfAttention::prepack() const {
+  packed_q_.get(wq_);
+  packed_k_.get(wk_);
+  packed_v_.get(wv_);
+  packed_o_.get(wo_);
 }
 
 tensor::Matrix MultiHeadSelfAttention::backward(const tensor::Matrix& grad_out) {

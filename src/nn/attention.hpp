@@ -7,6 +7,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "nn/pack_cache.hpp"
 
 namespace onesa::nn {
 
@@ -27,6 +28,21 @@ class MultiHeadSelfAttention : public Layer {
                                   const tensor::FixMatrix& x) override;
   void count_ops(OpCensus& census, std::size_t batch) const override;
 
+  /// Pack the four projection weights (Wq/Wk/Wv/Wo) now so a served model's
+  /// attention blocks never pack on the request path (the serving registry
+  /// calls this at registration, like Linear/Conv2d).
+  void prepack() const override;
+
+  /// Drop all four packed projection caches. Only needed after assigning a
+  /// projection Param's value directly (the optimizers bump Param::version
+  /// instead) — same escape hatch as Linear::invalidate_packed.
+  void invalidate_packed() const {
+    packed_q_.invalidate();
+    packed_k_.invalidate();
+    packed_v_.invalidate();
+    packed_o_.invalidate();
+  }
+
   std::size_t d_model() const { return d_model_; }
   std::size_t num_heads() const { return heads_; }
 
@@ -42,8 +58,15 @@ class MultiHeadSelfAttention : public Layer {
   /// Shared forward/infer arithmetic; writes the backward caches only when
   /// the out-params are non-null (forward), so infer stays const and the two
   /// paths cannot diverge (the serving tier's bit-exactness contract).
+  /// `use_packed` sends the four weight projections through the cached
+  /// PackedB form (infer); forward keeps the raw weights, same rationale as
+  /// Linear. Both produce identical bits (the gemm_packed contract).
   tensor::Matrix attend(const tensor::Matrix& x, std::vector<HeadCache>* cache_out,
-                        tensor::Matrix* concat_out) const;
+                        tensor::Matrix* concat_out, bool use_packed) const;
+
+  /// x @ w.value, through the version-keyed packed cache when requested.
+  tensor::Matrix project(const tensor::Matrix& x, const Param& w,
+                         const PackedWeightCache& cache, bool use_packed) const;
 
   std::size_t d_model_;
   std::size_t heads_;
@@ -53,6 +76,9 @@ class MultiHeadSelfAttention : public Layer {
   tensor::Matrix cached_input_;
   tensor::Matrix cached_concat_;  // seq x d_model (pre-output-projection)
   std::vector<HeadCache> head_cache_;
+  // Packed projection weights for the inference path, keyed on each Param's
+  // version (see nn/pack_cache.hpp).
+  PackedWeightCache packed_q_, packed_k_, packed_v_, packed_o_;
 };
 
 }  // namespace onesa::nn

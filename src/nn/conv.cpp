@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/kernels/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace onesa::nn {
@@ -22,12 +23,32 @@ std::size_t Conv2d::out_features() const {
 
 tensor::Matrix Conv2d::forward(const tensor::Matrix& x) {
   cached_input_ = x;
-  return infer(x);
+  // Training path: the raw-weight im2col GEMM, never the packed cache —
+  // same rationale as Linear::forward (gradient checks and ad-hoc weight
+  // edits must always see the current values). Bit-identical to infer():
+  // gemm_packed matches the dispatched matmul bit for bit, and the kBias
+  // epilogue is the same `result + bias` add this path performs.
+  return tensor::conv2d_via_gemm(x, weight_.value, bias_.value, shape_);
 }
 
 tensor::Matrix Conv2d::infer(const tensor::Matrix& x) const {
-  return tensor::conv2d_via_gemm(x, weight_.value, bias_.value, shape_);
+  // Inference path: the per-sample patch GEMMs consume the cached PackedB
+  // (packed once at registration via prepack(), shared read-only across
+  // worker threads) with the bias broadcast fused into the output store.
+  // conv2d_apply owns the im2col loop and output layout, shared with the
+  // raw-weight path above.
+  const std::shared_ptr<const tensor::kernels::PackedB> packed = packed_cache_.get(weight_);
+  tensor::kernels::Epilogue epi;
+  epi.kind = tensor::kernels::Epilogue::Kind::kBias;
+  epi.bias = bias_.value.data().data();
+  return tensor::conv2d_apply(
+      x, shape_, out_channels_, [&](const tensor::Matrix& patches, tensor::Matrix& result) {
+        tensor::kernels::gemm_packed(patches.data().data(), *packed,
+                                     result.data().data(), patches.rows(), epi);
+      });
 }
+
+void Conv2d::prepack() const { packed_cache_.get(weight_); }
 
 tensor::Matrix Conv2d::backward(const tensor::Matrix& grad_out) {
   const std::size_t oh = shape_.out_height();

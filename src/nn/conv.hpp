@@ -8,6 +8,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "nn/pack_cache.hpp"
 #include "tensor/im2col.hpp"
 
 namespace onesa::nn {
@@ -27,6 +28,16 @@ class Conv2d : public Layer {
                                   const tensor::FixMatrix& x) override;
   void count_ops(OpCensus& census, std::size_t batch) const override;
 
+  /// Build (or refresh) the packed patch-GEMM weight cache now, so a served
+  /// model's conv layers never pack on the request path (same contract as
+  /// Linear::prepack — the serving registry calls this at registration).
+  void prepack() const override;
+
+  /// Drop the packed-weight cache. Only needed after assigning the weight
+  /// Param's value directly (the optimizers bump Param::version instead) —
+  /// same escape hatch as Linear::invalidate_packed.
+  void invalidate_packed() const { packed_cache_.invalidate(); }
+
   const tensor::ConvShape& shape() const { return shape_; }
   std::size_t out_channels() const { return out_channels_; }
   /// Output row width: out_channels * out_h * out_w.
@@ -38,6 +49,11 @@ class Conv2d : public Layer {
   Param weight_;  // (C*k*k) x out_channels
   Param bias_;    // 1 x out_channels
   tensor::Matrix cached_input_;
+  // Packed form of weight_ for the inference path's per-sample patch GEMMs,
+  // keyed on Param::version like Linear's cache. forward() stays on the raw
+  // weights so gradient checks and direct weight edits never see a stale
+  // pack.
+  PackedWeightCache packed_cache_;
 };
 
 /// 2x2/stride-2 max pooling over the conv layout.

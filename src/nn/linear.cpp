@@ -48,21 +48,12 @@ tensor::Matrix Linear::forward(const tensor::Matrix& x) {
 }
 
 std::shared_ptr<const tensor::kernels::PackedB> Linear::packed_weight() const {
-  std::lock_guard<std::mutex> lock(pack_mutex_);
-  if (packed_ == nullptr || packed_version_ != weight_.version) {
-    packed_ = std::make_shared<tensor::kernels::PackedB>(
-        tensor::kernels::PackedB::pack(weight_.value.data().data(), in_, out_));
-    packed_version_ = weight_.version;
-  }
-  return packed_;
+  return packed_cache_.get(weight_);
 }
 
 void Linear::prepack() const { packed_weight(); }
 
-void Linear::invalidate_packed() const {
-  std::lock_guard<std::mutex> lock(pack_mutex_);
-  packed_ = nullptr;
-}
+void Linear::invalidate_packed() const { packed_cache_.invalidate(); }
 
 tensor::Matrix Linear::infer(const tensor::Matrix& x) const {
   return infer_with_epilogue(x, tensor::kernels::Epilogue::Kind::kBias, nullptr);

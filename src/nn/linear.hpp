@@ -12,9 +12,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "nn/layer.hpp"
+#include "nn/pack_cache.hpp"
 #include "tensor/kernels/pack.hpp"
 
 namespace onesa::cpwl {
@@ -71,13 +71,9 @@ class Linear : public Layer {
   Param bias_;    // 1 x out
   tensor::Matrix cached_input_;
 
-  // Packed-weight cache: rebuilt when weight_.version moves. The mutex only
-  // guards the (pointer, version) pair — the PackedB itself is immutable
-  // after construction, so N serving threads GEMM against one shared copy
-  // lock-free.
-  mutable std::mutex pack_mutex_;
-  mutable std::shared_ptr<const tensor::kernels::PackedB> packed_;
-  mutable std::uint64_t packed_version_ = 0;
+  // Packed-weight cache: rebuilt when weight_.version moves (see
+  // nn/pack_cache.hpp for the sharing/invalidation contract).
+  PackedWeightCache packed_cache_;
 };
 
 }  // namespace onesa::nn

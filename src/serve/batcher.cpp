@@ -57,7 +57,8 @@ Mat slice_rows(const Mat& packed, std::size_t row0, std::size_t rows) {
 /// worker's closed-form cycle model (nn::estimate_op_cycles — the same
 /// decompositions the accelerator façade executes) and charge the worker's
 /// accelerator so fleet-wide power accounting sees the work.
-BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t worker) {
+BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t worker,
+                          std::size_t shard) {
   const auto start = ServeClock::now();
   const nn::TraceEstimate estimate = nn::estimate_trace(*req.trace, accel.timing());
   const sim::CycleStats& cycles = estimate.cycles;
@@ -71,6 +72,7 @@ BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t
   result.mac_ops = macs;
   result.trace = estimate;
   result.worker = worker;
+  result.shard = shard;
   result.batch_rows = 1;
   result.padded_rows = 1;
   const auto end = ServeClock::now();
@@ -84,6 +86,7 @@ BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t
   record.requests = 1;
   record.rows = 1;
   record.padded_rows = 1;
+  record.shard = shard;
   record.deadline_misses = missed ? 1 : 0;
   record.latency_ms.push_back(result.queue_ms + result.service_ms);
   record.latency_class.push_back(req.priority);
@@ -126,7 +129,7 @@ sim::CycleStats model_batch_cycles(const ModelEntry& entry, std::size_t requests
 /// THIS batch's futures — never escape into worker_loop, where an uncaught
 /// exception would std::terminate the whole pool.
 BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& accel,
-                          std::size_t worker) {
+                          std::size_t worker, std::size_t shard) {
   const auto start = ServeClock::now();
   const ModelEntry& entry = *batch.front().model;
   std::size_t total_rows = 0;
@@ -167,6 +170,7 @@ BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& acc
   record.requests = batch.size();
   record.rows = total_rows;
   record.padded_rows = total_rows;  // no padding: kernels need no tile alignment
+  record.shard = shard;
   record.latency_ms.reserve(batch.size());
 
   std::size_t row = 0;
@@ -184,6 +188,7 @@ BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& acc
     result.queue_ms = ms_between(req.enqueued, start);
     result.service_ms = ms_between(start, end);
     result.worker = worker;
+    result.shard = shard;
     result.batch_requests = batch.size();
     result.batch_rows = total_rows;
     result.padded_rows = total_rows;
@@ -201,6 +206,8 @@ void BatcherConfig::validate() const {
   if (max_batch_rows == 0) throw ConfigError("BatcherConfig::max_batch_rows must be > 0");
   if (max_batch_requests == 0)
     throw ConfigError("BatcherConfig::max_batch_requests must be > 0");
+  if (max_batch_wait_ms < 0.0)
+    throw ConfigError("BatcherConfig::max_batch_wait_ms must be >= 0");
 }
 
 DynamicBatcher::DynamicBatcher(BatcherConfig config) : config_(config) {
@@ -251,14 +258,15 @@ std::vector<ServeRequest> DynamicBatcher::take_batch(std::deque<ServeRequest>& p
 }
 
 BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
-                                    OneSaAccelerator& accel, std::size_t worker) const {
+                                    OneSaAccelerator& accel, std::size_t worker,
+                                    std::size_t shard) const {
   ONESA_CHECK(!batch.empty(), "DynamicBatcher::execute on an empty batch");
   if (batch.front().kind == RequestKind::kTrace) {
     ONESA_CHECK(batch.size() == 1, "trace requests must not be batched");
-    return execute_trace(std::move(batch.front()), accel, worker);
+    return execute_trace(std::move(batch.front()), accel, worker, shard);
   }
   if (batch.front().kind == RequestKind::kModel) {
-    return execute_model(std::move(batch), accel, worker);
+    return execute_model(std::move(batch), accel, worker, shard);
   }
 
   const auto start = ServeClock::now();
@@ -286,6 +294,7 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
   record.requests = batch.size();
   record.rows = useful_rows;
   record.padded_rows = packed.rows();
+  record.shard = shard;
   record.latency_ms.reserve(batch.size());
 
   std::size_t row = 0;
@@ -300,6 +309,7 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
     result.queue_ms = ms_between(req.enqueued, start);
     result.service_ms = ms_between(start, end);
     result.worker = worker;
+    result.shard = shard;
     result.batch_requests = batch.size();
     result.batch_rows = useful_rows;
     result.padded_rows = packed.rows();

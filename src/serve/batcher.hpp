@@ -34,6 +34,14 @@ struct BatcherConfig {
   std::size_t max_batch_rows = 64;
   /// Cap on requests packed into one batch.
   std::size_t max_batch_requests = 16;
+  /// Latency-aware batching window for elementwise/GEMM requests: a
+  /// partially filled batch headed by a non-interactive request waits up to
+  /// this long (ms, from the head's enqueue) for more compatible riders
+  /// before launching anyway. 0 (default) launches immediately — the
+  /// pre-window behaviour. Model requests use their registry entry's
+  /// per-model batch_window_ms instead; interactive-class heads always
+  /// launch immediately. Window expiries are counted in ServeStats.
+  double max_batch_wait_ms = 0.0;
 
   void validate() const;
 };
@@ -58,8 +66,10 @@ class DynamicBatcher {
   /// Run one batch on `accel`, fulfill every request's promise with its
   /// sliced rows, and return the batch's accounting (cycles charged once).
   /// The stack is padded to a multiple of the accelerator's array height.
+  /// `shard` is stamped into every result and the record (fleet visibility;
+  /// 0 for a standalone pool).
   BatchRecord execute(std::vector<ServeRequest> batch, OneSaAccelerator& accel,
-                      std::size_t worker) const;
+                      std::size_t worker, std::size_t shard = 0) const;
 
  private:
   BatcherConfig config_;

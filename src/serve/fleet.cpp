@@ -1,0 +1,214 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace onesa::serve {
+
+namespace {
+
+/// FNV-1a over the model name: stable within and across runs (unlike
+/// std::hash), so model-affinity placement is reproducible.
+std::uint64_t affinity_hash(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string_view router_policy_name(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kLeastOutstandingCost: return "least-outstanding-cost";
+    case RouterPolicy::kRoundRobin: return "round-robin";
+    case RouterPolicy::kModelAffinity: return "model-affinity";
+  }
+  return "?";
+}
+
+Fleet::Fleet(FleetConfig config)
+    : config_(std::move(config)), registry_(std::make_shared<ModelRegistry>()) {
+  ONESA_CHECK(config_.shards > 0, "Fleet needs at least one shard");
+  ONESA_CHECK(config_.workers_per_shard > 0, "Fleet needs at least one worker per shard");
+
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    ServerPoolConfig pool;
+    pool.workers = config_.workers_per_shard;
+    pool.accelerator = config_.accelerator;
+    pool.batcher = config_.batcher;
+    pool.dispatch = config_.dispatch;
+    // Admission lives at the fleet: shards stay unlimited so a shedding
+    // decision always sees the fleet-wide backlog, never one shard's slice.
+    pool.admission = {};
+    pool.shard = s;
+    // Shard 0 builds the CPWL tables; every later shard aliases them — one
+    // immutable table set per fleet, like one registry per fleet.
+    shards_.push_back(std::make_unique<ServerPool>(
+        pool, registry_, s == 0 ? nullptr : shards_[0]->shared_tables()));
+  }
+  ONESA_LOG_DEBUG << "serve: fleet up with " << shards_.size() << " shards x "
+                  << config_.workers_per_shard << " workers ("
+                  << router_policy_name(config_.router) << " routing, admission "
+                  << (config_.admission.unlimited() ? "unlimited" : "fleet-wide")
+                  << ")";
+}
+
+Fleet::~Fleet() { shutdown(); }
+
+ModelHandle Fleet::register_model(std::string name, std::unique_ptr<nn::Sequential> model,
+                                  ModelOptions options) {
+  ModelHandle handle = registry_->add(std::move(name), std::move(model), std::move(options));
+  // The registry is shared, so the pools' own lazy reservation hook never
+  // fires — reserve every shard's worker lanes here instead (idempotent).
+  for (auto& shard : shards_) shard->ensure_kernel_reservation();
+  return handle;
+}
+
+ModelHandle Fleet::swap_model(const std::string& name,
+                              std::unique_ptr<nn::Sequential> model) {
+  return registry_->swap(name, std::move(model));
+}
+
+std::size_t Fleet::route(const ServeRequest& req) {
+  switch (config_.router) {
+    case RouterPolicy::kRoundRobin:
+      return static_cast<std::size_t>(
+          rr_turn_.fetch_add(1, std::memory_order_relaxed) % shards_.size());
+    case RouterPolicy::kModelAffinity:
+      if (req.kind == RequestKind::kModel && req.model != nullptr) {
+        // Hash the NAME, not the handle: affinity survives hot-swaps, so a
+        // model's traffic keeps batching on its shard across version flips.
+        return static_cast<std::size_t>(affinity_hash(req.model->name) % shards_.size());
+      }
+      [[fallthrough]];  // non-model traffic levels by outstanding cost
+    case RouterPolicy::kLeastOutstandingCost:
+      break;
+  }
+  std::size_t best = 0;
+  std::uint64_t best_cost = shards_[0]->outstanding_cost();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    const std::uint64_t cost = shards_[s]->outstanding_cost();
+    if (cost < best_cost) {
+      best = s;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+std::future<ServeResult> Fleet::submit(TaggedRequest req) {
+  if (!config_.admission.unlimited()) {
+    // Fleet-wide admission: the shedding decision sees the summed backlog of
+    // every shard (approximate across concurrent submitters — see header).
+    std::size_t backlog_requests = 0;
+    std::uint64_t backlog_macs = 0;
+    for (const auto& shard : shards_) {
+      backlog_requests += shard->pending();
+      backlog_macs += shard->backlog_cost();
+    }
+    if (config_.admission.over(backlog_requests, 1, backlog_macs, req.request.cost)) {
+      fleet_sheds_.fetch_add(1, std::memory_order_relaxed);
+      req.request.promise.set_exception(std::make_exception_ptr(OverloadError(
+          "request " + std::to_string(req.request.id) +
+          " shed by fleet admission control: backlog " +
+          std::to_string(backlog_requests) + " requests / " +
+          std::to_string(backlog_macs) + " MACs across " +
+          std::to_string(shards_.size()) + " shards")));
+      return std::move(req.result);
+    }
+  }
+  return shards_[route(req.request)]->submit(std::move(req));
+}
+
+std::future<ServeResult> Fleet::submit_elementwise(cpwl::FunctionKind fn,
+                                                   tensor::FixMatrix x,
+                                                   SubmitOptions options) {
+  return submit(make_elementwise_request(fn, std::move(x), options));
+}
+
+std::future<ServeResult> Fleet::submit_gemm(tensor::FixMatrix a,
+                                            std::shared_ptr<const tensor::FixMatrix> b,
+                                            SubmitOptions options) {
+  return submit(make_gemm_request(std::move(a), std::move(b), options));
+}
+
+std::future<ServeResult> Fleet::submit_trace(
+    std::shared_ptr<const nn::WorkloadTrace> trace, SubmitOptions options) {
+  return submit(make_trace_request(std::move(trace), options));
+}
+
+std::future<ServeResult> Fleet::submit_model(const std::string& name, tensor::Matrix input,
+                                             SubmitOptions options) {
+  return submit_model(registry_->get(name), std::move(input), options);
+}
+
+std::future<ServeResult> Fleet::submit_model(ModelHandle model, tensor::Matrix input,
+                                             SubmitOptions options) {
+  return submit(make_model_request(std::move(model), std::move(input), options));
+}
+
+void Fleet::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  for (auto& shard : shards_) shard->shutdown();
+  ONESA_LOG_DEBUG << "serve: fleet drained, " << stats().completed()
+                  << " requests served across " << shards_.size() << " shards, "
+                  << sheds() << " shed";
+}
+
+std::size_t Fleet::pending() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pending();
+  return total;
+}
+
+std::uint64_t Fleet::backlog_cost() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->backlog_cost();
+  return total;
+}
+
+ServeStats Fleet::stats() const {
+  ServeStats total;
+  for (const auto& shard : shards_) total += shard->stats();
+  total.record_sheds(fleet_sheds_.load(std::memory_order_relaxed));
+  return total;
+}
+
+std::vector<ServeStats> Fleet::shard_stats() const {
+  std::vector<ServeStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->stats());
+  return out;
+}
+
+std::uint64_t Fleet::sheds() const {
+  std::uint64_t total = fleet_sheds_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) total += shard->sheds();
+  return total;
+}
+
+LifetimeTotals Fleet::fleet_lifetime() const {
+  LifetimeTotals totals;
+  for (const auto& shard : shards_) totals.merge(shard->fleet_lifetime());
+  return totals;
+}
+
+std::uint64_t Fleet::makespan_cycles() const {
+  std::uint64_t makespan = 0;
+  for (const auto& shard : shards_)
+    makespan = std::max(makespan, shard->makespan_cycles());
+  return makespan;
+}
+
+}  // namespace onesa::serve

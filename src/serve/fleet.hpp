@@ -1,0 +1,161 @@
+// Fleet tier: N ServerPool shards behind one submit API.
+//
+// The pool is no longer the top of the serving stack — a Fleet owns S
+// shards (each a full ServerPool: its own request queue, batcher, and W
+// worker threads with one simulated accelerator each) and routes every
+// request to a shard through a pluggable RouterPolicy:
+//
+//   submit_*() ──> router ──> shard 0: RequestQueue ──> W workers
+//                        ──> shard 1: RequestQueue ──> W workers
+//   ModelRegistry (ONE,   ──> ...
+//   shared by all shards,
+//   version-aware)
+//
+//   kLeastOutstandingCost (default) — the shard with the smallest
+//       outstanding estimated cost (queued backlog + batches currently
+//       executing, MAC units) takes the request; ties to the lowest index.
+//       Levels heterogeneous request streams across shards the same way
+//       the pool-level least-loaded dispatch levels workers.
+//   kRoundRobin — strict shard rotation, kept for A/B comparison.
+//   kModelAffinity — model requests hash their model NAME to a shard, so
+//       one model's traffic lands on one shard and batches together
+//       (affinity survives hot-swaps: the name, not the version, hashes);
+//       non-model requests fall back to least-outstanding-cost.
+//
+// SHARED REGISTRY / HOT-SWAP. All shards share ONE version-aware
+// ModelRegistry (and one immutable CPWL table set), so a fleet packs each
+// model's weights once — not once per pool. swap_model() publishes a new
+// pre-packed version atomically; requests pin the version they resolved at
+// submit, in-flight batches finish on the old weights, and the batcher's
+// handle-identity rule keeps versions from ever mixing in one batch.
+//
+// FLEET ADMISSION. Shedding decisions moved up: FleetConfig::admission
+// bounds the FLEET-WIDE backlog (summed shard pending/cost). An
+// over-budget submit fails its future with OverloadError (reject
+// semantics — cross-shard eviction is not supported at this level) and
+// counts in stats().sheds(). Shards themselves default to unlimited. The
+// fleet check is advisory across concurrent submitters (two racing submits
+// may both pass a nearly-full check); configure shard-level admission too
+// when a hard cap matters.
+//
+// STATS. Per-shard ServeStats remain visible (shard_stats()); fleet totals
+// are their sum via ServeStats::operator+ — shard sums equal fleet totals
+// by construction. Every ServeResult and BatchRecord carries the shard id.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/server_pool.hpp"
+
+namespace onesa::serve {
+
+/// How the fleet picks the shard for a request.
+enum class RouterPolicy { kLeastOutstandingCost, kRoundRobin, kModelAffinity };
+
+std::string_view router_policy_name(RouterPolicy policy);
+
+struct FleetConfig {
+  std::size_t shards = 2;
+  std::size_t workers_per_shard = 2;
+  /// Replicated to every worker's accelerator instance, fleet-wide.
+  OneSaConfig accelerator;
+  /// Replicated to every shard's batcher (including max_batch_wait_ms).
+  BatcherConfig batcher;
+  /// Worker dispatch inside each shard.
+  DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
+  RouterPolicy router = RouterPolicy::kLeastOutstandingCost;
+  /// FLEET-WIDE backlog bounds (summed over shards; reject semantics).
+  AdmissionConfig admission;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // ----------------------------------------------------------------- models
+
+  /// Register a model with the fleet-shared registry (weights packed ONCE
+  /// for all shards) and reserve every shard's worker lanes in the kernel
+  /// ThreadPool. Returns the frozen handle (->version is the version id).
+  ModelHandle register_model(std::string name, std::unique_ptr<nn::Sequential> model,
+                             ModelOptions options = {});
+
+  /// Hot-swap `name` to a new version under load: the new model is censused
+  /// and pre-packed before the atomic publish, so no request ever sees torn
+  /// weights — submissions by name pick up the new version, in-flight work
+  /// finishes on the old. Keeps the current version's ModelOptions.
+  ModelHandle swap_model(const std::string& name, std::unique_ptr<nn::Sequential> model);
+
+  ModelRegistry& registry() { return *registry_; }
+  const ModelRegistry& registry() const { return *registry_; }
+
+  // ------------------------------------------------------------- submission
+
+  std::future<ServeResult> submit_elementwise(cpwl::FunctionKind fn, tensor::FixMatrix x,
+                                              SubmitOptions options = {});
+  std::future<ServeResult> submit_gemm(tensor::FixMatrix a,
+                                       std::shared_ptr<const tensor::FixMatrix> b,
+                                       SubmitOptions options = {});
+  std::future<ServeResult> submit_trace(std::shared_ptr<const nn::WorkloadTrace> trace,
+                                        SubmitOptions options = {});
+  /// By name: resolves the registry's CURRENT version at submit time (the
+  /// hot-swap entry point). By handle: pins that exact version.
+  std::future<ServeResult> submit_model(const std::string& name, tensor::Matrix input,
+                                        SubmitOptions options = {});
+  std::future<ServeResult> submit_model(ModelHandle model, tensor::Matrix input,
+                                        SubmitOptions options = {});
+  /// Route a request built elsewhere (fleet admission applies here too).
+  std::future<ServeResult> submit(TaggedRequest req);
+
+  // --------------------------------------------------------------- lifecycle
+
+  /// Stop accepting requests, drain every shard, join all workers. Every
+  /// accepted future is ready afterwards. Idempotent; also run by the
+  /// destructor.
+  void shutdown();
+
+  std::size_t shards() const { return shards_.size(); }
+  ServerPool& shard(std::size_t i) { return *shards_.at(i); }
+  const ServerPool& shard(std::size_t i) const { return *shards_.at(i); }
+  const FleetConfig& config() const { return config_; }
+
+  /// Fleet-wide backlog (summed over shards).
+  std::size_t pending() const;
+  std::uint64_t backlog_cost() const;
+
+  // -------------------------------------------------------------- aggregate
+
+  /// Fleet-wide statistics: the sum of every shard's snapshot plus the
+  /// fleet-level admission sheds. Shard sums equal fleet totals.
+  ServeStats stats() const;
+  /// Per-shard snapshots, index-aligned with shard().
+  std::vector<ServeStats> shard_stats() const;
+  /// Requests shed by admission control, fleet-level plus shard-level.
+  std::uint64_t sheds() const;
+  /// Merged accelerator lifetime counters (power-model input).
+  LifetimeTotals fleet_lifetime() const;
+  /// Simulated makespan of the whole fleet: the S shards model S*W arrays
+  /// running in parallel, so it is the largest shard makespan.
+  std::uint64_t makespan_cycles() const;
+
+ private:
+  /// Shard index for `req` under the configured RouterPolicy.
+  std::size_t route(const ServeRequest& req);
+
+  FleetConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+  std::vector<std::unique_ptr<ServerPool>> shards_;
+  std::atomic<std::uint64_t> rr_turn_{0};      // kRoundRobin state
+  std::atomic<std::uint64_t> fleet_sheds_{0};  // fleet-admission counter
+  bool shut_down_ = false;
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace onesa::serve

@@ -17,18 +17,32 @@ sim::CycleStats ModelEntry::trace_cycles_for(const sim::TimingModel& timing) con
   return cost_cache_cycles_;
 }
 
-ModelHandle ModelRegistry::add(std::string name, std::unique_ptr<nn::Sequential> model,
-                               ModelOptions options) {
-  ONESA_CHECK(model != nullptr, "ModelRegistry::add('" << name << "'): null model");
-  ONESA_CHECK(!name.empty(), "ModelRegistry::add: empty model name");
+ModelOptions ModelEntry::options() const {
+  ModelOptions opts;
+  opts.batchable = batchable;
+  opts.batch_window_ms = batch_window_ms;
+  opts.cost_trace = cost_trace;
+  opts.mac_ops_per_row = mac_ops_override;
+  return opts;
+}
+
+ModelHandle ModelRegistry::publish(std::string name, std::unique_ptr<nn::Sequential> model,
+                                   ModelOptions options, bool replace) {
+  ONESA_CHECK(model != nullptr, "ModelRegistry('" << name << "'): null model");
+  ONESA_CHECK(!name.empty(), "ModelRegistry: empty model name");
+  ONESA_CHECK(options.batch_window_ms >= 0.0,
+              "ModelRegistry('" << name << "'): negative batch window "
+                                << options.batch_window_ms << " ms");
 
   auto entry = std::make_shared<ModelEntry>();
   entry->name = name;
   entry->batchable = options.batchable;
+  entry->batch_window_ms = options.batch_window_ms;
   entry->cost_trace = std::move(options.cost_trace);
   if (entry->cost_trace != nullptr)
     entry->cost_trace_macs = nn::trace_mac_ops(*entry->cost_trace);
 
+  entry->mac_ops_override = options.mac_ops_per_row;
   if (options.mac_ops_per_row > 0) {
     entry->mac_ops_per_row = options.mac_ops_per_row;
   } else {
@@ -42,18 +56,52 @@ ModelHandle ModelRegistry::add(std::string name, std::unique_ptr<nn::Sequential>
         std::max<std::uint64_t>(1, static_cast<std::uint64_t>(census.total() / 2.0));
   }
 
-  // Pre-pack every layer's weights NOW, while registration still owns the
+  // Pre-pack every layer's weights NOW, while this code still owns the
   // model exclusively: workers then serve from immutable packed panels with
   // zero packing (and zero pack-cache contention) on the request path. The
-  // weights never change after this point — registered models are frozen —
-  // so the packed form lives as long as the entry.
+  // weights never change after this point — published versions are frozen —
+  // so the packed form lives as long as the entry. For a swap this all
+  // happens BEFORE the registry lock: the publication below is a pointer
+  // replace, so readers never see a half-built version.
   model->prepack();
   entry->model = std::shared_ptr<const nn::Sequential>(std::move(model));
 
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = models_.emplace(std::move(name), std::move(entry));
-  ONESA_CHECK(inserted, "ModelRegistry: model '" << it->first << "' already registered");
-  return it->second;
+  const auto it = models_.find(name);
+  if (replace) {
+    ONESA_CHECK(it != models_.end(),
+                "ModelRegistry::swap: unknown model '" << name << "'");
+    entry->version = it->second->version + 1;
+    it->second = std::move(entry);  // atomic publish: in-flight handles keep the old
+    return it->second;
+  }
+  ONESA_CHECK(it == models_.end(),
+              "ModelRegistry: model '" << name << "' already registered");
+  entry->version = 1;
+  return models_.emplace(std::move(name), std::move(entry)).first->second;
+}
+
+ModelHandle ModelRegistry::add(std::string name, std::unique_ptr<nn::Sequential> model,
+                               ModelOptions options) {
+  return publish(std::move(name), std::move(model), std::move(options), /*replace=*/false);
+}
+
+ModelHandle ModelRegistry::swap(const std::string& name,
+                                std::unique_ptr<nn::Sequential> model) {
+  // Option-preserving swap: reuse the current version's serving metadata
+  // (an unknown name fails in get() with the usual error). The swap lock
+  // spans the options read AND the publish, so a concurrent
+  // options-replacing swap can never be clobbered by this read-modify-write
+  // landing late with stale options.
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  return publish(name, std::move(model), get(name)->options(), /*replace=*/true);
+}
+
+ModelHandle ModelRegistry::swap(const std::string& name,
+                                std::unique_ptr<nn::Sequential> model,
+                                ModelOptions options) {
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  return publish(name, std::move(model), std::move(options), /*replace=*/true);
 }
 
 ModelHandle ModelRegistry::get(const std::string& name) const {

@@ -1,15 +1,29 @@
-// Model registry: named nn::Sequential models served by the pool.
+// Model registry: named, VERSIONED nn::Sequential models served by the
+// pool/fleet tier.
 //
 // Registering a model freezes it behind a shared immutable handle
-// (std::shared_ptr<const ModelEntry>): ONE copy of the weights per pool, not
-// per worker, aliased read-only by every in-flight request — the
-// cross-request weight cache of the serving tier. Registration also
-// PRE-PACKS every layer's weights (Layer::prepack -> Linear's PackedB), so
-// worker threads serve from immutable packed GEMM panels with zero packing
-// and zero pack-cache contention on the request path. Workers run inference
-// through nn::Sequential::infer(), the const thread-safe forward path (with
-// Linear+activation pairs fused into packed-GEMM epilogues), so concurrent
-// batches against the same entry never race.
+// (std::shared_ptr<const ModelEntry>): ONE copy of the weights per registry
+// — and a registry is shared across every shard of a serve::Fleet, so a
+// fleet packs each weight matrix once, not once per pool — aliased
+// read-only by every in-flight request. Registration also PRE-PACKS every
+// layer's weights (Layer::prepack -> the PackedB caches of Linear, Conv2d
+// and the attention projections), so worker threads serve from immutable
+// packed GEMM panels with zero packing and zero pack-cache contention on
+// the request path. Workers run inference through nn::Sequential::infer(),
+// the const thread-safe forward path (with Linear+activation pairs fused
+// into packed-GEMM epilogues), so concurrent batches against the same entry
+// never race.
+//
+// VERSIONING / HOT-SWAP. Every entry carries a version id (1 for the first
+// registration of a name, +1 per swap). swap() atomically publishes a new
+// pre-packed entry under the same name: the new model is censused and
+// packed BEFORE the registry lock is taken, then the name's handle slot is
+// replaced under the lock. Requests resolve the name to a handle at submit
+// time and pin that version for their lifetime — in-flight batches finish
+// on the old weights (kept alive by their shared_ptr), new submissions see
+// the new version, and the batcher's handle-identity compatibility rule
+// guarantees a batch never mixes versions. No request ever observes torn
+// weights.
 //
 // An entry also carries the serving metadata the scheduler needs:
 //   batchable    — whether requests may stack rows into one infer() call.
@@ -17,6 +31,11 @@
 //                  models like MLPs/CNNs; per-sequence models (transformer
 //                  classifier, sequence pools) treat ALL input rows as one
 //                  sequence and must stay non-batchable.
+//   batch_window_ms — latency-aware batching window: how long a partially
+//                  filled batch headed by a request for this model may wait
+//                  for more riders before launching anyway (0 = launch
+//                  immediately, the pre-window behaviour). Interactive-class
+//                  requests always launch immediately regardless.
 //   cost_trace   — optional WorkloadTrace used as the simulated cycle model
 //                  of one request; without it the cycle charge falls back to
 //                  streaming the model's MAC volume through the array's GEMM
@@ -45,6 +64,11 @@ struct ModelOptions {
   /// would mix one request's data into another's logits, which nothing can
   /// detect at execution time when the row count is preserved.
   bool batchable = false;
+  /// Latency-aware batching window in milliseconds: a partially filled
+  /// batch headed by a non-interactive request for this model waits up to
+  /// this long (from the head's enqueue) for more compatible riders before
+  /// launching. 0 launches immediately. Only meaningful with batchable.
+  double batch_window_ms = 0.0;
   /// Optional per-request simulated cycle model (e.g. nn::bert_base_trace).
   std::shared_ptr<const nn::WorkloadTrace> cost_trace;
   /// Explicit per-row MAC estimate; 0 derives it from the model's op census.
@@ -57,19 +81,30 @@ struct ModelOptions {
   std::uint64_t mac_ops_per_row = 0;
 };
 
-/// One registered model. Immutable after registration; shared by handle.
+/// One registered model VERSION. Immutable after publication; shared by
+/// handle. A swap publishes a fresh entry — it never mutates this one.
 struct ModelEntry {
   std::string name;
+  /// 1 for the name's first registration, +1 per swap. A handle pins one
+  /// version for the lifetime of every request holding it.
+  std::uint64_t version = 1;
   std::shared_ptr<const nn::Sequential> model;
   bool batchable = false;  // matches ModelOptions: batching is opt-in
+  double batch_window_ms = 0.0;
   std::shared_ptr<const nn::WorkloadTrace> cost_trace;
   /// Simulated MACs of one input row (census-derived; >= 1).
   std::uint64_t mac_ops_per_row = 1;
+  /// The explicit ModelOptions::mac_ops_per_row as given (0 = derived), so
+  /// an option-preserving swap can re-derive or re-apply it faithfully.
+  std::uint64_t mac_ops_override = 0;
   /// nn::trace_mac_ops(*cost_trace), cached at registration (0 = no trace).
   std::uint64_t cost_trace_macs = 0;
 
   /// Thread-safe forward through the shared weights.
   tensor::Matrix infer(const tensor::Matrix& x) const { return model->infer(x); }
+
+  /// The ModelOptions this entry was published with (option-preserving swap).
+  ModelOptions options() const;
 
   /// Per-request cycle estimate of cost_trace on `timing`, cached after the
   /// first call per array configuration (a pool replicates one config across
@@ -89,21 +124,46 @@ using ModelHandle = std::shared_ptr<const ModelEntry>;
 
 class ModelRegistry {
  public:
-  /// Register `model` under `name`, freezing it. Throws onesa::Error if the
-  /// name is taken or the model is null. Returns the shared handle.
+  /// Register `model` under `name`, freezing it at version 1. Throws
+  /// onesa::Error if the name is taken or the model is null. Returns the
+  /// shared handle (its ->version is the version id).
   ModelHandle add(std::string name, std::unique_ptr<nn::Sequential> model,
                   ModelOptions options = {});
 
-  /// Handle for `name`; throws onesa::Error when unknown.
+  /// Hot-swap: atomically publish `model` as the next version of `name`
+  /// (census + pre-pack happen before publication; in-flight requests
+  /// finish on the version they pinned at submit). Throws onesa::Error when
+  /// the name is unknown or the model is null. The two-argument form keeps
+  /// the current version's ModelOptions; the three-argument form replaces
+  /// them. Swaps serialize against each other (the option-preserving form
+  /// is a read-modify-write: without serialization a concurrent
+  /// options-replacing swap could be clobbered with stale options); reads
+  /// and submissions never block on a swap's census/pre-pack. Returns the
+  /// new handle (->version = old version + 1).
+  ModelHandle swap(const std::string& name, std::unique_ptr<nn::Sequential> model);
+  ModelHandle swap(const std::string& name, std::unique_ptr<nn::Sequential> model,
+                   ModelOptions options);
+
+  /// Latest handle for `name`; throws onesa::Error when unknown.
   ModelHandle get(const std::string& name) const;
-  /// Handle for `name`, or nullptr when unknown.
+  /// Latest handle for `name`, or nullptr when unknown.
   ModelHandle find(const std::string& name) const;
+  /// Current version id of `name`; throws onesa::Error when unknown.
+  std::uint64_t version_of(const std::string& name) const { return get(name)->version; }
 
   std::vector<std::string> names() const;
   std::size_t size() const;
 
  private:
+  /// Build + pre-pack an entry, then publish it under the lock. `replace`
+  /// selects add (name must be free) vs swap (name must exist) semantics.
+  ModelHandle publish(std::string name, std::unique_ptr<nn::Sequential> model,
+                      ModelOptions options, bool replace);
+
   mutable std::mutex mutex_;
+  /// Serializes whole swap operations (options read -> build -> publish).
+  /// Always acquired before mutex_; never held while a reader waits.
+  std::mutex swap_mutex_;
   std::map<std::string, ModelHandle> models_;
 };
 

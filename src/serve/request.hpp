@@ -82,6 +82,7 @@ struct ServeResult {
   bool deadline_missed = false;
 
   std::size_t worker = 0;          // index of the worker that served it
+  std::size_t shard = 0;           // fleet shard that served it (0 standalone)
   std::size_t batch_requests = 1;  // requests packed into the same tile
   std::size_t batch_rows = 0;      // useful rows in the tile
   std::size_t padded_rows = 0;     // tile rows including padding

@@ -32,13 +32,7 @@ RequestQueue::RequestQueue(std::size_t workers, DynamicBatcher batcher,
 }
 
 bool RequestQueue::over_budget(std::size_t extra_requests, std::uint64_t extra_cost) const {
-  if (admission_.max_pending_requests != 0 &&
-      pending_.size() + extra_requests > admission_.max_pending_requests)
-    return true;
-  if (admission_.max_backlog_cost != 0 &&
-      backlog_cost_ + extra_cost > admission_.max_backlog_cost)
-    return true;
-  return false;
+  return admission_.over(pending_.size(), extra_requests, backlog_cost_, extra_cost);
 }
 
 bool RequestQueue::push(ServeRequest req) {
@@ -134,9 +128,14 @@ bool RequestQueue::is_turn(std::size_t worker) const {
   return static_cast<std::size_t>(least - assigned_cost_.begin()) == worker;
 }
 
-std::size_t RequestQueue::scheduled_head() const {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < pending_.size(); ++i) {
+std::size_t RequestQueue::scheduled_head(const std::vector<char>& parked) const {
+  std::size_t best = pending_.size();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (parked[i] != 0) continue;
+    if (best == pending_.size()) {
+      best = i;
+      continue;
+    }
     const ServeRequest& a = pending_[i];
     const ServeRequest& b = pending_[best];
     if (a.priority != b.priority) {
@@ -150,18 +149,109 @@ std::size_t RequestQueue::scheduled_head() const {
   return best;
 }
 
+double RequestQueue::window_ms(const ServeRequest& head) const {
+  // Interactive work always launches immediately — the class exists so a
+  // latency-sensitive request is never parked behind a fill optimization.
+  if (head.priority == Priority::kInteractive) return 0.0;
+  switch (head.kind) {
+    case RequestKind::kTrace:
+      return 0.0;  // traces never batch: nothing to wait for
+    case RequestKind::kModel:
+      // Per-model window from the registry entry; non-batchable models
+      // cannot grow their batch, so waiting would be pure added latency.
+      return head.model != nullptr && head.model->batchable
+                 ? head.model->batch_window_ms
+                 : 0.0;
+    default:
+      return batcher_.config().max_batch_wait_ms;
+  }
+}
+
+bool RequestQueue::batch_is_full(std::size_t head) const {
+  const ServeRequest& h = pending_[head];
+  const BatcherConfig& cfg = batcher_.config();
+  std::size_t requests = 1;
+  std::size_t rows = h.rows();
+  if (requests >= cfg.max_batch_requests || rows >= cfg.max_batch_rows) return true;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (i == head || !DynamicBatcher::compatible(h, pending_[i])) continue;
+    if (rows + pending_[i].rows() > cfg.max_batch_rows) continue;
+    rows += pending_[i].rows();
+    ++requests;
+    if (requests >= cfg.max_batch_requests || rows >= cfg.max_batch_rows) return true;
+  }
+  return false;
+}
+
 std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
   ONESA_CHECK(worker < workers_, "worker index " << worker << " out of " << workers_);
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] {
-    if (closed_ && pending_.empty()) return true;  // drained — exit
-    return !pending_.empty() && is_turn(worker);
-  });
-  if (pending_.empty()) return {};
+  std::size_t head = 0;
+  for (;;) {
+    cv_.wait(lock, [&] {
+      if (closed_ && pending_.empty()) return true;  // drained — exit
+      return !pending_.empty() && is_turn(worker);
+    });
+    if (pending_.empty()) return {};
+
+    // Find a launchable head in scheduler order, PARKING heads whose
+    // batching window is still open instead of blocking behind them: a
+    // parked head keeps collecting riders while unrelated pending work
+    // (anything that could not ride in its batch) dispatches immediately —
+    // an open window must never head-of-line block the shard. Only when
+    // every pending request is parked (it is, or rides with, a
+    // window-waiting head) does the worker sleep, until the earliest
+    // window deadline or a new arrival.
+    bool launch = false;
+    bool expired = false;
+    auto earliest = ServeClock::time_point::max();
+    std::vector<char> parked(pending_.size(), 0);
+    for (;;) {
+      head = scheduled_head(parked);
+      if (head == pending_.size()) break;  // everything is parked
+      const double window = window_ms(pending_[head]);
+      if (window <= 0.0 || closed_ || batch_is_full(head)) {
+        launch = true;
+        break;
+      }
+      // The hold ends at the window — or at the head's own SLO deadline if
+      // that comes first: parking a request past its deadline to improve
+      // fill would manufacture a miss the immediate-launch behaviour never
+      // had.
+      const auto deadline =
+          std::min(pending_[head].deadline,
+                   pending_[head].enqueued +
+                       std::chrono::duration_cast<ServeClock::duration>(
+                           std::chrono::duration<double, std::milli>(window)));
+      if (ServeClock::now() >= deadline) {
+        // Window expired: launch the partial batch instead of waiting for
+        // a full one — the latency-aware tradeoff this window exists for.
+        launch = true;
+        expired = true;
+        break;
+      }
+      // Park this head and everything that would ride with it, then look
+      // for other launchable work.
+      parked[head] = 1;
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (parked[i] == 0 && DynamicBatcher::compatible(pending_[head], pending_[i]))
+          parked[i] = 1;
+      }
+      earliest = std::min(earliest, deadline);
+    }
+    if (launch) {
+      if (expired) ++window_expiries_;
+      break;
+    }
+    // Every push notifies, so a new arrival (a rider, or a higher-priority
+    // request that becomes a launchable head — including an interactive
+    // one, which always launches immediately) re-evaluates; a timeout
+    // re-enters the loop and takes the expiry path.
+    cv_.wait_until(lock, earliest);
+  }
 
   // Rotate the scheduled head (priority -> EDF -> arrival) to the front;
   // the batcher packs arrival-ordered compatible riders behind it.
-  const std::size_t head = scheduled_head();
   if (head != 0) {
     const auto first = pending_.begin();
     std::rotate(first, first + static_cast<std::ptrdiff_t>(head),
@@ -210,6 +300,11 @@ std::uint64_t RequestQueue::backlog_cost() const {
 std::uint64_t RequestQueue::sheds() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sheds_;
+}
+
+std::uint64_t RequestQueue::window_expiries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_expiries_;
 }
 
 std::vector<std::uint64_t> RequestQueue::assigned_cost() const {

@@ -12,6 +12,29 @@
 // later compatible requests around it (batch-mates keep their own deadlines,
 // and misses are accounted per request at completion).
 //
+// LATENCY-AWARE BATCHING WINDOWS. A head whose batch is only partially
+// filled may WAIT for more compatible riders instead of launching
+// immediately: model requests wait up to their registry entry's
+// batch_window_ms, elementwise/GEMM requests up to the batcher's
+// max_batch_wait_ms (both default 0 = the immediate-launch behaviour).
+// The wait ends — and the batch launches — when any of these happens first:
+//   - the window expires (counted in window_expiries(), exported to
+//     ServeStats) — the partial batch launches instead of waiting for full;
+//     a head with an SLO deadline earlier than its window end launches at
+//     the deadline instead (holding a request past its own deadline to
+//     improve fill would manufacture a miss);
+//   - the batch fills (request or row budget reached);
+//   - the head is (or becomes, via a new higher-priority arrival that takes
+//     over as head) an INTERACTIVE-class request — interactive work always
+//     forces immediate launch;
+//   - the queue closes (drain fast on shutdown).
+// A waiting head never head-of-line blocks the shard: it is PARKED (with
+// the riders that would join its batch) and the scheduler keeps dispatching
+// any pending work that could not ride with it; workers only sleep when
+// every pending request is parked, and then only until the earliest window
+// deadline. Trace requests and non-batchable models never wait: their
+// batches cannot grow.
+//
 // ADMISSION CONTROL. The queue is bounded by AdmissionConfig: a cap on
 // pending requests and/or on the backlog's estimated simulated cost (sum of
 // ServeRequest::cost, MAC units). When a push would exceed a cap the
@@ -78,6 +101,20 @@ struct AdmissionConfig {
   OverloadPolicy policy = OverloadPolicy::kReject;
 
   bool unlimited() const { return max_pending_requests == 0 && max_backlog_cost == 0; }
+
+  /// Would a backlog of `pending_requests` + `extra_requests` requests and
+  /// `backlog_cost` + `extra_cost` MACs exceed a cap? The ONE copy of the
+  /// cap semantics, shared by the queue's per-pool admission and the
+  /// fleet's summed-backlog admission.
+  bool over(std::size_t pending_requests, std::size_t extra_requests,
+            std::uint64_t backlog_cost, std::uint64_t extra_cost) const {
+    if (max_pending_requests != 0 &&
+        pending_requests + extra_requests > max_pending_requests)
+      return true;
+    if (max_backlog_cost != 0 && backlog_cost + extra_cost > max_backlog_cost)
+      return true;
+    return false;
+  }
 };
 
 /// How pop_batch decides which worker takes the next batch.
@@ -117,6 +154,10 @@ class RequestQueue {
   /// Requests shed by admission control so far (rejected or evicted).
   std::uint64_t sheds() const;
 
+  /// Batches launched partially filled because their batching window
+  /// expired (merged into ServeStats by the pool).
+  std::uint64_t window_expiries() const;
+
   /// Cumulative estimated simulated cost (MACs) assigned to each worker so
   /// far — the quantity the least-loaded policy levels.
   std::vector<std::uint64_t> assigned_cost() const;
@@ -126,17 +167,28 @@ class RequestQueue {
   /// Caller holds mutex_.
   bool is_turn(std::size_t worker) const;
 
-  /// Index of the next request to serve (priority, then EDF, then arrival).
+  /// Index of the next request to serve (priority, then EDF, then arrival)
+  /// among requests whose `parked` flag is 0; pending_.size() when every
+  /// request is parked (all are window-waiting heads or their riders).
   /// Caller holds mutex_; pending_ must be non-empty. O(pending) per pop —
   /// deliberate: admission control bounds the backlog in production
   /// configurations, and a linear scan of a deque beats maintaining ordered
   /// per-class structures at realistic queue depths. Revisit with a
   /// per-class deadline-ordered index if unbounded queues ever need to
   /// scale past ~10^4 pending requests.
-  std::size_t scheduled_head() const;
+  std::size_t scheduled_head(const std::vector<char>& parked) const;
 
   /// Would the backlog (plus `extra_cost`/`extra_requests`) exceed a cap?
   bool over_budget(std::size_t extra_requests, std::uint64_t extra_cost) const;
+
+  /// Batching window of a head request (ms; 0 = launch immediately).
+  /// Caller holds mutex_.
+  double window_ms(const ServeRequest& head) const;
+
+  /// True when the batch that would form around `head` already exhausts a
+  /// batcher budget, so waiting longer cannot improve it. Caller holds
+  /// mutex_.
+  bool batch_is_full(std::size_t head) const;
 
   const std::size_t workers_;
   DynamicBatcher batcher_;
@@ -149,6 +201,7 @@ class RequestQueue {
   std::uint64_t backlog_cost_ = 0;            // sum of pending_[i].cost
   std::uint64_t next_seq_ = 0;                // arrival stamp
   std::uint64_t sheds_ = 0;                   // admission-control counter
+  std::uint64_t window_expiries_ = 0;         // batching-window counter
   std::size_t turn_ = 0;                      // kRotation state
   std::vector<std::uint64_t> assigned_cost_;  // kLeastLoaded state
   bool closed_ = false;

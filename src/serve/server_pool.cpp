@@ -6,21 +6,27 @@
 
 namespace onesa::serve {
 
-ServerPool::ServerPool(ServerPoolConfig config)
+ServerPool::ServerPool(ServerPoolConfig config, std::shared_ptr<ModelRegistry> registry,
+                       std::shared_ptr<const cpwl::TableSet> tables)
     : config_(std::move(config)),
       batcher_(config_.batcher),
-      queue_(config_.workers, batcher_, config_.dispatch, config_.admission) {
+      queue_(config_.workers, batcher_, config_.dispatch, config_.admission),
+      registry_(registry != nullptr ? std::move(registry)
+                                    : std::make_shared<ModelRegistry>()) {
   ONESA_CHECK(config_.workers > 0, "ServerPool needs at least one worker");
   workers_.reserve(config_.workers);
 
-  // Build the CPWL tables once; every further instance aliases them
-  // read-only (the tables are immutable after construction).
-  auto first = std::make_unique<OneSaAccelerator>(config_.accelerator);
-  const std::shared_ptr<const cpwl::TableSet> tables = first->shared_tables();
+  // Build the CPWL tables once (or alias the fleet-shared set); every
+  // further instance aliases them read-only (the tables are immutable after
+  // construction).
+  auto first = tables != nullptr
+                   ? std::make_unique<OneSaAccelerator>(config_.accelerator, std::move(tables))
+                   : std::make_unique<OneSaAccelerator>(config_.accelerator);
+  tables_ = first->shared_tables();
   for (std::size_t i = 0; i < config_.workers; ++i) {
     auto worker = std::make_unique<Worker>();
     worker->accel = i == 0 ? std::move(first)
-                           : std::make_unique<OneSaAccelerator>(config_.accelerator, tables);
+                           : std::make_unique<OneSaAccelerator>(config_.accelerator, tables_);
     workers_.push_back(std::move(worker));
   }
 
@@ -52,7 +58,7 @@ ServerPool::~ServerPool() { shutdown(); }
 ModelHandle ServerPool::register_model(std::string name,
                                        std::unique_ptr<nn::Sequential> model,
                                        ModelOptions options) {
-  ModelHandle handle = registry_.add(std::move(name), std::move(model), std::move(options));
+  ModelHandle handle = registry_->add(std::move(name), std::move(model), std::move(options));
   // First SUCCESSFUL registration: reserve the worker fleet in the kernels'
   // shared ThreadPool so model forwards on the workers cap their GEMM
   // fan-out instead of stacking N serve threads on top of a full
@@ -60,14 +66,21 @@ ModelHandle ServerPool::register_model(std::string name,
   // traffic never run worker-side GEMMs and must not throttle other kernel
   // users (which is also why a registration that throws above must not
   // reserve). Released once in shutdown().
-  {
-    std::lock_guard<std::mutex> lock(shutdown_mutex_);
-    if (!shut_down_ && !threads_reserved_) {
-      tensor::kernels::ThreadPool::instance().reserve(config_.workers);
-      threads_reserved_ = true;
-    }
-  }
+  ensure_kernel_reservation();
   return handle;
+}
+
+ModelHandle ServerPool::swap_model(const std::string& name,
+                                   std::unique_ptr<nn::Sequential> model) {
+  return registry_->swap(name, std::move(model));
+}
+
+void ServerPool::ensure_kernel_reservation() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (!shut_down_ && !threads_reserved_) {
+    tensor::kernels::ThreadPool::instance().reserve(config_.workers);
+    threads_reserved_ = true;
+  }
 }
 
 std::future<ServeResult> ServerPool::submit(TaggedRequest req) {
@@ -95,7 +108,7 @@ std::future<ServeResult> ServerPool::submit_trace(
 std::future<ServeResult> ServerPool::submit_model(const std::string& name,
                                                   tensor::Matrix input,
                                                   SubmitOptions options) {
-  return submit_model(registry_.get(name), std::move(input), options);
+  return submit_model(registry_->get(name), std::move(input), options);
 }
 
 std::future<ServeResult> ServerPool::submit_model(ModelHandle model, tensor::Matrix input,
@@ -128,17 +141,28 @@ void ServerPool::worker_loop(std::size_t index) {
   for (;;) {
     std::vector<ServeRequest> batch = queue_.pop_batch(index);
     if (batch.empty()) return;  // closed and drained
-    // Execute under the worker's mutex: the accelerator's lifetime counters
-    // mutate during the pass, and fleet_lifetime()/stats() may read them
-    // from a monitoring thread mid-flight. Only this worker's snapshot
-    // readers wait; other workers proceed on their own locks.
-    std::lock_guard<std::mutex> lock(w.mutex);
-    BatchRecord record = batcher_.execute(std::move(batch), *w.accel, index);
-    w.busy_cycles += record.cycles.total();
-    // A failed batch (every promise already holds the error) returns an
-    // empty record; recording it would count a zero-request batch and skew
-    // mean_batch_requests()/batch_fill().
-    if (record.requests > 0) w.stats.record_batch(record);
+    // Publish the in-flight cost before executing: the fleet router's
+    // outstanding-cost view must keep seeing this work after it leaves the
+    // queue's backlog. Atomic (not under w.mutex) so routing never blocks
+    // behind a batch execution.
+    std::uint64_t inflight = 0;
+    for (const auto& req : batch) inflight += req.cost;
+    w.inflight_cost.store(inflight, std::memory_order_relaxed);
+    {
+      // Execute under the worker's mutex: the accelerator's lifetime
+      // counters mutate during the pass, and fleet_lifetime()/stats() may
+      // read them from a monitoring thread mid-flight. Only this worker's
+      // snapshot readers wait; other workers proceed on their own locks.
+      std::lock_guard<std::mutex> lock(w.mutex);
+      BatchRecord record = batcher_.execute(std::move(batch), *w.accel, index,
+                                            config_.shard);
+      w.busy_cycles += record.cycles.total();
+      // A failed batch (every promise already holds the error) returns an
+      // empty record; recording it would count a zero-request batch and skew
+      // mean_batch_requests()/batch_fill().
+      if (record.requests > 0) w.stats.record_batch(record);
+    }
+    w.inflight_cost.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -149,7 +173,15 @@ ServeStats ServerPool::stats() const {
     merged.merge(worker->stats);
   }
   merged.record_sheds(queue_.sheds());
+  merged.record_window_expiries(queue_.window_expiries());
   return merged;
+}
+
+std::uint64_t ServerPool::outstanding_cost() const {
+  std::uint64_t total = queue_.backlog_cost();
+  for (const auto& worker : workers_)
+    total += worker->inflight_cost.load(std::memory_order_relaxed);
+  return total;
 }
 
 LifetimeTotals ServerPool::fleet_lifetime() const {

@@ -28,6 +28,7 @@
 // model N arrays running in parallel).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -51,12 +52,23 @@ struct ServerPoolConfig {
   /// rotation gives every worker every Nth batch regardless of cost.
   DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
   /// Backlog bounds + load-shedding policy (default: unlimited, no sheds).
+  /// Pools inside a serve::Fleet usually stay unlimited here — admission
+  /// moves up to the fleet so shedding decisions see fleet-wide backlog.
   AdmissionConfig admission;
+  /// Shard id stamped into every result/record this pool serves (set by the
+  /// fleet; 0 for a standalone pool).
+  std::size_t shard = 0;
 };
 
 class ServerPool {
  public:
-  explicit ServerPool(ServerPoolConfig config);
+  /// `registry` shares a model registry across pools (the fleet passes one
+  /// so weights pack once per fleet, not once per pool); nullptr gives the
+  /// pool its own. `tables` likewise shares one immutable CPWL table set
+  /// across pools; nullptr builds one for this pool.
+  explicit ServerPool(ServerPoolConfig config,
+                      std::shared_ptr<ModelRegistry> registry = nullptr,
+                      std::shared_ptr<const cpwl::TableSet> tables = nullptr);
   ~ServerPool();
 
   ServerPool(const ServerPool&) = delete;
@@ -65,12 +77,29 @@ class ServerPool {
   // ----------------------------------------------------------------- models
 
   /// Register a model with the pool's registry (one immutable weight copy,
-  /// shared by every worker and request). Returns the frozen handle.
+  /// shared by every worker and request). Returns the frozen handle, whose
+  /// ->version is the version id (1 for a first registration).
   ModelHandle register_model(std::string name, std::unique_ptr<nn::Sequential> model,
                              ModelOptions options = {});
 
-  ModelRegistry& registry() { return registry_; }
-  const ModelRegistry& registry() const { return registry_; }
+  /// Hot-swap `name` to a new version (see ModelRegistry::swap): the new
+  /// weights are pre-packed before the atomic publish, in-flight batches
+  /// finish on the version they pinned, and new submissions by name pick up
+  /// the new handle. Returns the new handle.
+  ModelHandle swap_model(const std::string& name, std::unique_ptr<nn::Sequential> model);
+
+  ModelRegistry& registry() { return *registry_; }
+  const ModelRegistry& registry() const { return *registry_; }
+
+  /// The pool's immutable CPWL table set (shared across its workers; a fleet
+  /// shares it across every shard).
+  const std::shared_ptr<const cpwl::TableSet>& shared_tables() const { return tables_; }
+
+  /// Reserve this pool's worker count in the kernels' shared ThreadPool (so
+  /// worker-side GEMM fan-out never oversubscribes). Idempotent; normally
+  /// triggered by the first model registration — the fleet calls it
+  /// directly because registration happens on the shared registry.
+  void ensure_kernel_reservation();
 
   // ------------------------------------------------------------- submission
   //
@@ -106,6 +135,9 @@ class ServerPool {
   std::size_t pending() const { return queue_.pending(); }
   /// Backlog's summed estimated cost (MACs) — the admission-control input.
   std::uint64_t backlog_cost() const { return queue_.backlog_cost(); }
+  /// Backlog cost PLUS the estimated cost of batches currently executing on
+  /// the workers — the fleet router's least-outstanding-cost signal.
+  std::uint64_t outstanding_cost() const;
   const ServerPoolConfig& config() const { return config_; }
 
   // -------------------------------------------------------------- aggregate
@@ -133,6 +165,10 @@ class ServerPool {
     std::uint64_t busy_cycles = 0;
     std::thread thread;
     mutable std::mutex mutex;  // guards stats/busy_cycles/accel counters
+    /// Estimated cost of the batch this worker is executing right now
+    /// (0 when idle). Atomic so the fleet router can read outstanding cost
+    /// without serializing behind a batch execution.
+    std::atomic<std::uint64_t> inflight_cost{0};
   };
 
   void worker_loop(std::size_t index);
@@ -140,7 +176,8 @@ class ServerPool {
   ServerPoolConfig config_;
   DynamicBatcher batcher_;
   RequestQueue queue_;
-  ModelRegistry registry_;
+  std::shared_ptr<ModelRegistry> registry_;
+  std::shared_ptr<const cpwl::TableSet> tables_;
   std::vector<std::unique_ptr<Worker>> workers_;
   bool shut_down_ = false;
   bool threads_reserved_ = false;  // kernel-pool reservation released once

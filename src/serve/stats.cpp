@@ -58,6 +58,7 @@ void ServeStats::merge(const ServeStats& o) {
   padded_rows_ += o.padded_rows_;
   deadline_misses_ += o.deadline_misses_;
   sheds_ += o.sheds_;
+  window_expiries_ += o.window_expiries_;
   cycles_ += o.cycles_;
   mac_ops_ += o.mac_ops_;
   latency_ms_.insert(latency_ms_.end(), o.latency_ms_.begin(), o.latency_ms_.end());

@@ -1,10 +1,13 @@
-// Serving statistics: throughput, latency percentiles, batch-fill ratio and
+// Serving statistics: throughput, latency percentiles, batch-fill ratio,
+// SLO counters (deadline misses, sheds, batching-window expiries) and
 // simulated-cycle totals.
 //
 // Each pool worker owns one ServeStats and records into it under the
 // worker's own lock; ServerPool::stats() merges the per-worker instances
-// into one fleet-wide snapshot. ServeStats itself is NOT thread-safe — the
-// synchronization lives in the pool.
+// into one pool-wide snapshot, and Fleet::stats() sums the per-shard
+// snapshots with operator+ (shard sums equal fleet totals by construction).
+// ServeStats itself is NOT thread-safe — the synchronization lives in the
+// pool.
 #pragma once
 
 #include <array>
@@ -28,6 +31,7 @@ struct BatchRecord {
   std::size_t rows = 0;         // useful rows packed into the tile
   std::size_t padded_rows = 0;  // tile rows including padding
   std::size_t deadline_misses = 0;  // requests completed past their deadline
+  std::size_t shard = 0;  // fleet shard that executed the batch (0 standalone)
   std::vector<double> latency_ms;  // queue+service wall latency per request
   /// Scheduling class of each latency_ms entry (parallel vector). May be
   /// left empty by hand-built records; every entry then counts as kNormal.
@@ -38,9 +42,21 @@ class ServeStats {
  public:
   void record_batch(const BatchRecord& record);
   /// Count requests shed by admission control (merged from the queue by
-  /// ServerPool::stats()).
+  /// ServerPool::stats(), and from the fleet router by Fleet::stats()).
   void record_sheds(std::uint64_t count) { sheds_ += count; }
+  /// Count batches launched because their batching window expired (merged
+  /// from the queue by ServerPool::stats()).
+  void record_window_expiries(std::uint64_t count) { window_expiries_ += count; }
   void merge(const ServeStats& o);
+  /// Fleet-level aggregation: shard snapshots sum into the fleet snapshot.
+  ServeStats& operator+=(const ServeStats& o) {
+    merge(o);
+    return *this;
+  }
+  friend ServeStats operator+(ServeStats a, const ServeStats& b) {
+    a.merge(b);
+    return a;
+  }
 
   std::size_t completed() const { return completed_; }
   std::uint64_t batches() const { return batches_; }
@@ -51,6 +67,9 @@ class ServeStats {
   /// admission control (sheds never appear in completed()).
   std::uint64_t deadline_misses() const { return deadline_misses_; }
   std::uint64_t sheds() const { return sheds_; }
+  /// Batches launched partially filled because their latency-aware batching
+  /// window expired before the batch could fill.
+  std::uint64_t window_expiries() const { return window_expiries_; }
 
   /// Useful-row share of the padded tiles the array actually ran (1.0 =
   /// every tile full, no padding waste).
@@ -85,6 +104,7 @@ class ServeStats {
   std::uint64_t padded_rows_ = 0;
   std::uint64_t deadline_misses_ = 0;
   std::uint64_t sheds_ = 0;
+  std::uint64_t window_expiries_ = 0;
   sim::CycleStats cycles_;
   std::uint64_t mac_ops_ = 0;
   std::vector<double> latency_ms_;

@@ -76,6 +76,25 @@ Matrix col2im(const Matrix& patches, const ConvShape& s) {
   return image;
 }
 
+Matrix conv2d_apply(const Matrix& images, const ConvShape& s, std::size_t out_channels,
+                    const std::function<void(const Matrix& patches, Matrix& result)>& gemm) {
+  const std::size_t pixels = s.out_height() * s.out_width();
+  Matrix out(images.rows(), out_channels * pixels, kUninitialized);
+  Matrix row(1, images.cols());
+  Matrix result(pixels, out_channels, kUninitialized);
+  for (std::size_t n = 0; n < images.rows(); ++n) {
+    for (std::size_t j = 0; j < images.cols(); ++j) row(0, j) = images(n, j);
+    const Matrix patches = im2col(row, s);  // (oh*ow) x (C*k*k)
+    gemm(patches, result);                  // (oh*ow) x out_channels, bias applied
+    for (std::size_t p = 0; p < pixels; ++p) {
+      for (std::size_t c = 0; c < out_channels; ++c) {
+        out(n, c * pixels + p) = result(p, c);
+      }
+    }
+  }
+  return out;
+}
+
 Matrix conv2d_via_gemm(const Matrix& images, const Matrix& weight, const Matrix& bias,
                        const ConvShape& s) {
   ONESA_CHECK_SHAPE(weight.rows() == s.patch_cols(),
@@ -84,22 +103,13 @@ Matrix conv2d_via_gemm(const Matrix& images, const Matrix& weight, const Matrix&
   const std::size_t out_channels = weight.cols();
   ONESA_CHECK_SHAPE(bias.rows() == 1 && bias.cols() == out_channels,
                     "conv bias expected 1x" << out_channels);
-  const std::size_t oh = s.out_height();
-  const std::size_t ow = s.out_width();
-
-  Matrix out(images.rows(), out_channels * oh * ow);
-  for (std::size_t n = 0; n < images.rows(); ++n) {
-    Matrix row(1, images.cols());
-    for (std::size_t j = 0; j < images.cols(); ++j) row(0, j) = images(n, j);
-    const Matrix patches = im2col(row, s);           // (oh*ow) x (C*k*k)
-    const Matrix result = matmul(patches, weight);   // (oh*ow) x out_channels
-    for (std::size_t p = 0; p < oh * ow; ++p) {
-      for (std::size_t c = 0; c < out_channels; ++c) {
-        out(n, c * oh * ow + p) = result(p, c) + bias(0, c);
-      }
-    }
-  }
-  return out;
+  return conv2d_apply(images, s, out_channels,
+                      [&](const Matrix& patches, Matrix& result) {
+                        const Matrix product = matmul(patches, weight);
+                        for (std::size_t p = 0; p < product.rows(); ++p)
+                          for (std::size_t c = 0; c < out_channels; ++c)
+                            result(p, c) = product(p, c) + bias(0, c);
+                      });
 }
 
 }  // namespace onesa::tensor

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "tensor/matrix.hpp"
 
@@ -38,6 +39,16 @@ struct ConvShape {
 /// Expand one image (1 x C*H*W row-major) into the patch matrix
 /// (out_h*out_w) x (C*k*k). Out-of-bounds (padding) taps read as zero.
 Matrix im2col(const Matrix& image_row, const ConvShape& shape);
+
+/// Shared conv-lowering core: per-sample im2col, a caller-supplied patch
+/// GEMM (`gemm(patches, result)` must fill `result`, pre-sized
+/// (out_h*out_w) x out_channels, with bias already applied), and the
+/// channel-major (pixel, channel) -> (c*out_h*out_w + p) output reorder.
+/// ONE copy of the lowering/layout logic serves both the raw-weight
+/// training path (conv2d_via_gemm) and Conv2d's packed inference path, so
+/// the two can never diverge layout-wise.
+Matrix conv2d_apply(const Matrix& images, const ConvShape& shape, std::size_t out_channels,
+                    const std::function<void(const Matrix& patches, Matrix& result)>& gemm);
 
 /// Convolve a batch: `images` is (batch x C*H*W), `weight` is
 /// (C*k*k x out_channels), bias is (1 x out_channels). Returns

@@ -1,0 +1,528 @@
+// Tests of the fleet tier (serve/fleet.hpp) and the refactors beneath it:
+// multi-shard routing serves bit-identical logits, per-shard stats sum to
+// the fleet totals, the version-aware registry hot-swaps models atomically
+// under a saturating request stream (every logit matches exactly one
+// published version — never a mix), latency-aware batching windows launch
+// partial batches at expiry (interactive heads launch immediately), and
+// fleet-wide admission control sheds by summed backlog.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+#include "nn/norm.hpp"
+#include "serve/fleet.hpp"
+#include "serve/request_queue.hpp"
+#include "tensor/kernels/pack.hpp"
+#include "tensor/ops.hpp"
+
+namespace onesa::serve {
+namespace {
+
+using tensor::FixMatrix;
+using tensor::Matrix;
+using tensor::to_fixed;
+
+OneSaConfig small_config() {
+  OneSaConfig cfg;
+  cfg.array.rows = 4;
+  cfg.array.cols = 4;
+  cfg.array.macs_per_pe = 4;
+  cfg.mode = ExecutionMode::kAnalytic;
+  return cfg;
+}
+
+FleetConfig small_fleet(std::size_t shards, std::size_t workers) {
+  FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.workers_per_shard = workers;
+  cfg.accelerator = small_config();
+  return cfg;
+}
+
+/// Small row-independent MLP (Linear -> ReLU -> LayerNorm -> Linear).
+std::unique_ptr<nn::Sequential> make_mlp(std::size_t in, std::size_t hidden,
+                                         std::size_t out, Rng& rng) {
+  auto model = std::make_unique<nn::Sequential>();
+  model->add(std::make_unique<nn::Linear>(in, hidden, rng));
+  model->add(nn::make_relu());
+  model->add(std::make_unique<nn::LayerNorm>(hidden));
+  model->add(std::make_unique<nn::Linear>(hidden, out, rng));
+  return model;
+}
+
+ModelOptions batchable_options(double window_ms = 0.0) {
+  ModelOptions options;
+  options.batchable = true;
+  options.batch_window_ms = window_ms;
+  return options;
+}
+
+// ------------------------------------------------------------------- fleet
+
+TEST(Fleet, ServesModelBitExactlyAndShardStatsSumToFleetTotals) {
+  Fleet fleet(small_fleet(3, 2));
+  Rng rng(80);
+  const ModelHandle handle = fleet.register_model("mlp", make_mlp(6, 16, 4, rng));
+  EXPECT_EQ(handle->version, 1u);
+
+  std::vector<Matrix> inputs;
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 36; ++i) {
+    inputs.push_back(tensor::random_uniform(1 + i % 4, 6, rng, -1.0, 1.0));
+    futures.push_back(fleet.submit_model("mlp", inputs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResult got = futures[i].get();
+    EXPECT_EQ(got.logits, handle->infer(inputs[i])) << "request " << i;
+    EXPECT_LT(got.shard, fleet.shards());
+  }
+  fleet.shutdown();
+
+  // Per-shard snapshots sum (via ServeStats::operator+) to the fleet view.
+  const ServeStats total = fleet.stats();
+  EXPECT_EQ(total.completed(), 36u);
+  ServeStats summed;
+  std::uint64_t batches = 0;
+  for (const ServeStats& s : fleet.shard_stats()) {
+    summed += s;
+    batches += s.batches();
+  }
+  EXPECT_EQ(summed.completed(), total.completed());
+  EXPECT_EQ(summed.batches(), total.batches());
+  EXPECT_EQ(batches, total.batches());
+  EXPECT_EQ(summed.rows(), total.rows());
+  EXPECT_EQ(summed.total_mac_ops(), total.total_mac_ops());
+  EXPECT_EQ(summed.total_cycles().total(), total.total_cycles().total());
+  EXPECT_EQ(summed.deadline_misses(), total.deadline_misses());
+  // Simulated work appears in the merged lifetime counters and makespan.
+  EXPECT_GT(fleet.fleet_lifetime().mac_ops, 0u);
+  EXPECT_GT(fleet.makespan_cycles(), 0u);
+}
+
+TEST(Fleet, RoundRobinRoutesSubmissionsInTurn) {
+  FleetConfig cfg = small_fleet(2, 1);
+  cfg.router = RouterPolicy::kRoundRobin;
+  Fleet fleet(cfg);
+
+  const auto trace = std::make_shared<nn::WorkloadTrace>(nn::gcn_trace(64, 16, 8, 4, 4));
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(fleet.submit_trace(trace));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    // Routing happens at submit on the submitting thread, so the rotation
+    // is exact: submission i lands on shard i % 2.
+    EXPECT_EQ(futures[i].get().shard, i % 2) << "submission " << i;
+  }
+  fleet.shutdown();
+}
+
+TEST(Fleet, ModelAffinityPinsAModelToOneShardAcrossSwaps) {
+  FleetConfig cfg = small_fleet(4, 1);
+  cfg.router = RouterPolicy::kModelAffinity;
+  Fleet fleet(cfg);
+  Rng rng(81);
+  fleet.register_model("alpha", make_mlp(4, 8, 2, rng), batchable_options());
+  fleet.register_model("beta", make_mlp(4, 8, 2, rng), batchable_options());
+
+  auto served_shards = [&](const std::string& name, int n) {
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < n; ++i)
+      futures.push_back(fleet.submit_model(name, tensor::random_uniform(2, 4, rng)));
+    std::vector<std::size_t> shards;
+    for (auto& f : futures) shards.push_back(f.get().shard);
+    return shards;
+  };
+
+  const auto alpha = served_shards("alpha", 6);
+  const auto beta = served_shards("beta", 6);
+  for (std::size_t s : alpha) EXPECT_EQ(s, alpha.front());  // one shard per model
+  for (std::size_t s : beta) EXPECT_EQ(s, beta.front());
+
+  // Affinity hashes the NAME, so a hot-swap keeps the model on its shard
+  // (the new version's batches keep folding into the same queue).
+  fleet.swap_model("alpha", make_mlp(4, 8, 2, rng));
+  const auto swapped = served_shards("alpha", 4);
+  for (std::size_t s : swapped) EXPECT_EQ(s, alpha.front());
+  fleet.shutdown();
+}
+
+TEST(Fleet, SharedRegistryPacksWeightsOncePerFleet) {
+  if (!tensor::kernels::pack_counter_enabled()) {
+    GTEST_SKIP() << "pack counter compiled out (NDEBUG build)";
+  }
+  Fleet fleet(small_fleet(3, 1));
+  Rng rng(82);
+  tensor::kernels::reset_pack_panel_count();
+  fleet.register_model("mlp", make_mlp(6, 16, 4, rng), batchable_options());
+  const std::uint64_t packed_at_registration = tensor::kernels::pack_panel_count();
+  EXPECT_GT(packed_at_registration, 0u);  // registration pre-packs every Linear
+
+  // One registry for all shards: serving through every shard re-packs
+  // NOTHING — the request path consumes the one shared packed copy.
+  tensor::kernels::reset_pack_panel_count();
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 12; ++i)
+    futures.push_back(fleet.submit_model("mlp", tensor::random_uniform(2, 6, rng)));
+  for (auto& f : futures) f.get();
+  fleet.shutdown();
+  EXPECT_EQ(tensor::kernels::pack_panel_count(), 0u);
+  EXPECT_EQ(fleet.registry().size(), 1u);
+}
+
+TEST(Fleet, FleetAdmissionShedsBySummedBacklogAndAccountsEverything) {
+  FleetConfig cfg = small_fleet(2, 1);
+  cfg.admission.max_pending_requests = 3;  // fleet-wide, not per shard
+  Fleet fleet(cfg);
+  Rng rng(83);
+
+  constexpr int kSubmitted = 40;
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < kSubmitted; ++i)
+    futures.push_back(fleet.submit_elementwise(
+        cpwl::FunctionKind::kRelu, to_fixed(tensor::random_uniform(2, 4, rng))));
+
+  std::size_t served = 0;
+  std::size_t shed = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++served;
+    } catch (const OverloadError&) {
+      ++shed;
+    }
+  }
+  fleet.shutdown();
+  EXPECT_EQ(served + shed, static_cast<std::size_t>(kSubmitted));
+  EXPECT_EQ(fleet.stats().completed(), served);
+  EXPECT_EQ(fleet.sheds(), shed);
+  EXPECT_EQ(fleet.stats().sheds(), shed);  // fleet-level sheds land in stats
+}
+
+// ---------------------------------------------------------------- hot swap
+
+TEST(HotSwap, RegistryPublishesVersionsAtomicallyAndKeepsOldHandlesAlive) {
+  ModelRegistry registry;
+  Rng rng(84);
+  const ModelHandle v1 =
+      registry.add("m", make_mlp(4, 8, 2, rng), batchable_options(7.5));
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(registry.version_of("m"), 1u);
+
+  const Matrix x = tensor::random_uniform(3, 4, rng);
+  const Matrix v1_logits = v1->infer(x);
+
+  // Option-preserving swap: new weights, same serving metadata.
+  const ModelHandle v2 = registry.swap("m", make_mlp(4, 8, 2, rng));
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(registry.version_of("m"), 2u);
+  EXPECT_EQ(registry.get("m"), v2);
+  EXPECT_TRUE(v2->batchable);
+  EXPECT_DOUBLE_EQ(v2->batch_window_ms, 7.5);
+  EXPECT_EQ(registry.size(), 1u);  // same name, one entry slot
+
+  // The old handle still serves the old weights (in-flight semantics).
+  EXPECT_EQ(v1->infer(x), v1_logits);
+  EXPECT_NE(v2->infer(x), v1_logits);  // fresh random weights
+
+  // Explicit-options swap replaces the metadata.
+  ModelOptions solo;
+  solo.batchable = false;
+  const ModelHandle v3 = registry.swap("m", make_mlp(4, 8, 2, rng), solo);
+  EXPECT_EQ(v3->version, 3u);
+  EXPECT_FALSE(v3->batchable);
+
+  EXPECT_THROW(registry.swap("nope", make_mlp(4, 8, 2, rng)), Error);
+  EXPECT_THROW(registry.swap("m", nullptr), Error);
+}
+
+TEST(HotSwap, SwapUnderSaturatingLoadNeverMixesVersions) {
+  // Concurrent swap_model against a saturating submit stream (the TSan
+  // scenario): every returned logit must be bit-exact against SOME published
+  // version's direct forward — old or new, never a torn mix — and no future
+  // may fail.
+  Fleet fleet(small_fleet(2, 2));
+  Rng rng(85);
+  std::vector<ModelHandle> versions;
+  versions.push_back(
+      fleet.register_model("m", make_mlp(6, 12, 3, rng), batchable_options()));
+
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 60;
+  struct Submission {
+    Matrix input;
+    std::future<ServeResult> future;
+  };
+  std::vector<std::vector<Submission>> submissions(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&fleet, &submissions, t] {
+      Rng thread_rng(900 + t);
+      submissions[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        Matrix input = tensor::random_uniform(1 + i % 3, 6, thread_rng, -1.0, 1.0);
+        auto future = fleet.submit_model("m", input);
+        submissions[t].push_back({std::move(input), std::move(future)});
+      }
+    });
+  }
+  // Swap concurrently with the submitters: each flip publishes a fresh
+  // pre-packed version while batches of the old one are in flight.
+  for (int swap = 0; swap < 4; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    versions.push_back(fleet.swap_model("m", make_mlp(6, 12, 3, rng)));
+  }
+  for (auto& thread : submitters) thread.join();
+  fleet.shutdown();
+  ASSERT_EQ(versions.back()->version, 5u);
+
+  std::size_t checked = 0;
+  for (auto& thread_subs : submissions) {
+    for (Submission& sub : thread_subs) {
+      const ServeResult got = sub.future.get();  // throws on any failed future
+      const bool matches_some_version =
+          std::any_of(versions.begin(), versions.end(), [&](const ModelHandle& v) {
+            return got.logits == v->infer(sub.input);
+          });
+      EXPECT_TRUE(matches_some_version) << "request " << got.id
+                                        << " returned logits matching no version";
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+// ------------------------------------------------------- batching windows
+
+BatcherConfig windowed_batcher(double wait_ms) {
+  BatcherConfig cfg;
+  cfg.max_batch_requests = 4;
+  cfg.max_batch_rows = 64;
+  cfg.max_batch_wait_ms = wait_ms;
+  return cfg;
+}
+
+TEST(BatchingWindow, PartialBatchLaunchesAtExpiryAndIsCounted) {
+  RequestQueue queue(1, DynamicBatcher(windowed_batcher(20.0)));
+  Rng rng(86);
+  auto t = make_elementwise_request(cpwl::FunctionKind::kRelu,
+                                    to_fixed(tensor::random_uniform(2, 4, rng)));
+  const auto pushed = ServeClock::now();
+  queue.push(std::move(t.request));
+
+  auto batch = queue.pop_batch(0);  // lone request: waits out the window
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(ServeClock::now() - pushed).count();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(queue.window_expiries(), 1u);
+  // wait_until never returns before the deadline, so the full window
+  // elapsed (small slack for the enqueue-stamp gap).
+  EXPECT_GE(waited_ms, 18.0);
+  batch.front().promise.set_value({});
+}
+
+TEST(BatchingWindow, InteractiveHeadLaunchesImmediately) {
+  RequestQueue queue(1, DynamicBatcher(windowed_batcher(500.0)));
+  Rng rng(87);
+  SubmitOptions interactive;
+  interactive.priority = Priority::kInteractive;
+  auto t = make_elementwise_request(
+      cpwl::FunctionKind::kRelu, to_fixed(tensor::random_uniform(2, 4, rng)), interactive);
+  queue.push(std::move(t.request));
+
+  // A 500 ms window would hang this single-threaded pop; the interactive
+  // class must force an immediate launch instead.
+  auto batch = queue.pop_batch(0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(queue.window_expiries(), 0u);
+  batch.front().promise.set_value({});
+}
+
+TEST(BatchingWindow, FullBatchLaunchesWithoutWaiting) {
+  RequestQueue queue(1, DynamicBatcher(windowed_batcher(500.0)));
+  Rng rng(88);
+  std::vector<TaggedRequest> tagged;
+  for (std::size_t i = 0; i < 4; ++i) {  // == max_batch_requests
+    tagged.push_back(make_elementwise_request(
+        cpwl::FunctionKind::kRelu, to_fixed(tensor::random_uniform(2, 4, rng))));
+    queue.push(std::move(tagged.back().request));
+  }
+  auto batch = queue.pop_batch(0);  // budget reached: nothing to wait for
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(queue.window_expiries(), 0u);
+  for (auto& req : batch) req.promise.set_value({});
+}
+
+TEST(BatchingWindow, CloseDrainsWithoutWaitingOutTheWindow) {
+  RequestQueue queue(1, DynamicBatcher(windowed_batcher(500.0)));
+  Rng rng(89);
+  auto t = make_elementwise_request(cpwl::FunctionKind::kRelu,
+                                    to_fixed(tensor::random_uniform(2, 4, rng)));
+  queue.push(std::move(t.request));
+  queue.close();
+
+  auto batch = queue.pop_batch(0);  // shutdown drain skips the window
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(queue.window_expiries(), 0u);
+  batch.front().promise.set_value({});
+}
+
+TEST(BatchingWindow, PerModelWindowAppliesOnlyToBatchableModels) {
+  ModelRegistry registry;
+  Rng rng(90);
+  const ModelHandle windowed =
+      registry.add("windowed", make_mlp(4, 8, 2, rng), batchable_options(15.0));
+  ModelOptions solo;
+  solo.batch_window_ms = 15.0;  // non-batchable: the window must be ignored
+  const ModelHandle unbatchable = registry.add("solo", make_mlp(4, 8, 2, rng), solo);
+
+  RequestQueue queue(1, DynamicBatcher(windowed_batcher(0.0)));
+  auto a = make_model_request(windowed, tensor::random_uniform(2, 4, rng));
+  queue.push(std::move(a.request));
+  auto batch = queue.pop_batch(0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(queue.window_expiries(), 1u);  // waited, expired, launched partial
+  batch.front().promise.set_value({});
+
+  auto b = make_model_request(unbatchable, tensor::random_uniform(2, 4, rng));
+  queue.push(std::move(b.request));
+  batch = queue.pop_batch(0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(queue.window_expiries(), 1u);  // unchanged: solo batches never wait
+  batch.front().promise.set_value({});
+}
+
+TEST(BatchingWindow, SloDeadlineCutsTheWindowShort) {
+  // A head whose SLO deadline lands before its window end launches at the
+  // deadline: parking a request past its own deadline to improve fill would
+  // manufacture a miss the immediate-launch behaviour never had.
+  RequestQueue queue(1, DynamicBatcher(windowed_batcher(5000.0)));
+  Rng rng(95);
+  SubmitOptions slo;
+  slo.deadline_ms = 20.0;  // far earlier than the 5 s window
+  auto t = make_elementwise_request(cpwl::FunctionKind::kRelu,
+                                    to_fixed(tensor::random_uniform(2, 4, rng)), slo);
+  const auto pushed = ServeClock::now();
+  queue.push(std::move(t.request));
+
+  auto batch = queue.pop_batch(0);
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(ServeClock::now() - pushed).count();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_GE(waited_ms, 15.0);   // held until (about) the deadline...
+  EXPECT_LT(waited_ms, 4000.0);  // ...never anywhere near the window
+  EXPECT_EQ(queue.window_expiries(), 1u);
+  batch.front().promise.set_value({});
+}
+
+TEST(BatchingWindow, ParkedHeadNeverBlocksIncompatibleWork) {
+  // A head waiting out its window must not head-of-line block the queue:
+  // pending work that could never ride in its batch dispatches first, and
+  // the parked head keeps its window.
+  ModelRegistry registry;
+  Rng rng(91);
+  const ModelHandle windowed =
+      registry.add("windowed", make_mlp(4, 8, 2, rng), batchable_options(30.0));
+  const ModelHandle other = registry.add("other", make_mlp(4, 8, 2, rng),
+                                         batchable_options(0.0));
+
+  RequestQueue queue(1, DynamicBatcher(windowed_batcher(0.0)));
+  auto parked = make_model_request(windowed, tensor::random_uniform(2, 4, rng));
+  const RequestId parked_id = parked.request.id;
+  auto ready = make_model_request(other, tensor::random_uniform(2, 4, rng));
+  const RequestId ready_id = ready.request.id;
+  queue.push(std::move(parked.request));
+  queue.push(std::move(ready.request));
+
+  // First pop: the windowed head is parked, so the windowless (later,
+  // incompatible) request launches immediately — no expiry, no wait.
+  auto batch = queue.pop_batch(0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.front().id, ready_id);
+  EXPECT_EQ(queue.window_expiries(), 0u);
+  batch.front().promise.set_value({});
+
+  // Second pop: only the parked head remains; it waits out its window.
+  batch = queue.pop_batch(0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.front().id, parked_id);
+  EXPECT_EQ(queue.window_expiries(), 1u);
+  batch.front().promise.set_value({});
+}
+
+TEST(BatchingWindow, ExpiryCountsSurfaceInPoolAndFleetStats) {
+  ServerPoolConfig cfg;
+  cfg.workers = 1;
+  cfg.accelerator = small_config();
+  cfg.batcher = windowed_batcher(5.0);
+  ServerPool pool(cfg);
+  Rng rng(92);
+  pool.submit_elementwise(cpwl::FunctionKind::kRelu,
+                          to_fixed(tensor::random_uniform(2, 4, rng)))
+      .get();
+  pool.shutdown();
+  EXPECT_GE(pool.stats().window_expiries(), 1u);
+
+  FleetConfig fleet_cfg = small_fleet(2, 1);
+  fleet_cfg.batcher = windowed_batcher(5.0);
+  Fleet fleet(fleet_cfg);
+  fleet
+      .submit_elementwise(cpwl::FunctionKind::kRelu,
+                          to_fixed(tensor::random_uniform(2, 4, rng)))
+      .get();
+  fleet.shutdown();
+  EXPECT_GE(fleet.stats().window_expiries(), 1u);  // summed across shards
+}
+
+// ------------------------------------------------------- stats aggregation
+
+TEST(ServeStatsAggregation, OperatorPlusMatchesMerge) {
+  ServeStats a;
+  ServeStats b;
+  BatchRecord ra;
+  ra.requests = 2;
+  ra.rows = 4;
+  ra.padded_rows = 8;
+  ra.mac_ops = 50;
+  ra.latency_ms = {1.0, 2.0};
+  ra.latency_class = {Priority::kInteractive, Priority::kBulk};
+  BatchRecord rb;
+  rb.requests = 1;
+  rb.rows = 4;
+  rb.padded_rows = 4;
+  rb.mac_ops = 20;
+  rb.latency_ms = {10.0};
+  a.record_batch(ra);
+  a.record_window_expiries(2);
+  b.record_batch(rb);
+  b.record_sheds(3);
+
+  const ServeStats sum = a + b;
+  EXPECT_EQ(sum.completed(), 3u);
+  EXPECT_EQ(sum.batches(), 2u);
+  EXPECT_EQ(sum.total_mac_ops(), 70u);
+  EXPECT_EQ(sum.sheds(), 3u);
+  EXPECT_EQ(sum.window_expiries(), 2u);
+  EXPECT_EQ(sum.class_completed(Priority::kInteractive), 1u);
+  EXPECT_EQ(sum.class_completed(Priority::kNormal), 1u);  // classless rb entry
+  EXPECT_EQ(sum.class_completed(Priority::kBulk), 1u);
+  EXPECT_DOUBLE_EQ(sum.percentile_latency_ms(100.0), 10.0);
+
+  ServeStats accum;
+  accum += a;
+  accum += b;
+  EXPECT_EQ(accum.completed(), sum.completed());
+  EXPECT_EQ(accum.window_expiries(), sum.window_expiries());
+}
+
+}  // namespace
+}  // namespace onesa::serve

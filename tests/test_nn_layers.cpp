@@ -15,6 +15,7 @@
 #include "nn/norm.hpp"
 #include "nn/sequential.hpp"
 #include "train/optimizer.hpp"
+#include "tensor/kernels/pack.hpp"
 #include "tensor/ops.hpp"
 
 namespace onesa::nn {
@@ -335,6 +336,48 @@ TEST(InferPath, SequentialFusesLinearActivationPairsBitExactly) {
   const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu);
   dynamic_cast<Activation&>(model.at(3)).use_table(&table);
   EXPECT_EQ(std::as_const(model).infer(x), model.forward(x));
+}
+
+TEST(InferPath, ConvAndAttentionServeFromPrepackedWeights) {
+  // Conv2d's im2col GEMM and the four attention projections route through
+  // cached PackedB like Linear: prepack() builds every pack, after which
+  // infer() packs NOTHING — the registry pre-pack covers every matmul a
+  // served model executes.
+  if (!tensor::kernels::pack_counter_enabled()) {
+    GTEST_SKIP() << "pack counter compiled out (NDEBUG build)";
+  }
+  Rng rng(46);
+  tensor::ConvShape shape;
+  shape.in_channels = 2;
+  shape.in_height = 6;
+  shape.in_width = 6;
+  Conv2d conv(shape, 3, rng);
+  MultiHeadSelfAttention attention(8, 2, rng);
+
+  conv.prepack();
+  attention.prepack();
+  tensor::kernels::reset_pack_panel_count();
+  const Matrix image = tensor::random_uniform(2, shape.in_channels * 36, rng, -1.0, 1.0);
+  const Matrix seq = tensor::random_uniform(4, 8, rng, -1.0, 1.0);
+  const Matrix conv_served = conv.infer(image);
+  const Matrix attn_served = attention.infer(seq);
+  EXPECT_EQ(tensor::kernels::pack_panel_count(), 0u);  // zero request-path packs
+
+  // The packed path must not move a bit vs the raw-weight training forward.
+  EXPECT_EQ(conv_served, conv.forward(image));
+  EXPECT_EQ(attn_served, attention.forward(seq));
+
+  // An optimizer step bumps the Param versions, so the next infer re-packs
+  // and sees the new values (stale packs would reproduce the old logits).
+  conv.backward(tensor::random_uniform(2, conv.out_features(), rng, -1.0, 1.0));
+  attention.backward(tensor::random_uniform(4, 8, rng, -1.0, 1.0));
+  std::vector<Param*> params = conv.params();
+  const std::vector<Param*> attn_params = attention.params();
+  params.insert(params.end(), attn_params.begin(), attn_params.end());
+  train::Sgd sgd(params, /*lr=*/0.1);
+  sgd.step();
+  EXPECT_EQ(conv.infer(image), conv.forward(image));
+  EXPECT_EQ(attention.infer(seq), attention.forward(seq));
 }
 
 TEST(InferPath, InferNeverTouchesTrainingState) {
