@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON produced by the obs tracing layer.
+
+Usage:
+    check_trace.py TRACE.json [--min-requests N]
+
+Checks the structural invariants the serving layer promises (see
+src/obs/trace.hpp):
+
+  1. The file is valid JSON with a non-empty "traceEvents" list, and every
+     event carries the trace-event fields its phase requires (ph/name/cat/
+     pid/tid/ts; "X" events additionally a non-negative dur; async events a
+     correlation id).
+  2. Events are sorted by timestamp (the exporter stable-sorts; a violation
+     means the export merged buffers wrong).
+  3. Request lifecycles are complete: every cat="request" id has exactly one
+     outer "request" begin ("b") and exactly one TERMINAL "request" end
+     ("e") whose args.outcome is "ok", "shed" or "error" — a submitted
+     request that vanishes without a terminal span is the bug this checker
+     exists to catch.
+  4. Spans are monotonic: each request's terminal end is not earlier than
+     its begin, every nested span ("queue_wait", "window_park", "service")
+     pairs a "b" with an "e" at a later-or-equal timestamp, and nested
+     spans lie within the outer [begin, end] window.
+  5. "X" spans (batch, kernel) have dur >= 0.
+
+Exit 0 when every invariant holds, 1 with a list of violations otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+TERMINAL_OUTCOMES = {"ok", "shed", "error"}
+NESTED_SPANS = {"queue_wait", "window_park", "service"}
+
+
+def load_events(path, errors):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        errors.append(f"cannot load {path}: {err}")
+        return None
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append("traceEvents missing, not a list, or empty")
+        return None
+    return events
+
+
+def check_fields(events, errors):
+    for i, ev in enumerate(events):
+        for field in ("ph", "name", "cat", "pid", "tid", "ts"):
+            if field not in ev:
+                errors.append(f"event {i} ({ev.get('name', '?')}): missing '{field}'")
+        ph = ev.get("ph")
+        if ph == "X":
+            if "dur" not in ev:
+                errors.append(f"event {i} ({ev.get('name', '?')}): X without dur")
+            elif ev["dur"] < 0:
+                errors.append(f"event {i} ({ev.get('name', '?')}): negative dur {ev['dur']}")
+        elif ph in ("b", "e"):
+            if "id" not in ev:
+                errors.append(f"event {i} ({ev.get('name', '?')}): async without id")
+        else:
+            errors.append(f"event {i} ({ev.get('name', '?')}): unknown phase {ph!r}")
+
+
+def check_sorted(events, errors):
+    last = None
+    for i, ev in enumerate(events):
+        ts = ev.get("ts")
+        if ts is None:
+            continue
+        if last is not None and ts < last:
+            errors.append(f"event {i} ({ev.get('name', '?')}): ts {ts} < previous {last} "
+                          "— export is not time-sorted")
+        last = ts
+
+
+def check_request_chains(events, errors):
+    """Group cat='request' async events by id and verify each lifecycle."""
+    chains = {}
+    for ev in events:
+        if ev.get("cat") != "request" or ev.get("ph") not in ("b", "e"):
+            continue
+        chains.setdefault(str(ev.get("id")), []).append(ev)
+
+    for rid, evs in sorted(chains.items()):
+        begins = [e for e in evs if e["ph"] == "b" and e["name"] == "request"]
+        ends = [e for e in evs if e["ph"] == "e" and e["name"] == "request"]
+        if len(begins) != 1:
+            errors.append(f"request {rid}: {len(begins)} outer begins (want exactly 1)")
+        if len(ends) != 1:
+            errors.append(f"request {rid}: {len(ends)} terminal ends (want exactly 1) "
+                          "— a submitted request must reach a terminal span")
+        if not begins or not ends:
+            continue
+        t0, t1 = begins[0]["ts"], ends[0]["ts"]
+        outcome = (ends[0].get("args") or {}).get("outcome")
+        if outcome not in TERMINAL_OUTCOMES:
+            errors.append(f"request {rid}: terminal outcome {outcome!r} not in "
+                          f"{sorted(TERMINAL_OUTCOMES)}")
+        if t1 < t0:
+            errors.append(f"request {rid}: terminal end ts {t1} earlier than begin {t0}")
+        nested = {}
+        for e in evs:
+            if e["name"] in NESTED_SPANS:
+                nested.setdefault(e["name"], {"b": [], "e": []})[e["ph"]].append(e["ts"])
+        for name, sides in sorted(nested.items()):
+            if len(sides["b"]) != len(sides["e"]):
+                errors.append(f"request {rid}: span '{name}' has {len(sides['b'])} begins "
+                              f"vs {len(sides['e'])} ends")
+                continue
+            for b_ts, e_ts in zip(sorted(sides["b"]), sorted(sides["e"])):
+                if e_ts < b_ts:
+                    errors.append(f"request {rid}: span '{name}' ends ({e_ts}) before "
+                                  f"it begins ({b_ts})")
+                if b_ts < t0 or e_ts > t1:
+                    errors.append(f"request {rid}: span '{name}' [{b_ts}, {e_ts}] escapes "
+                                  f"the outer request window [{t0}, {t1}]")
+    return len(chains)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace")
+    parser.add_argument("--min-requests", type=int, default=1,
+                        help="fail unless at least N request chains are present "
+                             "(default 1 — an empty trace validates nothing)")
+    args = parser.parse_args()
+
+    errors = []
+    events = load_events(args.trace, errors)
+    requests = 0
+    if events is not None:
+        check_fields(events, errors)
+        check_sorted(events, errors)
+        requests = check_request_chains(events, errors)
+        if requests < args.min_requests:
+            errors.append(f"only {requests} request chain(s) found, "
+                          f"need >= {args.min_requests}")
+
+    if errors:
+        for err in errors[:50]:
+            print(f"FAIL: {err}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"FAIL: ... and {len(errors) - 50} more", file=sys.stderr)
+        return 1
+
+    kinds = {}
+    for ev in events:
+        kinds[ev["cat"]] = kinds.get(ev["cat"], 0) + 1
+    summary = ", ".join(f"{n} {cat}" for cat, n in sorted(kinds.items()))
+    print(f"check_trace: OK — {len(events)} events ({summary}), "
+          f"{requests} complete request chain(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

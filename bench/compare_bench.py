@@ -27,6 +27,10 @@ section must be able to land before the regenerated baseline is committed
 Absolute timings (ms), GFLOP/s, and host latencies are deliberately NOT
 compared: they move with the runner hardware. Ratios computed on one host
 within one run are the stable signal.
+
+A baseline file that is absent or not valid JSON downgrades the whole run
+to a warning + exit 0: the gate is only armed once a good baseline is
+committed, and a broken artifact must not impersonate a perf regression.
 """
 
 import argparse
@@ -97,8 +101,22 @@ def main():
                         help="allowed fractional regression (default 0.2 = 20%%)")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        base = json.load(f)
+    # A missing or unparseable BASELINE is a warning, not a crash: the gate
+    # only exists once a baseline has been committed, and a corrupted artifact
+    # download should read as "nothing to compare against", not a stack trace
+    # masquerading as a perf regression. A bad FRESH file stays a hard error —
+    # that means the bench itself broke, which the gate must surface.
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+    except FileNotFoundError:
+        print(f"compare_bench: WARNING baseline '{args.baseline}' not found — "
+              "nothing to compare against, skipping the gate")
+        return 0
+    except (json.JSONDecodeError, UnicodeDecodeError) as err:
+        print(f"compare_bench: WARNING baseline '{args.baseline}' is not valid "
+              f"JSON ({err}) — skipping the gate; regenerate and recommit it")
+        return 0
     with open(args.fresh) as f:
         fresh = json.load(f)
 

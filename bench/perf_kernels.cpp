@@ -348,8 +348,15 @@ void write_json(const std::string& path, const std::vector<GemmResult>& gemms,
   out << "  \"gemm_threaded\": [\n";
   for (std::size_t i = 0; i < threaded.size(); ++i) {
     const ThreadedResult& t = threaded[i];
+    // Host topology rides along per row so a scaling curve stays
+    // interpretable when the JSON is read away from the machine that
+    // produced it: speedup_vs_1t at lanes=8 on a 4-core host is a
+    // different claim than the same figure on a 32-core one.
     out << "    {\"name\": \"" << t.shape.name << "\", \"lanes\": " << t.lanes
-        << ", \"dispatch_threads\": " << t.dispatch_threads << ", \"ms\": " << t.ms
+        << ", \"dispatch_threads\": " << t.dispatch_threads
+        << ", \"pool_threads\": " << kernels::ThreadPool::instance().threads()
+        << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+        << ", \"ms\": " << t.ms
         << ", \"speedup_vs_1t\": " << t.speedup_vs_1t << "}"
         << (i + 1 < threaded.size() ? "," : "") << "\n";
   }

@@ -14,8 +14,14 @@
 // version while serving, proving version-consistent logits across the
 // flip. Per-shard statistics print next to the fleet aggregate (their sums
 // are equal by construction).
+//
+// Pass `--trace-out FILE` to record every request's lifecycle spans
+// (queue wait, window park, service, batches, kernel calls) and write a
+// Chrome trace-event JSON loadable in Perfetto / chrome://tracing.
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/table.hpp"
@@ -23,6 +29,7 @@
 #include "nn/linear.hpp"
 #include "nn/norm.hpp"
 #include "nn/workload.hpp"
+#include "obs/trace.hpp"
 #include "serve/fleet.hpp"
 #include "tensor/ops.hpp"
 
@@ -40,10 +47,29 @@ std::unique_ptr<onesa::nn::Sequential> make_demo_mlp(onesa::Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace onesa;
 
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--trace-out FILE]\n";
+      return 2;
+    }
+  }
+
   std::cout << "=== ONE-SA serving runtime demo: the fleet tier ===\n\n";
+
+  if (!trace_out.empty()) {
+    if (!obs::tracing_compiled()) {
+      std::cerr << "error: --trace-out requires a build with ONESA_TRACING=ON\n";
+      return 2;
+    }
+    obs::trace_start(1.0);  // sample every request — this is a demo, not prod
+    std::cout << "tracing: ON (every request), writing " << trace_out << "\n\n";
+  }
 
   serve::FleetConfig cfg;
   cfg.shards = 2;
@@ -226,6 +252,16 @@ int main() {
                "routed across shards by outstanding cost, served from one shared\n"
                "registry whose weights packed once, and hot-swapped mid-stream with\n"
                "zero dropped or torn requests.\n";
+
+  if (!trace_out.empty()) {
+    obs::trace_stop();  // fleet is shut down: every span is already recorded
+    if (!obs::trace_write_chrome(trace_out)) {
+      std::cerr << "error: could not write trace file " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << "\ntrace: wrote " << trace_out
+              << " (load in Perfetto or chrome://tracing)\n";
+  }
 
   if (exact != mlp_futures.size() || v2_exact != v2_futures.size()) {
     std::cout << "\nFAIL: "

@@ -1,0 +1,173 @@
+#include "obs/trace.hpp"
+
+#ifndef ONESA_TRACING_DISABLED
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+namespace onesa::obs {
+
+namespace {
+
+/// Dense per-thread track id for the Chrome "tid" field: stable for the
+/// thread's lifetime, small enough that Perfetto's track list stays
+/// readable.
+std::uint32_t thread_track_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// splitmix64 finalizer: decorrelates sequential request ids so a rate-r
+/// sample takes an unbiased r fraction of any id range.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::int64_t trace_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceCollector& TraceCollector::global() {
+  static auto* collector = new TraceCollector();  // intentionally leaked
+  return *collector;
+}
+
+void TraceCollector::start(double rate) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  const double scaled = rate * 4294967296.0;  // of 2^32
+  sample_threshold_.store(scaled >= 4294967295.0
+                              ? 0xffffffffu
+                              : static_cast<std::uint32_t>(scaled),
+                          std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+bool TraceCollector::sample(std::uint64_t id) const {
+  const std::uint32_t threshold = sample_threshold_.load(std::memory_order_relaxed);
+  if (threshold == 0xffffffffu) return true;
+  return static_cast<std::uint32_t>(mix(id)) < threshold;
+}
+
+TraceCollector::Buffer& TraceCollector::local_buffer() {
+  // The thread_local shared_ptr keeps the buffer alive while the thread
+  // runs; the registered copy keeps its events reachable after the thread
+  // exits (worker threads die before the demo writes its trace).
+  thread_local std::shared_ptr<Buffer> tls;
+  if (tls == nullptr) {
+    tls = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers_.push_back(tls);
+  }
+  return *tls;
+}
+
+void TraceCollector::record(TraceEvent event) {
+  if (!enabled()) return;
+  event.tid = thread_track_id();
+  Buffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return out;
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  os << "{\"traceEvents\": [";
+  const char* sep = "";
+  for (const TraceEvent& ev : events) {
+    os << sep << "\n  {\"ph\": \"" << static_cast<char>(ev.phase) << "\", \"name\": \""
+       << ev.name << "\", \"cat\": \"" << ev.cat << "\", \"pid\": 1, \"tid\": " << ev.tid
+       << ", \"ts\": " << ev.ts_us;
+    if (ev.phase == TraceEvent::Phase::kComplete) {
+      os << ", \"dur\": " << ev.dur_us;
+    } else {
+      // Async events correlate by (cat, id); Chrome wants the id as a
+      // string.
+      os << ", \"id\": \"" << ev.id << "\"";
+    }
+    if (!ev.args.empty()) os << ", \"args\": {" << ev.args << "}";
+    os << "}";
+    sep = ",";
+  }
+  os << "\n]}\n";
+}
+
+bool TraceCollector::write_chrome_trace(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_chrome_trace(file);
+  return static_cast<bool>(file);
+}
+
+void trace_async_begin(const char* name, const char* cat, std::uint64_t id,
+                       std::int64_t ts_us, std::string args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kAsyncBegin;
+  ev.name = name;
+  ev.cat = cat;
+  ev.id = id;
+  ev.ts_us = ts_us;
+  ev.args = std::move(args);
+  TraceCollector::global().record(std::move(ev));
+}
+
+void trace_async_end(const char* name, const char* cat, std::uint64_t id,
+                     std::int64_t ts_us, std::string args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kAsyncEnd;
+  ev.name = name;
+  ev.cat = cat;
+  ev.id = id;
+  ev.ts_us = ts_us;
+  ev.args = std::move(args);
+  TraceCollector::global().record(std::move(ev));
+}
+
+void trace_complete(const char* name, const char* cat, std::int64_t ts_us,
+                    std::int64_t dur_us, std::string args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kComplete;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.args = std::move(args);
+  TraceCollector::global().record(std::move(ev));
+}
+
+}  // namespace onesa::obs
+
+#endif  // ONESA_TRACING_DISABLED

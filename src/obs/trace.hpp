@@ -1,0 +1,152 @@
+// Per-request trace spans: monotonic-clock timestamped events collected in
+// per-thread buffers and exported as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Event model (see README "Observability" for the span taxonomy):
+//  - A request's lifecycle is a set of ASYNC events (ph "b"/"e") sharing
+//    cat="request" and id=<request id>: an outer "request" span opened at
+//    submit and closed at completion (terminal args carry the outcome —
+//    "ok", "shed" or "error"), with nested "queue_wait", "window_park" and
+//    "service" spans reconstructed from the timestamps the serving layer
+//    already records. Every sampled request reaches exactly one terminal
+//    "e" event, whatever its fate — the CI trace checker enforces this.
+//  - Worker-side execution is COMPLETE events (ph "X") on the worker's
+//    thread track: "batch" (cat "batch") for a whole batch execution, and
+//    "gemm"/"gemm_packed" (cat "kernel") from the kernel profiling hooks,
+//    which nest inside the batch span on the same track.
+//
+// Cost model: tracing is OFF by default. The compile-time gate
+// (-DONESA_TRACING_DISABLED, CMake option ONESA_TRACING=OFF) compiles every
+// call site down to nothing. Compiled in but stopped, each site is one
+// relaxed atomic load and a not-taken branch. Running, requests are sampled
+// by a deterministic hash of the request id against the configured rate, so
+// a 1% sample keeps 99% of requests on the stopped-cost path; sampled
+// events append to a per-thread buffer under that buffer's (uncontended)
+// mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace onesa::obs {
+
+#ifdef ONESA_TRACING_DISABLED
+
+/// Tracing compiled out: constant-false predicates let the optimizer drop
+/// every guarded call site whole.
+inline constexpr bool tracing_compiled() { return false; }
+inline bool tracing_enabled() { return false; }
+inline bool trace_sample(std::uint64_t) { return false; }
+inline std::int64_t trace_now_us() { return 0; }
+inline void trace_async_begin(const char*, const char*, std::uint64_t, std::int64_t,
+                              std::string = {}) {}
+inline void trace_async_end(const char*, const char*, std::uint64_t, std::int64_t,
+                            std::string = {}) {}
+inline void trace_complete(const char*, const char*, std::int64_t, std::int64_t,
+                           std::string = {}) {}
+inline void trace_start(double = 1.0) {}
+inline void trace_stop() {}
+inline void trace_clear() {}
+inline bool trace_write_chrome(const std::string&) { return false; }
+inline void trace_write_chrome(std::ostream&) {}
+
+#else  // tracing compiled in
+
+inline constexpr bool tracing_compiled() { return true; }
+
+/// One trace event. `args` is a pre-rendered JSON object body (without the
+/// braces), e.g. `"outcome":"ok","worker":2` — rendered by the emitter so
+/// the collector stays format-agnostic and the hot path does one string
+/// build only for sampled requests.
+struct TraceEvent {
+  enum class Phase : char {
+    kAsyncBegin = 'b',
+    kAsyncEnd = 'e',
+    kComplete = 'X',
+  };
+
+  Phase phase = Phase::kComplete;
+  const char* name = "";  // static strings only — span names are a fixed taxonomy
+  const char* cat = "";
+  std::uint64_t id = 0;    // async correlation id (the request id)
+  std::int64_t ts_us = 0;  // steady-clock microseconds (trace_now_us epoch)
+  std::int64_t dur_us = 0; // kComplete only
+  std::uint32_t tid = 0;   // dense per-thread track id
+  std::string args;        // JSON object body, may be empty
+};
+
+/// Process-wide trace collector. Threads append to their own registered
+/// buffer; snapshot/export walks all buffers (including those of exited
+/// threads — the collector keeps them alive).
+class TraceCollector {
+ public:
+  static TraceCollector& global();
+
+  /// Enable collection, sampling requests at `rate` in [0, 1] (1 = every
+  /// request). Does not clear previously collected events.
+  void start(double rate = 1.0);
+  void stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Deterministic sampling decision for a request id: stable across the
+  /// request's lifetime and across runs.
+  bool sample(std::uint64_t id) const;
+
+  void record(TraceEvent event);
+  void clear();
+
+  /// All collected events, sorted by timestamp.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}). The file variant
+  /// returns false (and writes nothing) if the path cannot be opened.
+  void write_chrome_trace(std::ostream& os) const;
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Buffer {
+    std::mutex mutex;  // uncontended: one writer (the owning thread) + snapshots
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> sample_threshold_{0};  // of 2^32
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/// Cheap global predicate call sites guard on: one relaxed load.
+inline bool tracing_enabled() { return TraceCollector::global().enabled(); }
+inline bool trace_sample(std::uint64_t id) { return TraceCollector::global().sample(id); }
+
+/// Microseconds on the same steady clock the serving layer stamps requests
+/// with, so spans reconstructed from ServeClock time_points line up.
+std::int64_t trace_now_us();
+
+void trace_async_begin(const char* name, const char* cat, std::uint64_t id,
+                       std::int64_t ts_us, std::string args = {});
+void trace_async_end(const char* name, const char* cat, std::uint64_t id,
+                     std::int64_t ts_us, std::string args = {});
+void trace_complete(const char* name, const char* cat, std::int64_t ts_us,
+                    std::int64_t dur_us, std::string args = {});
+
+inline void trace_start(double rate = 1.0) { TraceCollector::global().start(rate); }
+inline void trace_stop() { TraceCollector::global().stop(); }
+inline void trace_clear() { TraceCollector::global().clear(); }
+inline bool trace_write_chrome(const std::string& path) {
+  return TraceCollector::global().write_chrome_trace(path);
+}
+inline void trace_write_chrome(std::ostream& os) {
+  TraceCollector::global().write_chrome_trace(os);
+}
+
+#endif  // ONESA_TRACING_DISABLED
+
+}  // namespace onesa::obs

@@ -1,10 +1,14 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace onesa::serve {
 
@@ -12,6 +16,97 @@ namespace {
 
 double ms_between(ServeClock::time_point a, ServeClock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Registry handles for the batch-completion metrics, resolved once.
+struct BatchMetrics {
+  obs::Counter& completed =
+      obs::MetricsRegistry::global().counter("serve_requests_completed_total");
+  obs::Counter& batches = obs::MetricsRegistry::global().counter("serve_batches_total");
+  obs::Counter& deadline_misses =
+      obs::MetricsRegistry::global().counter("serve_deadline_misses_total");
+  obs::Histogram& latency = obs::MetricsRegistry::global().histogram("serve_latency_ms");
+  obs::Histogram& batch_requests =
+      obs::MetricsRegistry::global().histogram("serve_batch_requests");
+  obs::Histogram& batch_fill = obs::MetricsRegistry::global().histogram("serve_batch_fill");
+  std::array<obs::Histogram*, kPriorityClasses> latency_by_class{};
+
+  BatchMetrics() {
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+      latency_by_class[c] = &obs::MetricsRegistry::global().histogram(
+          "serve_latency_ms{class=\"" +
+          std::string(priority_name(static_cast<Priority>(c))) + "\"}");
+    }
+  }
+};
+
+BatchMetrics& batch_metrics() {
+  static BatchMetrics metrics;
+  return metrics;
+}
+
+/// Feed a completed batch's accounting into the registry. Failed batches
+/// (empty record — every promise already holds the error) record nothing,
+/// mirroring ServeStats.
+BatchRecord record_batch_metrics(BatchRecord record) {
+  if (record.requests == 0 || !obs::metrics_enabled()) return record;
+  BatchMetrics& m = batch_metrics();
+  m.batches.add(1);
+  m.completed.add(record.requests);
+  if (record.deadline_misses > 0) m.deadline_misses.add(record.deadline_misses);
+  m.batch_requests.record(static_cast<double>(record.requests));
+  if (record.padded_rows > 0)
+    m.batch_fill.record(static_cast<double>(record.rows) /
+                        static_cast<double>(record.padded_rows));
+  for (std::size_t i = 0; i < record.latency_ms.size(); ++i) {
+    m.latency.record(record.latency_ms[i]);
+    const auto cls = i < record.latency_class.size()
+                         ? static_cast<std::size_t>(record.latency_class[i])
+                         : static_cast<std::size_t>(Priority::kNormal);
+    if (cls < kPriorityClasses) m.latency_by_class[cls]->record(record.latency_ms[i]);
+  }
+  return record;
+}
+
+std::int64_t to_us(ServeClock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(tp.time_since_epoch())
+      .count();
+}
+
+/// The sampled request's completed lifecycle as nested async spans:
+/// queue_wait (queue entry -> batch execution start), window_park (first
+/// park -> execution start, only if the queue ever parked it), service
+/// (execution start -> end), then the terminal "request" end. Emitted at
+/// completion from the timestamps the serving layer already records, right
+/// before the promise is fulfilled, so a ready future implies the spans are
+/// in the collector.
+void emit_request_spans(const ServeRequest& req, ServeClock::time_point start,
+                        ServeClock::time_point end, std::size_t worker,
+                        std::size_t shard, std::size_t batch_size) {
+  if (!req.traced || !obs::tracing_enabled()) return;
+  const std::int64_t t_enq = to_us(req.enqueued);
+  const std::int64_t t_start = to_us(start);
+  const std::int64_t t_end = to_us(end);
+  obs::trace_async_begin("queue_wait", "request", req.id, t_enq);
+  obs::trace_async_end("queue_wait", "request", req.id, t_start);
+  if (req.was_parked) {
+    obs::trace_async_begin("window_park", "request", req.id, to_us(req.parked_at));
+    obs::trace_async_end("window_park", "request", req.id, t_start);
+  }
+  obs::trace_async_begin("service", "request", req.id, t_start);
+  obs::trace_async_end("service", "request", req.id, t_end);
+  obs::trace_async_end("request", "request", req.id, t_end,
+                       "\"outcome\":\"ok\",\"worker\":" + std::to_string(worker) +
+                           ",\"shard\":" + std::to_string(shard) +
+                           ",\"batch_requests\":" + std::to_string(batch_size));
+}
+
+/// Terminal span for a request whose batch failed: the lifecycle ends in an
+/// error outcome (the promise carries the exception).
+void emit_error_span(const ServeRequest& req) {
+  if (!req.traced || !obs::tracing_enabled()) return;
+  obs::trace_async_end("request", "request", req.id, obs::trace_now_us(),
+                       "\"outcome\":\"error\"");
 }
 
 /// Completed at `end` — did `req` blow its deadline? Stamps the result and
@@ -90,6 +185,7 @@ BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t
   record.deadline_misses = missed ? 1 : 0;
   record.latency_ms.push_back(result.queue_ms + result.service_ms);
   record.latency_class.push_back(req.priority);
+  emit_request_spans(req, start, end, worker, shard, 1);
   req.promise.set_value(std::move(result));
   return record;
 }
@@ -154,10 +250,14 @@ BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& acc
                              "registered with batchable=false");
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
-    for (auto& req : batch) req.promise.set_exception(error);
+    for (auto& req : batch) {
+      emit_error_span(req);
+      req.promise.set_exception(error);
+    }
     return {};  // nothing completed, nothing charged
   }
   const auto end = ServeClock::now();
+  if (entry.requests_metric != nullptr) entry.requests_metric->add(batch.size());
 
   std::uint64_t macs = 0;
   const sim::CycleStats cycles =
@@ -195,6 +295,7 @@ BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& acc
     if (stamp_slo(result, req, end)) ++record.deadline_misses;
     record.latency_ms.push_back(result.queue_ms + result.service_ms);
     record.latency_class.push_back(req.priority);
+    emit_request_spans(req, start, end, worker, shard, batch.size());
     req.promise.set_value(std::move(result));
   }
   return record;
@@ -263,10 +364,10 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
   ONESA_CHECK(!batch.empty(), "DynamicBatcher::execute on an empty batch");
   if (batch.front().kind == RequestKind::kTrace) {
     ONESA_CHECK(batch.size() == 1, "trace requests must not be batched");
-    return execute_trace(std::move(batch.front()), accel, worker, shard);
+    return record_batch_metrics(execute_trace(std::move(batch.front()), accel, worker, shard));
   }
   if (batch.front().kind == RequestKind::kModel) {
-    return execute_model(std::move(batch), accel, worker, shard);
+    return record_batch_metrics(execute_model(std::move(batch), accel, worker, shard));
   }
 
   const auto start = ServeClock::now();
@@ -316,9 +417,10 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
     if (stamp_slo(result, req, end)) ++record.deadline_misses;
     record.latency_ms.push_back(result.queue_ms + result.service_ms);
     record.latency_class.push_back(req.priority);
+    emit_request_spans(req, start, end, worker, shard, batch.size());
     req.promise.set_value(std::move(result));
   }
-  return record;
+  return record_batch_metrics(std::move(record));
 }
 
 }  // namespace onesa::serve

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace onesa::serve {
 
@@ -115,6 +117,13 @@ std::future<ServeResult> Fleet::submit(TaggedRequest req) {
     }
     if (config_.admission.over(backlog_requests, 1, backlog_macs, req.request.cost)) {
       fleet_sheds_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& fleet_sheds_metric =
+          obs::MetricsRegistry::global().counter("serve_fleet_sheds_total");
+      fleet_sheds_metric.add(1);
+      if (req.request.traced && obs::tracing_enabled()) {
+        obs::trace_async_end("request", "request", req.request.id, obs::trace_now_us(),
+                             "\"outcome\":\"shed\"");
+      }
       req.request.promise.set_exception(std::make_exception_ptr(OverloadError(
           "request " + std::to_string(req.request.id) +
           " shed by fleet admission control: backlog " +

@@ -4,8 +4,19 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace onesa::serve {
+
+namespace {
+
+obs::Counter& version_requests_counter(const std::string& name, std::uint64_t version) {
+  return obs::MetricsRegistry::global().counter("serve_model_requests_total{model=\"" +
+                                                name + "\",version=\"" +
+                                                std::to_string(version) + "\"}");
+}
+
+}  // namespace
 
 sim::CycleStats ModelEntry::trace_cycles_for(const sim::TimingModel& timing) const {
   std::lock_guard<std::mutex> lock(cost_cache_mutex_);
@@ -72,12 +83,14 @@ ModelHandle ModelRegistry::publish(std::string name, std::unique_ptr<nn::Sequent
     ONESA_CHECK(it != models_.end(),
                 "ModelRegistry::swap: unknown model '" << name << "'");
     entry->version = it->second->version + 1;
+    entry->requests_metric = &version_requests_counter(entry->name, entry->version);
     it->second = std::move(entry);  // atomic publish: in-flight handles keep the old
     return it->second;
   }
   ONESA_CHECK(it == models_.end(),
               "ModelRegistry: model '" << name << "' already registered");
   entry->version = 1;
+  entry->requests_metric = &version_requests_counter(entry->name, entry->version);
   return models_.emplace(std::move(name), std::move(entry)).first->second;
 }
 

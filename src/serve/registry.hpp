@@ -54,6 +54,10 @@
 #include "nn/sequential.hpp"
 #include "nn/workload.hpp"
 
+namespace onesa::obs {
+class Counter;
+}
+
 namespace onesa::serve {
 
 struct ModelOptions {
@@ -99,6 +103,12 @@ struct ModelEntry {
   std::uint64_t mac_ops_override = 0;
   /// nn::trace_mac_ops(*cost_trace), cached at registration (0 = no trace).
   std::uint64_t cost_trace_macs = 0;
+
+  /// Per-version request counter
+  /// (serve_model_requests_total{model="name",version="N"}), resolved once
+  /// at publication so the batcher increments it without a registry lookup.
+  /// Registry metrics live forever, so the pointer never dangles.
+  obs::Counter* requests_metric = nullptr;
 
   /// Thread-safe forward through the shared weights.
   tensor::Matrix infer(const tensor::Matrix& x) const { return model->infer(x); }

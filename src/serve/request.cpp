@@ -1,8 +1,10 @@
 #include "serve/request.hpp"
 
 #include <atomic>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace onesa::serve {
 
@@ -23,6 +25,17 @@ TaggedRequest tag(ServeRequest req, const SubmitOptions& options) {
                                           options.deadline_ms));
   }
   req.cost = req.estimated_cost();
+  // Sampling decision is made exactly once, here, so every layer that sees
+  // the request afterwards (queue, batcher, shed paths) agrees on whether
+  // it is traced — the CI trace checker relies on every sampled request
+  // reaching a terminal span.
+  if (obs::tracing_enabled() && obs::trace_sample(req.id)) {
+    req.traced = true;
+    obs::trace_async_begin("request", "request", req.id, obs::trace_now_us(),
+                           std::string("\"kind\":\"") + std::string(kind_name(req.kind)) +
+                               "\",\"priority\":\"" +
+                               std::string(priority_name(req.priority)) + "\"");
+  }
   TaggedRequest out{std::move(req), {}};
   out.result = out.request.promise.get_future();
   return out;

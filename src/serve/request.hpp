@@ -111,6 +111,14 @@ struct ServeRequest {
 
   bool has_deadline() const { return deadline != ServeClock::time_point::max(); }
 
+  /// Observability state: whether this request was sampled into the trace
+  /// (decided once at creation — see obs/trace.hpp), and the queue's
+  /// window-park stamp for the "window_park" span (first time the request
+  /// was parked behind an open batching window, if ever).
+  bool traced = false;
+  bool was_parked = false;
+  ServeClock::time_point parked_at{};
+
   /// Simulated-work estimate in MAC operations (see estimated_cost()),
   /// stamped once by the request factories so the dispatcher never walks a
   /// trace under the queue lock.

@@ -3,7 +3,39 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace onesa::serve {
+
+namespace {
+
+/// Registry handles resolved once; every RequestQueue instance feeds the
+/// same named series (gauge deltas aggregate correctly across queues).
+struct QueueMetrics {
+  obs::Gauge& depth = obs::MetricsRegistry::global().gauge("serve_queue_depth");
+  obs::Gauge& backlog = obs::MetricsRegistry::global().gauge("serve_queue_backlog_cost");
+  obs::Counter& sheds = obs::MetricsRegistry::global().counter("serve_sheds_total");
+  obs::Counter& window_parks =
+      obs::MetricsRegistry::global().counter("serve_window_parks_total");
+  obs::Counter& window_expiries =
+      obs::MetricsRegistry::global().counter("serve_window_expiries_total");
+};
+
+QueueMetrics& queue_metrics() {
+  static QueueMetrics metrics;
+  return metrics;
+}
+
+/// Terminal span for a request that will never reach a worker: its
+/// lifecycle ends here, outcome "shed".
+void emit_shed_span(const ServeRequest& req) {
+  if (!req.traced || !obs::tracing_enabled()) return;
+  obs::trace_async_end("request", "request", req.id, obs::trace_now_us(),
+                       "\"outcome\":\"shed\"");
+}
+
+}  // namespace
 
 std::string_view dispatch_policy_name(DispatchPolicy policy) {
   switch (policy) {
@@ -91,17 +123,23 @@ bool RequestQueue::push(ServeRequest req) {
                          static_cast<std::ptrdiff_t>(victim));
           backlog_cost_ -= evicted.cost;
           ++sheds_;
+          queue_metrics().sheds.add(1);
+          queue_metrics().depth.add(-1);
+          queue_metrics().backlog.sub(static_cast<std::int64_t>(evicted.cost));
           shed_list.emplace_back(std::move(evicted), "evicted for newer arrival");
         }
       }
       if (over_budget(1, req.cost)) {
         ++sheds_;
+        queue_metrics().sheds.add(1);
         admitted = false;
         shed_list.emplace_back(std::move(req), "over budget");
       }
     }
     if (admitted) {
       backlog_cost_ += req.cost;
+      queue_metrics().depth.add(1);
+      queue_metrics().backlog.add(static_cast<std::int64_t>(req.cost));
       pending_.push_back(std::move(req));
     }
     backlog_requests = pending_.size();
@@ -111,6 +149,7 @@ bool RequestQueue::push(ServeRequest req) {
   // waking the workers would be pure lock contention during overload storms.
   if (admitted) cv_.notify_all();
   for (auto& [victim, reason] : shed_list) {
+    emit_shed_span(victim);
     victim.promise.set_exception(std::make_exception_ptr(OverloadError(
         "request " + std::to_string(victim.id) + " shed by admission control (" +
         std::string(reason) + "): backlog " + std::to_string(backlog_requests) +
@@ -206,6 +245,15 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
     bool expired = false;
     auto earliest = ServeClock::time_point::max();
     std::vector<char> parked(pending_.size(), 0);
+    // A request's FIRST park is an observable event: it stamps the
+    // window_park span start and counts toward the park metric. Re-parks on
+    // later wakeups of the same wait are the same logical park.
+    const auto mark_parked = [](ServeRequest& req) {
+      if (req.was_parked) return;
+      req.was_parked = true;
+      req.parked_at = ServeClock::now();
+      queue_metrics().window_parks.add(1);
+    };
     for (;;) {
       head = scheduled_head(parked);
       if (head == pending_.size()) break;  // everything is parked
@@ -233,14 +281,20 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
       // Park this head and everything that would ride with it, then look
       // for other launchable work.
       parked[head] = 1;
+      mark_parked(pending_[head]);
       for (std::size_t i = 0; i < pending_.size(); ++i) {
-        if (parked[i] == 0 && DynamicBatcher::compatible(pending_[head], pending_[i]))
+        if (parked[i] == 0 && DynamicBatcher::compatible(pending_[head], pending_[i])) {
           parked[i] = 1;
+          mark_parked(pending_[i]);
+        }
       }
       earliest = std::min(earliest, deadline);
     }
     if (launch) {
-      if (expired) ++window_expiries_;
+      if (expired) {
+        ++window_expiries_;
+        queue_metrics().window_expiries.add(1);
+      }
       break;
     }
     // Every push notifies, so a new arrival (a rider, or a higher-priority
@@ -262,6 +316,8 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
   std::uint64_t cost = 0;
   for (const auto& req : batch) cost += req.cost;  // stamped at submit time
   backlog_cost_ -= std::min(backlog_cost_, cost);
+  queue_metrics().depth.add(-static_cast<std::int64_t>(batch.size()));
+  queue_metrics().backlog.sub(static_cast<std::int64_t>(cost));
   if (policy_ == DispatchPolicy::kRotation) {
     turn_ = (turn_ + 1) % workers_;
   } else {

@@ -1,7 +1,10 @@
 #include "serve/server_pool.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels/thread_pool.hpp"
 
 namespace onesa::serve {
@@ -11,6 +14,8 @@ ServerPool::ServerPool(ServerPoolConfig config, std::shared_ptr<ModelRegistry> r
     : config_(std::move(config)),
       batcher_(config_.batcher),
       queue_(config_.workers, batcher_, config_.dispatch, config_.admission),
+      inflight_gauge_(obs::MetricsRegistry::global().gauge(
+          "serve_shard_inflight_cost{shard=\"" + std::to_string(config_.shard) + "\"}")),
       registry_(registry != nullptr ? std::move(registry)
                                     : std::make_shared<ModelRegistry>()) {
   ONESA_CHECK(config_.workers > 0, "ServerPool needs at least one worker");
@@ -148,6 +153,9 @@ void ServerPool::worker_loop(std::size_t index) {
     std::uint64_t inflight = 0;
     for (const auto& req : batch) inflight += req.cost;
     w.inflight_cost.store(inflight, std::memory_order_relaxed);
+    inflight_gauge_.add(static_cast<std::int64_t>(inflight));
+    const bool traced = obs::tracing_enabled();
+    const std::int64_t batch_t0 = traced ? obs::trace_now_us() : 0;
     {
       // Execute under the worker's mutex: the accelerator's lifetime
       // counters mutate during the pass, and fleet_lifetime()/stats() may
@@ -161,8 +169,20 @@ void ServerPool::worker_loop(std::size_t index) {
       // empty record; recording it would count a zero-request batch and skew
       // mean_batch_requests()/batch_fill().
       if (record.requests > 0) w.stats.record_batch(record);
+      if (traced && obs::tracing_enabled()) {
+        // Worker-track span of the whole batch execution; the kernel spans
+        // it encloses land on the same thread track and nest inside.
+        obs::trace_complete(
+            "batch", "batch", batch_t0, obs::trace_now_us() - batch_t0,
+            "\"requests\":" + std::to_string(record.requests) +
+                ",\"rows\":" + std::to_string(record.rows) +
+                ",\"padded_rows\":" + std::to_string(record.padded_rows) +
+                ",\"shard\":" + std::to_string(config_.shard) +
+                ",\"worker\":" + std::to_string(index));
+      }
     }
     w.inflight_cost.store(0, std::memory_order_relaxed);
+    inflight_gauge_.sub(static_cast<std::int64_t>(inflight));
   }
 }
 

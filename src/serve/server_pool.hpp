@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "onesa/accelerator.hpp"
 #include "serve/batcher.hpp"
 #include "serve/registry.hpp"
@@ -176,6 +177,9 @@ class ServerPool {
   ServerPoolConfig config_;
   DynamicBatcher batcher_;
   RequestQueue queue_;
+  /// serve_shard_inflight_cost{shard="N"}: estimated cost currently
+  /// executing on this pool's workers (delta-updated around each batch).
+  obs::Gauge& inflight_gauge_;
   std::shared_ptr<ModelRegistry> registry_;
   std::shared_ptr<const cpwl::TableSet> tables_;
   std::vector<std::unique_ptr<Worker>> workers_;

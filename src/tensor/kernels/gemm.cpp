@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -11,6 +13,8 @@
 #endif
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels/pack.hpp"
 #include "tensor/kernels/thread_pool.hpp"
 
@@ -594,6 +598,68 @@ void blocked_over_packed_sliced(const double* a, const PackedB& b, double* c,
   });
 }
 
+// ------------------------------------------------------- profiling hooks
+//
+// The public gemm()/gemm_packed() entry points wrap their dispatch in a
+// per-call profile: FLOPs (2*m*k*n), bytes touched once (A+B+C), wall time
+// and the derived GFLOP/s, recorded into registry counters/histograms, plus
+// a "kernel"-category trace span when tracing runs. The hook measures the
+// whole call on the calling thread (inner row-slice workers are part of the
+// call), and costs two steady_clock reads per call — skipped entirely when
+// both metrics and tracing are off.
+
+/// Registry handles for one kernel entry point, resolved once.
+struct KernelMetrics {
+  obs::Counter& calls;
+  obs::Counter& flops;
+  obs::Counter& bytes;
+  obs::Histogram& gflops;
+  obs::Histogram& wall_ms;
+
+  explicit KernelMetrics(const std::string& base)
+      : calls(obs::MetricsRegistry::global().counter(base + "_calls_total")),
+        flops(obs::MetricsRegistry::global().counter(base + "_flops_total")),
+        bytes(obs::MetricsRegistry::global().counter(base + "_bytes_total")),
+        gflops(obs::MetricsRegistry::global().histogram(base + "_gflops")),
+        wall_ms(obs::MetricsRegistry::global().histogram(base + "_ms")) {}
+};
+
+KernelMetrics& gemm_metrics() {
+  static KernelMetrics metrics("kernel_gemm");
+  return metrics;
+}
+
+KernelMetrics& gemm_packed_metrics() {
+  static KernelMetrics metrics("kernel_gemm_packed");
+  return metrics;
+}
+
+bool profiling_active() { return obs::metrics_enabled() || obs::tracing_enabled(); }
+
+void record_kernel_profile(KernelMetrics& metrics, const char* name, std::size_t m,
+                           std::size_t k, std::size_t n,
+                           std::chrono::steady_clock::time_point t0) {
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const std::uint64_t flops = 2ull * m * k * n;
+  const std::uint64_t bytes = 8ull * (m * k + k * n + m * n);
+  metrics.calls.add(1);
+  metrics.flops.add(flops);
+  metrics.bytes.add(bytes);
+  metrics.wall_ms.record(ms);
+  if (ms > 0.0) metrics.gflops.record(static_cast<double>(flops) / (ms * 1e6));
+  if (obs::tracing_enabled()) {
+    const auto ts = std::chrono::duration_cast<std::chrono::microseconds>(
+                        t0.time_since_epoch())
+                        .count();
+    const auto dur = std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+    obs::trace_complete(name, "kernel", ts, dur,
+                        "\"m\":" + std::to_string(m) + ",\"k\":" + std::to_string(k) +
+                            ",\"n\":" + std::to_string(n) +
+                            ",\"flops\":" + std::to_string(flops));
+  }
+}
+
 }  // namespace
 
 std::size_t sliver_width() { return g_micro.nr; }
@@ -670,8 +736,12 @@ std::size_t gemm_threads(std::size_t m, std::size_t k, std::size_t n) {
   return t;
 }
 
-void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
-          std::size_t n) {
+namespace {
+
+/// The dispatch body of gemm() (the public entry wraps it in the profiling
+/// hook).
+void gemm_dispatch(const double* a, const double* b, double* c, std::size_t m,
+                   std::size_t k, std::size_t n) {
   if (m == 0 || n == 0) return;
   if (k == 0) {
     std::fill(c, c + m * n, 0.0);
@@ -716,8 +786,9 @@ void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_
   if (shared.packed_bytes() > kScratchRetainBytes) shared = PackedB();
 }
 
-void gemm_packed(const double* a, const PackedB& b, double* c, std::size_t m,
-                 const Epilogue& epi) {
+/// The dispatch body of gemm_packed() (public entry wraps it likewise).
+void gemm_packed_dispatch(const double* a, const PackedB& b, double* c, std::size_t m,
+                          const Epilogue& epi) {
   const std::size_t k = b.k();
   const std::size_t n = b.n();
   if (m == 0 || n == 0) return;
@@ -756,6 +827,30 @@ void gemm_packed(const double* a, const PackedB& b, double* c, std::size_t m,
     return;
   }
   blocked_over_packed_sliced(a, b, c, m, epi, gemm_threads(m, k, n));
+}
+
+}  // namespace
+
+void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+          std::size_t n) {
+  if (!profiling_active()) {
+    gemm_dispatch(a, b, c, m, k, n);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  gemm_dispatch(a, b, c, m, k, n);
+  record_kernel_profile(gemm_metrics(), "gemm", m, k, n, t0);
+}
+
+void gemm_packed(const double* a, const PackedB& b, double* c, std::size_t m,
+                 const Epilogue& epi) {
+  if (!profiling_active()) {
+    gemm_packed_dispatch(a, b, c, m, epi);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  gemm_packed_dispatch(a, b, c, m, epi);
+  record_kernel_profile(gemm_packed_metrics(), "gemm_packed", m, b.k(), b.n(), t0);
 }
 
 }  // namespace onesa::tensor::kernels
