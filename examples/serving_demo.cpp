@@ -247,6 +247,47 @@ int main(int argc, char** argv) {
             << cfg.workers_per_shard << " accelerators): " << totals.cycles.total()
             << " cycles, " << totals.mac_ops << " MACs\n";
 
+  // --- structured failure: flood a deliberately tiny fleet past its
+  // admission cap (worker pinned by an injected stall so the backlog cannot
+  // drain) and show that a shed is not an anonymous broken promise but a
+  // typed OverloadError carrying the full serving context.
+  std::cout << "\n--- structured overload errors ---\n";
+  {
+    serve::FleetConfig tiny = cfg;
+    tiny.shards = 1;
+    tiny.workers_per_shard = 1;
+    tiny.admission.max_pending_requests = 2;
+    serve::Fleet small(tiny);
+    const serve::ModelHandle h =
+        small.register_model("mlp-classifier", make_demo_mlp(rng));
+    serve::FaultPlan stall;
+    stall.stall_rate = 1.0;
+    stall.stall_ms = 20.0;
+    small.shard(0).fault_injector().arm(stall);
+
+    std::vector<tensor::Matrix> xs;
+    std::vector<std::future<serve::ServeResult>> fs;
+    for (int i = 0; i < 8; ++i) {
+      xs.push_back(tensor::random_uniform(2, 32, rng, -1.0, 1.0));
+      fs.push_back(small.submit_model(h, xs.back()));
+    }
+    std::size_t served = 0;
+    std::size_t shed = 0;
+    for (auto& f : fs) {
+      try {
+        f.get();
+        ++served;
+      } catch (const serve::OverloadError& e) {
+        if (shed == 0) std::cout << "first shed:  " << e.what() << "\n";
+        ++shed;
+      }
+    }
+    small.shutdown();
+    std::cout << served << " served, " << shed
+              << " shed — every rejection names the request, model+version,\n"
+                 "queue depth and backlog cost it was rejected against\n";
+  }
+
   std::cout << "\nEvery request — whole-model traces, raw array ops and real\n"
                "nn::Sequential forwards alike — flowed through ONE fleet submit API:\n"
                "routed across shards by outstanding cost, served from one shared\n"

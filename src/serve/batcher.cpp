@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/errors.hpp"
 
 namespace onesa::serve {
 
@@ -186,7 +187,7 @@ BatchRecord execute_trace(ServeRequest req, OneSaAccelerator& accel, std::size_t
   record.latency_ms.push_back(result.queue_ms + result.service_ms);
   record.latency_class.push_back(req.priority);
   emit_request_spans(req, start, end, worker, shard, 1);
-  req.promise.set_value(std::move(result));
+  deliver(req, std::move(result));
   return record;
 }
 
@@ -248,13 +249,41 @@ BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& acc
                           << " rows for a batched pass of " << total_rows
                           << " input rows — row-count-changing models must be "
                              "registered with batchable=false");
+  } catch (const ServeError&) {
+    // Already structured (e.g. an injected fault thrown through infer in a
+    // test double) — pass through untouched.
+    const std::exception_ptr error = std::current_exception();
+    for (auto& req : batch) {
+      emit_error_span(req);
+      deliver_error(req, error);
+    }
+    return {};  // nothing completed, nothing charged
+  } catch (const std::exception& cause) {
+    // Wrap the raw failure in a ModelError carrying WHERE it happened
+    // (shard/worker), WHAT was running (model name + version), and the
+    // batch size at failure — so a resilience layer or an operator reading
+    // a future never has to parse a bare message.
+    ErrorContext ctx;
+    ctx.shard = shard;
+    ctx.worker = worker;
+    ctx.model = entry.name;
+    ctx.model_version = entry.version;
+    ctx.queue_depth = batch.size();
+    for (const auto& req : batch) ctx.backlog_cost += req.cost;
+    const auto error = std::make_exception_ptr(ModelError(
+        std::string("model execution failed: ") + cause.what(), std::move(ctx)));
+    for (auto& req : batch) {
+      emit_error_span(req);
+      deliver_error(req, error);
+    }
+    return {};
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     for (auto& req : batch) {
       emit_error_span(req);
-      req.promise.set_exception(error);
+      deliver_error(req, error);
     }
-    return {};  // nothing completed, nothing charged
+    return {};
   }
   const auto end = ServeClock::now();
   if (entry.requests_metric != nullptr) entry.requests_metric->add(batch.size());
@@ -296,7 +325,7 @@ BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& acc
     record.latency_ms.push_back(result.queue_ms + result.service_ms);
     record.latency_class.push_back(req.priority);
     emit_request_spans(req, start, end, worker, shard, batch.size());
-    req.promise.set_value(std::move(result));
+    deliver(req, std::move(result));
   }
   return record;
 }
@@ -418,7 +447,7 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
     record.latency_ms.push_back(result.queue_ms + result.service_ms);
     record.latency_class.push_back(req.priority);
     emit_request_spans(req, start, end, worker, shard, batch.size());
-    req.promise.set_value(std::move(result));
+    deliver(req, std::move(result));
   }
   return record_batch_metrics(std::move(record));
 }

@@ -1,0 +1,131 @@
+#include "serve/faults.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace onesa::serve {
+
+namespace {
+
+/// serve_injected_faults_total{kind=...}: fleet-wide injection counters, so
+/// a chaos run's pressure is visible next to the recovery metrics it should
+/// cause (retries, restarts, breaker transitions).
+struct InjectionMetrics {
+  obs::Counter& transients = obs::MetricsRegistry::global().counter(
+      "serve_injected_faults_total{kind=\"transient\"}");
+  obs::Counter& poisons = obs::MetricsRegistry::global().counter(
+      "serve_injected_faults_total{kind=\"poison\"}");
+  obs::Counter& stalls = obs::MetricsRegistry::global().counter(
+      "serve_injected_faults_total{kind=\"stall\"}");
+  obs::Counter& crashes = obs::MetricsRegistry::global().counter(
+      "serve_injected_faults_total{kind=\"crash\"}");
+};
+
+InjectionMetrics& injection_metrics() {
+  static InjectionMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+void FaultInjector::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  rng_ = Rng(plan.seed);
+  crash_budget_ = plan.max_crashes;
+  multiplier_.store(plan.latency_multiplier, std::memory_order_relaxed);
+  // Publish last: a worker that sees armed==true takes the mutex and finds
+  // the plan/RNG already in place.
+  armed_.store(plan.injects_anything(), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+  multiplier_.store(1.0, std::memory_order_relaxed);
+  plan_ = FaultPlan{};
+}
+
+bool FaultInjector::draw(double FaultPlan::* rate) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed)) return false;  // raced disarm
+  return plan_.*rate > 0.0 && rng_.bernoulli(plan_.*rate);
+}
+
+bool FaultInjector::draw_transient_error() {
+  const bool fire = draw(&FaultPlan::transient_error_rate);
+  if (fire) {
+    transients_.fetch_add(1, std::memory_order_relaxed);
+    injection_metrics().transients.add(1);
+  }
+  return fire;
+}
+
+bool FaultInjector::draw_poisoned_batch() {
+  const bool fire = draw(&FaultPlan::poison_rate);
+  if (fire) {
+    poisons_.fetch_add(1, std::memory_order_relaxed);
+    injection_metrics().poisons.add(1);
+  }
+  return fire;
+}
+
+double FaultInjector::draw_stall_ms() {
+  if (!armed()) return 0.0;
+  double stall = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return 0.0;
+    if (plan_.stall_rate > 0.0 && plan_.stall_ms > 0.0 &&
+        rng_.bernoulli(plan_.stall_rate))
+      stall = plan_.stall_ms;
+  }
+  if (stall > 0.0) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    injection_metrics().stalls.add(1);
+  }
+  return stall;
+}
+
+bool FaultInjector::draw_crash() {
+  if (!armed()) return false;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    if (crash_budget_ > 0 && plan_.crash_rate > 0.0 &&
+        rng_.bernoulli(plan_.crash_rate)) {
+      --crash_budget_;
+      fire = true;
+    }
+  }
+  if (fire) {
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    injection_metrics().crashes.add(1);
+  }
+  return fire;
+}
+
+double FaultInjector::latency_multiplier() const {
+  if (!armed()) return 1.0;
+  return multiplier_.load(std::memory_order_relaxed);
+}
+
+bool interruptible_sleep(double ms, const std::atomic<bool>& abandon) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  // 200us slices: fine enough that a watchdog abandon or a shutdown drain
+  // is honoured promptly, coarse enough not to spin.
+  while (Clock::now() < deadline) {
+    if (abandon.load(std::memory_order_relaxed)) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+}  // namespace onesa::serve

@@ -1,0 +1,125 @@
+// Deterministic fault injection for the serving stack.
+//
+// A FaultInjector lives in every ServerPool (one per shard in a fleet) and,
+// once ARMED with a FaultPlan, makes the pool's workers misbehave on
+// purpose so the resilience machinery — retries, hedging, circuit breakers,
+// the worker watchdog, bounded shutdown — is exercised continuously in
+// tests and CI instead of waiting for production to produce the failures.
+//
+// Injectable faults (all drawn from ONE seeded RNG, so a chaos run is
+// reproducible from its seed):
+//
+//   transient errors  — a request is failed with InjectedFault(kTransient)
+//                       before service, as a flaky dependency would; the
+//                       fleet's retry layer re-submits it.
+//   poisoned batches  — a whole batch fails with
+//                       InjectedFault(kPoisonedBatch), modelling a corrupt
+//                       input poisoning everything packed with it.
+//   worker stalls     — a worker sleeps mid-service (a hung syscall, a GC
+//                       pause, a seized accelerator). The stall honours an
+//                       abandon flag so the watchdog can reclaim the worker
+//                       and bounded shutdown can drain it.
+//   worker crashes    — a worker thread exits without completing its batch
+//                       (a segfaulted process, an OOM kill). The watchdog
+//                       detects the dead worker, re-queues its in-flight
+//                       batch, and respawns the thread.
+//   slow shard        — every service on the pool is stretched by a latency
+//                       multiplier (thermal throttling, a noisy neighbour),
+//                       feeding the router's EWMA health signal.
+//
+// The injector is compiled in ALWAYS — chaos coverage must not need a
+// special build — and costs one relaxed atomic load + predicted branch per
+// draw site when no plan is armed (the same discipline as obs/metrics.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.hpp"
+
+namespace onesa::serve {
+
+/// What to inject and how often. Rates are per-draw probabilities in [0, 1];
+/// a default-constructed plan injects nothing.
+struct FaultPlan {
+  /// Per-request probability of failing it with a transient error.
+  double transient_error_rate = 0.0;
+  /// Per-batch probability of poisoning the whole batch.
+  double poison_rate = 0.0;
+  /// Per-batch probability of stalling the worker for stall_ms mid-service.
+  double stall_rate = 0.0;
+  double stall_ms = 0.0;
+  /// Per-batch probability of the worker thread "crashing" (exiting without
+  /// completing the batch). Capped by max_crashes per arm() so a chaos run
+  /// cannot kill workers faster than the watchdog budget expects.
+  double crash_rate = 0.0;
+  std::size_t max_crashes = 1;
+  /// Service-time stretch factor for the whole pool (1.0 = healthy). The
+  /// worker sleeps (multiplier - 1) x measured service time after each
+  /// batch, so a "slow shard" stays slow proportionally to its real load.
+  double latency_multiplier = 1.0;
+  /// RNG seed: same plan + same batch/request sequence => same injections.
+  std::uint64_t seed = 0x0E5A2024ULL;
+
+  bool injects_anything() const {
+    return transient_error_rate > 0.0 || poison_rate > 0.0 || stall_rate > 0.0 ||
+           crash_rate > 0.0 || latency_multiplier != 1.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// Arm `plan` (replacing any armed plan), resetting the RNG and the crash
+  /// budget. Arming an empty plan is equivalent to disarm().
+  void arm(FaultPlan plan);
+  void disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Draw sites, called by pool workers. Every site is one relaxed load +
+  // not-taken branch when unarmed; when armed, draws serialize on a small
+  // mutex so concurrent workers pull from one deterministic stream.
+
+  /// Should this request fail with a transient error?
+  bool draw_transient_error();
+  /// Should this whole batch be poisoned?
+  bool draw_poisoned_batch();
+  /// Stall duration for this batch (0 = no stall).
+  double draw_stall_ms();
+  /// Should this worker crash now? True consumes one unit of the plan's
+  /// crash budget.
+  bool draw_crash();
+  /// Current service-time stretch factor (1.0 when unarmed).
+  double latency_multiplier() const;
+
+  // Injection totals since construction (tests/bench assert against these).
+  std::uint64_t transients_injected() const { return transients_.load(std::memory_order_relaxed); }
+  std::uint64_t poisons_injected() const { return poisons_.load(std::memory_order_relaxed); }
+  std::uint64_t stalls_injected() const { return stalls_.load(std::memory_order_relaxed); }
+  std::uint64_t crashes_injected() const { return crashes_.load(std::memory_order_relaxed); }
+
+ private:
+  /// One Bernoulli draw from the armed plan's stream; false when unarmed.
+  bool draw(double FaultPlan::* rate);
+
+  std::atomic<bool> armed_{false};
+  /// Cheap read for the per-batch multiplier site (no mutex on a non-draw).
+  std::atomic<double> multiplier_{1.0};
+
+  mutable std::mutex mutex_;  // guards plan_, rng_, crash_budget_
+  FaultPlan plan_;
+  Rng rng_;
+  std::size_t crash_budget_ = 0;
+
+  std::atomic<std::uint64_t> transients_{0};
+  std::atomic<std::uint64_t> poisons_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+};
+
+/// Sleep `ms`, checking `abandon` every slice so a watchdog or a bounded
+/// shutdown can cut the sleep short. Returns true if the full duration
+/// elapsed, false if abandoned.
+bool interruptible_sleep(double ms, const std::atomic<bool>& abandon);
+
+}  // namespace onesa::serve

@@ -43,6 +43,22 @@ TaggedRequest tag(ServeRequest req, const SubmitOptions& options) {
 
 }  // namespace
 
+void deliver(ServeRequest& req, ServeResult&& result) {
+  if (req.hook != nullptr) {
+    req.hook->on_complete(req, std::move(result));
+    return;
+  }
+  req.promise.set_value(std::move(result));
+}
+
+void deliver_error(ServeRequest& req, std::exception_ptr error) {
+  if (req.hook != nullptr) {
+    req.hook->on_error(req, std::move(error));
+    return;
+  }
+  req.promise.set_exception(std::move(error));
+}
+
 std::uint64_t ServeRequest::estimated_cost() const {
   switch (kind) {
     case RequestKind::kElementwise:

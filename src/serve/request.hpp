@@ -88,6 +88,23 @@ struct ServeResult {
   std::size_t padded_rows = 0;     // tile rows including padding
 };
 
+struct ServeRequest;
+
+/// Completion interception point for the fleet's resilience layer. When a
+/// request carries a hook, deliver()/deliver_error() route the outcome to
+/// the hook INSTEAD of the request's promise — the hook owns the
+/// client-facing promise and decides whether this attempt's outcome settles
+/// it (first completion wins), schedules a retry, or is a late hedge
+/// duplicate to drop. Implemented by fleet.cpp; everything below it
+/// (queue, batcher, pool) stays hook-agnostic by completing requests
+/// through the two helpers.
+class CompletionHook {
+ public:
+  virtual ~CompletionHook() = default;
+  virtual void on_complete(ServeRequest& req, ServeResult&& result) = 0;
+  virtual void on_error(ServeRequest& req, std::exception_ptr error) = 0;
+};
+
 /// One queued unit of work. Move-only (owns the completion promise).
 struct ServeRequest {
   RequestId id = 0;
@@ -124,6 +141,14 @@ struct ServeRequest {
   /// trace under the queue lock.
   std::uint64_t cost = 0;
 
+  /// Resilience state: the fleet's retry/hedge layer attaches a hook (see
+  /// CompletionHook) and stamps the shard the attempt was routed to, so
+  /// completions and failures can be attributed to a shard's health without
+  /// parsing errors. Requests submitted outside a resilient fleet leave
+  /// both untouched.
+  std::shared_ptr<CompletionHook> hook;
+  std::size_t routed_shard = static_cast<std::size_t>(-1);
+
   std::size_t rows() const { return kind == RequestKind::kModel ? input.rows() : x.rows(); }
 
   /// Simulated-work estimate in MAC operations, mirroring the accelerator's
@@ -141,6 +166,13 @@ struct TaggedRequest {
   ServeRequest request;
   std::future<ServeResult> result;
 };
+
+/// Fulfil `req` with `result`: through the resilience hook when one is
+/// attached, directly into the promise otherwise. Every layer that
+/// completes requests (batcher, queue shed paths, fleet admission) goes
+/// through these two, so attaching a hook re-routes EVERY outcome.
+void deliver(ServeRequest& req, ServeResult&& result);
+void deliver_error(ServeRequest& req, std::exception_ptr error);
 
 /// Y = f(X) through the CPWL + IPF + MHP path.
 TaggedRequest make_elementwise_request(cpwl::FunctionKind fn, tensor::FixMatrix x,

@@ -150,12 +150,37 @@ bool RequestQueue::push(ServeRequest req) {
   if (admitted) cv_.notify_all();
   for (auto& [victim, reason] : shed_list) {
     emit_shed_span(victim);
-    victim.promise.set_exception(std::make_exception_ptr(OverloadError(
-        "request " + std::to_string(victim.id) + " shed by admission control (" +
-        std::string(reason) + "): backlog " + std::to_string(backlog_requests) +
-        " requests / " + std::to_string(backlog_macs) + " MACs")));
+    ErrorContext ctx;
+    ctx.request_id = victim.id;
+    ctx.queue_depth = backlog_requests;
+    ctx.backlog_cost = backlog_macs;
+    if (victim.model != nullptr) {
+      ctx.model = victim.model->name;
+      ctx.model_version = victim.model->version;
+    }
+    deliver_error(victim,
+                  std::make_exception_ptr(OverloadError(
+                      "shed by admission control (" + std::string(reason) + ")",
+                      std::move(ctx))));
   }
   return admitted;
+}
+
+void RequestQueue::requeue(std::vector<ServeRequest> requests) {
+  if (requests.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Front of the deque, original order preserved: these requests were at
+    // the head of the line when their worker died, and their original seq
+    // stamps keep EDF/FIFO ordering honest against newer arrivals.
+    for (auto it = requests.rbegin(); it != requests.rend(); ++it) {
+      backlog_cost_ += it->cost;
+      queue_metrics().depth.add(1);
+      queue_metrics().backlog.add(static_cast<std::int64_t>(it->cost));
+      pending_.push_front(std::move(*it));
+    }
+  }
+  cv_.notify_all();
 }
 
 bool RequestQueue::is_turn(std::size_t worker) const {
@@ -192,6 +217,10 @@ double RequestQueue::window_ms(const ServeRequest& head) const {
   // Interactive work always launches immediately — the class exists so a
   // latency-sensitive request is never parked behind a fill optimization.
   if (head.priority == Priority::kInteractive) return 0.0;
+  // Brownout shrink: under degradation the fleet scales windows toward 0 so
+  // partial batches drain instead of parking while the backlog grows.
+  const double scale = window_scale_.load(std::memory_order_relaxed);
+  if (scale <= 0.0) return 0.0;
   switch (head.kind) {
     case RequestKind::kTrace:
       return 0.0;  // traces never batch: nothing to wait for
@@ -199,10 +228,10 @@ double RequestQueue::window_ms(const ServeRequest& head) const {
       // Per-model window from the registry entry; non-batchable models
       // cannot grow their batch, so waiting would be pure added latency.
       return head.model != nullptr && head.model->batchable
-                 ? head.model->batch_window_ms
+                 ? head.model->batch_window_ms * scale
                  : 0.0;
     default:
-      return batcher_.config().max_batch_wait_ms;
+      return batcher_.config().max_batch_wait_ms * scale;
   }
 }
 

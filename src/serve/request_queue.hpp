@@ -68,6 +68,7 @@
 // served before shutdown completes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -77,15 +78,13 @@
 
 #include "common/error.hpp"
 #include "serve/batcher.hpp"
+#include "serve/errors.hpp"
 #include "serve/request.hpp"
 
 namespace onesa::serve {
 
-/// Raised through a shed request's future when admission control refuses it.
-class OverloadError : public Error {
- public:
-  using Error::Error;
-};
+// OverloadError lives in serve/errors.hpp now (it carries an ErrorContext);
+// re-exported here so existing includers keep compiling.
 
 /// What to shed when a push would exceed the admission budget.
 enum class OverloadPolicy { kReject, kDropOldest };
@@ -134,6 +133,23 @@ class RequestQueue {
   /// instead, its promise fails with OverloadError and push returns false.
   /// Throws onesa::Error if the queue is closed.
   bool push(ServeRequest req);
+
+  /// Put recovered in-flight requests BACK at the front of the queue,
+  /// bypassing admission (they were already admitted once) and preserving
+  /// their original enqueue stamps, deadlines, and sequence numbers — the
+  /// watchdog's path for a crashed worker's batch. Unlike push(), works on
+  /// a closed queue as long as it is not yet drained-and-stopped, so a
+  /// crash during shutdown still completes every accepted future.
+  void requeue(std::vector<ServeRequest> requests);
+
+  /// Scale every batching window by `scale` (applied to both the per-model
+  /// window and max_batch_wait_ms at head-scheduling time). The fleet's
+  /// brownout mode sets 0.0 — launch everything immediately, trading batch
+  /// fill for queue drain — and restores 1.0 on exit.
+  void set_window_scale(double scale) {
+    window_scale_.store(scale, std::memory_order_relaxed);
+  }
+  double window_scale() const { return window_scale_.load(std::memory_order_relaxed); }
 
   /// Block until it is `worker`'s turn and a batch is available, then pop
   /// the scheduled batch (EDF-within-priority head plus compatible riders).
@@ -205,6 +221,7 @@ class RequestQueue {
   std::size_t turn_ = 0;                      // kRotation state
   std::vector<std::uint64_t> assigned_cost_;  // kLeastLoaded state
   bool closed_ = false;
+  std::atomic<double> window_scale_{1.0};     // brownout window shrink
 };
 
 }  // namespace onesa::serve
