@@ -46,6 +46,27 @@
 // acceptance gate demands metrics-on keeps >= 99% of the obs-off
 // throughput (the "<1% overhead" claim in README "Observability");
 // tracing-on is reported but ungated — it is opt-in and samples.
+//
+// Part 9 is the allocation audit: after a warmup pass that populates the
+// recycling buffer pool and every steady-state vector capacity, an
+// identical measurement pass must make ZERO worker-thread heap allocations
+// (counted by the operator-new hook in common/alloc_count.hpp). A pool-off
+// twin of the same workload shows how many allocations the pool absorbs.
+// The zero gate is enforced in analytic mode (the committed-baseline mode);
+// the cycle-accurate simulator allocates per-pass state and is reported
+// without the gate.
+//
+// Part 10 is the submit-contention sweep: a fixed budget of small
+// elementwise requests is pushed through one pool by 1/2/4/8 submitter
+// threads. The sharded MPSC inbox keeps submitters off the scheduler mutex,
+// so host RPS should hold (or improve) as submitters multiply; the
+// `contention_scaling` ratio rides into the JSON for trajectory tracking
+// (informational — wall clock on shared single-core runners is too noisy
+// for a hard in-bench gate).
+//
+// `--cycle-accurate` switches every part from the analytic cost model to
+// the cycle-accurate simulator (the nightly workflow's configuration); the
+// committed BENCH_serving.json is generated in the default analytic mode.
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -57,6 +78,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/alloc_count.hpp"
 #include "common/table.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
@@ -66,11 +88,16 @@
 #include "obs/trace.hpp"
 #include "serve/fleet.hpp"
 #include "serve/server_pool.hpp"
+#include "tensor/buffer_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
 
 using namespace onesa;
+
+/// Execution mode for every accelerator in the bench: analytic by default,
+/// cycle-accurate under --cycle-accurate (the nightly configuration).
+ExecutionMode g_mode = ExecutionMode::kAnalytic;
 
 double wall_ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
@@ -164,7 +191,32 @@ struct ObsOverheadResult {
   double speedup_tracing_on() const { return ratio_tracing_on; }
 };
 
-/// Part 9: the chaos scenario (written to its own BENCH_faults.json).
+/// Part 9: worker-side heap allocations per request, measured by the
+/// operator-new counting hook. The steady row is the acceptance figure:
+/// after warmup, the pooled request path must be allocation-free.
+struct AllocSweepResult {
+  std::size_t requests = 0;     // per phase
+  std::size_t workers = 0;
+  double warmup_allocs_per_request = 0.0;   // pool cold: fills the shelves
+  double steady_allocs_per_request = 0.0;   // gated: 0 in analytic mode
+  std::uint64_t steady_worker_allocs = 0;   // raw count behind the ratio
+  double pool_off_allocs_per_request = 0.0; // same workload, pool bypassed
+  std::uint64_t pool_hits = 0;    // pool traffic during the steady phase
+  std::uint64_t pool_misses = 0;
+  bool zero_alloc_steady = false;
+};
+
+/// Part 10: host RPS of a fixed request budget vs submitter thread count.
+struct ContentionRow {
+  std::size_t submitters = 0;
+  std::size_t requests = 0;
+  double host_ms = 0.0;
+  double rps = 0.0;      // host wall-clock requests/s (queue path included)
+  double scaling = 0.0;  // rps / rps@1-submitter
+  double allocs_per_request = 0.0;  // worker-side, steady (pool warmed)
+};
+
+/// Part 11: the chaos scenario (written to its own BENCH_faults.json).
 /// One workload is served twice through identical fleets — once fault-free,
 /// once under 5% transient errors + one worker crash + one slow shard — and
 /// the acceptance demands every future completes exactly once, interactive
@@ -238,7 +290,7 @@ serve::FleetConfig chaos_fleet_config() {
   serve::FleetConfig cfg;
   cfg.shards = 3;
   cfg.workers_per_shard = 2;
-  cfg.accelerator.mode = ExecutionMode::kAnalytic;
+  cfg.accelerator.mode = g_mode;
   // Small batches bound a single fault's blast radius (a crash or transient
   // touches at most 4 requests' worth of in-flight work).
   cfg.batcher.max_batch_requests = 4;
@@ -408,13 +460,17 @@ void write_json(const std::string& path, const std::vector<SweepRow>& traces,
                 const std::vector<ClassRow>& classes, const OverloadResult& overload,
                 const std::vector<FleetRow>& fleet_rows,
                 const std::vector<WindowRow>& window_rows, const HotSwapResult& hot_swap,
-                const ObsOverheadResult& obs_overhead,
+                const ObsOverheadResult& obs_overhead, const AllocSweepResult& allocs,
+                const std::vector<ContentionRow>& contention_rows,
                 double trace_speedup_at_8, double model_speedup_at_8,
                 double fleet_speedup_at_4, bool window_interactive_improves,
                 bool metrics_overhead_ok, bool logits_exact, bool pass) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"bench\": \"serving_throughput\",\n";
+  out << "  \"execution_mode\": \""
+      << (g_mode == ExecutionMode::kCycleAccurate ? "cycle_accurate" : "analytic")
+      << "\",\n";
   out << "  \"trace_sweep\": [\n";
   for (std::size_t i = 0; i < traces.size(); ++i) {
     const SweepRow& r = traces[i];
@@ -493,6 +549,26 @@ void write_json(const std::string& path, const std::vector<SweepRow>& traces,
       << ", \"metrics_on_bar\": 0.99"
       << ", \"metrics_overhead_ok\": " << (metrics_overhead_ok ? "true" : "false")
       << "},\n";
+  out << "  \"alloc_sweep\": {\"requests\": " << allocs.requests
+      << ", \"workers\": " << allocs.workers
+      << ", \"warmup_allocs_per_request\": " << allocs.warmup_allocs_per_request
+      << ", \"allocs_per_request\": " << allocs.steady_allocs_per_request
+      << ", \"steady_worker_allocs\": " << allocs.steady_worker_allocs
+      << ", \"pool_off_allocs_per_request\": " << allocs.pool_off_allocs_per_request
+      << ", \"pool_hits\": " << allocs.pool_hits
+      << ", \"pool_misses\": " << allocs.pool_misses
+      << ", \"zero_alloc_steady\": " << (allocs.zero_alloc_steady ? "true" : "false")
+      << "},\n";
+  out << "  \"contention_sweep\": [\n";
+  for (std::size_t i = 0; i < contention_rows.size(); ++i) {
+    const ContentionRow& r = contention_rows[i];
+    out << "    {\"submitters\": " << r.submitters << ", \"requests\": " << r.requests
+        << ", \"host_ms\": " << r.host_ms << ", \"host_rps\": " << r.rps
+        << ", \"contention_scaling\": " << r.scaling
+        << ", \"allocs_per_request\": " << r.allocs_per_request << "}"
+        << (i + 1 < contention_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"accept\": {\"trace_speedup_at_8\": " << trace_speedup_at_8
       << ", \"model_speedup_at_8\": " << model_speedup_at_8
       << ", \"fleet_speedup_at_4\": " << fleet_speedup_at_4
@@ -503,6 +579,7 @@ void write_json(const std::string& path, const std::vector<SweepRow>& traces,
       << (hot_swap.failed == 0 && hot_swap.corrupted == 0 ? "true" : "false")
       << ", \"metrics_overhead_ok\": " << (metrics_overhead_ok ? "true" : "false")
       << ", \"logits_bit_exact\": " << (logits_exact ? "true" : "false")
+      << ", \"zero_alloc_steady\": " << (allocs.zero_alloc_steady ? "true" : "false")
       << ", \"bar\": 4.0, \"pass\": " << (pass ? "true" : "false") << "}\n";
   out << "}\n";
 }
@@ -517,10 +594,16 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--faults-json") == 0 && i + 1 < argc) {
       faults_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cycle-accurate") == 0) {
+      g_mode = ExecutionMode::kCycleAccurate;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--json PATH] [--faults-json PATH]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--json PATH] [--faults-json PATH] [--cycle-accurate]\n";
       return 2;
     }
+  }
+  if (g_mode == ExecutionMode::kCycleAccurate) {
+    std::cout << "(cycle-accurate mode: every modeled array runs the full simulator)\n\n";
   }
 
   std::cout << "=== Serving throughput: BERT-base/seq128 trace requests ===\n\n";
@@ -536,7 +619,7 @@ int main(int argc, char** argv) {
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
     serve::ServerPoolConfig cfg;
     cfg.workers = workers;
-    cfg.accelerator.mode = ExecutionMode::kAnalytic;  // default 8x8x16 array
+    cfg.accelerator.mode = g_mode;
     serve::ServerPool pool(cfg);
 
     const auto start = std::chrono::steady_clock::now();
@@ -583,7 +666,7 @@ int main(int argc, char** argv) {
     for (std::size_t budget : {2u, 8u, 32u, 128u}) {
       serve::ServerPoolConfig cfg;
       cfg.workers = 1;
-      cfg.accelerator.mode = ExecutionMode::kAnalytic;
+      cfg.accelerator.mode = g_mode;
       cfg.batcher.max_batch_rows = budget;
       cfg.batcher.max_batch_requests = 64;
       serve::ServerPool pool(cfg);
@@ -625,7 +708,7 @@ int main(int argc, char** argv) {
     for (std::size_t workers : {1u, 2u, 4u, 8u}) {
       serve::ServerPoolConfig cfg;
       cfg.workers = workers;
-      cfg.accelerator.mode = ExecutionMode::kAnalytic;
+      cfg.accelerator.mode = g_mode;
       // One request per pass: every request carries an identical simulated
       // charge, so the sweep isolates dispatch scaling (batch amortization
       // is part 2's story).
@@ -707,7 +790,7 @@ int main(int argc, char** argv) {
   {
     serve::ServerPoolConfig cfg;
     cfg.workers = 1;
-    cfg.accelerator.mode = ExecutionMode::kAnalytic;
+    cfg.accelerator.mode = g_mode;
     cfg.batcher.max_batch_requests = 1;
     cfg.admission.max_pending_requests = 4;
     cfg.admission.policy = serve::OverloadPolicy::kReject;
@@ -752,7 +835,7 @@ int main(int argc, char** argv) {
       serve::FleetConfig cfg;
       cfg.shards = shards;
       cfg.workers_per_shard = kWorkersPerShard;
-      cfg.accelerator.mode = ExecutionMode::kAnalytic;
+      cfg.accelerator.mode = g_mode;
       // One request per pass, like the pool-level model sweep: identical
       // simulated charges isolate routing/dispatch scaling.
       cfg.batcher.max_batch_requests = 1;
@@ -818,7 +901,7 @@ int main(int argc, char** argv) {
     auto run_windowed = [&](double window_ms, serve::Priority priority) {
       serve::ServerPoolConfig cfg;
       cfg.workers = 1;
-      cfg.accelerator.mode = ExecutionMode::kAnalytic;
+      cfg.accelerator.mode = g_mode;
       cfg.batcher.max_batch_requests = 16;
       cfg.batcher.max_batch_rows = 256;
       serve::ServerPool pool(cfg);
@@ -872,7 +955,7 @@ int main(int argc, char** argv) {
     serve::FleetConfig cfg;
     cfg.shards = 2;
     cfg.workers_per_shard = 2;
-    cfg.accelerator.mode = ExecutionMode::kAnalytic;
+    cfg.accelerator.mode = g_mode;
     serve::Fleet fleet(cfg);
     Rng rng(17);
     serve::ModelOptions options;
@@ -950,7 +1033,7 @@ int main(int argc, char** argv) {
     // workload variance would drown the <1% signal outright.
     serve::ServerPoolConfig cfg;
     cfg.workers = 1;
-    cfg.accelerator.mode = ExecutionMode::kAnalytic;
+    cfg.accelerator.mode = g_mode;
     cfg.batcher.max_batch_requests = 1;
     serve::ServerPool pool(cfg);
 
@@ -1062,6 +1145,181 @@ int main(int argc, char** argv) {
                  " shared/single-core runners where wall clock swings several percent)\n\n";
   }
 
+  std::cout << "=== Allocation audit: warmup / steady / pool-off, 4 workers ===\n\n";
+  AllocSweepResult alloc_sweep;
+  {
+    constexpr std::size_t kAllocRequests = 192;
+    constexpr std::size_t kAllocWorkers = 4;
+    // Startup warmth: a few blocks in every class up to 128 KiB so capacity
+    // growth that crosses into a NEVER-before-touched size class mid-phase
+    // (the stats latency vectors double monotonically across phases) is a
+    // pool hit, not a heap allocation.
+    tensor::pool::prewarm(std::size_t{1} << 17, 16);
+
+    serve::ServerPoolConfig cfg;
+    cfg.workers = kAllocWorkers;
+    cfg.accelerator.mode = g_mode;
+    cfg.batcher.max_batch_requests = 4;
+    serve::ServerPool pool(cfg);
+    Rng rng(29);
+    const serve::ModelHandle mlp = pool.register_model("mlp", make_serving_mlp(rng));
+
+    // One fixed input set reused by every phase: identical submission
+    // pattern, identical backlog depth, identical matrix shapes — so warmup
+    // establishes every capacity the measurement phase will need.
+    std::vector<tensor::Matrix> inputs;
+    inputs.reserve(kAllocRequests);
+    for (std::size_t i = 0; i < kAllocRequests; ++i)
+      inputs.push_back(tensor::random_uniform(4, 64, rng, -1.0, 1.0));
+    auto drive = [&] {
+      std::vector<std::future<serve::ServeResult>> futures;
+      futures.reserve(kAllocRequests);
+      for (const tensor::Matrix& x : inputs) futures.push_back(pool.submit_model(mlp, x));
+      for (auto& f : futures) f.get();
+    };
+    // Workers publish their allocation counters right after each batch, a
+    // hair AFTER the batch's futures resolve — settle until two reads agree
+    // so the last batch of one phase is never attributed to the next.
+    auto settled_worker_allocs = [&pool] {
+      std::uint64_t prev = pool.worker_heap_allocations();
+      for (int i = 0; i < 500; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        const std::uint64_t cur = pool.worker_heap_allocations();
+        if (cur == prev) return cur;
+        prev = cur;
+      }
+      return prev;
+    };
+    const double per = static_cast<double>(kAllocRequests);
+
+    const std::uint64_t s0 = settled_worker_allocs();
+    drive();  // warmup: packs weights, fills pool shelves, grows every vector
+    // Top the shelves back up (main-thread heap work, uncounted): the stats
+    // latency vectors keep doubling across phases, and a doubling that
+    // crosses into a class the warmup drained must still be a pool hit.
+    tensor::pool::prewarm(std::size_t{1} << 17, 32);
+    const std::uint64_t s1 = settled_worker_allocs();
+    const tensor::pool::PoolStats p1 = tensor::pool::stats();
+    drive();  // steady: the gated phase
+    const std::uint64_t s2 = settled_worker_allocs();
+    const tensor::pool::PoolStats p2 = tensor::pool::stats();
+    tensor::pool::set_enabled(false);
+    drive();  // pool bypassed: every Matrix/vector hits the heap
+    const std::uint64_t s3 = settled_worker_allocs();
+    tensor::pool::set_enabled(true);
+    pool.shutdown();
+
+    alloc_sweep.requests = kAllocRequests;
+    alloc_sweep.workers = kAllocWorkers;
+    alloc_sweep.warmup_allocs_per_request = static_cast<double>(s1 - s0) / per;
+    alloc_sweep.steady_worker_allocs = s2 - s1;
+    alloc_sweep.steady_allocs_per_request = static_cast<double>(s2 - s1) / per;
+    alloc_sweep.pool_off_allocs_per_request = static_cast<double>(s3 - s2) / per;
+    alloc_sweep.pool_hits = p2.hits - p1.hits;
+    alloc_sweep.pool_misses = p2.misses - p1.misses;
+    // The zero gate holds for the analytic cost model; the cycle-accurate
+    // simulator allocates per-pass state and is reported ungated.
+    alloc_sweep.zero_alloc_steady = g_mode == ExecutionMode::kCycleAccurate ||
+                                    alloc_sweep.steady_worker_allocs == 0;
+
+    TablePrinter alloc_table({"Phase", "Requests", "Worker allocs", "Allocs/req"});
+    alloc_table.add_row({"warmup (pool cold)", std::to_string(kAllocRequests),
+                         std::to_string(s1 - s0),
+                         TablePrinter::num(alloc_sweep.warmup_allocs_per_request, 2)});
+    alloc_table.add_row({"steady (gated)", std::to_string(kAllocRequests),
+                         std::to_string(s2 - s1),
+                         TablePrinter::num(alloc_sweep.steady_allocs_per_request, 2)});
+    alloc_table.add_row({"pool off", std::to_string(kAllocRequests),
+                         std::to_string(s3 - s2),
+                         TablePrinter::num(alloc_sweep.pool_off_allocs_per_request, 2)});
+    alloc_table.render(std::cout);
+    std::cout << "\n(worker-thread operator-new calls per batched MLP request; the steady\n"
+                 " phase repeats the warmup workload exactly, so every matrix, latency\n"
+                 " vector and queue buffer reuses recycled capacity — "
+              << alloc_sweep.pool_hits << " pool hits, " << alloc_sweep.pool_misses
+              << " misses during the steady phase)\n\n";
+  }
+
+  std::cout << "=== Submit contention: fixed budget vs submitter threads ===\n\n";
+  std::vector<ContentionRow> contention_rows;
+  {
+    constexpr std::size_t kContentionTotal = 2048;
+    Rng rng(31);
+    const auto x = tensor::to_fixed(tensor::random_uniform(2, 64, rng, -2.0, 2.0));
+
+    TablePrinter cont_table({"Submitters", "Requests", "Host ms", "Host req/s",
+                             "Scaling", "Allocs/req"});
+    double rps_at_1 = 0.0;
+    for (std::size_t submitters : {1u, 2u, 4u, 8u}) {
+      serve::ServerPoolConfig cfg;
+      cfg.workers = 2;
+      cfg.accelerator.mode = g_mode;
+      cfg.batcher.max_batch_requests = 64;
+      cfg.batcher.max_batch_rows = 256;
+      serve::ServerPool pool(cfg);
+      // Warm this pool's workers and vector capacities with the same total
+      // load, then settle the published counters before the timed burst.
+      {
+        std::vector<std::future<serve::ServeResult>> warm;
+        warm.reserve(kContentionTotal);
+        for (std::size_t i = 0; i < kContentionTotal; ++i)
+          warm.push_back(pool.submit_elementwise(cpwl::FunctionKind::kGelu, x));
+        for (auto& f : warm) f.get();
+      }
+      std::uint64_t before = pool.worker_heap_allocations();
+      for (int i = 0; i < 500; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        const std::uint64_t cur = pool.worker_heap_allocations();
+        if (cur == before) break;
+        before = cur;
+      }
+
+      const std::size_t per_thread = kContentionTotal / submitters;
+      std::vector<std::future<serve::ServeResult>> futures(kContentionTotal);
+      std::vector<std::thread> threads;
+      threads.reserve(submitters);
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t t = 0; t < submitters; ++t) {
+        threads.emplace_back([&, t] {
+          for (std::size_t i = 0; i < per_thread; ++i)
+            futures[t * per_thread + i] =
+                pool.submit_elementwise(cpwl::FunctionKind::kGelu, x);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      for (auto& f : futures) f.get();
+      const double host_ms = wall_ms_since(start);
+      std::uint64_t after = pool.worker_heap_allocations();
+      for (int i = 0; i < 500; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        const std::uint64_t cur = pool.worker_heap_allocations();
+        if (cur == after) break;
+        after = cur;
+      }
+      pool.shutdown();
+
+      ContentionRow row;
+      row.submitters = submitters;
+      row.requests = kContentionTotal;
+      row.host_ms = host_ms;
+      row.rps = static_cast<double>(kContentionTotal) / (host_ms * 1e-3);
+      if (submitters == 1) rps_at_1 = row.rps;
+      row.scaling = rps_at_1 > 0.0 ? row.rps / rps_at_1 : 0.0;
+      row.allocs_per_request =
+          static_cast<double>(after - before) / static_cast<double>(kContentionTotal);
+      contention_rows.push_back(row);
+      cont_table.add_row({std::to_string(submitters), std::to_string(kContentionTotal),
+                          TablePrinter::num(host_ms, 1), TablePrinter::num(row.rps, 0),
+                          TablePrinter::num(row.scaling, 2) + "x",
+                          TablePrinter::num(row.allocs_per_request, 2)});
+    }
+    cont_table.render(std::cout);
+    std::cout << "\n(2048 GELU 2x64 requests through a 2-worker pool; submitters land on\n"
+                 " striped inboxes instead of the scheduler mutex, so the host RPS holds\n"
+                 " as the submitter count multiplies — wall clock, informational on\n"
+                 " shared runners)\n\n";
+  }
+
   std::cout << "=== Chaos: 5% transients + worker crash + slow shard, 3x2 fleet ===\n\n";
   const ChaosResult chaos = run_chaos();
   {
@@ -1094,11 +1352,13 @@ int main(int argc, char** argv) {
   const bool metrics_overhead_ok = obs_overhead.speedup_metrics_on() >= 0.99;
   const bool pass = trace_speedup_at_8 >= 4.0 && model_speedup_at_8 >= 4.0 &&
                     fleet_speedup_at_4 >= 2.0 && window_interactive_improves &&
-                    hot_swap_clean && metrics_overhead_ok && logits_exact;
+                    hot_swap_clean && metrics_overhead_ok && logits_exact &&
+                    alloc_sweep.zero_alloc_steady;
   write_json(json_path, trace_rows, batch_rows, model_rows, class_rows, overload,
-             fleet_rows, window_rows, hot_swap, obs_overhead, trace_speedup_at_8,
-             model_speedup_at_8, fleet_speedup_at_4, window_interactive_improves,
-             metrics_overhead_ok, logits_exact, pass);
+             fleet_rows, window_rows, hot_swap, obs_overhead, alloc_sweep,
+             contention_rows, trace_speedup_at_8, model_speedup_at_8,
+             fleet_speedup_at_4, window_interactive_improves, metrics_overhead_ok,
+             logits_exact, pass);
   std::cout << "wrote " << json_path << "\n";
 
   if (!logits_exact) {
@@ -1131,6 +1391,13 @@ int main(int argc, char** argv) {
               << "x of obs-off, below the 0.99x (<1% overhead) bar\n";
     return 1;
   }
+  if (!alloc_sweep.zero_alloc_steady) {
+    std::cout << "FAIL: steady-state serve path made "
+              << alloc_sweep.steady_worker_allocs << " worker heap allocations ("
+              << TablePrinter::num(alloc_sweep.steady_allocs_per_request, 2)
+              << "/request) — the zero-allocation gate\n";
+    return 1;
+  }
   if (!chaos.pass) {
     std::cout << "FAIL: chaos scenario (exactly_once="
               << (chaos.exactly_once ? "true" : "false")
@@ -1146,6 +1413,8 @@ int main(int argc, char** argv) {
             << "x (>= 2x bar); interactive p99 beats window waiting; hot swap clean; "
                "metrics-on keeps "
             << TablePrinter::num(obs_overhead.speedup_metrics_on() * 100.0, 1)
-            << "% of obs-off throughput; logits bit-exact\n";
+            << "% of obs-off throughput; steady-state serve path made "
+            << alloc_sweep.steady_worker_allocs
+            << " worker heap allocations; logits bit-exact\n";
   return 0;
 }

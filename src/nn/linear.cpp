@@ -73,8 +73,12 @@ tensor::Matrix Linear::infer_with_epilogue(const tensor::Matrix& x,
     epi.table = table;
     epi.table_eval = table_eval_adapter;
   }
+  // The output buffer recycles through the tensor buffer pool (see
+  // DefaultInitAllocator), and the view overload shape-checks the GEMM
+  // against the packed weights — the serve path's zero-alloc staging runs
+  // through exactly this call.
   tensor::Matrix y(x.rows(), out_, tensor::kUninitialized);
-  tensor::kernels::gemm_packed(x.data().data(), *packed, y.data().data(), x.rows(), epi);
+  tensor::kernels::gemm_packed(x.cview(), *packed, y.view(), epi);
   return y;
 }
 

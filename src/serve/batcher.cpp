@@ -225,7 +225,7 @@ sim::CycleStats model_batch_cycles(const ModelEntry& entry, std::size_t requests
 /// infer path, a row-count-changing model registered as batchable) must fail
 /// THIS batch's futures — never escape into worker_loop, where an uncaught
 /// exception would std::terminate the whole pool.
-BatchRecord execute_model(std::vector<ServeRequest> batch, OneSaAccelerator& accel,
+BatchRecord execute_model(std::vector<ServeRequest>& batch, OneSaAccelerator& accel,
                           std::size_t worker, std::size_t shard) {
   const auto start = ServeClock::now();
   const ModelEntry& entry = *batch.front().model;
@@ -366,28 +366,35 @@ bool DynamicBatcher::compatible(const ServeRequest& head, const ServeRequest& re
   return false;
 }
 
-std::vector<ServeRequest> DynamicBatcher::take_batch(std::deque<ServeRequest>& pending) const {
-  std::vector<ServeRequest> batch;
-  if (pending.empty()) return batch;
-  batch.push_back(std::move(pending.front()));
-  pending.pop_front();
-  if (batch.front().kind == RequestKind::kTrace) return batch;
+void DynamicBatcher::take_batch(std::vector<ServeRequest>& pending,
+                                std::vector<ServeRequest>& out) const {
+  out.clear();
+  if (pending.empty()) return;
+  out.push_back(std::move(pending.front()));
+  if (out.front().kind == RequestKind::kTrace) {
+    pending.erase(pending.begin());
+    return;
+  }
 
-  std::size_t rows = batch.front().rows();
-  for (auto it = pending.begin();
-       it != pending.end() && batch.size() < config_.max_batch_requests;) {
-    if (compatible(batch.front(), *it) && rows + it->rows() <= config_.max_batch_rows) {
-      rows += it->rows();
-      batch.push_back(std::move(*it));
-      it = pending.erase(it);
+  // Single pass with in-place compaction: survivors slide left over the
+  // holes the taken requests leave, then one resize. Unlike erase-per-take
+  // this is O(pending) total, and both vectors keep their capacity.
+  std::size_t rows = out.front().rows();
+  std::size_t keep = 0;  // write cursor; slot 0 held the taken head
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    ServeRequest& req = pending[i];
+    if (out.size() < config_.max_batch_requests && compatible(out.front(), req) &&
+        rows + req.rows() <= config_.max_batch_rows) {
+      rows += req.rows();
+      out.push_back(std::move(req));
     } else {
-      ++it;
+      pending[keep++] = std::move(req);
     }
   }
-  return batch;
+  pending.resize(keep);
 }
 
-BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
+BatchRecord DynamicBatcher::execute(std::vector<ServeRequest>& batch,
                                     OneSaAccelerator& accel, std::size_t worker,
                                     std::size_t shard) const {
   ONESA_CHECK(!batch.empty(), "DynamicBatcher::execute on an empty batch");
@@ -396,7 +403,7 @@ BatchRecord DynamicBatcher::execute(std::vector<ServeRequest> batch,
     return record_batch_metrics(execute_trace(std::move(batch.front()), accel, worker, shard));
   }
   if (batch.front().kind == RequestKind::kModel) {
-    return record_batch_metrics(execute_model(std::move(batch), accel, worker, shard));
+    return record_batch_metrics(execute_model(batch, accel, worker, shard));
   }
 
   const auto start = ServeClock::now();

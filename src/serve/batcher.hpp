@@ -19,7 +19,6 @@
 // one request per pass, like traces.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "onesa/accelerator.hpp"
@@ -59,16 +58,28 @@ class DynamicBatcher {
   static bool compatible(const ServeRequest& head, const ServeRequest& req);
 
   /// Pop the head request plus every later compatible request (within the
-  /// config budgets) from `pending`, preserving arrival order. The caller
-  /// holds the queue lock. Empty result iff `pending` is empty.
-  std::vector<ServeRequest> take_batch(std::deque<ServeRequest>& pending) const;
+  /// config budgets) from `pending` into `out` (cleared first; both vectors
+  /// keep their capacity, so a worker passing the same pair every iteration
+  /// stages batches without allocating), preserving arrival order. The
+  /// caller holds the queue lock. `out` is empty iff `pending` is empty.
+  void take_batch(std::vector<ServeRequest>& pending,
+                  std::vector<ServeRequest>& out) const;
+
+  /// Convenience overload for tests and one-shot callers.
+  std::vector<ServeRequest> take_batch(std::vector<ServeRequest>& pending) const {
+    std::vector<ServeRequest> out;
+    take_batch(pending, out);
+    return out;
+  }
 
   /// Run one batch on `accel`, fulfill every request's promise with its
   /// sliced rows, and return the batch's accounting (cycles charged once).
   /// The stack is padded to a multiple of the accelerator's array height.
   /// `shard` is stamped into every result and the record (fleet visibility;
-  /// 0 for a standalone pool).
-  BatchRecord execute(std::vector<ServeRequest> batch, OneSaAccelerator& accel,
+  /// 0 for a standalone pool). The requests are consumed — on return the
+  /// elements of `batch` are moved-from and only the vector's capacity is
+  /// worth keeping (the worker loop reuses it for the next pop).
+  BatchRecord execute(std::vector<ServeRequest>& batch, OneSaAccelerator& accel,
                       std::size_t worker, std::size_t shard = 0) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "serve/request_queue.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -35,6 +36,16 @@ void emit_shed_span(const ServeRequest& req) {
                        "\"outcome\":\"shed\"");
 }
 
+/// Per-thread submit-stripe token. Process-global so every queue stripes the
+/// same way; what matters is that DIFFERENT submitter threads land on
+/// different stripes, and a round-robin stamp at first use does that without
+/// any per-queue registration.
+std::size_t submit_stripe_token() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t token = next.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
 }  // namespace
 
 std::string_view dispatch_policy_name(DispatchPolicy policy) {
@@ -64,31 +75,111 @@ RequestQueue::RequestQueue(std::size_t workers, DynamicBatcher batcher,
 }
 
 bool RequestQueue::over_budget(std::size_t extra_requests, std::uint64_t extra_cost) const {
-  return admission_.over(pending_.size(), extra_requests, backlog_cost_, extra_cost);
+  return admission_.over(pending_.size(), extra_requests,
+                         backlog_cost_.load(std::memory_order_relaxed), extra_cost);
+}
+
+void RequestQueue::drain_inbox_locked() {
+  std::size_t drained = 0;
+  for (auto& shard : inbox_) {
+    std::lock_guard<std::mutex> shard_lock(shard.m);
+    if (shard.items.empty()) continue;
+    drained += shard.items.size();
+    pending_.insert(pending_.end(), std::make_move_iterator(shard.items.begin()),
+                    std::make_move_iterator(shard.items.end()));
+    shard.items.clear();  // capacity stays with the stripe
+  }
+  if (drained != 0) inbox_count_.fetch_sub(drained, std::memory_order_seq_cst);
+}
+
+void RequestQueue::enqueue_to_shard(ServeRequest req) {
+  SubmitShard& shard = inbox_[submit_stripe_token() % kSubmitShards];
+  {
+    std::lock_guard<std::mutex> shard_lock(shard.m);
+    shard.items.push_back(std::move(req));
+  }
+  // Dekker-style wakeup handshake with pop_batch: the submitter publishes
+  // the item count and THEN reads the sleeper count; a worker publishes its
+  // sleeper count and THEN reads the item count (both seq_cst). One side
+  // always sees the other, so either the worker's wait predicate observes
+  // the new item, or the submitter observes the sleeper and notifies. The
+  // empty mutex acquisition pins the notify after the worker has actually
+  // released the mutex into its wait — without it the signal could fire
+  // between the predicate check and the sleep and be lost.
+  inbox_count_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_all();
+  }
+}
+
+void RequestQueue::shed_incoming(ServeRequest req, std::string_view reason) {
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  queue_metrics().sheds.add(1);
+  emit_shed_span(req);
+  ErrorContext ctx;
+  ctx.request_id = req.id;
+  ctx.queue_depth = count_.load(std::memory_order_relaxed);
+  ctx.backlog_cost = backlog_cost_.load(std::memory_order_relaxed);
+  if (req.model != nullptr) {
+    ctx.model = req.model->name;
+    ctx.model_version = req.model->version;
+  }
+  deliver_error(req, std::make_exception_ptr(OverloadError(
+                         "shed by admission control (" + std::string(reason) + ")",
+                         std::move(ctx))));
 }
 
 bool RequestQueue::push(ServeRequest req) {
+  if (closed_.load(std::memory_order_seq_cst))
+    throw Error("RequestQueue: push after close");
+  req.enqueued = ServeClock::now();
+  req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  // Unlimited admission and the kReject policy never touch admitted work,
+  // so their pushes take the contention-free striped path. kDropOldest must
+  // see (and may rewrite) the whole backlog, so it serializes on the
+  // scheduler mutex — exactness over throughput is that policy's contract.
+  if (!admission_.unlimited() && admission_.policy == OverloadPolicy::kDropOldest)
+    return push_drop_oldest(std::move(req));
+
+  if (!admission_.unlimited() &&
+      admission_.over(count_.load(std::memory_order_relaxed), 1,
+                      backlog_cost_.load(std::memory_order_relaxed), req.cost)) {
+    shed_incoming(std::move(req), "over budget");
+    return false;
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  backlog_cost_.fetch_add(req.cost, std::memory_order_relaxed);
+  queue_metrics().depth.add(1);
+  queue_metrics().backlog.add(static_cast<std::int64_t>(req.cost));
+  enqueue_to_shard(std::move(req));
+  return true;
+}
+
+bool RequestQueue::push_drop_oldest(ServeRequest req) {
   bool admitted = true;
   // Shed promises are fulfilled after the lock drops: formatting and waking
   // a future's waiter are not worth serializing every submitter and worker
-  // behind, especially in the drop-oldest eviction loop under overload.
+  // behind, especially in the eviction loop under overload.
   std::vector<std::pair<ServeRequest, std::string_view>> shed_list;
   std::size_t backlog_requests = 0;
   std::uint64_t backlog_macs = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) throw Error("RequestQueue: push after close");
-    req.enqueued = ServeClock::now();
-    req.seq = next_seq_++;
+    // Every kDropOldest push serializes here, so after this drain the
+    // inboxes stay empty for the rest of the critical section and
+    // pending_ IS the whole backlog — the eviction scan sees everything.
+    drain_inbox_locked();
 
-    if (!admission_.unlimited() && over_budget(1, req.cost)) {
+    if (over_budget(1, req.cost)) {
       // Shed the newcomer outright — without destroying admitted work — when
       // no amount of allowed eviction could ever make it fit: it exceeds the
       // budget alone, or the at-or-below-class share of the backlog is too
       // small to free enough room (higher classes are never evicted for it).
       bool hopeless = admission_.max_backlog_cost != 0 &&
                       req.cost > admission_.max_backlog_cost;
-      if (!hopeless && admission_.policy == OverloadPolicy::kDropOldest) {
+      if (!hopeless) {
         std::size_t evictable = 0;
         std::uint64_t evictable_cost = 0;
         for (const auto& pending : pending_) {
@@ -101,10 +192,12 @@ bool RequestQueue::push(ServeRequest req) {
             pending_.size() - evictable + 1 > admission_.max_pending_requests)
           hopeless = true;
         if (admission_.max_backlog_cost != 0 &&
-            backlog_cost_ - evictable_cost + req.cost > admission_.max_backlog_cost)
+            backlog_cost_.load(std::memory_order_relaxed) - evictable_cost +
+                    req.cost >
+                admission_.max_backlog_cost)
           hopeless = true;
       }
-      if (!hopeless && admission_.policy == OverloadPolicy::kDropOldest) {
+      if (!hopeless) {
         // Evict the oldest request of the lowest priority class present
         // until the newcomer fits. Never evict above the newcomer's class
         // (the hopeless pre-check guarantees this loop frees enough room).
@@ -121,8 +214,9 @@ bool RequestQueue::push(ServeRequest req) {
           ServeRequest evicted = std::move(pending_[victim]);
           pending_.erase(pending_.begin() +
                          static_cast<std::ptrdiff_t>(victim));
-          backlog_cost_ -= evicted.cost;
-          ++sheds_;
+          count_.fetch_sub(1, std::memory_order_relaxed);
+          backlog_cost_.fetch_sub(evicted.cost, std::memory_order_relaxed);
+          sheds_.fetch_add(1, std::memory_order_relaxed);
           queue_metrics().sheds.add(1);
           queue_metrics().depth.add(-1);
           queue_metrics().backlog.sub(static_cast<std::int64_t>(evicted.cost));
@@ -130,20 +224,22 @@ bool RequestQueue::push(ServeRequest req) {
         }
       }
       if (over_budget(1, req.cost)) {
-        ++sheds_;
+        sheds_.fetch_add(1, std::memory_order_relaxed);
         queue_metrics().sheds.add(1);
         admitted = false;
         shed_list.emplace_back(std::move(req), "over budget");
       }
     }
     if (admitted) {
-      backlog_cost_ += req.cost;
+      count_.fetch_add(1, std::memory_order_relaxed);
+      backlog_cost_.fetch_add(req.cost, std::memory_order_relaxed);
       queue_metrics().depth.add(1);
       queue_metrics().backlog.add(static_cast<std::int64_t>(req.cost));
       pending_.push_back(std::move(req));
+      ++sched_epoch_;  // wake window-parked waiters onto the new arrival
     }
     backlog_requests = pending_.size();
-    backlog_macs = backlog_cost_;
+    backlog_macs = backlog_cost_.load(std::memory_order_relaxed);
   }
   // A shed push never adds work (evictions only shrink the backlog), so
   // waking the workers would be pure lock contention during overload storms.
@@ -170,15 +266,18 @@ void RequestQueue::requeue(std::vector<ServeRequest> requests) {
   if (requests.empty()) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // Front of the deque, original order preserved: these requests were at
-    // the head of the line when their worker died, and their original seq
-    // stamps keep EDF/FIFO ordering honest against newer arrivals.
-    for (auto it = requests.rbegin(); it != requests.rend(); ++it) {
-      backlog_cost_ += it->cost;
+    // Front of the line, original order preserved: these requests were at
+    // the head when their worker died, and their original seq stamps keep
+    // EDF/FIFO ordering honest against newer arrivals.
+    for (const auto& req : requests) {
+      count_.fetch_add(1, std::memory_order_relaxed);
+      backlog_cost_.fetch_add(req.cost, std::memory_order_relaxed);
       queue_metrics().depth.add(1);
-      queue_metrics().backlog.add(static_cast<std::int64_t>(it->cost));
-      pending_.push_front(std::move(*it));
+      queue_metrics().backlog.add(static_cast<std::int64_t>(req.cost));
     }
+    pending_.insert(pending_.begin(), std::make_move_iterator(requests.begin()),
+                    std::make_move_iterator(requests.end()));
+    ++sched_epoch_;
   }
   cv_.notify_all();
 }
@@ -251,16 +350,25 @@ bool RequestQueue::batch_is_full(std::size_t head) const {
   return false;
 }
 
-std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
+void RequestQueue::pop_batch(std::size_t worker, std::vector<ServeRequest>& out) {
   ONESA_CHECK(worker < workers_, "worker index " << worker << " out of " << workers_);
+  out.clear();
   std::unique_lock<std::mutex> lock(mutex_);
   std::size_t head = 0;
   for (;;) {
+    // Dekker partner of enqueue_to_shard: publish the sleeper BEFORE the
+    // predicate's inbox read (both seq_cst) so a concurrent push either
+    // becomes visible to the predicate or sees the sleeper and notifies.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
     cv_.wait(lock, [&] {
-      if (closed_ && pending_.empty()) return true;  // drained — exit
+      if (inbox_count_.load(std::memory_order_seq_cst) > 0) drain_inbox_locked();
+      if (closed_.load(std::memory_order_seq_cst) && pending_.empty() &&
+          inbox_count_.load(std::memory_order_seq_cst) == 0)
+        return true;  // drained — exit
       return !pending_.empty() && is_turn(worker);
     });
-    if (pending_.empty()) return {};
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    if (pending_.empty()) return;  // closed and drained; out stays empty
 
     // Find a launchable head in scheduler order, PARKING heads whose
     // batching window is still open instead of blocking behind them: a
@@ -273,7 +381,10 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
     bool launch = false;
     bool expired = false;
     auto earliest = ServeClock::time_point::max();
-    std::vector<char> parked(pending_.size(), 0);
+    // Member scratch: assigned fresh each evaluation, never read across a
+    // wait — reusing the capacity keeps the steady-state pop allocation-free.
+    parked_scratch_.assign(pending_.size(), 0);
+    std::vector<char>& parked = parked_scratch_;
     // A request's FIRST park is an observable event: it stamps the
     // window_park span start and counts toward the park metric. Re-parks on
     // later wakeups of the same wait are the same logical park.
@@ -287,7 +398,8 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
       head = scheduled_head(parked);
       if (head == pending_.size()) break;  // everything is parked
       const double window = window_ms(pending_[head]);
-      if (window <= 0.0 || closed_ || batch_is_full(head)) {
+      if (window <= 0.0 || closed_.load(std::memory_order_relaxed) ||
+          batch_is_full(head)) {
         launch = true;
         break;
       }
@@ -326,11 +438,18 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
       }
       break;
     }
-    // Every push notifies, so a new arrival (a rider, or a higher-priority
-    // request that becomes a launchable head — including an interactive
-    // one, which always launches immediately) re-evaluates; a timeout
-    // re-enters the loop and takes the expiry path.
-    cv_.wait_until(lock, earliest);
+    // Sleep until the earliest window deadline — or until the scheduler
+    // state moves underneath us: a new arrival (inbox count, or the epoch
+    // for a mutex-path push/requeue), a pop by another worker (epoch — the
+    // turn may now be ours for work that was previously someone else's),
+    // or close. A timeout re-enters the loop and takes the expiry path.
+    const std::uint64_t epoch0 = sched_epoch_;
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait_until(lock, earliest, [&] {
+      return inbox_count_.load(std::memory_order_seq_cst) > 0 ||
+             closed_.load(std::memory_order_seq_cst) || sched_epoch_ != epoch0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
   }
 
   // Rotate the scheduled head (priority -> EDF -> arrival) to the front;
@@ -340,12 +459,13 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
     std::rotate(first, first + static_cast<std::ptrdiff_t>(head),
                 first + static_cast<std::ptrdiff_t>(head) + 1);
   }
-  auto batch = batcher_.take_batch(pending_);
+  batcher_.take_batch(pending_, out);
 
   std::uint64_t cost = 0;
-  for (const auto& req : batch) cost += req.cost;  // stamped at submit time
-  backlog_cost_ -= std::min(backlog_cost_, cost);
-  queue_metrics().depth.add(-static_cast<std::int64_t>(batch.size()));
+  for (const auto& req : out) cost += req.cost;  // stamped at submit time
+  count_.fetch_sub(out.size(), std::memory_order_relaxed);
+  backlog_cost_.fetch_sub(cost, std::memory_order_relaxed);
+  queue_metrics().depth.add(-static_cast<std::int64_t>(out.size()));
   queue_metrics().backlog.sub(static_cast<std::int64_t>(cost));
   if (policy_ == DispatchPolicy::kRotation) {
     turn_ = (turn_ + 1) % workers_;
@@ -354,37 +474,32 @@ std::vector<ServeRequest> RequestQueue::pop_batch(std::size_t worker) {
     // break instead of pinning every batch on one worker.
     assigned_cost_[worker] += std::max<std::uint64_t>(cost, 1);
   }
+  ++sched_epoch_;  // the turn and the backlog both changed
   lock.unlock();
   cv_.notify_all();
-  return batch;
 }
 
 void RequestQueue::close() {
+  closed_.store(true, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
+    ++sched_epoch_;
   }
   cv_.notify_all();
 }
 
-bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return closed_;
-}
+bool RequestQueue::closed() const { return closed_.load(std::memory_order_seq_cst); }
 
 std::size_t RequestQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return pending_.size();
+  return count_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t RequestQueue::backlog_cost() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return backlog_cost_;
+  return backlog_cost_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t RequestQueue::sheds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return sheds_;
+  return sheds_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t RequestQueue::window_expiries() const {

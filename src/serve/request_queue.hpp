@@ -63,15 +63,32 @@
 // awake. Batch composition itself still depends on how many compatible
 // requests are pending at pop time, as it always has.
 //
+// LOW-CONTENTION SUBMIT PATH. Submitters never touch the scheduler mutex:
+// push() appends to one of kSubmitShards striped inboxes (each a tiny
+// mutex + vector; submitter threads spread across the stripes, so
+// same-thread pushes never contend with each other either) and signals the
+// workers through atomics. The dispatcher drains every inbox into the
+// scheduling backlog at the top of each pop — the scheduler mutex now
+// serializes only worker-side dispatch, not every submit. Wakeups use a
+// Dekker-style handshake (inbox count vs. sleeper count, both seq_cst, plus
+// an empty scheduler-mutex acquisition before notify) so a push can never
+// slip between a worker's "nothing to do" check and its sleep. Admission
+// bookkeeping (pending count, backlog cost) moves to atomics: exact under
+// the drop-oldest policy (which serializes on the scheduler mutex because
+// eviction must see the whole backlog), and exact for any serial submitter
+// under kReject — concurrent kReject submitters can transiently over-admit
+// by at most the number of in-flight pushes, a documented trade for a
+// contention-free reject path.
+//
 // close() stops new submissions; workers keep draining until the queue is
 // empty and then observe the closed state, so every accepted request is
 // served before shutdown completes.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string_view>
 #include <vector>
@@ -152,10 +169,19 @@ class RequestQueue {
   double window_scale() const { return window_scale_.load(std::memory_order_relaxed); }
 
   /// Block until it is `worker`'s turn and a batch is available, then pop
-  /// the scheduled batch (EDF-within-priority head plus compatible riders).
-  /// Returns an empty vector when the queue is closed and drained — the
+  /// the scheduled batch (EDF-within-priority head plus compatible riders)
+  /// into `out` (cleared first; its capacity is reused — the worker loop
+  /// passes the same vector every iteration so steady-state pops never
+  /// allocate). `out` is empty when the queue is closed and drained — the
   /// worker's signal to exit.
-  std::vector<ServeRequest> pop_batch(std::size_t worker);
+  void pop_batch(std::size_t worker, std::vector<ServeRequest>& out);
+
+  /// Convenience overload for tests and one-shot callers.
+  std::vector<ServeRequest> pop_batch(std::size_t worker) {
+    std::vector<ServeRequest> out;
+    pop_batch(worker, out);
+    return out;
+  }
 
   /// Stop accepting pushes and wake every waiter. Idempotent.
   void close();
@@ -179,6 +205,15 @@ class RequestQueue {
   std::vector<std::uint64_t> assigned_cost() const;
 
  private:
+  /// Striped submit inboxes: submitter threads scatter across the stripes,
+  /// so the only contention on a push is another submitter that hashed to
+  /// the same stripe — never the dispatcher's scheduler mutex.
+  static constexpr std::size_t kSubmitShards = 8;
+  struct alignas(64) SubmitShard {
+    std::mutex m;
+    std::vector<ServeRequest> items;  // capacity survives drains
+  };
+
   /// True when `worker` is the one that should take the next batch.
   /// Caller holds mutex_.
   bool is_turn(std::size_t worker) const;
@@ -188,13 +223,15 @@ class RequestQueue {
   /// request is parked (all are window-waiting heads or their riders).
   /// Caller holds mutex_; pending_ must be non-empty. O(pending) per pop —
   /// deliberate: admission control bounds the backlog in production
-  /// configurations, and a linear scan of a deque beats maintaining ordered
-  /// per-class structures at realistic queue depths. Revisit with a
-  /// per-class deadline-ordered index if unbounded queues ever need to
-  /// scale past ~10^4 pending requests.
+  /// configurations, and a linear scan beats maintaining ordered per-class
+  /// structures at realistic queue depths. Revisit with a per-class
+  /// deadline-ordered index if unbounded queues ever need to scale past
+  /// ~10^4 pending requests.
   std::size_t scheduled_head(const std::vector<char>& parked) const;
 
   /// Would the backlog (plus `extra_cost`/`extra_requests`) exceed a cap?
+  /// Caller holds mutex_ with the inboxes drained (the drop-oldest path),
+  /// so the counts are exact.
   bool over_budget(std::size_t extra_requests, std::uint64_t extra_cost) const;
 
   /// Batching window of a head request (ms; 0 = launch immediately).
@@ -206,22 +243,44 @@ class RequestQueue {
   /// mutex_.
   bool batch_is_full(std::size_t head) const;
 
+  /// Move every inbox item into pending_. Caller holds mutex_; the shard
+  /// mutexes are taken briefly one at a time (lock order: mutex_ -> shard).
+  void drain_inbox_locked();
+
+  /// Lock-free-path admit: stripe append + Dekker wakeup (see header).
+  void enqueue_to_shard(ServeRequest req);
+
+  /// Admission exceeded on the submit path: count, trace, fail the future.
+  void shed_incoming(ServeRequest req, std::string_view reason);
+
+  /// Drop-oldest admission: the exact, scheduler-mutex path.
+  bool push_drop_oldest(ServeRequest req);
+
   const std::size_t workers_;
   DynamicBatcher batcher_;
   const DispatchPolicy policy_;
   const AdmissionConfig admission_;
 
+  // ------------------------------------------------ submit side (no mutex_)
+  std::array<SubmitShard, kSubmitShards> inbox_;
+  std::atomic<std::uint64_t> next_seq_{0};        // arrival stamp
+  std::atomic<std::size_t> inbox_count_{0};       // items awaiting drain
+  std::atomic<std::size_t> count_{0};             // inbox_ + pending_ items
+  std::atomic<std::uint64_t> backlog_cost_{0};    // summed cost of the above
+  std::atomic<std::uint64_t> sheds_{0};           // admission-control counter
+  std::atomic<std::size_t> sleepers_{0};          // workers parked on cv_
+  std::atomic<bool> closed_{false};
+  std::atomic<double> window_scale_{1.0};         // brownout window shrink
+
+  // ------------------------------------------- scheduler state (mutex_)
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<ServeRequest> pending_;
-  std::uint64_t backlog_cost_ = 0;            // sum of pending_[i].cost
-  std::uint64_t next_seq_ = 0;                // arrival stamp
-  std::uint64_t sheds_ = 0;                   // admission-control counter
+  std::vector<ServeRequest> pending_;
   std::uint64_t window_expiries_ = 0;         // batching-window counter
+  std::uint64_t sched_epoch_ = 0;             // bumped on pop/requeue/close
   std::size_t turn_ = 0;                      // kRotation state
   std::vector<std::uint64_t> assigned_cost_;  // kLeastLoaded state
-  bool closed_ = false;
-  std::atomic<double> window_scale_{1.0};     // brownout window shrink
+  std::vector<char> parked_scratch_;          // pop-time park flags, reused
 };
 
 }  // namespace onesa::serve

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <string>
 
+#include "common/alloc_count.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
@@ -271,9 +272,14 @@ void ServerPool::Core::watchdog_loop() {
 
 void ServerPool::Core::worker_loop(std::size_t index) {
   Worker& w = *workers[index];
+  // One batch vector for the thread's whole life: pop_batch refills it in
+  // place, so steady-state pops reuse its capacity instead of allocating.
+  std::vector<ServeRequest> batch;
   for (;;) {
-    std::vector<ServeRequest> batch = queue.pop_batch(index);
+    queue.pop_batch(index, batch);
     if (batch.empty()) {
+      w.heap_allocations.store(alloccount::thread_allocations(),
+                               std::memory_order_relaxed);
       w.exit_reason.store(Worker::Exit::kDrained, std::memory_order_release);
       w.alive.store(false, std::memory_order_release);
       return;  // closed and drained
@@ -389,8 +395,7 @@ void ServerPool::Core::worker_loop(std::size_t index) {
       // read them from a monitoring thread mid-flight. Only this worker's
       // snapshot readers wait; other workers proceed on their own locks.
       std::lock_guard<std::mutex> lock(w.mutex);
-      BatchRecord record = batcher.execute(std::move(batch), *w.accel, index,
-                                           config.shard);
+      BatchRecord record = batcher.execute(batch, *w.accel, index, config.shard);
       w.busy_cycles += record.cycles.total();
       // A failed batch (every promise already holds the error) returns an
       // empty record; recording it would count a zero-request batch and skew
@@ -430,6 +435,10 @@ void ServerPool::Core::worker_loop(std::size_t index) {
       }
     }
     w.heartbeat_us.store(now_us(), std::memory_order_relaxed);
+    // Publish this thread's cumulative heap-allocation count while idle —
+    // the allocation bench's between-windows sample points.
+    w.heap_allocations.store(alloccount::thread_allocations(),
+                             std::memory_order_relaxed);
     w.busy.store(false, std::memory_order_relaxed);
   }
 }
@@ -561,6 +570,13 @@ std::vector<std::uint64_t> ServerPool::worker_busy_cycles() const {
     busy.push_back(worker->busy_cycles);
   }
   return busy;
+}
+
+std::uint64_t ServerPool::worker_heap_allocations() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : core_->workers)
+    total += worker->heap_allocations.load(std::memory_order_relaxed);
+  return total;
 }
 
 }  // namespace onesa::serve

@@ -222,6 +222,13 @@ class ServerPool {
   std::uint64_t makespan_cycles() const;
   /// Per-worker busy cycles (load-balance visibility).
   std::vector<std::uint64_t> worker_busy_cycles() const;
+  /// Summed operator-new count of every worker thread, as last published
+  /// (after each completed batch). The allocation bench samples this before
+  /// and after a measurement window: on a warmed pool the delta is 0 —
+  /// every staging buffer, result matrix, and latency sample comes from the
+  /// recycling pools. Counts are live only in binaries linking the
+  /// alloccount counting allocator (the bench does); elsewhere reads 0.
+  std::uint64_t worker_heap_allocations() const;
   /// Per-worker cumulative estimated cost the dispatcher has assigned (the
   /// quantity the least-loaded policy levels; MAC units).
   std::vector<std::uint64_t> assigned_cost() const { return core_->queue.assigned_cost(); }
@@ -237,6 +244,11 @@ class ServerPool {
     /// (0 when idle). Atomic so the fleet router can read outstanding cost
     /// without serializing behind a batch execution.
     std::atomic<std::uint64_t> inflight_cost{0};
+    /// Heap allocations (operator new calls) made by this worker's thread
+    /// so far, published after every batch — the allocation-regression
+    /// bench reads the delta across a measurement window to prove the
+    /// steady-state request path never touches the heap.
+    std::atomic<std::uint64_t> heap_allocations{0};
 
     // ------------------------------------------------- health & recovery
     /// False once the worker thread has exited (drained queue or crash).

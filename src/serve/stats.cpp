@@ -10,10 +10,10 @@ namespace onesa::serve {
 namespace {
 
 /// Nearest-rank percentile (monotone in p) over an unsorted sample.
-double nearest_rank_percentile(const std::vector<double>& samples, double p) {
+double nearest_rank_percentile(const LatencySamples& samples, double p) {
   ONESA_CHECK(p >= 0.0 && p <= 100.0, "percentile " << p << " out of [0, 100]");
   if (samples.empty()) return 0.0;
-  std::vector<double> sorted = samples;
+  LatencySamples sorted = samples;
   std::sort(sorted.begin(), sorted.end());
   // Nearest-rank: smallest value with at least p% of samples at or below it.
   const auto n = static_cast<double>(sorted.size());
@@ -22,7 +22,7 @@ double nearest_rank_percentile(const std::vector<double>& samples, double p) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
-double mean_of(const std::vector<double>& samples) {
+double mean_of(const LatencySamples& samples) {
   if (samples.empty()) return 0.0;
   double sum = 0.0;
   for (double v : samples) sum += v;

@@ -16,11 +16,19 @@
 
 #include "serve/request.hpp"
 #include "sim/clock.hpp"
+#include "tensor/matrix.hpp"
 
 namespace onesa::serve {
 
 /// Number of scheduling classes (Priority::kInteractive/kNormal/kBulk).
 inline constexpr std::size_t kPriorityClasses = 3;
+
+/// Latency samples ride the recycling tensor buffer pool: BatchRecord
+/// vectors are rebuilt on every batch on the worker hot path, and ServeStats
+/// growth reallocations happen mid-measurement — both must stay off the raw
+/// heap for the serve tier's zero-allocation steady state.
+using LatencySamples = std::vector<double, tensor::DefaultInitAllocator<double>>;
+using LatencyClasses = std::vector<Priority, tensor::DefaultInitAllocator<Priority>>;
 
 /// Per-batch accounting handed from the batch executor to the stats sink.
 /// Cycle/MAC charges appear once per batch; latencies once per request.
@@ -32,10 +40,10 @@ struct BatchRecord {
   std::size_t padded_rows = 0;  // tile rows including padding
   std::size_t deadline_misses = 0;  // requests completed past their deadline
   std::size_t shard = 0;  // fleet shard that executed the batch (0 standalone)
-  std::vector<double> latency_ms;  // queue+service wall latency per request
+  LatencySamples latency_ms;  // queue+service wall latency per request
   /// Scheduling class of each latency_ms entry (parallel vector). May be
   /// left empty by hand-built records; every entry then counts as kNormal.
-  std::vector<Priority> latency_class;
+  LatencyClasses latency_class;
 };
 
 class ServeStats {
@@ -107,8 +115,8 @@ class ServeStats {
   std::uint64_t window_expiries_ = 0;
   sim::CycleStats cycles_;
   std::uint64_t mac_ops_ = 0;
-  std::vector<double> latency_ms_;
-  std::array<std::vector<double>, kPriorityClasses> class_latency_ms_;
+  LatencySamples latency_ms_;
+  std::array<LatencySamples, kPriorityClasses> class_latency_ms_;
 };
 
 }  // namespace onesa::serve

@@ -1,0 +1,132 @@
+#include "tensor/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace onesa::tensor {
+
+namespace {
+
+constexpr std::size_t kMinChunkBytes = 64 * 1024;
+
+std::size_t round_up(std::size_t bytes, std::size_t quantum) {
+  return (bytes + quantum - 1) / quantum * quantum;
+}
+
+bool guard_intact(const unsigned char* guard) {
+  for (std::size_t i = 0; i < MemoryStack::kGuardBytes; ++i)
+    if (guard[i] != MemoryStack::kFillByte) return false;
+  return true;
+}
+
+}  // namespace
+
+MemoryStack::MemoryStack(std::size_t capacity_bytes, bool boundary_fill)
+    : boundary_fill_(boundary_fill) {
+  if (capacity_bytes > 0) {
+    Chunk c;
+    c.size = round_up(capacity_bytes, kAlignment);
+    c.data = new_slab(c.size);
+    chunks_.push_back(c);
+  }
+}
+
+MemoryStack::~MemoryStack() {
+  for (Chunk& c : chunks_) free_slab(c.data, c.size);
+}
+
+unsigned char* MemoryStack::new_slab(std::size_t bytes) {
+  return static_cast<unsigned char*>(
+      ::operator new(bytes, std::align_val_t(kAlignment)));
+}
+
+void MemoryStack::free_slab(unsigned char* p, std::size_t bytes) {
+  if (p != nullptr) ::operator delete(p, bytes, std::align_val_t(kAlignment));
+}
+
+MemoryStack::Chunk& MemoryStack::chunk_for(std::size_t need) {
+  if (!chunks_.empty()) {
+    Chunk& tail = chunks_.back();
+    if (tail.used + need <= tail.size) return tail;
+  }
+  // Geometric growth over TOTAL capacity so a cold arena converges in
+  // O(log working-set) slabs; live blocks in earlier chunks stay valid.
+  Chunk c;
+  c.size = std::max({need, capacity() * 2, kMinChunkBytes});
+  c.data = new_slab(c.size);
+  chunks_.push_back(c);
+  return chunks_.back();
+}
+
+void* MemoryStack::allocate(std::size_t bytes) {
+  std::size_t need = round_up(std::max<std::size_t>(bytes, 1), kAlignment);
+  const std::size_t guard = boundary_fill_ ? kGuardBytes : 0;
+  Chunk& c = chunk_for(need + 2 * guard);
+  unsigned char* base = c.data + c.used;
+  unsigned char* user = base + guard;
+  if (boundary_fill_) {
+    std::memset(base, kFillByte, kGuardBytes);
+    std::memset(user + need, kFillByte, kGuardBytes);
+    blocks_.push_back(Block{user, need});
+  }
+  c.used += need + 2 * guard;
+  used_ += need + 2 * guard;
+  high_water_ = std::max(high_water_, used_);
+  ++blocks_since_reset_;
+  return user;
+}
+
+std::size_t MemoryStack::check() const {
+  std::size_t corrupted = 0;
+  for (const Block& b : blocks_) {
+    if (!guard_intact(b.ptr - kGuardBytes) || !guard_intact(b.ptr + b.bytes))
+      ++corrupted;
+  }
+  return corrupted;
+}
+
+void MemoryStack::reset() {
+  if (boundary_fill_) {
+    const std::size_t corrupted = check();
+    ONESA_CHECK(corrupted == 0,
+                "MemoryStack: " << corrupted << " of " << blocks_.size()
+                                << " blocks overwrote a boundary guard");
+    blocks_.clear();
+  }
+  if (chunks_.size() > 1) {
+    // Coalesce: one slab of the combined capacity, so the warmed arena
+    // never chains chunks again. A one-time cost while still growing.
+    std::size_t total = capacity();
+    for (Chunk& c : chunks_) free_slab(c.data, c.size);
+    chunks_.clear();
+    Chunk merged;
+    merged.size = round_up(total, kAlignment);
+    merged.data = new_slab(merged.size);
+    chunks_.push_back(merged);
+  }
+  for (Chunk& c : chunks_) c.used = 0;
+  used_ = 0;
+  blocks_since_reset_ = 0;
+}
+
+void MemoryStack::shrink_to(std::size_t max_retained_bytes) {
+  ONESA_CHECK(used_ == 0, "MemoryStack::shrink_to on a non-empty arena");
+  if (capacity() <= max_retained_bytes) return;
+  for (Chunk& c : chunks_) free_slab(c.data, c.size);
+  chunks_.clear();
+  if (max_retained_bytes > 0) {
+    Chunk c;
+    c.size = round_up(max_retained_bytes, kAlignment);
+    c.data = new_slab(c.size);
+    chunks_.push_back(c);
+  }
+}
+
+std::size_t MemoryStack::capacity() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+}  // namespace onesa::tensor

@@ -1,0 +1,138 @@
+// MemoryStack: a bump arena for per-worker scratch on the serve path.
+//
+// The serve tier's steady-state contract is ZERO heap allocations per
+// request; scratch that cannot be a recycled Matrix buffer (see
+// buffer_pool.hpp) comes from one of these arenas instead. The idiom is the
+// Anki embeddedCommon MemoryStack/Array2d one (SNIPPETS.md): a caller-owned
+// slab of 64-byte-aligned memory, bump-allocated, handed out as raw spans or
+// stride-padded 2D views, rewound wholesale with reset() between batches.
+//
+// Properties:
+//  - every allocation is 64-byte aligned (cache line / AVX-512 friendly);
+//  - allocate_matrix<T> returns a MatrixViewT whose rows are stride-padded
+//    so each ROW start is also 64-byte aligned (pad_rows=false gives a
+//    contiguous view, which the gemm_packed view overload requires);
+//  - capacity grows geometrically in chunks (existing pointers stay valid —
+//    a growing arena never reallocates live blocks); reset() coalesces the
+//    chunks so a warmed arena serves everything from one slab, allocation-
+//    free until the working set grows again;
+//  - debug boundary fill (default on in !NDEBUG builds, or on request):
+//    each block is bracketed by 64-byte guard zones filled with 0xA5;
+//    check() counts blocks whose guards were overwritten, and reset()
+//    throws onesa::Error on corruption so an out-of-bounds write in batch
+//    staging fails the batch loudly instead of silently clobbering a
+//    neighbour. The guards live INSIDE the arena's own slab, so an
+//    overwrite the guards catch is not (and need not be) an ASan report —
+//    this check covers exactly the overflows ASan cannot see.
+//
+// NOT thread-safe: an arena belongs to one worker (or is thread_local, like
+// the kernel layer's pack scratch). Cross-thread reuse is the buffer pool's
+// job.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/view.hpp"
+
+namespace onesa::tensor {
+
+#ifndef NDEBUG
+inline constexpr bool kArenaBoundaryFillDefault = true;
+#else
+inline constexpr bool kArenaBoundaryFillDefault = false;
+#endif
+
+class MemoryStack {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+  static constexpr std::size_t kGuardBytes = 64;
+  static constexpr unsigned char kFillByte = 0xA5;
+
+  explicit MemoryStack(std::size_t capacity_bytes = 0,
+                       bool boundary_fill = kArenaBoundaryFillDefault);
+  ~MemoryStack();
+
+  MemoryStack(const MemoryStack&) = delete;
+  MemoryStack& operator=(const MemoryStack&) = delete;
+
+  /// Bump-allocate `bytes` (rounded up to the alignment quantum), 64B
+  /// aligned. Grows the arena when exhausted — a heap allocation, but only
+  /// while the working set is still growing; a warmed arena bumps a pointer.
+  void* allocate(std::size_t bytes);
+
+  /// `count` elements of T, 64B aligned, uninitialized.
+  template <typename T>
+  T* allocate_span(std::size_t count) {
+    static_assert(alignof(T) <= kAlignment, "over-aligned element type");
+    return static_cast<T*>(allocate(count * sizeof(T)));
+  }
+
+  /// rows x cols view of uninitialized T. pad_rows=true (default) pads the
+  /// stride so every row start is 64B aligned (the Array2d layout);
+  /// pad_rows=false gives stride == cols (contiguous — what the gemm_packed
+  /// view overload and flat-copy staging want).
+  template <typename T>
+  MatrixViewT<T> allocate_matrix(std::size_t rows, std::size_t cols,
+                                 bool pad_rows = true) {
+    static_assert(alignof(T) <= kAlignment, "over-aligned element type");
+    static_assert(kAlignment % sizeof(T) == 0,
+                  "element size must divide the alignment quantum");
+    const std::size_t stride =
+        pad_rows ? (cols * sizeof(T) + kAlignment - 1) / kAlignment *
+                       (kAlignment / sizeof(T))
+                 : cols;
+    T* data = static_cast<T*>(allocate(rows * stride * sizeof(T)));
+    return MatrixViewT<T>(data, rows, cols, stride);
+  }
+
+  /// Rewind to empty, keeping capacity. With boundary fill enabled, first
+  /// verifies every guard zone and throws onesa::Error naming the number of
+  /// corrupted blocks. Coalesces multi-chunk arenas into one slab so the
+  /// next cycle is allocation-free.
+  void reset();
+
+  /// Number of live blocks whose guard zones were overwritten (0 = intact;
+  /// always 0 when boundary fill is off — there is nothing to check).
+  std::size_t check() const;
+
+  /// Drop capacity above `max_retained_bytes`. Only valid on an empty
+  /// (just-reset) arena — the thread_local kernel scratch uses this to
+  /// bound per-thread retention the way the old ad-hoc scratch cap did.
+  void shrink_to(std::size_t max_retained_bytes);
+
+  std::size_t bytes_used() const { return used_; }
+  std::size_t capacity() const;
+  /// Peak bytes_used over the arena's lifetime (sizing signal).
+  std::size_t high_water() const { return high_water_; }
+  /// Blocks handed out since the last reset.
+  std::size_t allocations() const { return blocks_since_reset_; }
+  bool boundary_fill_enabled() const { return boundary_fill_; }
+
+ private:
+  struct Chunk {
+    unsigned char* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  struct Block {  // guard bookkeeping (boundary-fill mode only)
+    unsigned char* ptr = nullptr;  // user pointer (guards sit on both sides)
+    std::size_t bytes = 0;         // rounded user size
+  };
+
+  /// Chunk with room for `need` more bytes, growing if necessary.
+  Chunk& chunk_for(std::size_t need);
+  static unsigned char* new_slab(std::size_t bytes);
+  static void free_slab(unsigned char* p, std::size_t bytes);
+
+  const bool boundary_fill_;
+  std::vector<Chunk> chunks_;
+  std::vector<Block> blocks_;  // capacity reused across resets
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t blocks_since_reset_ = 0;
+};
+
+}  // namespace onesa::tensor

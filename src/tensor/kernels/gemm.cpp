@@ -15,6 +15,7 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/kernels/pack.hpp"
 #include "tensor/kernels/thread_pool.hpp"
 
@@ -531,39 +532,36 @@ void blocked_compute(double* c, std::size_t m, std::size_t k, std::size_t n,
 void blocked_over_packed(const double* a, const PackedB& b, double* c, std::size_t m,
                          const Epilogue& epi) {
   const std::size_t k = b.k();
-  thread_local std::vector<double, PackAllocator<double>> apack_full;
-  thread_local std::vector<std::size_t> a_offsets;
+  // Per-thread pack scratch now lives in ONE bump arena (tensor/arena.hpp)
+  // instead of two ad-hoc vectors: same steady-state reuse, plus debug
+  // boundary guards around the A pack and the offset table — reset() at the
+  // next call verifies the guards, so an out-of-bounds pack write fails
+  // loudly in Debug/sanitizer builds. shrink_to keeps the old retention cap.
+  thread_local MemoryStack pack_arena;
+  pack_arena.reset();
+  pack_arena.shrink_to(kScratchRetainBytes);
 
   const std::size_t mr = g_packed_micro.mr;
   const std::size_t mcp = kMCPacked;
   const std::size_t kc_panels = b.kc_panels();
   const std::size_t ic_blocks = (m + mcp - 1) / mcp;
-  a_offsets.clear();
-  a_offsets.reserve(ic_blocks * kc_panels);
+  std::size_t* a_offsets = pack_arena.allocate_span<std::size_t>(ic_blocks * kc_panels);
+  std::size_t offsets = 0;
   std::size_t total = 0;
   for (std::size_t ic = 0; ic < m; ic += mcp) {
     const std::size_t mcb_pad = round_up(std::min(mcp, m - ic), mr);
     for (std::size_t kc = 0; kc < k; kc += KC) {
-      a_offsets.push_back(total);
+      a_offsets[offsets++] = total;
       total += mcb_pad * std::min(KC, k - kc);
     }
   }
-  struct ScratchCap {  // free an outsized A pack when the call ends
-    std::vector<double, PackAllocator<double>>& buf;
-    ~ScratchCap() {
-      if (buf.capacity() * sizeof(double) > kScratchRetainBytes) {
-        buf.clear();
-        buf.shrink_to_fit();
-      }
-    }
-  } scratch_cap{apack_full};
-  apack_full.resize(total);
+  double* apack_full = pack_arena.allocate_span<double>(total);
   std::size_t block = 0;
   for (std::size_t ic = 0; ic < m; ic += mcp) {
     const std::size_t mcb = std::min(mcp, m - ic);
     for (std::size_t kc = 0; kc < k; kc += KC) {
       pack_a_block(a, k, ic, kc, mcb, std::min(KC, k - kc), mr,
-                   apack_full.data() + a_offsets[block++]);
+                   apack_full + a_offsets[block++]);
     }
   }
 
@@ -573,7 +571,7 @@ void blocked_over_packed(const double* a, const PackedB& b, double* c, std::size
         return b.panel(jc / NC, kc / KC);
       },
       [&](std::size_t ic, std::size_t kc, std::size_t, std::size_t) {
-        return apack_full.data() + a_offsets[(ic / mcp) * kc_panels + kc / KC];
+        return apack_full + a_offsets[(ic / mcp) * kc_panels + kc / KC];
       });
 }
 
@@ -851,6 +849,20 @@ void gemm_packed(const double* a, const PackedB& b, double* c, std::size_t m,
   const auto t0 = std::chrono::steady_clock::now();
   gemm_packed_dispatch(a, b, c, m, epi);
   record_kernel_profile(gemm_packed_metrics(), "gemm_packed", m, b.k(), b.n(), t0);
+}
+
+void gemm_packed(ConstMatrixView a, const PackedB& b, MatrixView c, const Epilogue& epi) {
+  ONESA_CHECK(a.contiguous() && c.contiguous(),
+              "gemm_packed: views must be contiguous (stride == cols); got A stride "
+                  << a.stride() << " for " << a.cols() << " cols, C stride "
+                  << c.stride() << " for " << c.cols() << " cols");
+  ONESA_CHECK_SHAPE(a.cols() == b.k(), "gemm_packed: A is " << a.rows() << "x" << a.cols()
+                                                            << " but PackedB expects k="
+                                                            << b.k());
+  ONESA_CHECK_SHAPE(c.rows() == a.rows() && c.cols() == b.n(),
+                    "gemm_packed: C is " << c.rows() << "x" << c.cols() << ", want "
+                                         << a.rows() << "x" << b.n());
+  gemm_packed(a.data(), b, c.data(), a.rows(), epi);
 }
 
 }  // namespace onesa::tensor::kernels

@@ -25,6 +25,7 @@
 #include <cstddef>
 
 #include "tensor/kernels/pack.hpp"
+#include "tensor/view.hpp"
 
 namespace onesa::tensor::kernels {
 
@@ -67,6 +68,18 @@ void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_
 ///  - row-stable under stacking: same per-row k*n dispatch criterion as
 ///    gemm(), so batching requests never changes a row's bits.
 void gemm_packed(const double* a, const PackedB& b, double* c, std::size_t m,
+                 const Epilogue& epi = {});
+
+/// View overload of gemm_packed: the serve tier's arena-staged buffers run
+/// straight through the packed kernel without materializing an owning
+/// Matrix, and — unlike the raw-pointer form — the shapes are CHECKED
+/// against the packed weights (a.cols == B.k, c == a.rows x B.n). Both
+/// views must be contiguous (stride == cols): the blocked kernel streams
+/// flat row-major panels, so a stride-padded staging view is sub-viewed or
+/// copied into contiguous form first (MemoryStack::allocate_matrix with
+/// pad_rows=false gives contiguous directly). Numerics are bit-identical
+/// to the pointer overload by construction.
+void gemm_packed(ConstMatrixView a, const PackedB& b, MatrixView c,
                  const Epilogue& epi = {});
 
 /// Threads the dispatcher would use for an m x k x n problem (1 = serial).

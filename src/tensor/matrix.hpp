@@ -16,6 +16,8 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "fixed/fixed16.hpp"
+#include "tensor/buffer_pool.hpp"
+#include "tensor/view.hpp"
 
 namespace onesa::tensor {
 
@@ -27,6 +29,11 @@ namespace onesa::tensor {
 /// is a no-op (double); fixed::Fix16 carries a default member initializer,
 /// so FixMatrix buffers are zero-filled either way and the tag is merely a
 /// statement of intent there.
+///
+/// Storage comes from the recycling buffer pool (tensor/buffer_pool.hpp),
+/// so every Matrix/FixMatrix buffer is 64B-aligned and — on a warmed pool —
+/// reuses capacity instead of touching the heap. That property is what the
+/// serve tier's zero-allocation-per-request gate measures.
 template <typename T, typename A = std::allocator<T>>
 class DefaultInitAllocator : public A {
  public:
@@ -37,6 +44,9 @@ class DefaultInitAllocator : public A {
   };
 
   using A::A;
+
+  T* allocate(std::size_t n) { return static_cast<T*>(pool::allocate(n * sizeof(T))); }
+  void deallocate(T* ptr, std::size_t n) noexcept { pool::deallocate(ptr, n * sizeof(T)); }
 
   template <typename U>
   void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
@@ -101,6 +111,14 @@ class MatrixT {
 
   Buffer& data() { return data_; }
   const Buffer& data() const { return data_; }
+
+  /// Non-owning views over this matrix's storage (always contiguous:
+  /// stride == cols). The view must not outlive the matrix or survive a
+  /// reallocation.
+  MatrixViewT<T> view() { return MatrixViewT<T>(data_.data(), rows_, cols_); }
+  ConstMatrixViewT<T> cview() const {
+    return ConstMatrixViewT<T>(data_.data(), rows_, cols_);
+  }
 
   bool same_shape(const MatrixT& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
 

@@ -1,0 +1,111 @@
+// Non-owning 2D views over row-major storage.
+//
+// A MatrixViewT is (pointer, rows, cols, stride): the memory belongs to
+// someone else — a MatrixT, a MemoryStack arena block, a caller-owned
+// buffer. Views are how the serve path hands arena-staged inputs straight
+// to the kernel layer (gemm_packed has a view overload that shape-checks
+// against the packed weights) without materializing an owning Matrix.
+//
+// `stride` is in ELEMENTS, >= cols; row r starts at data + r * stride.
+// Stride-padded views (each row start 64B-aligned, the Anki Array2d idiom)
+// come out of MemoryStack::allocate_matrix; views over MatrixT storage are
+// always contiguous (stride == cols).
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace onesa::tensor {
+
+template <typename T>
+class MatrixViewT {
+ public:
+  MatrixViewT() = default;
+  MatrixViewT(T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    ONESA_DCHECK(stride_ >= cols_, "view stride " << stride_ << " < cols " << cols_);
+  }
+  MatrixViewT(T* data, std::size_t rows, std::size_t cols)
+      : MatrixViewT(data, rows, cols, cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  /// Rows are adjacent (no padding): the view is one flat row-major block.
+  bool contiguous() const { return stride_ == cols_; }
+
+  T* data() const { return data_; }
+  T* row(std::size_t r) const {
+    ONESA_DCHECK(r < rows_, "view row " << r << " out of " << rows_);
+    return data_ + r * stride_;
+  }
+  T& operator()(std::size_t r, std::size_t c) const {
+    ONESA_DCHECK(r < rows_ && c < cols_, "view index (" << r << "," << c << ") out of "
+                                                        << rows_ << "x" << cols_);
+    return data_[r * stride_ + c];
+  }
+
+  /// First `n` rows as a sub-view (same stride; no copy).
+  MatrixViewT first_rows(std::size_t n) const {
+    ONESA_DCHECK(n <= rows_, "sub-view of " << n << " rows out of " << rows_);
+    return MatrixViewT(data_, n, cols_, stride_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Read-only view; implicitly constructible from the mutable one.
+template <typename T>
+class ConstMatrixViewT {
+ public:
+  ConstMatrixViewT() = default;
+  ConstMatrixViewT(const T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    ONESA_DCHECK(stride_ >= cols_, "view stride " << stride_ << " < cols " << cols_);
+  }
+  ConstMatrixViewT(const T* data, std::size_t rows, std::size_t cols)
+      : ConstMatrixViewT(data, rows, cols, cols) {}
+  ConstMatrixViewT(const MatrixViewT<T>& v)  // NOLINT(google-explicit-constructor)
+      : ConstMatrixViewT(v.data(), v.rows(), v.cols(), v.stride()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool contiguous() const { return stride_ == cols_; }
+
+  const T* data() const { return data_; }
+  const T* row(std::size_t r) const {
+    ONESA_DCHECK(r < rows_, "view row " << r << " out of " << rows_);
+    return data_ + r * stride_;
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    ONESA_DCHECK(r < rows_ && c < cols_, "view index (" << r << "," << c << ") out of "
+                                                        << rows_ << "x" << cols_);
+    return data_[r * stride_ + c];
+  }
+
+  ConstMatrixViewT first_rows(std::size_t n) const {
+    ONESA_DCHECK(n <= rows_, "sub-view of " << n << " rows out of " << rows_);
+    return ConstMatrixViewT(data_, n, cols_, stride_);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+using MatrixView = MatrixViewT<double>;
+using ConstMatrixView = ConstMatrixViewT<double>;
+
+}  // namespace onesa::tensor

@@ -4,7 +4,6 @@
 // percentiles are monotone, and lifetime counters merge across workers.
 #include <gtest/gtest.h>
 
-#include <deque>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -89,7 +88,7 @@ TEST_P(BatchBitIdentity, ElementwiseMatchesSequential) {
 
   OneSaAccelerator batched_accel(small_config(GetParam()));
   DynamicBatcher batcher;
-  const BatchRecord record = batcher.execute(std::move(batch), batched_accel, 0);
+  const BatchRecord record = batcher.execute(batch, batched_accel, 0);
   EXPECT_EQ(record.requests, 4u);
   EXPECT_EQ(record.rows, 11u);
   EXPECT_EQ(record.padded_rows % 4, 0u);  // whole tiles of the 4-row array
@@ -121,7 +120,7 @@ TEST_P(BatchBitIdentity, GemmWithSharedWeightMatchesSequential) {
 
   OneSaAccelerator batched_accel(small_config(GetParam()));
   DynamicBatcher batcher;
-  batcher.execute(std::move(batch), batched_accel, 0);
+  batcher.execute(batch, batched_accel, 0);
 
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     OneSaAccelerator solo(small_config(GetParam()));
@@ -148,7 +147,7 @@ TEST(Batcher, PaddingRowsNeverLeakIntoOutputs) {
   batch.push_back(std::move(t.request));
 
   OneSaAccelerator accel(small_config(ExecutionMode::kAnalytic));
-  const BatchRecord record = DynamicBatcher().execute(std::move(batch), accel, 0);
+  const BatchRecord record = DynamicBatcher().execute(batch, accel, 0);
   EXPECT_EQ(record.padded_rows, 4u);
   EXPECT_EQ(record.rows, 3u);
 
@@ -188,7 +187,7 @@ TEST(Batcher, TakeBatchRespectsBudgetsAndOrder) {
   cfg.max_batch_rows = 6;
   DynamicBatcher batcher(cfg);
 
-  std::deque<ServeRequest> pending;
+  std::vector<ServeRequest> pending;
   std::vector<RequestId> ids;
   for (std::size_t rows : {3u, 2u, 4u, 1u}) {  // 3+2 fit; 4 overflows; 1 fits
     auto t = make_elementwise_request(cpwl::FunctionKind::kTanh, random_fix(rows, 4, rng));
@@ -1081,7 +1080,7 @@ TEST(ServerPool, RowCountChangingModelServesSoloButFailsBatched) {
     futures.push_back(std::move(t.result));
   }
   OneSaAccelerator accel(small_config(ExecutionMode::kAnalytic));
-  const BatchRecord record = DynamicBatcher().execute(std::move(batch), accel, 0);
+  const BatchRecord record = DynamicBatcher().execute(batch, accel, 0);
   EXPECT_EQ(record.requests, 0u);  // failed batch: nothing completed or charged
   EXPECT_EQ(record.cycles.total(), 0u);
   for (auto& f : futures) EXPECT_THROW(f.get(), Error);
