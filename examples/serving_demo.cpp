@@ -18,6 +18,14 @@
 // Pass `--trace-out FILE` to record every request's lifecycle spans
 // (queue wait, window park, service, batches, kernel calls) and write a
 // Chrome trace-event JSON loadable in Perfetto / chrome://tracing.
+//
+// Pass `--listen [PORT]` to skip the scripted traffic and instead put the
+// fleet behind the network front door (src/net): the process binds PORT
+// (default 7410; 0 picks an ephemeral port), serves the "mlp-classifier"
+// model (rows x 32 input) over the OSA1 binary protocol plus HTTP
+// "GET /metrics" on the same port, and runs until SIGTERM/SIGINT triggers
+// a graceful drain. Drive it with bench_loadgen or any OSA1 client.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -25,6 +33,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "net/server.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
 #include "nn/norm.hpp"
@@ -45,20 +54,76 @@ std::unique_ptr<onesa::nn::Sequential> make_demo_mlp(onesa::Rng& rng) {
   return model;
 }
 
+// --listen mode: the fleet behind the network front door, serving until a
+// drain signal arrives. block_drain_signals() already ran (first thing in
+// main), so SIGTERM/SIGINT reach only the watcher thread.
+int run_listen(std::uint16_t port) {
+  using namespace onesa;
+
+  serve::FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.accelerator.mode = ExecutionMode::kAnalytic;
+  cfg.batcher.max_batch_rows = 64;
+  serve::Fleet fleet(cfg);
+
+  Rng rng(7);
+  serve::ModelOptions options;
+  options.batchable = true;
+  fleet.register_model("mlp-classifier", make_demo_mlp(rng), std::move(options));
+
+  net::NetServerConfig net_cfg;
+  net_cfg.port = port;
+  net::NetServer server(fleet, std::move(net_cfg));
+  server.start();
+  server.install_signal_drain();
+
+  std::cout << "front door: listening on 127.0.0.1:" << server.port()
+            << " (OSA1 binary protocol + HTTP GET /metrics)\n"
+            << "model: mlp-classifier (rows x 32 input, batchable)\n"
+            << "fleet: " << fleet.shards() << " shards x " << cfg.workers_per_shard
+            << " workers\n"
+            << "send SIGTERM or SIGINT for a graceful drain\n"
+            << std::flush;
+
+  server.wait_drained();
+  const net::NetServerCounters c = server.counters();
+  std::cout << "drained in " << server.drain_ms() << " ms: "
+            << c.connections_accepted << " connections, " << c.infers_accepted
+            << " infers, " << c.replies_sent << " replies, " << c.error_replies
+            << " error replies, " << c.orphaned_replies << " orphaned, "
+            << c.double_settles << " double settles\n";
+  return c.double_settles == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace onesa;
 
+  // Must run before any thread (fleet workers included) exists, or a
+  // process-directed SIGTERM could land on a thread with the default
+  // terminating disposition. Harmless when --listen is not requested.
+  net::NetServer::block_drain_signals();
+
   std::string trace_out;
+  bool listen = false;
+  std::uint16_t listen_port = 7410;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      listen = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        listen_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      }
     } else {
-      std::cerr << "usage: " << argv[0] << " [--trace-out FILE]\n";
+      std::cerr << "usage: " << argv[0] << " [--trace-out FILE] [--listen [PORT]]\n";
       return 2;
     }
   }
+
+  if (listen) return run_listen(listen_port);
 
   std::cout << "=== ONE-SA serving runtime demo: the fleet tier ===\n\n";
 

@@ -1,0 +1,145 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace onesa::net {
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)),
+      pending_(std::move(other.pending_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+    pending_ = std::move(other.pending_);
+  }
+  return *this;
+}
+
+void BlockingClient::connect(const std::string& host, std::uint16_t port,
+                             double recv_timeout_ms) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error("BlockingClient: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw Error("BlockingClient: bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    throw Error("BlockingClient: connect " + host + ":" + std::to_string(port) +
+                " failed: errno " + std::to_string(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(recv_timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<long>(recv_timeout_ms * 1000.0) % 1000000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void BlockingClient::send_raw(const unsigned char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw Error("BlockingClient: send failed: errno " + std::to_string(errno));
+  }
+}
+
+std::optional<Frame> BlockingClient::recv_frame() {
+  for (;;) {
+    if (!pending_.empty()) {
+      Frame frame = std::move(pending_.front());
+      pending_.erase(pending_.begin());
+      return frame;
+    }
+    unsigned char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!decoder_.feed(buf, static_cast<std::size_t>(n), pending_)) {
+        throw Error("BlockingClient: server sent a malformed frame: " +
+                    decoder_.error());
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return std::nullopt;  // EOF, timeout (EAGAIN), or reset
+  }
+}
+
+std::string BlockingClient::read_until_eof() {
+  std::string out;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return out;  // EOF or timeout
+  }
+}
+
+std::optional<Frame> BlockingClient::ping(std::uint64_t request_id) {
+  std::vector<unsigned char> out;
+  encode_frame(out, FrameType::kPing, request_id, nullptr, 0);
+  send_raw(out);
+  return recv_frame();
+}
+
+void BlockingClient::send_infer(std::uint64_t request_id, const InferRequest& req) {
+  std::vector<unsigned char> out;
+  encode_infer(out, request_id, req);
+  send_raw(out);
+}
+
+std::optional<Frame> BlockingClient::infer(std::uint64_t request_id,
+                                           const InferRequest& req) {
+  send_infer(request_id, req);
+  return recv_frame();
+}
+
+std::optional<Frame> BlockingClient::metrics(std::uint64_t request_id) {
+  std::vector<unsigned char> out;
+  encode_frame(out, FrameType::kMetrics, request_id, nullptr, 0);
+  send_raw(out);
+  return recv_frame();
+}
+
+void BlockingClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace onesa::net

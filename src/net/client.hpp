@@ -1,0 +1,62 @@
+// Minimal blocking client for the front-door protocol, shared by the test
+// suite and the load generator. Intentionally simple: one socket, blocking
+// reads with a receive timeout, and deliberately NO protection against the
+// caller doing hostile things — tests use send_raw() to deliver truncated,
+// oversized, and fuzzed byte streams, and close()/shutdown_write() to
+// abandon requests mid-flight.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace onesa::net {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  /// Connect with a receive timeout; throws onesa::Error on failure.
+  void connect(const std::string& host, std::uint16_t port,
+               double recv_timeout_ms = 5000.0);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send raw bytes verbatim (fuzzing / partial-frame injection). Throws on
+  /// a broken pipe.
+  void send_raw(const unsigned char* data, std::size_t len);
+  void send_raw(const std::vector<unsigned char>& data) {
+    send_raw(data.data(), data.size());
+  }
+
+  /// Read one complete frame. nullopt on EOF or receive timeout.
+  std::optional<Frame> recv_frame();
+
+  /// Read raw bytes until EOF or receive timeout (HTTP-dialect tests).
+  std::string read_until_eof();
+
+  // Convenience request/response round trips (send one frame, read one).
+  std::optional<Frame> ping(std::uint64_t request_id);
+  void send_infer(std::uint64_t request_id, const InferRequest& req);
+  std::optional<Frame> infer(std::uint64_t request_id, const InferRequest& req);
+  std::optional<Frame> metrics(std::uint64_t request_id);
+
+  /// Half-close: FIN the write side, keep reading (drain semantics tests).
+  void shutdown_write();
+  void close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_{std::size_t{64} << 20};  // generous: trust the server
+  std::vector<Frame> pending_;
+};
+
+}  // namespace onesa::net

@@ -1,0 +1,137 @@
+#include "net/poller.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace onesa::net {
+
+Poller::Poller(Backend backend) {
+#if defined(__linux__)
+  if (backend == Backend::kDefault) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    ONESA_CHECK(epoll_fd_ >= 0, "epoll_create1 failed: errno " << errno);
+  }
+#else
+  (void)backend;  // only the poll fallback exists off-Linux
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+namespace {
+
+unsigned interest_bits(bool want_read, bool want_write) {
+  return (want_read ? 1u : 0u) | (want_write ? 2u : 0u);
+}
+
+#if defined(__linux__)
+std::uint32_t epoll_events(bool want_read, bool want_write) {
+  std::uint32_t ev = 0;
+  if (want_read) ev |= EPOLLIN;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;
+}
+#endif
+
+}  // namespace
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_events(want_read, want_write);
+    ev.data.fd = fd;
+    ONESA_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                "epoll_ctl(ADD) failed: errno " << errno);
+    return;
+  }
+#endif
+  interest_[fd] = interest_bits(want_read, want_write);
+}
+
+void Poller::modify(int fd, bool want_read, bool want_write) {
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_events(want_read, want_write);
+    ev.data.fd = fd;
+    ONESA_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                "epoll_ctl(MOD) failed: errno " << errno);
+    return;
+  }
+#endif
+  interest_[fd] = interest_bits(want_read, want_write);
+}
+
+void Poller::remove(int fd) {
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) {
+    // Removal of an already-closed fd is tolerated (EBADF/ENOENT): the loop
+    // closes fds and deregisters in whichever order is convenient.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  interest_.erase(fd);
+}
+
+std::size_t Poller::wait(std::vector<Event>& out, int timeout_ms) {
+  out.clear();
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throw Error("epoll_wait failed: errno " + std::to_string(errno));
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = events[i].data.fd;
+      e.readable = (events[i].events & EPOLLIN) != 0;
+      e.writable = (events[i].events & EPOLLOUT) != 0;
+      e.hangup = (events[i].events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0;
+      out.push_back(e);
+    }
+    return out.size();
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, bits] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    if (bits & 1u) p.events |= POLLIN;
+    if (bits & 2u) p.events |= POLLOUT;
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw Error("poll failed: errno " + std::to_string(errno));
+  }
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    Event e;
+    e.fd = p.fd;
+    e.readable = (p.revents & POLLIN) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out.push_back(e);
+  }
+  return out.size();
+}
+
+}  // namespace onesa::net

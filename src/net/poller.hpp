@@ -1,0 +1,58 @@
+// Readiness multiplexer behind the network front door: epoll(7) on Linux,
+// with a portable poll(2) fallback that is always compiled (and selectable
+// at runtime) so the fallback path is tested on every platform, not just
+// exercised on the exotic ones.
+//
+// The interface is deliberately tiny — level-triggered readiness on a set of
+// fds with per-fd read/write interest — because the server's event loop is
+// single-threaded and owns every fd it registers. No thread-safety is
+// provided or needed.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace onesa::net {
+
+class Poller {
+ public:
+  enum class Backend {
+    /// epoll on Linux, poll elsewhere.
+    kDefault,
+    /// Force the portable poll(2) implementation (tests, non-Linux).
+    kPoll,
+  };
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Peer hangup or fd error — the caller should read to EOF / close.
+    bool hangup = false;
+  };
+
+  explicit Poller(Backend backend = Backend::kDefault);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void add(int fd, bool want_read, bool want_write);
+  void modify(int fd, bool want_read, bool want_write);
+  void remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = forever) and fills `out` with ready fds.
+  /// Returns the number of events. EINTR returns 0 (the caller's loop
+  /// re-evaluates its timers and tries again).
+  std::size_t wait(std::vector<Event>& out, int timeout_ms);
+
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+ private:
+  int epoll_fd_ = -1;  // -1 = poll fallback
+  /// poll fallback state: fd -> interest (bit 0 read, bit 1 write).
+  std::unordered_map<int, unsigned> interest_;
+};
+
+}  // namespace onesa::net

@@ -202,6 +202,12 @@ struct ResilientOp : CompletionHook, std::enable_shared_from_this<ResilientOp> {
   RequestId client_id = 0;
 
   std::promise<ServeResult> client_promise;
+  /// Hook that was attached to the request BEFORE the fleet wrapped it (the
+  /// network front door's per-request completion hook). When set, the op's
+  /// final outcome routes through it instead of the promise, so hook layers
+  /// compose: net hook on top, resilience hook (this op) beneath, each
+  /// settling at most once.
+  std::shared_ptr<CompletionHook> outer;
   std::atomic<bool> settled{false};
 
   std::mutex mutex;  // guards the attempt bookkeeping below
@@ -232,12 +238,24 @@ struct ResilientOp : CompletionHook, std::enable_shared_from_this<ResilientOp> {
 
   void settle_value(ServeResult&& result) {
     if (settled.exchange(true, std::memory_order_acq_rel)) return;
-    client_promise.set_value(std::move(result));
+    if (outer) {
+      ServeRequest stub;
+      stub.id = client_id;
+      outer->on_complete(stub, std::move(result));
+    } else {
+      client_promise.set_value(std::move(result));
+    }
   }
 
   void settle_error(std::exception_ptr error) {
     if (settled.exchange(true, std::memory_order_acq_rel)) return;
-    client_promise.set_exception(std::move(error));
+    if (outer) {
+      ServeRequest stub;
+      stub.id = client_id;
+      outer->on_error(stub, std::move(error));
+    } else {
+      client_promise.set_exception(std::move(error));
+    }
   }
 
   void on_complete(ServeRequest& req, ServeResult&& result) override {
@@ -507,6 +525,22 @@ std::size_t Fleet::route(const ServeRequest& req, std::size_t exclude) {
 }
 
 std::future<ServeResult> Fleet::submit(TaggedRequest req) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    // Shutdown has begun (or finished): shed instead of racing the closing
+    // queues. The future settles with a typed error, never a throw — the
+    // contract the network front door's drain path depends on.
+    ErrorContext ctx;
+    ctx.request_id = req.request.id;
+    if (req.request.kind == RequestKind::kModel && req.request.model != nullptr) {
+      ctx.model = req.request.model->name;
+      ctx.model_version = req.request.model->version;
+    }
+    deliver_error(req.request,
+                  std::make_exception_ptr(OverloadError(
+                      "fleet is shut down: request not accepted", ctx)));
+    return std::move(req.result);
+  }
+
   if (brownout_.load(std::memory_order_relaxed) &&
       req.request.priority == Priority::kBulk) {
     // Graceful degradation sheds the bulk class first: interactive and
@@ -591,8 +625,11 @@ std::future<ServeResult> Fleet::submit_resilient(TaggedRequest req) {
   op->client_id = r.id;
   // The op takes over the CLIENT promise (the future stays linked to it);
   // the attempt keeps a fresh promise nothing ever reads — its outcome
-  // arrives through the hook instead.
+  // arrives through the hook instead. A hook attached upstream (the network
+  // front door) is preserved as the op's OUTER hook: final outcomes route
+  // through it, so resilience wrapping stays transparent to the caller.
   op->client_promise = std::move(r.promise);
+  op->outer = std::move(r.hook);
   r.promise = std::promise<ServeResult>{};
   r.hook = op;
   op->outstanding = 1;
@@ -820,11 +857,17 @@ std::future<ServeResult> Fleet::submit_model(ModelHandle model, tensor::Matrix i
 }
 
 void Fleet::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(shutdown_mutex_);
-    if (shut_down_) return;
-    shut_down_ = true;
-  }
+  // The mutex is held for the WHOLE drain, not just the flag flip: a second
+  // concurrent caller (the network front door's signal watcher racing the
+  // owner's destructor is the motivating pair) blocks until the first
+  // caller's drain finished, so "shutdown() returned" always means "every
+  // accepted future is ready", no matter which caller you are.
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Stop admitting first: submits racing the drain shed with OverloadError
+  // (see Fleet::submit) instead of landing in a closing queue.
+  accepting_.store(false, std::memory_order_release);
   // Drain the shards FIRST: every in-flight attempt completes (or fails)
   // and its hook either settles the op or schedules a retry. THEN stop the
   // supervisor, which settles the retries that can no longer run. After

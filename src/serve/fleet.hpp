@@ -253,7 +253,12 @@ class Fleet {
 
   /// Stop accepting requests, drain every shard, join all workers, settle
   /// every still-pending resilient operation. Every accepted future is
-  /// ready afterwards. Idempotent; also run by the destructor.
+  /// ready afterwards. Idempotent AND safe to call concurrently: a second
+  /// caller blocks until the first caller's drain finished, so returning
+  /// always means "drained" (the network front door's signal watcher calls
+  /// this while the owner's destructor may be doing the same). A submit
+  /// racing shutdown sheds with OverloadError instead of throwing. Also run
+  /// by the destructor.
   void shutdown();
 
   std::size_t shards() const { return shards_.size(); }
@@ -346,8 +351,9 @@ class Fleet {
   std::atomic<bool> brownout_{false};
   std::size_t brownout_over_ticks_ = 0;   // supervisor-thread only
   std::size_t brownout_clear_ticks_ = 0;  // supervisor-thread only
-  bool shut_down_ = false;
-  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;            // guarded by shutdown_mutex_
+  std::atomic<bool> accepting_{true};  // cleared first thing in shutdown()
+  std::mutex shutdown_mutex_;          // held for the WHOLE drain
 };
 
 }  // namespace onesa::serve

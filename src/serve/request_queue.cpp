@@ -131,8 +131,14 @@ void RequestQueue::shed_incoming(ServeRequest req, std::string_view reason) {
 }
 
 bool RequestQueue::push(ServeRequest req) {
-  if (closed_.load(std::memory_order_seq_cst))
-    throw Error("RequestQueue: push after close");
+  if (closed_.load(std::memory_order_seq_cst)) {
+    // A submit racing shutdown settles its future with a typed OverloadError
+    // instead of throwing into the submitter: the caller (fleet front door,
+    // network server) treats "shut down" as one more shedding condition, and
+    // every accepted future still settles exactly once.
+    shed_incoming(std::move(req), "queue closed");
+    return false;
+  }
   req.enqueued = ServeClock::now();
   req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
 

@@ -148,7 +148,9 @@ class RequestQueue {
   /// Enqueue a request (stamps its queue-entry time and arrival sequence).
   /// Returns true when admitted; when admission control sheds the request
   /// instead, its promise fails with OverloadError and push returns false.
-  /// Throws onesa::Error if the queue is closed.
+  /// A push racing (or after) close() is shed the same way — the future
+  /// settles with OverloadError("queue closed"), it never throws — so a
+  /// submitter can lose the race against shutdown without special-casing.
   bool push(ServeRequest req);
 
   /// Put recovered in-flight requests BACK at the front of the queue,

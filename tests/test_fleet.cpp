@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -522,6 +523,93 @@ TEST(ServeStatsAggregation, OperatorPlusMatchesMerge) {
   accum += b;
   EXPECT_EQ(accum.completed(), sum.completed());
   EXPECT_EQ(accum.window_expiries(), sum.window_expiries());
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown hardening (the network front door's drain contract depends on
+// shutdown being idempotent, concurrency-safe, and on a submit that races
+// shutdown settling its future instead of throwing).
+// ---------------------------------------------------------------------------
+
+TEST(Shutdown, DoubleShutdownIsIdempotent) {
+  Fleet fleet(small_fleet(2, 2));
+  Rng rng(7);
+  fleet.register_model("mlp", make_mlp(4, 8, 3, rng));
+  auto fut = fleet.submit_model("mlp", tensor::random_uniform(2, 4, rng));
+  EXPECT_NO_THROW(fut.get());
+  fleet.shutdown();
+  EXPECT_NO_THROW(fleet.shutdown());
+  EXPECT_NO_THROW(fleet.shutdown());
+}
+
+TEST(Shutdown, ConcurrentShutdownIsSafe) {
+  // Several threads (e.g. a signal watcher racing a destructor) may call
+  // shutdown() at once. Every call must return only after the drain is
+  // complete, and none may crash or double-drain.
+  for (int round = 0; round < 4; ++round) {
+    Fleet fleet(small_fleet(2, 2));
+    Rng rng(100 + round);
+    fleet.register_model("mlp", make_mlp(4, 8, 3, rng));
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(fleet.submit_model("mlp", tensor::random_uniform(1, 4, rng)));
+    }
+    std::vector<std::thread> closers;
+    for (int t = 0; t < 4; ++t) {
+      closers.emplace_back([&fleet] { fleet.shutdown(); });
+    }
+    for (auto& t : closers) t.join();
+    // The work submitted before shutdown completed (shutdown drains).
+    for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  }
+}
+
+TEST(Shutdown, SubmitRacingShutdownSettlesEveryFutureExactlyOnce) {
+  // Hammer submit from several threads while another thread shuts the fleet
+  // down mid-stream. Every returned future must settle — with a value or a
+  // typed OverloadError — and none may throw from submit itself or hang.
+  for (int round = 0; round < 3; ++round) {
+    Fleet fleet(small_fleet(2, 1));
+    Rng rng(200 + round);
+    const ModelHandle handle = fleet.register_model("mlp", make_mlp(4, 8, 3, rng));
+
+    std::mutex mu;
+    std::vector<std::future<ServeResult>> futures;
+    std::atomic<bool> go{false};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&, t] {
+        Rng local(300 + 10 * round + t);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        while (!done.load(std::memory_order_acquire)) {
+          auto fut = fleet.submit_model(handle, tensor::random_uniform(1, 4, local));
+          std::lock_guard<std::mutex> lock(mu);
+          futures.push_back(std::move(fut));
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    fleet.shutdown();
+    done.store(true, std::memory_order_release);
+    for (auto& t : submitters) t.join();
+
+    std::size_t values = 0, overloads = 0;
+    for (auto& f : futures) {
+      // settle is the contract: get() may not hang (deadline enforced by
+      // the test runner) and may only yield a value or a typed error.
+      try {
+        (void)f.get();
+        ++values;
+      } catch (const OverloadError&) {
+        ++overloads;
+      }
+    }
+    EXPECT_EQ(values + overloads, futures.size());
+    // The race window is real: submits after the accepting_ flip shed.
+    EXPECT_GT(futures.size(), 0u);
+  }
 }
 
 }  // namespace

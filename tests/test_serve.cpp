@@ -243,9 +243,12 @@ TEST(ServerPool, DrainsCleanlyOnShutdown) {
     f.get();
   }
   EXPECT_EQ(pool.stats().completed(), 25u);
-  // Closed pool rejects new work.
-  EXPECT_THROW(pool.submit_elementwise(cpwl::FunctionKind::kRelu, random_fix(2, 4, rng)),
-               Error);
+  // Closed pool rejects new work — typed, through the future, via the same
+  // shed path a submit racing shutdown takes (never a bare throw, so the
+  // submit call itself can't blow up mid-race).
+  auto rejected =
+      pool.submit_elementwise(cpwl::FunctionKind::kRelu, random_fix(2, 4, rng));
+  EXPECT_THROW(rejected.get(), OverloadError);
   pool.shutdown();  // idempotent
 }
 
