@@ -1,20 +1,71 @@
-// Ablation — fixed-point format of the CPWL tables.
+// Ablation — fixed-point format of the CPWL tables, plus the INT16 serving
+// lane's accuracy/latency against the double lane.
 //
 // The paper fixes INT16 (Q6.9). This study asks what lower/higher-precision
 // datapaths would do to the approximation: for each Q format, the table's
 // k/b parameters and the final result quantize to that grid, so the total
 // error is CPWL interpolation error + format quantization error. An INT8
 // variant (Q3.4) is the natural "future work" question for edge deployment.
+//
+// The second study runs the full quantized model path (QuantizedModel over a
+// BERT-sized GELU FFN) against the double Sequential on identical weights:
+// max |logit_int16 - logit_double| is the end-to-end accuracy cost of the
+// INT16 lane and is gated against the Table-III-style bound, and the
+// single-thread latency ratio is the kernel-level view of the serving
+// bench's int16_vs_double_rps_ratio.
+//
+// Usage:
+//   bench_ablation_precision [--json PATH]
+//
+// --json writes both studies as a "precision" object. When PATH already
+// holds a JSON document (the perf_kernels artifact), the object is spliced
+// into it before the closing brace, so one committed BENCH_kernels.json
+// carries the kernel trajectory and the precision baseline together;
+// otherwise a standalone document is written.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "cpwl/segment_table.hpp"
 #include "fixed/fixed16.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/quantized.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/kernels/gemm_int16.hpp"
+#include "tensor/kernels/thread_pool.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
 
 namespace {
 
 using namespace onesa;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+template <typename F>
+double time_best_ms(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, ms_since(t0));
+  }
+  return best;
+}
 
 /// Max |CPWL_q(x) - f(x)| where parameters and output are quantized to
 /// `frac_bits` and segment indexing runs on the corresponding raw grid.
@@ -37,21 +88,135 @@ double max_error(cpwl::FunctionKind kind, double granularity) {
   return worst;
 }
 
+struct FormatRow {
+  std::string function;
+  double granularity;
+  double err_q3_4;
+  double err_q6_9;
+  double err_q4_11;
+};
+
+struct LaneResult {
+  std::size_t rows = 16;
+  double double_ms = 0.0;
+  double int16_ms = 0.0;
+  double max_logit_error = 0.0;
+  double error_bound = 0.1;  // Table-III-style end-to-end bound at g = 0.25
+  const char* kernel = "";
+  double speedup() const { return int16_ms > 0.0 ? double_ms / int16_ms : 0.0; }
+  bool accuracy_ok() const { return max_logit_error <= error_bound; }
+};
+
+/// End-to-end double-vs-INT16 comparison on the BERT-FFN shape the serving
+/// bench gates: identical weights, single kernel lane, best-of timing.
+LaneResult run_int16_lane() {
+  static const auto gelu_table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu);
+  Rng rng(53);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Linear>(768, 3072, rng));
+  auto act = std::make_unique<nn::Activation>(cpwl::FunctionKind::kGelu);
+  act->use_table(&gelu_table);
+  model.add(std::move(act));
+  model.add(std::make_unique<nn::Linear>(3072, 768, rng));
+  model.prepack();  // the serve tier packs at registration, off the hot path
+  const nn::QuantizedModel quantized(model);
+
+  LaneResult r;
+  r.kernel = tensor::kernels::int16_kernel_name();
+  Rng in_rng(54);
+  const tensor::Matrix x = tensor::random_uniform(r.rows, 768, in_rng, -1.0, 1.0);
+
+  // Pin both lanes to one kernel lane: the ratio should compare the
+  // datapaths, not how many cores each one happened to grab.
+  auto& pool = tensor::kernels::ThreadPool::instance();
+  const tensor::kernels::ThreadPool::ScopedReserve single(pool, pool.threads() - 1);
+
+  const tensor::Matrix y_double = model.infer(x);
+  const tensor::Matrix y_int16 = quantized.infer(x);
+  for (std::size_t i = 0; i < y_double.size(); ++i) {
+    r.max_logit_error = std::max(
+        r.max_logit_error, std::abs(y_double.at_flat(i) - y_int16.at_flat(i)));
+  }
+
+  const int reps = 5;
+  r.double_ms = time_best_ms(reps, [&] { (void)model.infer(x); });
+  r.int16_ms = time_best_ms(reps, [&] { (void)quantized.infer(x); });
+  return r;
+}
+
+std::string render_json(const std::vector<FormatRow>& rows, const LaneResult& lane) {
+  std::ostringstream out;
+  out << "\"precision\": {\n";
+  out << "    \"formats\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FormatRow& r = rows[i];
+    out << "      {\"name\": \"" << r.function << "\", \"granularity\": " << r.granularity
+        << ", \"max_err_q3_4\": " << r.err_q3_4 << ", \"max_err_q6_9\": " << r.err_q6_9
+        << ", \"max_err_q4_11\": " << r.err_q4_11 << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"int16_lane\": {\"shape\": \"ffn-768-3072-768\", \"rows\": " << lane.rows
+      << ", \"double_ms\": " << lane.double_ms << ", \"int16_ms\": " << lane.int16_ms
+      << ", \"speedup_int16_vs_double\": " << lane.speedup()
+      << ", \"int16_kernel\": \"" << lane.kernel << "\""
+      << ", \"max_logit_error\": " << lane.max_logit_error
+      << ", \"error_bound\": " << lane.error_bound
+      << ", \"accuracy_ok\": " << (lane.accuracy_ok() ? "true" : "false") << "}\n";
+  out << "  }";
+  return out.str();
+}
+
+/// Write the precision object to `path`. An existing JSON document gets the
+/// object spliced in before its final closing brace (the perf_kernels
+/// artifact is the intended host); anything else becomes a standalone file.
+void write_json(const std::string& path, const std::string& section) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  const std::size_t close = existing.rfind('}');
+  std::ofstream out(path);
+  if (close != std::string::npos && existing.find('{') < close) {
+    out << existing.substr(0, close) << ",\n  " << section << "\n"
+        << existing.substr(close);
+  } else {
+    out << "{\n  \"bench\": \"ablation_precision\",\n  " << section << "\n}\n";
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json PATH]\n";
+      return 2;
+    }
+  }
+
   std::cout << "=== Ablation: fixed-point format of the CPWL datapath ===\n\n";
 
+  std::vector<FormatRow> rows;
   TablePrinter table({"Function", "Granularity", "Q3.4 res (INT8)", "Q6.9 (paper)",
                       "Q4.11 res"});
   for (cpwl::FunctionKind kind :
        {cpwl::FunctionKind::kGelu, cpwl::FunctionKind::kExp,
         cpwl::FunctionKind::kSigmoid, cpwl::FunctionKind::kTanh}) {
     for (double g : {0.25, 0.0625}) {
-      table.add_row({std::string(cpwl::function_name(kind)), TablePrinter::num(g, 4),
-                     TablePrinter::num(max_error<4>(kind, g), 5),
-                     TablePrinter::num(max_error<9>(kind, g), 5),
-                     TablePrinter::num(max_error<11>(kind, g), 5)});
+      rows.push_back({std::string(cpwl::function_name(kind)), g, max_error<4>(kind, g),
+                      max_error<9>(kind, g), max_error<11>(kind, g)});
+      const FormatRow& r = rows.back();
+      table.add_row({r.function, TablePrinter::num(g, 4), TablePrinter::num(r.err_q3_4, 5),
+                     TablePrinter::num(r.err_q6_9, 5), TablePrinter::num(r.err_q4_11, 5)});
     }
   }
   table.render(std::cout);
@@ -63,5 +228,23 @@ int main() {
                "matter how fine the table, which is why the paper's INT16 choice\n"
                "is load-bearing; Q4.11 shows the interpolation-limited regime\n"
                "(finer granularity keeps paying off).\n";
-  return 0;
+
+  std::cout << "\n=== INT16 serving lane vs double: 768->3072->768 GELU FFN ===\n\n";
+  const LaneResult lane = run_int16_lane();
+  TablePrinter lane_table({"Lane", "Best ms (16 rows)", "Speedup", "Max logit err"});
+  lane_table.add_row({"double", TablePrinter::num(lane.double_ms, 2), "1.00x", "-"});
+  lane_table.add_row({std::string("int16 (") + lane.kernel + ")",
+                      TablePrinter::num(lane.int16_ms, 2),
+                      TablePrinter::num(lane.speedup(), 2) + "x",
+                      TablePrinter::num(lane.max_logit_error, 4)});
+  lane_table.render(std::cout);
+  std::cout << "\nAccuracy gate: max |logit_int16 - logit_double| = "
+            << lane.max_logit_error << " (bound " << lane.error_bound << ") — "
+            << (lane.accuracy_ok() ? "PASS" : "FAIL") << "\n";
+
+  if (!json_path.empty()) {
+    write_json(json_path, render_json(rows, lane));
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return lane.accuracy_ok() ? 0 : 1;
 }

@@ -20,6 +20,13 @@ either file records hardware_threads == 1 it is demoted to INFO (on one
 core the load generator and the server contend for the same cycles and the
 knee measures the scheduler, not the server).
 
+"int16_vs_double_rps_ratio" (the quantized lane's single-thread RPS over
+the double lane's, from the serving bench) is gated like a speedup, but
+only when both files record the same "int16_lane.int16_kernel" name: the
+ratio tracks a code trajectory only within one kernel tier, so a baseline
+from an AVX-512 host diffed against a scalar-tier run (or a baseline that
+predates the lane) demotes it to INFO.
+
 "allocs_per_request" is gated in the other direction (lower is better):
 a fresh value above baseline * (1 + THRESHOLD) AND more than 0.01 above it
 absolutely fails the run. The absolute slack matters because the committed
@@ -67,7 +74,8 @@ import sys
 def is_watched(key: str) -> bool:
     return (key in ("aggregate_rps", "fleet_aggregate_rps", "allocs_per_request",
                     "contention_scaling", "knee_offered_rps",
-                    "overload_goodput_ratio", "flash_interactive_p99_ratio")
+                    "overload_goodput_ratio", "flash_interactive_p99_ratio",
+                    "int16_vs_double_rps_ratio")
             or "speedup" in key)
 
 
@@ -94,6 +102,13 @@ THREADED_KEYS = ("speedup_vs_1t", "speedup_dispatch")
 # single core, so the measured knee is dominated by scheduler interleaving
 # rather than server capacity — report, never gate, there.
 ABSOLUTE_RPS_KEYS = ("knee_offered_rps",)
+
+# Figures whose meaning depends on which INT16 GEMM kernel tier the host
+# dispatched (avx512bw vs avx2 vs scalar). Comparing a baseline produced on
+# an AVX-512 box against a fresh run on a scalar box (or vice versa) measures
+# the hardware difference, not a code regression — demote to INFO whenever
+# the two files record different kernel names (or either omits one).
+KERNEL_TIER_KEYS = ("int16_vs_double_rps_ratio", "speedup_int16_vs_double")
 
 
 def entry_key(obj):
@@ -147,7 +162,9 @@ def walk(base, fresh, path, results):
             return
         if leaf == "contention_scaling" or (
                 leaf in THREADED_KEYS + ABSOLUTE_RPS_KEYS
-                and results.get("single_core")):
+                and results.get("single_core")) or (
+                leaf in KERNEL_TIER_KEYS
+                and results.get("kernel_tier_mismatch")):
             results["informational"].append((path, base, fresh))
             return
         results["compared"].append((path, base, fresh))
@@ -191,6 +208,18 @@ def main():
     # them to INFO.
     results["single_core"] = (base.get("hardware_threads") == 1
                               or fresh.get("hardware_threads") == 1)
+
+    # The INT16-vs-double RPS ratio is only a code-trajectory signal when both
+    # runs dispatched the same INT16 kernel tier; a tier change (different
+    # host, or either file predating the lane) makes it hardware news.
+    def int16_kernel(doc):
+        lane = doc.get("int16_lane")  # serving bench layout
+        if not isinstance(lane, dict):  # kernels artifact: precision.int16_lane
+            precision = doc.get("precision")
+            lane = precision.get("int16_lane") if isinstance(precision, dict) else None
+        return lane.get("int16_kernel") if isinstance(lane, dict) else None
+
+    results["kernel_tier_mismatch"] = int16_kernel(base) != int16_kernel(fresh)
     walk(base, fresh, "", results)
 
     regressions = []
@@ -215,6 +244,8 @@ def main():
             reason = "1-core host"
         elif leaf in ABSOLUTE_RPS_KEYS:
             reason = "absolute RPS on 1-core host"
+        elif leaf in KERNEL_TIER_KEYS:
+            reason = "INT16 kernel tier differs between runs"
         else:
             reason = "wall-clock, shared-runner noise"
         print(f"  INFO       {path}: {old:.4g} -> {new:.4g} (ungated: {reason})")

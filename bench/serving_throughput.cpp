@@ -69,6 +69,7 @@
 // committed BENCH_serving.json is generated in the default analytic mode.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <ctime>
 #include <fstream>
@@ -80,6 +81,7 @@
 
 #include "common/alloc_count.hpp"
 #include "common/table.hpp"
+#include "cpwl/segment_table.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
 #include "nn/norm.hpp"
@@ -89,6 +91,8 @@
 #include "serve/fleet.hpp"
 #include "serve/server_pool.hpp"
 #include "tensor/buffer_pool.hpp"
+#include "tensor/kernels/gemm_int16.hpp"
+#include "tensor/kernels/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
@@ -216,7 +220,41 @@ struct ContentionRow {
   double allocs_per_request = 0.0;  // worker-side, steady (pool warmed)
 };
 
-/// Part 11: the chaos scenario (written to its own BENCH_faults.json).
+/// Part 11: the INT16 quantized lane — one BERT-FFN-shaped MLP
+/// (768 -> 3072 GELU -> 768, the paper's table-3 workload shape) served by
+/// a single-worker pool on both precision lanes over identical weights and
+/// inputs. rps_* are host wall-clock figures with the kernel pool pinned to
+/// one lane, so the ratio is the single-thread speedup of INT16 serving.
+/// The >= 2x ratio bar is armed only on AVX-512BW hosts (where the int16
+/// micro-kernel retires 32 lanes per madd); on narrower SIMD tiers the
+/// ratio rides into the JSON informationally — compare_bench.py likewise
+/// demotes the ratio when baseline and fresh ran different kernels. The
+/// accuracy bar (absolute max logit error vs the double lane: Q6.9
+/// quantization + CPWL table error, table-3 style) is host-independent and
+/// always gates.
+/// The gated ratio is CPU-time based, same playbook as the obs-overhead
+/// part: lanes interleave in small chunks so co-tenant bursts land on both
+/// in expectation, and each lane keeps its fastest chunks (its
+/// interference-free executions). Wall-clock RPS rides along informationally.
+struct PrecisionLaneResult {
+  std::size_t requests = 0;  // timed requests per lane
+  std::size_t rows_per_request = 0;
+  std::size_t trials = 0;          // chunks per lane (fastest kPrecKeep kept)
+  double wall_rps_double = 0.0;    // informational: all chunks, wall clock
+  double wall_rps_int16 = 0.0;
+  double cpu_rps_double = 0.0;     // gated: trimmed process-CPU time
+  double cpu_rps_int16 = 0.0;
+  double ratio = 0.0;        // cpu_rps_int16 / cpu_rps_double
+  double max_logit_error = 0.0;
+  double error_bound = 0.1;  // measured ~0.040 on this shape; slack for drift
+  const char* kernel = "";   // int16_kernel_name() on this host
+  bool ratio_gated = false;  // bar armed (kernel == avx512bw)
+  bool ratio_ok = true;
+  bool accuracy_ok = false;
+  bool pass() const { return ratio_ok && accuracy_ok; }
+};
+
+/// Part 12: the chaos scenario (written to its own BENCH_faults.json).
 /// One workload is served twice through identical fleets — once fault-free,
 /// once under 5% transient errors + one worker crash + one slow shard — and
 /// the acceptance demands every future completes exactly once, interactive
@@ -462,6 +500,7 @@ void write_json(const std::string& path, const std::vector<SweepRow>& traces,
                 const std::vector<WindowRow>& window_rows, const HotSwapResult& hot_swap,
                 const ObsOverheadResult& obs_overhead, const AllocSweepResult& allocs,
                 const std::vector<ContentionRow>& contention_rows,
+                const PrecisionLaneResult& precision,
                 double trace_speedup_at_8, double model_speedup_at_8,
                 double fleet_speedup_at_4, bool window_interactive_improves,
                 bool metrics_overhead_ok, bool logits_exact, bool pass) {
@@ -569,6 +608,22 @@ void write_json(const std::string& path, const std::vector<SweepRow>& traces,
         << (i + 1 < contention_rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"int16_lane\": {\"requests\": " << precision.requests
+      << ", \"rows_per_request\": " << precision.rows_per_request
+      << ", \"trials\": " << precision.trials
+      << ", \"wall_rps_double\": " << precision.wall_rps_double
+      << ", \"wall_rps_int16\": " << precision.wall_rps_int16
+      << ", \"cpu_rps_double\": " << precision.cpu_rps_double
+      << ", \"cpu_rps_int16\": " << precision.cpu_rps_int16
+      << ", \"int16_vs_double_rps_ratio\": " << precision.ratio
+      << ", \"int16_kernel\": \"" << precision.kernel << "\""
+      << ", \"ratio_bar\": 2.0"
+      << ", \"ratio_gated\": " << (precision.ratio_gated ? "true" : "false")
+      << ", \"ratio_ok\": " << (precision.ratio_ok ? "true" : "false")
+      << ", \"max_logit_error\": " << precision.max_logit_error
+      << ", \"error_bound\": " << precision.error_bound
+      << ", \"accuracy_ok\": " << (precision.accuracy_ok ? "true" : "false")
+      << "},\n";
   out << "  \"accept\": {\"trace_speedup_at_8\": " << trace_speedup_at_8
       << ", \"model_speedup_at_8\": " << model_speedup_at_8
       << ", \"fleet_speedup_at_4\": " << fleet_speedup_at_4
@@ -580,6 +635,7 @@ void write_json(const std::string& path, const std::vector<SweepRow>& traces,
       << ", \"metrics_overhead_ok\": " << (metrics_overhead_ok ? "true" : "false")
       << ", \"logits_bit_exact\": " << (logits_exact ? "true" : "false")
       << ", \"zero_alloc_steady\": " << (allocs.zero_alloc_steady ? "true" : "false")
+      << ", \"int16_lane_ok\": " << (precision.pass() ? "true" : "false")
       << ", \"bar\": 4.0, \"pass\": " << (pass ? "true" : "false") << "}\n";
   out << "}\n";
 }
@@ -1320,6 +1376,134 @@ int main(int argc, char** argv) {
                  " shared runners)\n\n";
   }
 
+  std::cout << "=== INT16 quantized lane: 768->3072->768 GELU FFN, double vs int16 ===\n\n";
+  PrecisionLaneResult precision;
+  {
+    // Pin the kernel pool to one lane for the whole part: both precisions run
+    // their GEMMs single-threaded, so the ratio measures the lane itself and
+    // not fan-out luck on a shared runner.
+    auto& kpool = tensor::kernels::ThreadPool::instance();
+    tensor::kernels::ThreadPool::ScopedReserve pin(kpool, kpool.threads() - 1);
+
+    // Both lanes get bit-identical weights (same local seed) and share one
+    // GELU table, which must outlive both pools.
+    const auto gelu_table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu);
+    const auto make_ffn = [&gelu_table] {
+      Rng rng(53);
+      auto model = std::make_unique<nn::Sequential>();
+      model->add(std::make_unique<nn::Linear>(768, 3072, rng));
+      auto act = std::make_unique<nn::Activation>(cpwl::FunctionKind::kGelu);
+      act->use_table(&gelu_table);
+      model->add(std::move(act));
+      model->add(std::make_unique<nn::Linear>(3072, 768, rng));
+      return model;
+    };
+
+    // Chunked interleave, the obs-overhead part's playbook: one chunk = the
+    // same kPrecChunk requests sequentially (submit->get, one in flight, so
+    // process-CPU time is the request's compute). Lanes alternate chunk by
+    // chunk so co-tenant bursts land on both in expectation, and each lane
+    // keeps its fastest kPrecKeep chunks — clean executions compared to
+    // clean executions. Wall figures sum ALL chunks (informational).
+    constexpr std::size_t kPrecChunk = 4;   // requests per timed chunk
+    constexpr std::size_t kPrecTrials = 8;  // chunks per lane
+    constexpr std::size_t kPrecKeep = 6;    // fastest chunks kept per lane
+    precision.requests = kPrecChunk * kPrecTrials;
+    precision.rows_per_request = 16;
+    precision.trials = kPrecTrials;
+    precision.kernel = tensor::kernels::int16_kernel_name();
+    Rng in_rng(54);
+    std::vector<tensor::Matrix> inputs;
+    inputs.reserve(kPrecChunk);
+    for (std::size_t i = 0; i < kPrecChunk; ++i) {
+      inputs.push_back(
+          tensor::random_uniform(precision.rows_per_request, 768, in_rng, -1.0, 1.0));
+    }
+
+    // ONE pool serves both lanes (two registered names, same worker): every
+    // piece of fixed machinery — queue hop, batcher, dispatch, worker — is
+    // byte-identical between chunks, so the ratio isolates the lane itself.
+    serve::ServerPoolConfig cfg;
+    cfg.workers = 1;
+    cfg.accelerator.mode = g_mode;
+    serve::ServerPool pool(cfg);
+    serve::ModelOptions int16_options;
+    int16_options.precision = serve::Precision::kInt16;
+    pool.register_model("ffn_double", make_ffn());
+    pool.register_model("ffn_int16", make_ffn(), int16_options);
+    const char* const lane_name[2] = {"ffn_double", "ffn_int16"};
+
+    // Warm-up pass doubles as the accuracy probe: both lanes are
+    // deterministic, so one pass over the inputs is the lane's output.
+    std::vector<tensor::Matrix> logits[2];
+    for (int lane = 0; lane < 2; ++lane) {
+      for (const tensor::Matrix& input : inputs)
+        logits[lane].push_back(pool.submit_model(lane_name[lane], input).get().logits);
+    }
+    for (std::size_t i = 0; i < kPrecChunk; ++i) {
+      const tensor::Matrix& yd = logits[0][i];
+      const tensor::Matrix& yq = logits[1][i];
+      for (std::size_t j = 0; j < yd.size(); ++j) {
+        precision.max_logit_error =
+            std::max(precision.max_logit_error, std::fabs(yd.at_flat(j) - yq.at_flat(j)));
+      }
+    }
+
+    std::vector<double> chunk_cpu_s[2];
+    double wall_ms[2] = {0.0, 0.0};
+    const auto run_chunk = [&](int lane) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::clock_t cpu_start = std::clock();  // whole-process CPU time
+      for (const tensor::Matrix& input : inputs)
+        pool.submit_model(lane_name[lane], input).get();
+      chunk_cpu_s[lane].push_back(static_cast<double>(std::clock() - cpu_start) /
+                                  CLOCKS_PER_SEC);
+      wall_ms[lane] += wall_ms_since(start);
+    };
+    // Alternate which lane leads each cycle so position bias cancels.
+    for (std::size_t c = 0; c < kPrecTrials; ++c)
+      for (std::size_t k = 0; k < 2; ++k) run_chunk(static_cast<int>((c + k) % 2));
+    pool.shutdown();
+
+    const auto trimmed_cpu_s = [&](int lane) {
+      std::vector<double>& v = chunk_cpu_s[lane];
+      std::sort(v.begin(), v.end());
+      double sum = 0.0;
+      for (std::size_t i = 0; i < kPrecKeep; ++i) sum += v[i];
+      return sum;
+    };
+    const double cpu_double = trimmed_cpu_s(0);
+    const double cpu_int16 = trimmed_cpu_s(1);
+    const double kept = static_cast<double>(kPrecChunk * kPrecKeep);
+    const double total = static_cast<double>(precision.requests);
+    precision.wall_rps_double = total / (wall_ms[0] * 1e-3);
+    precision.wall_rps_int16 = total / (wall_ms[1] * 1e-3);
+    precision.cpu_rps_double = kept / cpu_double;
+    precision.cpu_rps_int16 = kept / cpu_int16;
+    precision.ratio = cpu_int16 > 0.0 ? cpu_double / cpu_int16 : 0.0;
+    precision.accuracy_ok = precision.max_logit_error < precision.error_bound;
+    precision.ratio_gated = std::strcmp(precision.kernel, "avx512bw") == 0;
+    precision.ratio_ok = !precision.ratio_gated || precision.ratio >= 2.0;
+
+    TablePrinter prec_table({"Lane", "Requests", "CPU RPS (best 6/8)", "Wall RPS", "Speedup"});
+    prec_table.add_row({"double", std::to_string(precision.requests),
+                        TablePrinter::num(precision.cpu_rps_double, 1),
+                        TablePrinter::num(precision.wall_rps_double, 1), "1.00x"});
+    prec_table.add_row({"int16", std::to_string(precision.requests),
+                        TablePrinter::num(precision.cpu_rps_int16, 1),
+                        TablePrinter::num(precision.wall_rps_int16, 1),
+                        TablePrinter::num(precision.ratio, 2) + "x"});
+    prec_table.render(std::cout);
+    std::cout << "\n(single worker per lane, kernel pool pinned to 1 lane, int16 kernel \""
+              << precision.kernel << "\"; speedup from trimmed process-CPU time; "
+              << "max |logit error| "
+              << TablePrinter::num(precision.max_logit_error, 4) << " vs the "
+              << TablePrinter::num(precision.error_bound, 2)
+              << " table-3-style bound; the 2x bar is "
+              << (precision.ratio_gated ? "armed" : "informational on this SIMD tier")
+              << ")\n\n";
+  }
+
   std::cout << "=== Chaos: 5% transients + worker crash + slow shard, 3x2 fleet ===\n\n";
   const ChaosResult chaos = run_chaos();
   {
@@ -1353,10 +1537,10 @@ int main(int argc, char** argv) {
   const bool pass = trace_speedup_at_8 >= 4.0 && model_speedup_at_8 >= 4.0 &&
                     fleet_speedup_at_4 >= 2.0 && window_interactive_improves &&
                     hot_swap_clean && metrics_overhead_ok && logits_exact &&
-                    alloc_sweep.zero_alloc_steady;
+                    alloc_sweep.zero_alloc_steady && precision.pass();
   write_json(json_path, trace_rows, batch_rows, model_rows, class_rows, overload,
              fleet_rows, window_rows, hot_swap, obs_overhead, alloc_sweep,
-             contention_rows, trace_speedup_at_8, model_speedup_at_8,
+             contention_rows, precision, trace_speedup_at_8, model_speedup_at_8,
              fleet_speedup_at_4, window_interactive_improves, metrics_overhead_ok,
              logits_exact, pass);
   std::cout << "wrote " << json_path << "\n";
@@ -1398,6 +1582,18 @@ int main(int argc, char** argv) {
               << "/request) — the zero-allocation gate\n";
     return 1;
   }
+  if (!precision.accuracy_ok) {
+    std::cout << "FAIL: int16 lane max |logit error| "
+              << TablePrinter::num(precision.max_logit_error, 4) << " exceeds the "
+              << TablePrinter::num(precision.error_bound, 2) << " bound\n";
+    return 1;
+  }
+  if (!precision.ratio_ok) {
+    std::cout << "FAIL: int16 lane " << TablePrinter::num(precision.ratio, 2)
+              << "x of double-lane RPS, below the 2x bar (kernel "
+              << precision.kernel << ")\n";
+    return 1;
+  }
   if (!chaos.pass) {
     std::cout << "FAIL: chaos scenario (exactly_once="
               << (chaos.exactly_once ? "true" : "false")
@@ -1415,6 +1611,10 @@ int main(int argc, char** argv) {
             << TablePrinter::num(obs_overhead.speedup_metrics_on() * 100.0, 1)
             << "% of obs-off throughput; steady-state serve path made "
             << alloc_sweep.steady_worker_allocs
-            << " worker heap allocations; logits bit-exact\n";
+            << " worker heap allocations; int16 lane "
+            << TablePrinter::num(precision.ratio, 2) << "x double-lane RPS ("
+            << precision.kernel << ", max logit err "
+            << TablePrinter::num(precision.max_logit_error, 4)
+            << "); logits bit-exact\n";
   return 0;
 }

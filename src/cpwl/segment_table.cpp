@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "common/error.hpp"
 
@@ -75,6 +78,10 @@ SegmentTable SegmentTable::build_custom(const std::function<double(double)>& f,
     t.b_params_.push_back(b);
     t.k_fixed_params_.push_back(fixed::Fix16::from_double(k));
     t.b_fixed_params_.push_back(fixed::Fix16::from_double(b));
+    t.kb_packed_.push_back(
+        static_cast<std::int32_t>(
+            static_cast<std::uint16_t>(t.k_fixed_params_.back().raw())) |
+        (static_cast<std::int32_t>(t.b_fixed_params_.back().raw()) << 16));
   }
   return t;
 }
@@ -159,6 +166,49 @@ void SegmentTable::eval_batch(std::span<const double> x, std::span<double> y) co
   }
 }
 
+#if defined(__x86_64__)
+/// Sixteen shift-indexed CPWL lanes per iteration, bit-exact with the scalar
+/// path: every intermediate fits int32 (|k*x| <= 2^30, |b << frac_bits| <=
+/// 2^29, rounding constant <= 2^13), so 32-bit lanes reproduce Acc16's
+/// 64-bit accumulate exactly, and the saturating int32->int16 downconvert is
+/// Acc16::result()'s saturate_i16. Needs only avx512f, but gated on
+/// avx512bw to match the INT16 GEMM dispatch tier.
+// gcc 12's avx512fintrin.h trips -Wmaybe-uninitialized on the non-masked
+// intrinsic forms (header-internal `__Y`, a known false positive — same one
+// suppressed around gemm.cpp's store_tile_avx512_8x16); scope the
+// suppression to this one function.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) static std::size_t eval_fixed_shift_avx512(
+    const std::int16_t* x, std::int16_t* y, std::size_t len, int shift, int frac_bits,
+    int lo, int hi, const std::int32_t* kb) {
+  const __m512i vlo = _mm512_set1_epi32(lo);
+  const __m512i vhi = _mm512_set1_epi32(hi);
+  const __m512i vround = _mm512_set1_epi32(1 << (frac_bits - 1));
+  const __m128i vshift = _mm_cvtsi32_si128(shift);
+  const __m128i vfrac = _mm_cvtsi32_si128(frac_bits);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m256i raw = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m512i xw = _mm512_cvtepi16_epi32(raw);           // sign-extend
+    __m512i s = _mm512_sra_epi32(xw, vshift);                // segment index
+    s = _mm512_min_epi32(_mm512_max_epi32(s, vlo), vhi);     // scale-module cap
+    const __m512i idx = _mm512_sub_epi32(s, vlo);
+    const __m512i kb32 = _mm512_i32gather_epi32(idx, kb, 4);  // k lo16, b hi16
+    const __m512i k = _mm512_srai_epi32(_mm512_slli_epi32(kb32, 16), 16);
+    const __m512i b = _mm512_srai_epi32(kb32, 16);
+    __m512i acc = _mm512_mullo_epi32(k, xw);                 // k*x
+    acc = _mm512_add_epi32(acc, _mm512_sll_epi32(b, vfrac)); // + one.raw * b
+    acc = _mm512_add_epi32(acc, vround);
+    acc = _mm512_sra_epi32(acc, vfrac);                      // Acc16::result()
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i),
+                        _mm512_cvtsepi32_epi16(acc));        // saturate_i16
+  }
+  return i;
+}
+#pragma GCC diagnostic pop
+#endif  // __x86_64__
+
 void SegmentTable::eval_fixed_batch(std::span<const fixed::Fix16> x,
                                     std::span<fixed::Fix16> y) const {
   ONESA_CHECK(x.size() == y.size(),
@@ -168,7 +218,24 @@ void SegmentTable::eval_fixed_batch(std::span<const fixed::Fix16> x,
   const int hi = max_segment_;
   if (shift_indexable()) {
     const int shift = shift_amount_;
-    for (std::size_t i = 0; i < x.size(); ++i) {
+    std::size_t i = 0;
+#if defined(__x86_64__)
+    // Fix16 is a standard-layout wrapper over one int16_t, so its array is
+    // byte-compatible with an int16_t array (the raw view the hardware
+    // datapath works on anyway).
+    static_assert(sizeof(fixed::Fix16) == sizeof(std::int16_t));
+    static const bool kVector = __builtin_cpu_supports("avx512bw");
+    if (kVector) {
+      // The accumulate/requantize stage always runs at Acc16's frac bits
+      // (kDefaultFracBits), matching the scalar loop below; only the segment
+      // shift depends on the table's own frac_bits.
+      i = eval_fixed_shift_avx512(reinterpret_cast<const std::int16_t*>(x.data()),
+                                  reinterpret_cast<std::int16_t*>(y.data()), x.size(),
+                                  shift, fixed::kDefaultFracBits, lo, hi,
+                                  kb_packed_.data());
+    }
+#endif
+    for (; i < x.size(); ++i) {
       int s = static_cast<int>(x[i].raw()) >> shift;
       s = s < lo ? lo : s;
       s = s > hi ? hi : s;

@@ -157,6 +157,10 @@ class SegmentTable {
   std::vector<double> b_params_;
   std::vector<fixed::Fix16> k_fixed_params_;
   std::vector<fixed::Fix16> b_fixed_params_;
+  // (k, b) raw pairs packed one int32 per segment (k low half, b high half):
+  // the vectorized eval_fixed_batch fetches both params of a lane with a
+  // single 32-bit gather instead of two 16-bit loads.
+  std::vector<std::int32_t> kb_packed_;
 };
 
 /// Bundle of tables for every function a network needs, built once per

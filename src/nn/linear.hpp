@@ -63,6 +63,8 @@ class Linear : public Layer {
   std::size_t out_features() const { return out_; }
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
 
  private:
   std::size_t in_;

@@ -1,0 +1,99 @@
+// Per-layer symmetric quantization of a frozen Sequential onto the INT16
+// GEMM lane (tensor/kernels/gemm_int16.hpp) — the paper's precision on the
+// serving hot path.
+//
+// QUANTIZATION SCHEME. Activations live in the accelerator's global Q6.9
+// format (fixed::kDefaultFracBits): the input matrix is quantized once at
+// the model boundary, every hidden activation stays INT16 through the fused
+// GEMM epilogues, and only the final logits are dequantized back to double.
+// Weights are quantized per layer with a power-of-two scale 2^w_fb chosen as
+// the largest fractional-bit count that simultaneously
+//   (a) represents the layer's max |w| without int16 saturation, and
+//   (b) keeps the worst-case accumulator |sum_k a*w| <= 2^30 under the
+//       activation-range contract |x| <= 8.0 (raw |a| <= 8 * 2^9 = 4096),
+//       so the kernel's wrap-mod-2^32 accumulation never actually wraps.
+// Power-of-two scales make requantization a single rounding right shift by
+// w_fb (the product a_raw * w_raw carries scale 2^(9 + w_fb); shifting by
+// w_fb returns to Q6.9), exactly the datapath fixed::Accumulator models.
+// Biases are pre-scaled into the ACCUMULATOR domain, round(b * 2^(9+w_fb)),
+// and added as int32 before the shift — one add, no second rounding.
+//
+// LAYER SUPPORT. The lane accepts the shapes the fused epilogue can keep in
+// INT16: Linear, optionally followed by a fusable Activation (exact ReLU,
+// or any function through its CPWL SegmentTable — evaluated with
+// SegmentTable::eval_fixed_batch, the table's native INT16 path, inside the
+// micro-tile store). Anything else (LayerNorm, attention, conv, an
+// un-tabled curved activation) throws at build time: quantized serving is
+// opt-in per model, and a model that cannot run entirely in INT16 should
+// not pretend to.
+//
+// OWNERSHIP. A QuantizedModel borrows the SegmentTable pointers of the
+// source model's Activation layers; the serve registry stores the quantized
+// rep next to the shared_ptr of the source model in the same immutable
+// ModelEntry, so the tables outlive every user by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/kernels/gemm_int16.hpp"
+#include "tensor/matrix.hpp"
+
+namespace onesa::cpwl {
+class SegmentTable;
+}
+
+namespace onesa::nn {
+
+class Sequential;
+
+/// One quantized Linear (+ fused activation): prepacked int16 weights,
+/// accumulator-domain bias, and the epilogue recipe. Immutable after build.
+struct QuantizedLayer {
+  tensor::kernels::PackedBInt16 weight;  // in x out, pair-interleaved panels
+  std::vector<std::int32_t> bias;        // out entries, scale 2^(9 + w_frac_bits)
+  int w_frac_bits = 0;                   // weight scale exponent == requantize shift
+  tensor::kernels::EpilogueInt16::Kind kind =
+      tensor::kernels::EpilogueInt16::Kind::kBias;
+  const cpwl::SegmentTable* table = nullptr;  // kBiasTable only (borrowed)
+  std::size_t in = 0;
+  std::size_t out = 0;
+};
+
+/// EpilogueInt16::TableBatchFn adapter over SegmentTable::eval_fixed_batch:
+/// y[i] = table(x[i]) on raw Q6.9 bits, any length (chunked internally).
+/// `table` must point at a cpwl::SegmentTable built for 9 fractional bits.
+void segment_table_batch_eval(const void* table, const std::int16_t* x,
+                              std::int16_t* y, std::size_t len);
+
+/// An immutable INT16 serving twin of a Sequential. Build once (at registry
+/// publication), infer from any number of threads concurrently.
+class QuantizedModel {
+ public:
+  /// Quantize `model`. Throws onesa::Error when a layer cannot run on the
+  /// INT16 lane (see layer-support contract above).
+  explicit QuantizedModel(const Sequential& model);
+
+  /// x (rows x in_features, double) -> logits (rows x out_features, double).
+  /// Input rows are quantized to Q6.9 (values saturate at ±~64; the scheme's
+  /// accuracy contract assumes |x| <= 8), every layer runs int16-in/
+  /// int16-out through gemm_packed_int16, and only the final store
+  /// dequantizes. Thread-safe: all state is immutable.
+  tensor::Matrix infer(const tensor::Matrix& x) const;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  std::size_t layer_count() const { return layers_.size(); }
+  const QuantizedLayer& layer(std::size_t i) const { return layers_.at(i); }
+
+  /// Total packed-weight bytes across layers (capacity-planning metric).
+  std::size_t packed_bytes() const;
+
+ private:
+  std::vector<QuantizedLayer> layers_;
+  std::size_t in_ = 0;
+  std::size_t out_ = 0;
+};
+
+}  // namespace onesa::nn

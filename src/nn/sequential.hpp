@@ -17,6 +17,7 @@ class Sequential : public Layer {
   void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
   std::size_t size() const { return layers_.size(); }
   Layer& at(std::size_t i) { return *layers_.at(i); }
+  const Layer& at(std::size_t i) const { return *layers_.at(i); }
 
   tensor::Matrix forward(const tensor::Matrix& x) override;
   tensor::Matrix backward(const tensor::Matrix& grad_out) override;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "nn/quantized.hpp"
 #include "obs/metrics.hpp"
 
 namespace onesa::serve {
@@ -33,8 +34,13 @@ ModelOptions ModelEntry::options() const {
   opts.batchable = batchable;
   opts.batch_window_ms = batch_window_ms;
   opts.cost_trace = cost_trace;
+  opts.precision = precision;
   opts.mac_ops_per_row = mac_ops_override;
   return opts;
+}
+
+tensor::Matrix ModelEntry::infer(const tensor::Matrix& x) const {
+  return quantized != nullptr ? quantized->infer(x) : model->infer(x);
 }
 
 ModelHandle ModelRegistry::publish(std::string name, std::unique_ptr<nn::Sequential> model,
@@ -75,6 +81,14 @@ ModelHandle ModelRegistry::publish(std::string name, std::unique_ptr<nn::Sequent
   // happens BEFORE the registry lock: the publication below is a pointer
   // replace, so readers never see a half-built version.
   model->prepack();
+  // Quantize for the INT16 lane in the same pre-lock window: the quantizer
+  // walks the frozen weights, packs them into PackedBInt16 panels and
+  // borrows the activations' CPWL tables (kept alive by entry->model below).
+  // An unsupported model throws HERE — registration fails loudly; the
+  // request path never discovers a precision problem.
+  entry->precision = options.precision;
+  if (options.precision == Precision::kInt16)
+    entry->quantized = std::make_shared<const nn::QuantizedModel>(*model);
   entry->model = std::shared_ptr<const nn::Sequential>(std::move(model));
 
   std::lock_guard<std::mutex> lock(mutex_);

@@ -58,7 +58,21 @@ namespace onesa::obs {
 class Counter;
 }
 
+namespace onesa::nn {
+class QuantizedModel;
+}
+
 namespace onesa::serve {
+
+/// Serving precision of a registered model version. kDouble runs
+/// Sequential::infer (the double packed-GEMM lane); kInt16 runs the model
+/// through an nn::QuantizedModel built at publication — per-layer symmetric
+/// INT16 quantization onto the vectorized fixed-point GEMM
+/// (tensor/kernels/gemm_int16.hpp), with activations staying INT16 between
+/// layers and only the logits dequantized. Selecting kInt16 for a model the
+/// lane cannot run entirely in INT16 (LayerNorm, attention, un-tabled
+/// curved activations) fails at add/swap time, never on the request path.
+enum class Precision : std::uint8_t { kDouble, kInt16 };
 
 struct ModelOptions {
   /// May rows of different requests ride in one infer() call? Only safe for
@@ -75,6 +89,11 @@ struct ModelOptions {
   double batch_window_ms = 0.0;
   /// Optional per-request simulated cycle model (e.g. nn::bert_base_trace).
   std::shared_ptr<const nn::WorkloadTrace> cost_trace;
+  /// Which lane serves this version (see Precision). Quantization and
+  /// INT16 pre-packing happen at publication, off the request path, and the
+  /// quantized rep rides the same atomic version swap as the double
+  /// weights — hot-swap invariants carry over unchanged.
+  Precision precision = Precision::kDouble;
   /// Explicit per-row MAC estimate; 0 derives it from the model's op census.
   /// The census counts a never-run model, so layers whose op counts depend
   /// on forward-set state (Activation features, sequence-pool length)
@@ -93,6 +112,11 @@ struct ModelEntry {
   /// version for the lifetime of every request holding it.
   std::uint64_t version = 1;
   std::shared_ptr<const nn::Sequential> model;
+  /// INT16 serving twin, built at publication when precision == kInt16
+  /// (nullptr on the double lane). Borrows CPWL table pointers from `model`,
+  /// which this entry keeps alive.
+  std::shared_ptr<const nn::QuantizedModel> quantized;
+  Precision precision = Precision::kDouble;
   bool batchable = false;  // matches ModelOptions: batching is opt-in
   double batch_window_ms = 0.0;
   std::shared_ptr<const nn::WorkloadTrace> cost_trace;
@@ -110,8 +134,11 @@ struct ModelEntry {
   /// Registry metrics live forever, so the pointer never dangles.
   obs::Counter* requests_metric = nullptr;
 
-  /// Thread-safe forward through the shared weights.
-  tensor::Matrix infer(const tensor::Matrix& x) const { return model->infer(x); }
+  /// Thread-safe forward through the shared weights — the batcher's single
+  /// route point. kInt16 entries run the quantized lane (input quantized,
+  /// INT16 GEMMs with fused epilogues, logits dequantized per request);
+  /// kDouble entries run Sequential::infer unchanged.
+  tensor::Matrix infer(const tensor::Matrix& x) const;
 
   /// The ModelOptions this entry was published with (option-preserving swap).
   ModelOptions options() const;

@@ -5,6 +5,12 @@
 namespace onesa::tensor {
 
 Matrix im2col(const Matrix& image_row, const ConvShape& s) {
+  Matrix patches(s.patch_rows(), s.patch_cols(), kUninitialized);
+  im2col_into(image_row, s, patches);
+  return patches;
+}
+
+void im2col_into(const Matrix& image_row, const ConvShape& s, Matrix& patches) {
   ONESA_CHECK_SHAPE(image_row.rows() == 1 &&
                         image_row.cols() == s.in_channels * s.in_height * s.in_width,
                     "im2col image row expected 1x" << s.in_channels * s.in_height * s.in_width
@@ -12,7 +18,10 @@ Matrix im2col(const Matrix& image_row, const ConvShape& s) {
                                                    << image_row.cols());
   const std::size_t oh = s.out_height();
   const std::size_t ow = s.out_width();
-  Matrix patches(oh * ow, s.patch_cols(), 0.0);
+  ONESA_CHECK_SHAPE(patches.rows() == oh * ow && patches.cols() == s.patch_cols(),
+                    "im2col_into patches expected " << oh * ow << "x" << s.patch_cols()
+                                                    << ", got " << patches.rows() << "x"
+                                                    << patches.cols());
 
   auto pixel = [&](std::size_t c, std::ptrdiff_t y, std::ptrdiff_t x) -> double {
     if (y < 0 || x < 0 || y >= static_cast<std::ptrdiff_t>(s.in_height) ||
@@ -40,7 +49,6 @@ Matrix im2col(const Matrix& image_row, const ConvShape& s) {
       }
     }
   }
-  return patches;
 }
 
 Matrix col2im(const Matrix& patches, const ConvShape& s) {
@@ -82,10 +90,13 @@ Matrix conv2d_apply(const Matrix& images, const ConvShape& s, std::size_t out_ch
   Matrix out(images.rows(), out_channels * pixels, kUninitialized);
   Matrix row(1, images.cols());
   Matrix result(pixels, out_channels, kUninitialized);
+  // One patch buffer for the whole batch (im2col_into fully overwrites it):
+  // the conv hot loop allocates nothing per sample.
+  Matrix patches(pixels, s.patch_cols(), kUninitialized);
   for (std::size_t n = 0; n < images.rows(); ++n) {
     for (std::size_t j = 0; j < images.cols(); ++j) row(0, j) = images(n, j);
-    const Matrix patches = im2col(row, s);  // (oh*ow) x (C*k*k)
-    gemm(patches, result);                  // (oh*ow) x out_channels, bias applied
+    im2col_into(row, s, patches);  // (oh*ow) x (C*k*k)
+    gemm(patches, result);         // (oh*ow) x out_channels, bias applied
     for (std::size_t p = 0; p < pixels; ++p) {
       for (std::size_t c = 0; c < out_channels; ++c) {
         out(n, c * pixels + p) = result(p, c);

@@ -40,6 +40,12 @@ struct ConvShape {
 /// (out_h*out_w) x (C*k*k). Out-of-bounds (padding) taps read as zero.
 Matrix im2col(const Matrix& image_row, const ConvShape& shape);
 
+/// im2col into a caller-owned buffer: `patches` must be pre-sized
+/// (out_h*out_w) x (C*k*k) and is fully overwritten (padding taps included).
+/// The batch loops of conv2d_apply hoist one patches matrix across all
+/// samples through this — zero allocations per sample.
+void im2col_into(const Matrix& image_row, const ConvShape& shape, Matrix& patches);
+
 /// Shared conv-lowering core: per-sample im2col, a caller-supplied patch
 /// GEMM (`gemm(patches, result)` must fill `result`, pre-sized
 /// (out_h*out_w) x out_channels, with bias already applied), and the

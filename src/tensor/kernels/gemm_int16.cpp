@@ -1,0 +1,554 @@
+#include "tensor/kernels/gemm_int16.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define ONESA_GEMM_INT16_X86 1
+#endif
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/thread_pool.hpp"
+
+namespace onesa::tensor::kernels {
+
+namespace {
+
+constexpr std::size_t MR = kMR;
+
+/// Minimum int16 MACs per thread before row-slicing switches on. Int16 MACs
+/// retire ~4x faster than double FLOPs (32 lanes/vector, 2 k-steps/madd), so
+/// the break-even problem is proportionally larger than the double kernel's
+/// 1<<20.
+constexpr std::size_t kMacsPerThreadInt16 = 4u << 20;
+
+std::size_t round_up(std::size_t v, std::size_t to) { return (v + to - 1) / to * to; }
+
+/// Adjacent (a[2p], a[2p+1]) as the 32-bit lane pmaddwd expects — a direct
+/// unaligned load off the row-major A (little-endian: low half = even k).
+/// Only the x86 kernels consume these two helpers, hence maybe_unused.
+[[maybe_unused]] inline std::int32_t load_pair(const std::int16_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Pair (lo, hi) composed explicitly — the odd-k tail builds (a_last, 0).
+[[maybe_unused]] inline std::int32_t make_pair(std::int16_t lo, std::int16_t hi) {
+  const std::uint32_t u =
+      static_cast<std::uint16_t>(lo) |
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(hi)) << 16);
+  std::int32_t v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+/// Round-half-up requantize + saturate of a widened accumulator. Matches
+/// fixed::Accumulator::result() when shift == FracBits.
+inline std::int16_t requantize_wide(std::int64_t v, int shift) {
+  if (shift > 0) v = (v + (std::int64_t{1} << (shift - 1))) >> shift;
+  return fixed::saturate_i16(v);
+}
+
+// ---------------------------------------------------------- micro-kernels
+//
+// A tile function accumulates one (<=MR x nr) micro-tile over one packed kc
+// panel into a uint32 accumulator array (row stride kMaxNr). Accumulation is
+// mod 2^32 — exactly pmaddwd + vpaddd — and mod-2^32 addition is associative
+// and commutative, so every variant (and every panel/thread split) produces
+// bit-identical accumulators. All variants compute MR rows unconditionally,
+// clamping the A row pointer to the last valid row for remainder tiles (the
+// store only writes `rows` rows), so the hot path never branches on height.
+
+using TileFnInt16 = void (*)(std::uint32_t* acc, const std::int16_t* a,
+                             std::size_t lda, std::size_t rows,
+                             const std::int16_t* sliver, std::size_t kcb,
+                             std::size_t nr);
+
+/// Tallest micro-tile any int16 kernel uses (sizes the stack accumulator).
+constexpr std::size_t kMaxMrInt16 = 8;
+
+/// Portable fallback. nr-generic: it must be able to consume whatever sliver
+/// width the pack was built with (16 when AVX-512BW selected the pack
+/// geometry, 8 otherwise) so the forced-portable test path can replay any
+/// packed buffer. Per pair the two products are formed in int64 (each fits
+/// int32, their sum may not) and wrapped to uint32 — the scalar spelling of
+/// one pmaddwd lane.
+void tile_int16_generic(std::uint32_t* acc, const std::int16_t* a, std::size_t lda,
+                        std::size_t rows, const std::int16_t* sliver,
+                        std::size_t kcb, std::size_t nr) {
+  const std::size_t pairs = kcb / 2;
+  const std::int16_t* arow[MR];
+  for (std::size_t r = 0; r < MR; ++r)
+    arow[r] = a + std::min(r, rows - 1) * lda;
+  const std::int16_t* bp = sliver;
+  for (std::size_t p = 0; p < pairs; ++p, bp += 2 * nr) {
+    for (std::size_t r = 0; r < MR; ++r) {
+      const std::int64_t a0 = arow[r][2 * p];
+      const std::int64_t a1 = arow[r][2 * p + 1];
+      std::uint32_t* accr = acc + r * kMaxNr;
+      for (std::size_t j = 0; j < nr; ++j) {
+        accr[j] += static_cast<std::uint32_t>(a0 * bp[2 * j] + a1 * bp[2 * j + 1]);
+      }
+    }
+  }
+  if (kcb & 1) {
+    for (std::size_t r = 0; r < MR; ++r) {
+      const std::int64_t a0 = arow[r][kcb - 1];
+      std::uint32_t* accr = acc + r * kMaxNr;
+      for (std::size_t j = 0; j < nr; ++j)
+        accr[j] += static_cast<std::uint32_t>(a0 * bp[2 * j]);
+    }
+  }
+}
+
+#ifdef ONESA_GEMM_INT16_X86
+/// AVX2 4x8 tile: 4 ymm accumulators (8 int32 lanes each), one B vector load
+/// shared by 4 broadcast-madd-add chains — two k steps per madd.
+__attribute__((target("avx2"))) void tile_int16_avx2(
+    std::uint32_t* acc, const std::int16_t* a, std::size_t lda, std::size_t rows,
+    const std::int16_t* sliver, std::size_t kcb, std::size_t /*nr*/) {
+  constexpr std::size_t nr = 8;
+  const std::int16_t* a0 = a;
+  const std::int16_t* a1 = a + std::min<std::size_t>(1, rows - 1) * lda;
+  const std::int16_t* a2 = a + std::min<std::size_t>(2, rows - 1) * lda;
+  const std::int16_t* a3 = a + std::min<std::size_t>(3, rows - 1) * lda;
+  __m256i c0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + 0 * kMaxNr));
+  __m256i c1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + 1 * kMaxNr));
+  __m256i c2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + 2 * kMaxNr));
+  __m256i c3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + 3 * kMaxNr));
+  const std::size_t pairs = kcb / 2;
+  const std::int16_t* bp = sliver;
+  for (std::size_t p = 0; p < pairs; ++p, bp += 2 * nr) {
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    c0 = _mm256_add_epi32(c0, _mm256_madd_epi16(_mm256_set1_epi32(load_pair(a0 + 2 * p)), b));
+    c1 = _mm256_add_epi32(c1, _mm256_madd_epi16(_mm256_set1_epi32(load_pair(a1 + 2 * p)), b));
+    c2 = _mm256_add_epi32(c2, _mm256_madd_epi16(_mm256_set1_epi32(load_pair(a2 + 2 * p)), b));
+    c3 = _mm256_add_epi32(c3, _mm256_madd_epi16(_mm256_set1_epi32(load_pair(a3 + 2 * p)), b));
+  }
+  if (kcb & 1) {
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    c0 = _mm256_add_epi32(c0, _mm256_madd_epi16(_mm256_set1_epi32(make_pair(a0[kcb - 1], 0)), b));
+    c1 = _mm256_add_epi32(c1, _mm256_madd_epi16(_mm256_set1_epi32(make_pair(a1[kcb - 1], 0)), b));
+    c2 = _mm256_add_epi32(c2, _mm256_madd_epi16(_mm256_set1_epi32(make_pair(a2[kcb - 1], 0)), b));
+    c3 = _mm256_add_epi32(c3, _mm256_madd_epi16(_mm256_set1_epi32(make_pair(a3[kcb - 1], 0)), b));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 0 * kMaxNr), c0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 1 * kMaxNr), c1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * kMaxNr), c2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * kMaxNr), c3);
+}
+
+/// AVX-512BW 8x16 tile: 8 zmm accumulators, 32 int16 lanes (= one packed
+/// k-pair across the full sliver) per madd, so each loop body retires
+/// 8 rows x 16 cols x 2 k-steps = 256 MACs off one B vector load. avx512bw
+/// is required for _mm512_madd_epi16 — plain avx512f only covers the double
+/// kernels. 8 rows (vs the double path's broadcast-per-k-step) keeps the
+/// port-5 broadcast traffic at half the madd count, which is what pushes
+/// the measured ratio over the double kernel past 2x.
+__attribute__((target("avx512f,avx512bw"))) void tile_int16_avx512(
+    std::uint32_t* acc, const std::int16_t* a, std::size_t lda, std::size_t rows,
+    const std::int16_t* sliver, std::size_t kcb, std::size_t /*nr*/) {
+  constexpr std::size_t nr = 16;
+  constexpr std::size_t mr = 8;
+  const std::int16_t* ar[mr];
+  for (std::size_t r = 0; r < mr; ++r) ar[r] = a + std::min(r, rows - 1) * lda;
+  __m512i c0 = _mm512_loadu_si512(acc + 0 * kMaxNr);
+  __m512i c1 = _mm512_loadu_si512(acc + 1 * kMaxNr);
+  __m512i c2 = _mm512_loadu_si512(acc + 2 * kMaxNr);
+  __m512i c3 = _mm512_loadu_si512(acc + 3 * kMaxNr);
+  __m512i c4 = _mm512_loadu_si512(acc + 4 * kMaxNr);
+  __m512i c5 = _mm512_loadu_si512(acc + 5 * kMaxNr);
+  __m512i c6 = _mm512_loadu_si512(acc + 6 * kMaxNr);
+  __m512i c7 = _mm512_loadu_si512(acc + 7 * kMaxNr);
+  const std::size_t pairs = kcb / 2;
+  const std::int16_t* bp = sliver;
+  for (std::size_t p = 0; p < pairs; ++p, bp += 2 * nr) {
+    _mm_prefetch(reinterpret_cast<const char*>(bp + 8 * 2 * nr), _MM_HINT_T0);
+    const __m512i b = _mm512_loadu_si512(bp);
+    c0 = _mm512_add_epi32(c0, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(ar[0] + 2 * p)), b));
+    c1 = _mm512_add_epi32(c1, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(ar[1] + 2 * p)), b));
+    c2 = _mm512_add_epi32(c2, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(ar[2] + 2 * p)), b));
+    c3 = _mm512_add_epi32(c3, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(ar[3] + 2 * p)), b));
+    c4 = _mm512_add_epi32(c4, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(ar[4] + 2 * p)), b));
+    c5 = _mm512_add_epi32(c5, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(ar[5] + 2 * p)), b));
+    c6 = _mm512_add_epi32(c6, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(ar[6] + 2 * p)), b));
+    c7 = _mm512_add_epi32(c7, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(ar[7] + 2 * p)), b));
+  }
+  if (kcb & 1) {
+    const __m512i b = _mm512_loadu_si512(bp);
+    c0 = _mm512_add_epi32(c0, _mm512_madd_epi16(_mm512_set1_epi32(make_pair(ar[0][kcb - 1], 0)), b));
+    c1 = _mm512_add_epi32(c1, _mm512_madd_epi16(_mm512_set1_epi32(make_pair(ar[1][kcb - 1], 0)), b));
+    c2 = _mm512_add_epi32(c2, _mm512_madd_epi16(_mm512_set1_epi32(make_pair(ar[2][kcb - 1], 0)), b));
+    c3 = _mm512_add_epi32(c3, _mm512_madd_epi16(_mm512_set1_epi32(make_pair(ar[3][kcb - 1], 0)), b));
+    c4 = _mm512_add_epi32(c4, _mm512_madd_epi16(_mm512_set1_epi32(make_pair(ar[4][kcb - 1], 0)), b));
+    c5 = _mm512_add_epi32(c5, _mm512_madd_epi16(_mm512_set1_epi32(make_pair(ar[5][kcb - 1], 0)), b));
+    c6 = _mm512_add_epi32(c6, _mm512_madd_epi16(_mm512_set1_epi32(make_pair(ar[6][kcb - 1], 0)), b));
+    c7 = _mm512_add_epi32(c7, _mm512_madd_epi16(_mm512_set1_epi32(make_pair(ar[7][kcb - 1], 0)), b));
+  }
+  _mm512_storeu_si512(acc + 0 * kMaxNr, c0);
+  _mm512_storeu_si512(acc + 1 * kMaxNr, c1);
+  _mm512_storeu_si512(acc + 2 * kMaxNr, c2);
+  _mm512_storeu_si512(acc + 3 * kMaxNr, c3);
+  _mm512_storeu_si512(acc + 4 * kMaxNr, c4);
+  _mm512_storeu_si512(acc + 5 * kMaxNr, c5);
+  _mm512_storeu_si512(acc + 6 * kMaxNr, c6);
+  _mm512_storeu_si512(acc + 7 * kMaxNr, c7);
+}
+#endif  // ONESA_GEMM_INT16_X86
+
+struct Int16Kernel {
+  TileFnInt16 fn;
+  std::size_t mr;
+  std::size_t nr;
+  const char* name;
+};
+
+Int16Kernel select_int16_kernel() {
+#ifdef ONESA_GEMM_INT16_X86
+  if (__builtin_cpu_supports("avx512bw")) return {tile_int16_avx512, 8, 16, "avx512bw"};
+  if (__builtin_cpu_supports("avx2")) return {tile_int16_avx2, 4, 8, "avx2"};
+#endif
+  return {tile_int16_generic, 4, 8, "portable"};
+}
+
+const Int16Kernel g_int16 = select_int16_kernel();
+
+// ------------------------------------------------------------- tile store
+//
+// One store per micro-tile, after its complete k-sum. Raw mode bit-casts the
+// wrapped accumulators into int32 C; epilogue mode widens to int64, adds the
+// accumulator-domain bias, requantizes (round-half-up, saturate) and applies
+// the INT16 activation in place — C never holds anything wider than int16.
+
+struct OutSink {
+  std::int16_t* c16 = nullptr;   // epilogue mode
+  std::int32_t* c32 = nullptr;   // raw accumulator mode
+  std::size_t ldc = 0;
+  const EpilogueInt16* epi = nullptr;
+};
+
+void store_tile_int16(const OutSink& sink, const std::uint32_t* acc, std::size_t row0,
+                      std::size_t rows, std::size_t col0, std::size_t width) {
+  if (sink.c32 != nullptr) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::int32_t* crow = sink.c32 + (row0 + r) * sink.ldc + col0;
+      const std::uint32_t* accr = acc + r * kMaxNr;
+      for (std::size_t j = 0; j < width; ++j)
+        crow[j] = static_cast<std::int32_t>(accr[j]);
+    }
+    return;
+  }
+  const EpilogueInt16& e = *sink.epi;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int16_t* crow = sink.c16 + (row0 + r) * sink.ldc + col0;
+    const std::uint32_t* accr = acc + r * kMaxNr;
+    for (std::size_t j = 0; j < width; ++j) {
+      std::int64_t v = static_cast<std::int32_t>(accr[j]);
+      if (e.kind != EpilogueInt16::Kind::kNone) v += e.bias[col0 + j];
+      std::int16_t q = requantize_wide(v, e.shift);
+      if (e.kind == EpilogueInt16::Kind::kBiasRelu && q < 0) q = 0;
+      crow[j] = q;
+    }
+    // kBiasTable's activation is deferred to the caller, which applies it
+    // over whole jc-panel row segments: per-sliver calls here would hand the
+    // vectorized table evaluator slivers too narrow to amortize its setup.
+  }
+}
+
+/// Pairs in a kc panel of height kcb (odd tails round up — the pack padded
+/// them with zero).
+std::size_t panel_pairs(std::size_t kcb) { return (kcb + 1) / 2; }
+
+/// The blocked loop nest: per jc panel, per MR-row block, per nr sliver,
+/// register accumulators crossing every kc panel (no int32 C scratch), one
+/// fused store. `kernel` is a parameter so the forced-portable test entry
+/// can replay any pack geometry through the scalar tile.
+void blocked_int16(const std::int16_t* a, const PackedBInt16& b, const OutSink& sink,
+                   std::size_t m, const Int16Kernel& kernel) {
+  const std::size_t k = b.k();
+  const std::size_t n = b.n();
+  const std::size_t nr = b.nr();
+  const std::size_t mr = kernel.mr;
+  const std::size_t kc_panels = b.kc_panels();
+  alignas(64) std::uint32_t acc[kMaxMrInt16 * kMaxNr];
+  for (std::size_t jc_idx = 0, jc = 0; jc < n; ++jc_idx, jc += kNC) {
+    const std::size_t ncb = std::min(kNC, n - jc);
+    for (std::size_t i0 = 0; i0 < m; i0 += mr) {
+      const std::size_t rows = std::min(mr, m - i0);
+      for (std::size_t jr = 0; jr < ncb; jr += nr) {
+        const std::size_t width = std::min(nr, ncb - jr);
+        std::fill(acc, acc + mr * kMaxNr, 0u);
+        for (std::size_t kc_idx = 0, kc = 0; kc_idx < kc_panels; ++kc_idx, kc += kKC) {
+          const std::size_t kcb = std::min(kKC, k - kc);
+          const std::int16_t* sliver =
+              b.panel(jc_idx, kc_idx) + (jr / nr) * panel_pairs(kcb) * 2 * nr;
+          kernel.fn(acc, a + i0 * k + kc, k, rows, sliver, kcb, nr);
+        }
+        store_tile_int16(sink, acc, i0, rows, jc + jr, width);
+      }
+      // Deferred kBiasTable activation, one call per (row, jc panel): the
+      // requantized row segment is complete here, and ncb-wide spans keep
+      // the table evaluator on its vector path (identical values to
+      // per-sliver application — the activation is elementwise).
+      if (sink.c16 != nullptr && sink.epi->kind == EpilogueInt16::Kind::kBiasTable) {
+        const EpilogueInt16& e = *sink.epi;
+        for (std::size_t r = 0; r < rows; ++r) {
+          std::int16_t* crow = sink.c16 + (i0 + r) * sink.ldc + jc;
+          e.table_eval(e.table, crow, crow, ncb);
+        }
+      }
+    }
+  }
+}
+
+/// Row-sliced fan-out over the kernel ThreadPool; every worker consumes the
+/// one shared packed B. Slices are whole micro-rows; integer accumulation is
+/// exact, so slicing can never change a bit (unlike the double path this
+/// needs no numerics argument at all).
+void blocked_int16_sliced(const std::int16_t* a, const PackedBInt16& b,
+                          const OutSink& sink, std::size_t m,
+                          const Int16Kernel& kernel, std::size_t threads) {
+  if (threads <= 1) {
+    blocked_int16(a, b, sink, m, kernel);
+    return;
+  }
+  const std::size_t k = b.k();
+  const std::size_t per = round_up((m + threads - 1) / threads, kernel.mr);
+  ThreadPool::instance().run(threads, [&](std::size_t part) {
+    const std::size_t lo = std::min(m, part * per);
+    const std::size_t hi = std::min(m, lo + per);
+    if (lo < hi) {
+      OutSink slice = sink;
+      if (slice.c16 != nullptr) slice.c16 += lo * slice.ldc;
+      if (slice.c32 != nullptr) slice.c32 += lo * slice.ldc;
+      blocked_int16(a + lo * k, b, slice, hi - lo, kernel);
+    }
+  });
+}
+
+// ------------------------------------------------------- profiling hooks
+//
+// Same shape as gemm.cpp's KernelMetrics (that one lives in its anonymous
+// namespace): counters + histograms resolved once, recorded per public call
+// when metrics or tracing are live. "flops" counts MACs*2 like the double
+// kernels so the GFLOP/s histograms are directly comparable; bytes reflect
+// the int16/int32 element sizes.
+
+struct KernelMetrics {
+  obs::Counter& calls;
+  obs::Counter& flops;
+  obs::Counter& bytes;
+  obs::Histogram& gflops;
+  obs::Histogram& wall_ms;
+
+  explicit KernelMetrics(const std::string& base)
+      : calls(obs::MetricsRegistry::global().counter(base + "_calls_total")),
+        flops(obs::MetricsRegistry::global().counter(base + "_flops_total")),
+        bytes(obs::MetricsRegistry::global().counter(base + "_bytes_total")),
+        gflops(obs::MetricsRegistry::global().histogram(base + "_gflops")),
+        wall_ms(obs::MetricsRegistry::global().histogram(base + "_ms")) {}
+};
+
+KernelMetrics& gemm_int16_metrics() {
+  static KernelMetrics metrics("kernel_gemm_int16");
+  return metrics;
+}
+
+bool profiling_active() { return obs::metrics_enabled() || obs::tracing_enabled(); }
+
+void record_kernel_profile(KernelMetrics& metrics, const char* name, std::size_t m,
+                           std::size_t k, std::size_t n,
+                           std::chrono::steady_clock::time_point t0) {
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const std::uint64_t flops = 2ull * m * k * n;
+  const std::uint64_t bytes = 2ull * (m * k + k * n + m * n);
+  metrics.calls.add(1);
+  metrics.flops.add(flops);
+  metrics.bytes.add(bytes);
+  metrics.wall_ms.record(ms);
+  if (ms > 0.0) metrics.gflops.record(static_cast<double>(flops) / (ms * 1e6));
+  if (obs::tracing_enabled()) {
+    const auto ts =
+        std::chrono::duration_cast<std::chrono::microseconds>(t0.time_since_epoch())
+            .count();
+    const auto dur = std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+    obs::trace_complete(name, "kernel", ts, dur,
+                        "\"m\":" + std::to_string(m) + ",\"k\":" + std::to_string(k) +
+                            ",\"n\":" + std::to_string(n) +
+                            ",\"flops\":" + std::to_string(flops));
+  }
+}
+
+void gemm_packed_int16_dispatch(const std::int16_t* a, const PackedBInt16& b,
+                                std::int16_t* c, std::size_t m,
+                                const EpilogueInt16& epi) {
+  const std::size_t n = b.n();
+  if (m == 0 || n == 0) return;
+  ONESA_CHECK(b.nr() == g_int16.nr,
+              "gemm_packed_int16: PackedBInt16 sliver width "
+                  << b.nr() << " does not match the selected micro-kernel ("
+                  << g_int16.nr << ")");
+  OutSink sink;
+  sink.c16 = c;
+  sink.ldc = n;
+  sink.epi = &epi;
+  blocked_int16_sliced(a, b, sink, m, g_int16,
+                       gemm_int16_threads(m, b.k(), n));
+}
+
+}  // namespace
+
+std::size_t sliver_width_int16() { return g_int16.nr; }
+
+const char* int16_kernel_name() { return g_int16.name; }
+
+PackedBInt16 PackedBInt16::pack(const std::int16_t* b, std::size_t k, std::size_t n) {
+  PackedBInt16 dst;
+  const std::size_t nr = g_int16.nr;
+  dst.k_ = k;
+  dst.n_ = n;
+  dst.nr_ = nr;
+  if (k == 0 || n == 0) return dst;
+
+  // First pass: panel offsets (jc-major, kc inner), each panel rounded up to
+  // a whole cache line of int16 so every panel starts 64-byte aligned.
+  constexpr std::size_t kPanelAlignInt16 = 32;
+  std::size_t total = 0;
+  dst.offsets_.reserve(dst.nc_panels() * dst.kc_panels());
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t slivers = (std::min(kNC, n - jc) + nr - 1) / nr;
+    for (std::size_t kc = 0; kc < k; kc += kKC) {
+      const std::size_t kcb = std::min(kKC, k - kc);
+      dst.offsets_.push_back(total);
+      total += round_up(slivers * panel_pairs(kcb) * 2 * nr, kPanelAlignInt16);
+    }
+  }
+  dst.data_.resize(total);
+
+  // Second pass: pair-interleaved slivers — per k-pair p, the lane pair
+  // (b[2p][j], b[2p+1][j]) for each column j of the sliver, so one vector
+  // register holds exactly what one pmaddwd consumes. Odd k tails and
+  // missing columns read as zero.
+  std::size_t panel_idx = 0;
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t ncb = std::min(kNC, n - jc);
+    for (std::size_t kc = 0; kc < k; kc += kKC) {
+      const std::size_t kcb = std::min(kKC, k - kc);
+      const std::size_t pairs = panel_pairs(kcb);
+      std::int16_t* base = dst.data_.data() + dst.offsets_[panel_idx++];
+      for (std::size_t jr = 0; jr < ncb; jr += nr) {
+        std::int16_t* sliver = base + (jr / nr) * pairs * 2 * nr;
+        const std::size_t w = std::min(nr, ncb - jr);
+        for (std::size_t p = 0; p < pairs; ++p) {
+          std::int16_t* dstp = sliver + p * 2 * nr;
+          const std::size_t k0 = kc + 2 * p;
+          for (std::size_t cc = 0; cc < nr; ++cc) {
+            const std::size_t j = jc + jr + cc;
+            const bool valid = cc < w;
+            dstp[2 * cc] = valid ? b[k0 * n + j] : std::int16_t{0};
+            dstp[2 * cc + 1] =
+                (valid && k0 + 1 < kc + kcb) ? b[(k0 + 1) * n + j] : std::int16_t{0};
+          }
+        }
+      }
+      detail::note_pack_panel();
+    }
+  }
+  return dst;
+}
+
+std::int16_t PackedBInt16::at(std::size_t kk, std::size_t j) const {
+  ONESA_DCHECK(kk < k_ && j < n_, "PackedBInt16::at(" << kk << "," << j << ") out of "
+                                                      << k_ << "x" << n_);
+  const std::size_t jc_idx = j / kNC;
+  const std::size_t kc_idx = kk / kKC;
+  const std::size_t jloc = j - jc_idx * kNC;
+  const std::size_t p_in_panel = kk - kc_idx * kKC;
+  const std::size_t kcb = std::min(kKC, k_ - kc_idx * kKC);
+  const std::size_t pair = p_in_panel / 2;
+  const std::size_t lane = p_in_panel % 2;
+  const std::size_t sliver_idx = jloc / nr_;
+  const std::size_t cc = jloc - sliver_idx * nr_;
+  return panel(jc_idx, kc_idx)[sliver_idx * panel_pairs(kcb) * 2 * nr_ +
+                               pair * 2 * nr_ + 2 * cc + lane];
+}
+
+void gemm_int16_reference(const std::int16_t* a, const std::int16_t* b,
+                          std::int32_t* c, std::size_t m, std::size_t k,
+                          std::size_t n) {
+  thread_local std::vector<std::uint32_t> row;
+  for (std::size_t i = 0; i < m; ++i) {
+    row.assign(n, 0u);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int64_t aik = a[i * k + kk];
+      if (aik == 0) continue;
+      const std::int16_t* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j)
+        row[j] += static_cast<std::uint32_t>(aik * brow[j]);
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      c[i * n + j] = static_cast<std::int32_t>(row[j]);
+  }
+}
+
+void gemm_packed_int16_acc(const std::int16_t* a, const PackedBInt16& b,
+                           std::int32_t* c, std::size_t m) {
+  const std::size_t n = b.n();
+  if (m == 0 || n == 0) return;
+  ONESA_CHECK(b.nr() == g_int16.nr,
+              "gemm_packed_int16_acc: PackedBInt16 sliver width "
+                  << b.nr() << " does not match the selected micro-kernel ("
+                  << g_int16.nr << ")");
+  OutSink sink;
+  sink.c32 = c;
+  sink.ldc = n;
+  blocked_int16(a, b, sink, m, g_int16);
+}
+
+void gemm_packed_int16(const std::int16_t* a, const PackedBInt16& b, std::int16_t* c,
+                       std::size_t m, const EpilogueInt16& epi) {
+  if (!profiling_active()) {
+    gemm_packed_int16_dispatch(a, b, c, m, epi);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  gemm_packed_int16_dispatch(a, b, c, m, epi);
+  record_kernel_profile(gemm_int16_metrics(), "gemm_int16", m, b.k(), b.n(), t0);
+}
+
+std::size_t gemm_int16_threads(std::size_t m, std::size_t k, std::size_t n) {
+  if (deterministic()) return 1;
+  const std::size_t macs = m * k * n;
+  std::size_t t = ThreadPool::instance().effective_threads();
+  t = std::min(t, std::max<std::size_t>(1, macs / kMacsPerThreadInt16));
+  t = std::min(t, (m + g_int16.mr - 1) / g_int16.mr);
+  return t;
+}
+
+namespace detail {
+
+void gemm_packed_int16_portable(const std::int16_t* a, const PackedBInt16& b,
+                                std::int16_t* c, std::size_t m,
+                                const EpilogueInt16& epi) {
+  const std::size_t n = b.n();
+  if (m == 0 || n == 0) return;
+  OutSink sink;
+  sink.c16 = c;
+  sink.ldc = n;
+  sink.epi = &epi;
+  const Int16Kernel portable{tile_int16_generic, MR, b.nr(), "portable"};
+  blocked_int16(a, b, sink, m, portable);
+}
+
+}  // namespace detail
+
+}  // namespace onesa::tensor::kernels

@@ -1,0 +1,152 @@
+// Vectorized INT16 fixed-point GEMM — the paper's own precision on the
+// serving hot path.
+//
+// The modeled accelerator computes in Q6.9 INT16 with wide accumulators
+// (src/fixed/fixed16.hpp); this module gives the serve tier the same
+// arithmetic at SIMD speed: int16 operands, int32 accumulators, one
+// requantizing store. The micro-kernel is built around the x86 `pmaddwd`
+// family (_mm512_madd_epi16 / _mm256_madd_epi16): each instruction multiplies
+// adjacent int16 PAIRS and horizontally adds the two products into an int32
+// lane, so B is packed pair-interleaved (see PackedBInt16) and A is consumed
+// as 32-bit broadcasts of (a[i][2p], a[i][2p+1]) — one madd retires two k
+// steps across a full sliver of output columns.
+//
+// Numerics contract (asserted in tests/test_kernels.cpp):
+//  - Integer addition is associative, so the portable, AVX2 and AVX-512
+//    kernels produce BIT-IDENTICAL accumulators for every input — there is
+//    no deterministic-mode divergence to manage (deterministic mode only
+//    pins the thread count to 1).
+//  - Accumulation wraps mod 2^32, exactly like vpaddd/pmaddwd. The portable
+//    kernel reproduces this by accumulating in uint32 (well-defined wrap)
+//    and bit-casting back. Callers keep real workloads inside int32 range
+//    via the quantizer's headroom bound (nn/quantized.hpp); the wrap
+//    behaviour itself is tested at the boundary.
+//  - The requantizing store matches fixed::Accumulator<FracBits>::result():
+//    round-half-up at the shift boundary, then saturate_i16. Epilogue order
+//    is bias add (accumulator domain) -> requantize -> activation, applied
+//    exactly once per element after its full k-sum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed16.hpp"
+#include "tensor/kernels/pack.hpp"
+
+namespace onesa::tensor::kernels {
+
+/// B sliver width of the int16 micro-kernel selected at startup: 16 int32
+/// output lanes on AVX-512BW, 8 on AVX2/portable. Independent of the double
+/// kernel's sliver_width() — a CPU can have avx512f without avx512bw.
+std::size_t sliver_width_int16();
+
+/// Name of the selected int16 micro-kernel ("avx512bw", "avx2", "portable").
+const char* int16_kernel_name();
+
+/// Requantize an int32 accumulator down to int16: round-half-up at the
+/// `shift` boundary (in int64, so the rounding add cannot overflow), then
+/// saturate. shift == 0 is a pure saturation. Matches
+/// fixed::Accumulator::result() when shift == FracBits.
+inline std::int16_t requantize_i32(std::int32_t acc, int shift) {
+  std::int64_t v = acc;
+  if (shift > 0) v = (v + (std::int64_t{1} << (shift - 1))) >> shift;
+  return fixed::saturate_i16(v);
+}
+
+/// B (k x n row-major int16) packed once into the int16 kernel's
+/// pair-interleaved sliver layout: per (jc, kc) cache panel (same kKC/kNC
+/// blocking as PackedB), nr-wide column slivers where each k-PAIR stores
+/// [b[2p][j0], b[2p+1][j0], b[2p][j1], b[2p+1][j1], ...] — 2*nr int16 per
+/// pair, exactly one vector register, laid out so pmaddwd against a
+/// broadcast A pair yields the sliver's int32 partial sums directly. Odd k
+/// tails and partial slivers are zero-padded (a zero b contributes nothing
+/// regardless of the adjacent a lane). Immutable after packing; share
+/// freely across threads.
+class PackedBInt16 {
+ public:
+  PackedBInt16() = default;
+
+  static PackedBInt16 pack(const std::int16_t* b, std::size_t k, std::size_t n);
+
+  std::size_t k() const { return k_; }
+  std::size_t n() const { return n_; }
+  std::size_t nr() const { return nr_; }
+  bool empty() const { return k_ == 0 || n_ == 0; }
+
+  std::size_t kc_panels() const { return k_ == 0 ? 0 : (k_ + kKC - 1) / kKC; }
+  std::size_t nc_panels() const { return n_ == 0 ? 0 : (n_ + kNC - 1) / kNC; }
+
+  /// Base of the packed slivers of panel (jc_idx, kc_idx). Sliver `jr`
+  /// (jr a multiple of nr) starts at base + (jr/nr) * pairs(kcb) * 2 * nr.
+  const std::int16_t* panel(std::size_t jc_idx, std::size_t kc_idx) const {
+    return data_.data() + offsets_[jc_idx * kc_panels() + kc_idx];
+  }
+
+  /// Element B[kk][j] read back out of the packed layout (loss-free).
+  std::int16_t at(std::size_t kk, std::size_t j) const;
+
+  std::size_t packed_bytes() const { return data_.size() * sizeof(std::int16_t); }
+
+ private:
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+  std::size_t nr_ = 0;
+  std::vector<std::int16_t, PackAllocator<std::int16_t>> data_;
+  std::vector<std::size_t> offsets_;  // per (jc, kc), jc-major
+};
+
+/// Fused store of the int16 GEMM: bias add in the ACCUMULATOR domain
+/// (int32, pre-shifted by the quantizer), requantize by `shift`, then an
+/// optional activation evaluated entirely in INT16 — ReLU as max(0, x), or
+/// a CPWL segment table through the opaque batch hook (the kernel layer
+/// stays free of cpwl includes; nn/quantized.cpp provides the adapter over
+/// SegmentTable::eval_fixed_batch). Applied exactly once per element after
+/// its complete k-sum, mirroring the double Epilogue's ordering contract.
+struct EpilogueInt16 {
+  enum class Kind : std::uint8_t { kNone, kBias, kBiasRelu, kBiasTable };
+  /// y[i] = table(x[i]) on raw Q-format int16 bits, any length.
+  using TableBatchFn = void (*)(const void* table, const std::int16_t* x,
+                                std::int16_t* y, std::size_t len);
+
+  Kind kind = Kind::kNone;
+  const std::int32_t* bias = nullptr;  // n entries, accumulator domain
+  int shift = 0;                       // requantize right-shift, >= 0
+  TableBatchFn table_eval = nullptr;   // kBiasTable only
+  const void* table = nullptr;         // kBiasTable only
+};
+
+/// Reference int16 GEMM on unpacked operands: C (int32, m x n) gets the
+/// wrap-mod-2^32 accumulator sums, ascending k. The ground truth the packed
+/// kernels are tested against (they match it bit for bit).
+void gemm_int16_reference(const std::int16_t* a, const std::int16_t* b,
+                          std::int32_t* c, std::size_t m, std::size_t k,
+                          std::size_t n);
+
+/// Raw-accumulator packed GEMM: C (int32, m x B.n) is fully overwritten
+/// with the wrap-mod-2^32 sums. No packing, no requantization — the probe
+/// path for tests and accuracy tooling.
+void gemm_packed_int16_acc(const std::int16_t* a, const PackedBInt16& b,
+                           std::int32_t* c, std::size_t m);
+
+/// The serving entry point: int16 in, int16 out, epilogue fused into the
+/// micro-tile store so activations never leave the INT16 domain. Row-sliced
+/// over the kernel ThreadPool when the problem is big enough (integer math
+/// is associative, so threading never changes a bit). Profiled as
+/// kernel_gemm_int16_* counters + _gflops/_ms histograms when obs is live.
+void gemm_packed_int16(const std::int16_t* a, const PackedBInt16& b,
+                       std::int16_t* c, std::size_t m,
+                       const EpilogueInt16& epi = {});
+
+/// Threads gemm_packed_int16 would fan out to (1 = serial).
+std::size_t gemm_int16_threads(std::size_t m, std::size_t k, std::size_t n);
+
+namespace detail {
+/// Force the portable micro-kernel for one call (bit-exactness tests pit
+/// this against the dispatched vector path on identical inputs).
+void gemm_packed_int16_portable(const std::int16_t* a, const PackedBInt16& b,
+                                std::int16_t* c, std::size_t m,
+                                const EpilogueInt16& epi);
+}  // namespace detail
+
+}  // namespace onesa::tensor::kernels

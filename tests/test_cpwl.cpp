@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
 
 #include "cpwl/approx_error.hpp"
 #include "cpwl/segment_table.hpp"
@@ -108,6 +111,41 @@ TEST(SegmentTable, EvalFixedTracksDoubleEval) {
     // Error budget: quantized k/b (each <= ulp/2, k error scaled by |x|<=8)
     // plus the final rounding.
     EXPECT_NEAR(got, want, fixed::Fix16::resolution() * (2.0 + std::abs(x))) << x;
+  }
+}
+
+TEST(SegmentTable, BatchEvalFixedBitExactWithScalarAcrossFullRawRange) {
+  // eval_fixed_batch carries a SIMD fast path on the shift-indexable route;
+  // its contract is bit-exactness with eval_fixed for EVERY int16 input.
+  // Sweep the entire raw range for a shift-indexable table, a divide-path
+  // table (non-power-of-two granularity) and a non-default Q format, with a
+  // batch length that exercises both the vector body and the scalar tail.
+  SegmentTableConfig q8;
+  q8.frac_bits = 8;
+  const SegmentTable tables[] = {
+      build(FunctionKind::kGelu, 0.25),
+      build(FunctionKind::kSigmoid, 0.1),  // not a power of two: divide path
+      SegmentTable::build(FunctionKind::kTanh, q8),
+  };
+  for (const SegmentTable& t : tables) {
+    std::vector<fixed::Fix16> x;
+    x.reserve(65536);
+    for (int raw = std::numeric_limits<std::int16_t>::min();
+         raw <= std::numeric_limits<std::int16_t>::max(); ++raw) {
+      x.push_back(fixed::Fix16::from_raw(static_cast<std::int16_t>(raw)));
+    }
+    std::vector<fixed::Fix16> y(x.size());
+    t.eval_fixed_batch(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(y[i].raw(), t.eval_fixed(x[i]).raw())
+          << t.name() << " raw input " << x[i].raw();
+    }
+    // Odd length: the last 13 elements run down the scalar tail.
+    const std::size_t odd = 16 * 3 + 13;
+    std::vector<fixed::Fix16> y2(odd);
+    t.eval_fixed_batch(std::span<const fixed::Fix16>(x.data(), odd),
+                       std::span<fixed::Fix16>(y2.data(), odd));
+    for (std::size_t i = 0; i < odd; ++i) ASSERT_EQ(y2[i].raw(), y[i].raw());
   }
 }
 

@@ -302,6 +302,74 @@ TEST(HotSwap, SwapUnderSaturatingLoadNeverMixesVersions) {
   EXPECT_EQ(checked, static_cast<std::size_t>(kThreads * kPerThread));
 }
 
+TEST(HotSwap, QuantizedSwapUnderSaturatingLoadNeverMixesVersions) {
+  // The INT16 lane must uphold the same hot-swap invariant as the double
+  // lane: swaps of a Precision::kInt16 model (quantization + INT16
+  // pre-packing happen before publication) against a saturating stream
+  // return logits bit-exact against SOME published version's quantized
+  // inference — never a torn mix, never a precision fallback.
+  Fleet fleet(small_fleet(2, 2));
+  Rng rng(86);
+  ModelOptions options = batchable_options();
+  options.precision = Precision::kInt16;
+  const auto make_quantizable = [&rng] {
+    // Linear -> ReLU -> Linear: row-independent and fully INT16-servable.
+    auto model = std::make_unique<nn::Sequential>();
+    model->add(std::make_unique<nn::Linear>(6, 12, rng));
+    model->add(nn::make_relu());
+    model->add(std::make_unique<nn::Linear>(12, 3, rng));
+    return model;
+  };
+  std::vector<ModelHandle> versions;
+  versions.push_back(fleet.register_model("q", make_quantizable(), options));
+  ASSERT_NE(versions.back()->quantized, nullptr);
+
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 60;
+  struct Submission {
+    Matrix input;
+    std::future<ServeResult> future;
+  };
+  std::vector<std::vector<Submission>> submissions(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&fleet, &submissions, t] {
+      Rng thread_rng(950 + t);
+      submissions[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        Matrix input = tensor::random_uniform(1 + i % 3, 6, thread_rng, -1.0, 1.0);
+        auto future = fleet.submit_model("q", input);
+        submissions[t].push_back({std::move(input), std::move(future)});
+      }
+    });
+  }
+  for (int swap = 0; swap < 4; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    versions.push_back(fleet.swap_model("q", make_quantizable()));
+    ASSERT_NE(versions.back()->quantized, nullptr)
+        << "option-preserving swap dropped the INT16 lane";
+  }
+  for (auto& thread : submitters) thread.join();
+  fleet.shutdown();
+  ASSERT_EQ(versions.back()->version, 5u);
+
+  std::size_t checked = 0;
+  for (auto& thread_subs : submissions) {
+    for (Submission& sub : thread_subs) {
+      const ServeResult got = sub.future.get();
+      const bool matches_some_version =
+          std::any_of(versions.begin(), versions.end(), [&](const ModelHandle& v) {
+            return got.logits == v->infer(sub.input);
+          });
+      EXPECT_TRUE(matches_some_version)
+          << "quantized request " << got.id << " returned logits matching no version";
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
 // ------------------------------------------------------- batching windows
 
 BatcherConfig windowed_batcher(double wait_ms) {

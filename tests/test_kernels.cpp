@@ -20,8 +20,10 @@
 #include "common/rng.hpp"
 #include "cpwl/segment_table.hpp"
 #include "nn/activations.hpp"
+#include "nn/quantized.hpp"
 #include "tensor/kernels/elementwise.hpp"
 #include "tensor/kernels/gemm.hpp"
+#include "tensor/kernels/gemm_int16.hpp"
 #include "tensor/kernels/thread_pool.hpp"
 #include "tensor/kernels/transpose.hpp"
 #include "tensor/matrix.hpp"
@@ -528,6 +530,219 @@ TEST(CpwlBatch, ActivationTableModeMatchesScalarTableEval) {
   const Matrix exact = act.forward(x);
   for (std::size_t i = 0; i < x.size(); ++i)
     ASSERT_EQ(exact.at_flat(i), cpwl::eval_reference(cpwl::FunctionKind::kGelu, x.at_flat(i)));
+}
+
+// ------------------------------------------------------------- int16 GEMM
+//
+// The INT16 lane's contract (tensor/kernels/gemm_int16.hpp): every kernel —
+// portable, AVX2, AVX-512BW — produces BIT-IDENTICAL wrap-mod-2^32
+// accumulators; the requantizing epilogue matches the unfused
+// bias -> Accumulator::result()-style shift -> activation composition
+// exactly; saturation behaves like fixed::saturate_i16 at both rails.
+
+std::vector<std::int16_t> random_i16(std::size_t count, Rng& rng, int lo = -2048,
+                                     int hi = 2048) {
+  std::vector<std::int16_t> v(count);
+  for (auto& e : v)
+    e = static_cast<std::int16_t>(std::lround(rng.uniform(lo, hi)));
+  return v;
+}
+
+const std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> kInt16Shapes = {
+    {1, 1, 1},   {1, 5, 3},     {3, 257, 5},    {4, 64, 16},
+    {7, 513, 300}, {8, 768, 96}, {13, 2, 130},  {32, 300, 521},
+};
+
+TEST(PackedBInt16, RoundTripsEveryElementAcrossShapes) {
+  Rng rng(77);
+  for (const auto& [m, k, n] : kInt16Shapes) {
+    (void)m;
+    const auto b = random_i16(k * n, rng, -32768, 32767);
+    const auto packed = tensor::kernels::PackedBInt16::pack(b.data(), k, n);
+    ASSERT_EQ(packed.k(), k);
+    ASSERT_EQ(packed.n(), n);
+    for (std::size_t kk = 0; kk < k; ++kk)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_EQ(packed.at(kk, j), b[kk * n + j]) << "k=" << kk << " j=" << j;
+  }
+}
+
+TEST(GemmInt16, PackedAccumulatorsMatchReferenceAcrossShapes) {
+  Rng rng(78);
+  for (const auto& [m, k, n] : kInt16Shapes) {
+    const auto a = random_i16(m * k, rng);
+    const auto b = random_i16(k * n, rng);
+    std::vector<std::int32_t> ref(m * n), acc(m * n);
+    tensor::kernels::gemm_int16_reference(a.data(), b.data(), ref.data(), m, k, n);
+    const auto packed = tensor::kernels::PackedBInt16::pack(b.data(), k, n);
+    tensor::kernels::gemm_packed_int16_acc(a.data(), packed, acc.data(), m);
+    ASSERT_EQ(acc, ref) << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(GemmInt16, PortableMatchesDispatchedKernelRawForRaw) {
+  // The bit-exactness half of the contract: the scalar portable micro-kernel
+  // replayed over the SAME packed buffer must reproduce the dispatched
+  // vector path (pmaddwd pair products + vpaddd wrap) raw for raw, epilogue
+  // included. Full-range operands so wrap actually occurs on the big shapes.
+  Rng rng(79);
+  for (const auto& [m, k, n] : kInt16Shapes) {
+    const auto a = random_i16(m * k, rng, -32768, 32767);
+    const auto b = random_i16(k * n, rng, -32768, 32767);
+    const auto packed = tensor::kernels::PackedBInt16::pack(b.data(), k, n);
+    tensor::kernels::EpilogueInt16 epi;
+    epi.kind = tensor::kernels::EpilogueInt16::Kind::kNone;
+    epi.shift = 9;
+    std::vector<std::int16_t> dispatched(m * n), portable(m * n);
+    tensor::kernels::gemm_packed_int16(a.data(), packed, dispatched.data(), m, epi);
+    tensor::kernels::detail::gemm_packed_int16_portable(a.data(), packed,
+                                                        portable.data(), m, epi);
+    ASSERT_EQ(portable, dispatched)
+        << "kernel=" << tensor::kernels::int16_kernel_name() << " m=" << m
+        << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(GemmInt16, AccumulatorWrapsMod32AtTheBoundary) {
+  // Worst-case pair product: (-32768)*(-32768) + (-32768)*(-32768) = 2^31,
+  // which wraps to INT32_MIN in one pmaddwd — the documented (and tested)
+  // wrap-not-saturate behaviour of the accumulation domain. Both the
+  // reference and the packed path must agree on the wrapped bits.
+  const std::size_t k = 2, n = 1;
+  const std::int16_t lowest = std::numeric_limits<std::int16_t>::lowest();
+  const std::vector<std::int16_t> a = {lowest, lowest};
+  const std::vector<std::int16_t> b = {lowest, lowest};
+  std::vector<std::int32_t> ref(1), acc(1);
+  tensor::kernels::gemm_int16_reference(a.data(), b.data(), ref.data(), 1, k, n);
+  EXPECT_EQ(ref[0], std::numeric_limits<std::int32_t>::min());
+  const auto packed = tensor::kernels::PackedBInt16::pack(b.data(), k, n);
+  tensor::kernels::gemm_packed_int16_acc(a.data(), packed, acc.data(), 1);
+  EXPECT_EQ(acc[0], ref[0]);
+}
+
+TEST(GemmInt16, RequantizeSaturatesLikeSaturateI16) {
+  using tensor::kernels::requantize_i32;
+  // Pure saturation at shift 0: the int32 rails clamp to the int16 rails.
+  EXPECT_EQ(requantize_i32(std::numeric_limits<std::int32_t>::max(), 0), 32767);
+  EXPECT_EQ(requantize_i32(std::numeric_limits<std::int32_t>::min(), 0), -32768);
+  EXPECT_EQ(requantize_i32(32767, 0), 32767);
+  EXPECT_EQ(requantize_i32(32768, 0), 32767);
+  EXPECT_EQ(requantize_i32(-32768, 0), -32768);
+  EXPECT_EQ(requantize_i32(-32769, 0), -32768);
+  // saturate_i16 round-trip at +/- max: already-saturated values are fixed
+  // points.
+  EXPECT_EQ(fixed::saturate_i16(fixed::saturate_i16(1 << 20)), 32767);
+  EXPECT_EQ(fixed::saturate_i16(fixed::saturate_i16(-(1 << 20))), -32768);
+  // Round-half-up at the shift boundary, matching Accumulator::result():
+  // (v + 2^(s-1)) >> s in int64 (the rounding add cannot overflow int32
+  // semantics because it happens at 64 bits).
+  EXPECT_EQ(requantize_i32(511, 9), 1);   // 511 + 256 = 767 -> 1
+  EXPECT_EQ(requantize_i32(255, 9), 0);   // 255 + 256 = 511 -> 0
+  EXPECT_EQ(requantize_i32(256, 9), 1);   // exactly half rounds up
+  EXPECT_EQ(requantize_i32(-256, 9), 0);  // -256 + 256 = 0
+  EXPECT_EQ(requantize_i32(-257, 9), -1);
+  // The rounding add on INT32_MAX would overflow int32; the int64 widening
+  // makes it saturate cleanly instead of UB.
+  EXPECT_EQ(requantize_i32(std::numeric_limits<std::int32_t>::max(), 1),
+            32767);
+  // Near-rail requantization: values that shift down to exactly the rails.
+  EXPECT_EQ(requantize_i32(32767 << 9, 9), 32767);
+  EXPECT_EQ(requantize_i32(-(32768 << 9), 9), -32768);
+  EXPECT_EQ(requantize_i32((32767 << 9) + 300, 9), 32767);  // saturates, not wraps
+  // Sweep agreement with Accumulator::result()'s write-back formula.
+  Rng rng(80);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::int32_t>(std::lround(rng.uniform(-6e6, 6e6)));
+    const std::int64_t rounded = (std::int64_t{v} + 256) >> 9;
+    EXPECT_EQ(requantize_i32(v, 9), fixed::saturate_i16(rounded));
+  }
+}
+
+TEST(GemmInt16, FusedEpilogueMatchesUnfusedComposition) {
+  // bias -> requantize -> activation fused in the micro-tile store must equal
+  // the same steps applied to the raw accumulators afterwards — including
+  // the CPWL table evaluated through its INT16 path.
+  Rng rng(81);
+  const auto table = cpwl::SegmentTable::build(cpwl::FunctionKind::kGelu);
+  for (const auto& [m, k, n] : kInt16Shapes) {
+    const auto a = random_i16(m * k, rng, -512, 512);
+    const auto b = random_i16(k * n, rng, -512, 512);
+    const auto packed = tensor::kernels::PackedBInt16::pack(b.data(), k, n);
+    std::vector<std::int32_t> bias(n);
+    for (auto& e : bias) e = static_cast<std::int32_t>(std::lround(rng.uniform(-5e4, 5e4)));
+    std::vector<std::int32_t> acc(m * n);
+    tensor::kernels::gemm_packed_int16_acc(a.data(), packed, acc.data(), m);
+
+    const int shift = 9;
+    const auto unfused = [&](tensor::kernels::EpilogueInt16::Kind kind,
+                             std::size_t i) {
+      // The fused path adds the bias at int64 width BEFORE requantizing.
+      std::int64_t v = std::int64_t{acc[i]} + bias[i % n];
+      if (shift > 0) v = (v + (std::int64_t{1} << (shift - 1))) >> shift;
+      std::int16_t q = fixed::saturate_i16(v);
+      if (kind == tensor::kernels::EpilogueInt16::Kind::kBiasRelu && q < 0) q = 0;
+      if (kind == tensor::kernels::EpilogueInt16::Kind::kBiasTable)
+        q = table.eval_fixed(fixed::Fix16::from_raw(q)).raw();
+      return q;
+    };
+
+    for (const auto kind : {tensor::kernels::EpilogueInt16::Kind::kBias,
+                            tensor::kernels::EpilogueInt16::Kind::kBiasRelu,
+                            tensor::kernels::EpilogueInt16::Kind::kBiasTable}) {
+      tensor::kernels::EpilogueInt16 epi;
+      epi.kind = kind;
+      epi.bias = bias.data();
+      epi.shift = shift;
+      if (kind == tensor::kernels::EpilogueInt16::Kind::kBiasTable) {
+        epi.table_eval = &nn::segment_table_batch_eval;
+        epi.table = &table;
+      }
+      std::vector<std::int16_t> fused(m * n);
+      tensor::kernels::gemm_packed_int16(a.data(), packed, fused.data(), m, epi);
+      for (std::size_t i = 0; i < fused.size(); ++i)
+        ASSERT_EQ(fused[i], unfused(kind, i))
+            << "kind=" << static_cast<int>(kind) << " i=" << i << " m=" << m
+            << " k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(GemmInt16, ResultsAreRowStableUnderStacking) {
+  // Integer accumulation cannot reassociate, so a row's outputs are
+  // identical whether inferred alone or stacked into a batch — the int16
+  // analogue of the double lane's row-stability guarantee, and the property
+  // the serve tier's batcher relies on.
+  Rng rng(82);
+  const std::size_t m = 11, k = 300, n = 47;
+  const auto a = random_i16(m * k, rng);
+  const auto b = random_i16(k * n, rng);
+  const auto packed = tensor::kernels::PackedBInt16::pack(b.data(), k, n);
+  tensor::kernels::EpilogueInt16 epi;
+  epi.kind = tensor::kernels::EpilogueInt16::Kind::kNone;
+  epi.shift = 9;
+  std::vector<std::int16_t> stacked(m * n);
+  tensor::kernels::gemm_packed_int16(a.data(), packed, stacked.data(), m, epi);
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<std::int16_t> solo(n);
+    tensor::kernels::gemm_packed_int16(a.data() + r * k, packed, solo.data(), 1, epi);
+    for (std::size_t j = 0; j < n; ++j) ASSERT_EQ(solo[j], stacked[r * n + j]);
+  }
+}
+
+TEST(GemmInt16, ZeroInnerDimSaturatesBiasOnly) {
+  // k = 0: accumulators are all zero, so the output is exactly the
+  // requantized bias — and an empty PackedBInt16 stays well-formed.
+  const auto packed = tensor::kernels::PackedBInt16::pack(nullptr, 0, 3);
+  EXPECT_TRUE(packed.empty());
+  std::vector<std::int32_t> bias = {512, -1024, 1 << 28};
+  tensor::kernels::EpilogueInt16 epi;
+  epi.kind = tensor::kernels::EpilogueInt16::Kind::kBias;
+  epi.bias = bias.data();
+  epi.shift = 9;
+  std::vector<std::int16_t> c(2 * 3, -1);
+  tensor::kernels::gemm_packed_int16(nullptr, packed, c.data(), 2, epi);
+  const std::vector<std::int16_t> expect = {1, -2, 32767, 1, -2, 32767};
+  EXPECT_EQ(c, expect);
 }
 
 }  // namespace
